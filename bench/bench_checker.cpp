@@ -1,0 +1,79 @@
+//===- bench_checker.cpp - Experiment E1: prover time per optimization ----===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates the paper's §5.1 quantitative result: "we have implemented
+/// and automatically proven sound a dozen Cobalt optimizations and
+/// analyses ... the time taken by Simplify to discharge the
+/// optimization-specific obligations ranges from 3 to 104 seconds, with
+/// an average of 28 seconds" (2003 hardware, Simplify).
+///
+/// This harness prints one row per optimization/analysis: obligation
+/// count, total prover (Z3) time, min/max per obligation, and the
+/// verdict. Absolute numbers are far smaller than the paper's (Z3 2021 vs
+/// Simplify 2003); the comparable *shape* is that every pass is proven,
+/// with pointer-aware and backward/insertion patterns costing the most.
+///
+//===----------------------------------------------------------------------===//
+
+#include "checker/Soundness.h"
+#include "opts/Labels.h"
+#include "opts/Optimizations.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+using namespace cobalt;
+using namespace cobalt::checker;
+
+int main() {
+  LabelRegistry Registry;
+  for (const LabelDef &Def : opts::standardLabels())
+    Registry.define(Def);
+  Registry.declareAnalysisLabel("notTainted");
+
+  SoundnessChecker SC(Registry, opts::allAnalyses());
+  SC.setTimeoutMs(60000);
+
+  std::printf("E1: automatic soundness proofs (paper 5.1: Simplify took "
+              "3-104 s, avg 28 s, on 2003 hardware)\n");
+  std::printf("%-24s %6s %10s %10s %10s  %s\n", "pass", "#oblig",
+              "total(s)", "min(ms)", "max(ms)", "verdict");
+
+  std::vector<CheckReport> Reports;
+  for (const PureAnalysis &A : opts::allAnalyses())
+    Reports.push_back(SC.checkAnalysis(A));
+  for (const Optimization &O : opts::allOptimizations())
+    Reports.push_back(SC.checkOptimization(O));
+
+  double Total = 0.0, Min = 1e9, Max = 0.0;
+  unsigned SoundCount = 0;
+  for (const CheckReport &R : Reports) {
+    double ObMin = 1e9, ObMax = 0.0;
+    for (const ObligationResult &Ob : R.Obligations) {
+      ObMin = std::min(ObMin, Ob.Seconds);
+      ObMax = std::max(ObMax, Ob.Seconds);
+    }
+    std::printf("%-24s %6zu %10.3f %10.1f %10.1f  %s%s\n", R.Name.c_str(),
+                R.Obligations.size(), R.TotalSeconds, ObMin * 1000,
+                ObMax * 1000, R.Sound ? "SOUND" : "NOT-PROVEN",
+                R.AssumedAnalyses.empty() ? "" : " (assumes analysis)");
+    Total += R.TotalSeconds;
+    Min = std::min(Min, R.TotalSeconds);
+    Max = std::max(Max, R.TotalSeconds);
+    SoundCount += R.Sound;
+  }
+  std::printf("---\n");
+  std::printf("passes proven sound: %u / %zu\n", SoundCount,
+              Reports.size());
+  std::printf("per-pass prover time: min %.3f s, max %.3f s, avg %.3f s, "
+              "total %.3f s\n",
+              Min, Max, Total / Reports.size(), Total);
+  std::printf("(paper, per-pass: min 3 s, max 104 s, avg 28 s — shape to "
+              "match: all proven; spread of >1 order of magnitude;\n"
+              " pointer-aware/backward patterns are the costly ones)\n");
+  return SoundCount == Reports.size() ? 0 : 1;
+}

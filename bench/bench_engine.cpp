@@ -1,0 +1,136 @@
+//===- bench_engine.cpp - Experiment E6: engine scaling -------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Experiment E6: cost of the generic substitution-set dataflow engine
+/// (§5.2, and the §7 remark that more efficient execution strategies are
+/// future work). Google-benchmark series:
+///
+///  * guard solving vs procedure size, forward (const prop) and backward
+///    (DAE) patterns;
+///  * guard solving vs pattern-variable universe (number of variables);
+///  * a full optimization run (solve + match + rewrite);
+///  * pure-analysis labelling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/Dataflow.h"
+#include "engine/Engine.h"
+#include "ir/Generator.h"
+#include "opts/Labels.h"
+#include "opts/Optimizations.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cobalt;
+using namespace cobalt::engine;
+using namespace cobalt::ir;
+
+namespace {
+
+LabelRegistry &registry() {
+  static LabelRegistry Registry = [] {
+    LabelRegistry R;
+    for (const LabelDef &Def : opts::standardLabels())
+      R.define(Def);
+    R.declareAnalysisLabel("notTainted");
+    return R;
+  }();
+  return Registry;
+}
+
+Program makeProgram(unsigned Stmts, unsigned Vars = 5,
+                    bool Pointers = false) {
+  GenOptions Options;
+  Options.NumStmts = Stmts;
+  Options.NumVars = Vars;
+  Options.WithPointers = Pointers;
+  return generateProgram(Options, /*Seed=*/42);
+}
+
+void BM_GuardSolveForward(benchmark::State &State) {
+  Program Prog = makeProgram(static_cast<unsigned>(State.range(0)));
+  const Procedure &Main = *Prog.findProc("main");
+  Cfg G(Main);
+  Optimization O = opts::constProp();
+  for (auto _ : State) {
+    GuardSolution Sol = solveGuard(Direction::D_Forward, O.Pat.G, G,
+                                   registry(), nullptr);
+    benchmark::DoNotOptimize(Sol.AtNode.size());
+  }
+  State.counters["stmts"] = Main.size();
+}
+BENCHMARK(BM_GuardSolveForward)->Arg(25)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_GuardSolveBackward(benchmark::State &State) {
+  Program Prog = makeProgram(static_cast<unsigned>(State.range(0)));
+  const Procedure &Main = *Prog.findProc("main");
+  Cfg G(Main);
+  Optimization O = opts::deadAssignElim();
+  for (auto _ : State) {
+    GuardSolution Sol = solveGuard(Direction::D_Backward, O.Pat.G, G,
+                                   registry(), nullptr);
+    benchmark::DoNotOptimize(Sol.AtNode.size());
+  }
+  State.counters["stmts"] = Main.size();
+}
+BENCHMARK(BM_GuardSolveBackward)->Arg(25)->Arg(100)->Arg(400);
+
+void BM_GuardSolveVsUniverse(benchmark::State &State) {
+  // Fixed statement count, growing variable universe: substitution sets
+  // and the negative-literal enumeration grow with it.
+  Program Prog = makeProgram(120, static_cast<unsigned>(State.range(0)));
+  const Procedure &Main = *Prog.findProc("main");
+  Cfg G(Main);
+  Optimization O = opts::deadAssignElim(); // ψ1 enumerates variables
+  for (auto _ : State) {
+    GuardSolution Sol = solveGuard(Direction::D_Backward, O.Pat.G, G,
+                                   registry(), nullptr);
+    benchmark::DoNotOptimize(Sol.AtNode.size());
+  }
+}
+BENCHMARK(BM_GuardSolveVsUniverse)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RunOptimization(benchmark::State &State) {
+  Program Prog = makeProgram(static_cast<unsigned>(State.range(0)));
+  Optimization O = opts::constProp();
+  for (auto _ : State) {
+    State.PauseTiming();
+    Program Copy = Prog;
+    State.ResumeTiming();
+    RunStats Stats =
+        runOptimization(O, *Copy.findProc("main"), registry(), nullptr);
+    benchmark::DoNotOptimize(Stats.AppliedCount);
+  }
+}
+BENCHMARK(BM_RunOptimization)->Arg(25)->Arg(100)->Arg(400);
+
+void BM_ComputeDeltaOnly(benchmark::State &State) {
+  Program Prog = makeProgram(static_cast<unsigned>(State.range(0)));
+  const Procedure &Main = *Prog.findProc("main");
+  Optimization O = opts::cse();
+  for (auto _ : State) {
+    auto Delta = computeDelta(O.Pat, Main, registry(), nullptr);
+    benchmark::DoNotOptimize(Delta.size());
+  }
+}
+BENCHMARK(BM_ComputeDeltaOnly)->Arg(25)->Arg(100)->Arg(400);
+
+void BM_TaintAnalysis(benchmark::State &State) {
+  Program Prog = makeProgram(static_cast<unsigned>(State.range(0)),
+                             /*Vars=*/5, /*Pointers=*/true);
+  const Procedure &Main = *Prog.findProc("main");
+  PureAnalysis A = opts::taintAnalysis();
+  for (auto _ : State) {
+    Labeling Labels;
+    runPureAnalysis(A, Main, registry(), Labels);
+    benchmark::DoNotOptimize(Labels.size());
+  }
+}
+BENCHMARK(BM_TaintAnalysis)->Arg(25)->Arg(100)->Arg(400);
+
+} // namespace
+
+BENCHMARK_MAIN();

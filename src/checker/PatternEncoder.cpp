@@ -1,0 +1,408 @@
+//===- PatternEncoder.cpp -------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/PatternEncoder.h"
+
+#include "ir/Printer.h"
+
+#include <cassert>
+
+using namespace cobalt;
+using namespace cobalt::checker;
+using namespace cobalt::ir;
+
+//===----------------------------------------------------------------------===//
+// Structural match conditions.
+//===----------------------------------------------------------------------===//
+
+z3::expr PatternEncoder::matchVarCond(const Var &Pattern, const z3::expr &V,
+                                      MetaEnv &Env) {
+  z3::context &C = Enc.ctx();
+  if (!Pattern.IsMeta)
+    return V == Enc.concreteVar(Pattern.Name);
+  if (Pattern.isWildcard())
+    return C.bool_val(true);
+  auto It = Env.find(Pattern.Name);
+  if (It != Env.end())
+    return V == It->second;
+  Env.emplace(Pattern.Name, V); // bind to the accessor expression
+  return C.bool_val(true);
+}
+
+z3::expr PatternEncoder::matchBaseCond(const BaseExpr &Pattern,
+                                       const z3::expr &B, MetaEnv &Env) {
+  z3::context &C = Enc.ctx();
+  if (isVar(Pattern)) {
+    const Var &X = asVar(Pattern);
+    if (X.isWildcard())
+      return C.bool_val(true); // base wildcard: variable or constant
+    return Enc.IsBVar(B) && matchVarCond(X, Enc.BVarName(B), Env);
+  }
+  const ConstVal &CV = asConst(Pattern);
+  if (!CV.IsMeta)
+    return Enc.IsBConst(B) &&
+           Enc.BConstVal(B) == C.int_val(static_cast<int64_t>(CV.Value));
+  if (CV.isWildcard())
+    return Enc.IsBConst(B);
+  auto It = Env.find(CV.MetaName);
+  if (It != Env.end())
+    return Enc.IsBConst(B) && Enc.BConstVal(B) == It->second;
+  Env.emplace(CV.MetaName, Enc.BConstVal(B));
+  return Enc.IsBConst(B);
+}
+
+z3::expr PatternEncoder::matchExprCond(const Expr &Pattern, const z3::expr &E,
+                                       MetaEnv &Env) {
+  z3::context &C = Enc.ctx();
+  if (const auto *M = std::get_if<MetaExpr>(&Pattern.V)) {
+    if (M->isWildcard())
+      return C.bool_val(true);
+    auto It = Env.find(M->Name);
+    if (It != Env.end())
+      return E == It->second;
+    Env.emplace(M->Name, E);
+    return C.bool_val(true);
+  }
+  if (const auto *X = std::get_if<Var>(&Pattern.V))
+    return Enc.IsEBase(E) &&
+           matchBaseCond(BaseExpr(*X), Enc.EBaseB(E), Env);
+  if (const auto *CV = std::get_if<ConstVal>(&Pattern.V))
+    return Enc.IsEBase(E) &&
+           matchBaseCond(BaseExpr(*CV), Enc.EBaseB(E), Env);
+  if (const auto *D = std::get_if<DerefExpr>(&Pattern.V))
+    return Enc.IsEDeref(E) && matchVarCond(D->Ptr, Enc.EDerefVar(E), Env);
+  if (const auto *A = std::get_if<AddrOfExpr>(&Pattern.V))
+    return Enc.IsEAddr(E) && matchVarCond(A->Target, Enc.EAddrVar(E), Env);
+  const auto &O = std::get<OpExpr>(Pattern.V);
+  if (O.Args.size() == 1) {
+    z3::expr Cond = Enc.IsEOp1(E);
+    if (O.Op != "_")
+      Cond = Cond && Enc.EOp1Op(E) == Enc.opConst(O.Op, 1);
+    return Cond && matchBaseCond(O.Args[0], Enc.EOp1Arg(E), Env);
+  }
+  if (O.Args.size() == 2) {
+    z3::expr Cond = Enc.IsEOp2(E);
+    if (O.Op != "_")
+      Cond = Cond && Enc.EOp2Op(E) == Enc.opConst(O.Op, 2);
+    return Cond && matchBaseCond(O.Args[0], Enc.EOp2A(E), Env) &&
+           matchBaseCond(O.Args[1], Enc.EOp2B(E), Env);
+  }
+  // Operators of arity >= 3 are outside the checker's encoding
+  // (DESIGN.md); a pattern using one is unmatchable.
+  return C.bool_val(false);
+}
+
+z3::expr PatternEncoder::matchLhsCond(const Lhs &Pattern, const z3::expr &L,
+                                      MetaEnv &Env) {
+  z3::context &C = Enc.ctx();
+  if (const auto *X = std::get_if<Var>(&Pattern)) {
+    if (X->isWildcard())
+      return C.bool_val(true); // "… := e": either lhs alternative
+    return Enc.IsLVar(L) && matchVarCond(*X, Enc.LVarName(L), Env);
+  }
+  return Enc.IsLDeref(L) &&
+         matchVarCond(std::get<DerefExpr>(Pattern).Ptr, Enc.LDerefVar(L),
+                      Env);
+}
+
+z3::expr PatternEncoder::matchStmtCond(const Stmt &Pattern, const z3::expr &St,
+                                       MetaEnv &Env) {
+  if (const auto *D = std::get_if<DeclStmt>(&Pattern.V))
+    return Enc.IsSDecl(St) && matchVarCond(D->Name, Enc.SDeclVar(St), Env);
+  if (Pattern.is<SkipStmt>())
+    return Enc.IsSSkip(St);
+  if (const auto *A = std::get_if<AssignStmt>(&Pattern.V))
+    return Enc.IsSAssign(St) &&
+           matchLhsCond(A->Target, Enc.SAssignLhs(St), Env) &&
+           matchExprCond(A->Value, Enc.SAssignRhs(St), Env);
+  if (const auto *N = std::get_if<NewStmt>(&Pattern.V))
+    return Enc.IsSNew(St) && matchVarCond(N->Target, Enc.SNewVar(St), Env);
+  if (const auto *CS = std::get_if<CallStmt>(&Pattern.V)) {
+    z3::expr Cond = Enc.IsSCall(St) &&
+                    matchVarCond(CS->Target, Enc.SCallTgt(St), Env);
+    if (!CS->Callee.IsMeta) {
+      Cond = Cond && Enc.SCallProc(St) == Enc.concreteProc(CS->Callee.Name);
+    } else if (!CS->Callee.isWildcard()) {
+      auto It = Env.find(CS->Callee.Name);
+      if (It != Env.end())
+        Cond = Cond && Enc.SCallProc(St) == It->second;
+      else
+        Env.emplace(CS->Callee.Name, Enc.SCallProc(St));
+    }
+    return Cond && matchBaseCond(CS->Arg, Enc.SCallArg(St), Env);
+  }
+  if (const auto *B = std::get_if<BranchStmt>(&Pattern.V)) {
+    z3::expr Cond = Enc.IsSBranch(St) &&
+                    matchBaseCond(B->Cond, Enc.SBranchCond(St), Env);
+    auto MatchIdx = [&](const Index &P, z3::expr Acc) {
+      if (!P.IsMeta)
+        return Acc == Enc.ctx().int_val(P.Value);
+      if (P.isWildcard())
+        return Enc.ctx().bool_val(true);
+      auto It = Env.find(P.MetaName);
+      if (It != Env.end())
+        return Acc == It->second;
+      Env.emplace(P.MetaName, Acc);
+      return Enc.ctx().bool_val(true);
+    };
+    return Cond && MatchIdx(B->Then, Enc.SBranchThen(St)) &&
+           MatchIdx(B->Else, Enc.SBranchElse(St));
+  }
+  const auto &R = std::get<ReturnStmt>(Pattern.V);
+  return Enc.IsSReturn(St) && matchVarCond(R.Value, Enc.SReturnVar(St), Env);
+}
+
+//===----------------------------------------------------------------------===//
+// Terms and the computes builtin.
+//===----------------------------------------------------------------------===//
+
+z3::expr PatternEncoder::termToZ3(const Term &T, const z3::expr &St,
+                                  MetaEnv &Env) {
+  if (std::holds_alternative<CurrStmtTerm>(T))
+    return St;
+  if (const auto *E = std::get_if<Expr>(&T))
+    return Enc.buildExpr(*E, Env);
+  return Enc.buildStmt(std::get<Stmt>(T), Env);
+}
+
+z3::expr PatternEncoder::computesCond(const z3::expr &E,
+                                      const z3::expr &CVal) {
+  z3::expr B = Enc.EBaseB(E);
+  z3::expr ConstCase =
+      Enc.IsEBase(E) && Enc.IsBConst(B) && Enc.BConstVal(B) == CVal;
+
+  z3::expr A1 = Enc.EOp1Arg(E);
+  z3::expr Op1Case = Enc.IsEOp1(E) && Enc.IsBConst(A1) &&
+                     Enc.DefinedOp1(Enc.EOp1Op(E), Enc.BConstVal(A1)) &&
+                     Enc.ApplyOp1(Enc.EOp1Op(E), Enc.BConstVal(A1)) == CVal;
+
+  z3::expr A2 = Enc.EOp2A(E);
+  z3::expr B2 = Enc.EOp2B(E);
+  z3::expr Op2Case =
+      Enc.IsEOp2(E) && Enc.IsBConst(A2) && Enc.IsBConst(B2) &&
+      Enc.DefinedOp2(Enc.EOp2Op(E), Enc.BConstVal(A2), Enc.BConstVal(B2)) &&
+      Enc.ApplyOp2(Enc.EOp2Op(E), Enc.BConstVal(A2), Enc.BConstVal(B2)) ==
+          CVal;
+
+  return ConstCase || Op1Case || Op2Case;
+}
+
+//===----------------------------------------------------------------------===//
+// Formulas.
+//===----------------------------------------------------------------------===//
+
+z3::expr PatternEncoder::formula(const Formula &F, const z3::expr &St,
+                                 const ZState &Eta, MetaEnv &Env,
+                                 std::vector<z3::expr> &Hyps) {
+  z3::context &C = Enc.ctx();
+  switch (F.K) {
+  case Formula::Kind::FK_True:
+    return C.bool_val(true);
+  case Formula::Kind::FK_False:
+    return C.bool_val(false);
+  case Formula::Kind::FK_Not:
+    return !formula(*F.Kids[0], St, Eta, Env, Hyps);
+  case Formula::Kind::FK_And: {
+    z3::expr Out = C.bool_val(true);
+    for (const FormulaPtr &Kid : F.Kids)
+      Out = Out && formula(*Kid, St, Eta, Env, Hyps);
+    return Out;
+  }
+  case Formula::Kind::FK_Or: {
+    z3::expr Out = C.bool_val(false);
+    for (const FormulaPtr &Kid : F.Kids)
+      Out = Out || formula(*Kid, St, Eta, Env, Hyps);
+    return Out;
+  }
+  case Formula::Kind::FK_Label: {
+    const std::string &Name = F.LabelName;
+    if (Name == "stmt") {
+      const auto *Pat = std::get_if<Stmt>(&F.Args[0]);
+      assert(Pat && "stmt takes a statement pattern");
+      return matchStmtCond(*Pat, St, Env);
+    }
+    if (Name == "computes") {
+      z3::expr E = termToZ3(F.Args[0], St, Env);
+      // The result side must be a constant term.
+      const auto *CT = std::get_if<Expr>(&F.Args[1]);
+      assert(CT && "computes' result must be an expression term");
+      z3::expr CExpr = Enc.buildExpr(*CT, Env);
+      // Extract the Int: the built expression is EBase(BConst(c)).
+      z3::expr CVal = Enc.BConstVal(Enc.EBaseB(CExpr));
+      return computesCond(E, CVal);
+    }
+    if (const LabelDef *Def = Registry.findPredicate(Name)) {
+      assert(Def->Params.size() == F.Args.size() && "label arity mismatch");
+      MetaEnv Local;
+      for (size_t I = 0; I < F.Args.size(); ++I) {
+        // Bind the parameter to the *value* of the argument term at the
+        // right sort: Vars params to VarS, Consts to Int, Exprs to ExprS.
+        const auto &[PName, PKind] = Def->Params[I];
+        const auto *AE = std::get_if<Expr>(&F.Args[I]);
+        assert(AE && "label arguments are expression terms");
+        switch (PKind) {
+        case MetaKind::MK_Var: {
+          const auto *X = std::get_if<Var>(&AE->V);
+          assert(X && "Vars-kind argument must be a variable term");
+          Local.emplace(PName, Enc.buildVar(*X, Env));
+          break;
+        }
+        case MetaKind::MK_Const: {
+          z3::expr E = Enc.buildExpr(*AE, Env);
+          Local.emplace(PName, Enc.BConstVal(Enc.EBaseB(E)));
+          break;
+        }
+        default:
+          Local.emplace(PName, Enc.buildExpr(*AE, Env));
+          break;
+        }
+      }
+      return formula(*Def->Body, St, Eta, Local, Hyps);
+    }
+    // Analysis label: an opaque boolean whose presence implies the
+    // analysis witness of the pre-state. Resolve the argument values
+    // first: the memo key must be the *resolved* terms, because the same
+    // pattern spelling (e.g. Y9) denotes different accessor expressions
+    // in different case arms.
+    std::vector<z3::expr> ArgVals;
+    bool Mappable = true;
+    for (const Term &T : F.Args) {
+      const auto *AE = std::get_if<Expr>(&T);
+      const auto *AV = AE ? std::get_if<Var>(&AE->V) : nullptr;
+      if (AV)
+        ArgVals.push_back(Enc.buildVar(*AV, Env));
+      else
+        Mappable = false;
+    }
+    std::string Key = Name;
+    for (const z3::expr &V : ArgVals)
+      Key += "|" + V.to_string();
+    // Memoize per (label, resolved args) so l(X) ∧ ¬l(X) stays false.
+    auto It = AnalysisLabelBools.find(Key);
+    if (It != AnalysisLabelBools.end())
+      return It->second;
+    z3::expr LabelBool = Enc.freshBool("lbl!" + Name);
+    AnalysisLabelBools.emplace(Key, LabelBool);
+    auto AIt = AnalysesByLabel.find(Name);
+    if (AIt != AnalysesByLabel.end() && Mappable) {
+      const PureAnalysis *A = AIt->second;
+      assert(A->LabelArgs.size() == ArgVals.size() &&
+             "analysis label arity mismatch");
+      // Map the analysis's own pattern variables to the occurrence's
+      // argument values (positionally; defined-label args are single
+      // pattern variables in this suite).
+      MetaEnv WEnv;
+      for (size_t I = 0; I < ArgVals.size(); ++I) {
+        const auto *Formal = std::get_if<Expr>(&A->LabelArgs[I]);
+        const auto *FV = Formal ? std::get_if<Var>(&Formal->V) : nullptr;
+        if (FV && FV->IsMeta)
+          WEnv.emplace(FV->Name, ArgVals[I]);
+        else
+          Mappable = false;
+      }
+      if (Mappable && A->W)
+        Hyps.push_back(z3::implies(
+            LabelBool, witness(*A->W, &Eta, nullptr, nullptr, WEnv)));
+    }
+    return LabelBool;
+  }
+  case Formula::Kind::FK_Eq: {
+    z3::expr A = termToZ3(F.LhsT, St, Env);
+    z3::expr B = termToZ3(F.RhsT, St, Env);
+    if (!z3::eq(A.get_sort(), B.get_sort()))
+      return C.bool_val(false);
+    return A == B;
+  }
+  case Formula::Kind::FK_Case: {
+    z3::expr Scrut = termToZ3(F.LhsT, St, Env);
+    // Build the first-match ite chain from the last arm backwards.
+    z3::expr Out = F.ElseBody
+                       ? formula(*F.ElseBody, St, Eta, Env, Hyps)
+                       : C.bool_val(false);
+    for (auto It = F.Arms.rbegin(); It != F.Arms.rend(); ++It) {
+      MetaEnv ArmEnv = Env; // arm-local bindings shadow nothing outside
+      z3::expr Cond = C.bool_val(false);
+      if (const auto *SP = std::get_if<Stmt>(&It->Pattern)) {
+        if (z3::eq(Scrut.get_sort(), Enc.StmtS))
+          Cond = matchStmtCond(*SP, Scrut, ArmEnv);
+      } else if (const auto *EP = std::get_if<Expr>(&It->Pattern)) {
+        if (z3::eq(Scrut.get_sort(), Enc.ExprS))
+          Cond = matchExprCond(*EP, Scrut, ArmEnv);
+      }
+      z3::expr Body = formula(*It->Body, St, Eta, ArmEnv, Hyps);
+      Out = z3::ite(Cond, Body, Out);
+    }
+    return Out;
+  }
+  }
+  return C.bool_val(false);
+}
+
+//===----------------------------------------------------------------------===//
+// Witnesses.
+//===----------------------------------------------------------------------===//
+
+z3::expr PatternEncoder::witness(const Witness &W, const ZState *Cur,
+                                 const ZState *Old, const ZState *New,
+                                 MetaEnv &Env) {
+  z3::context &C = Enc.ctx();
+  auto SelectState = [&](StateSel S) -> const ZState * {
+    switch (S) {
+    case StateSel::WS_Cur:
+      return Cur;
+    case StateSel::WS_Old:
+      return Old;
+    case StateSel::WS_New:
+      return New;
+    }
+    return nullptr;
+  };
+
+  switch (W.K) {
+  case Witness::Kind::WK_True:
+    return C.bool_val(true);
+  case Witness::Kind::WK_Not:
+    return !witness(*W.Kids[0], Cur, Old, New, Env);
+  case Witness::Kind::WK_And:
+    return witness(*W.Kids[0], Cur, Old, New, Env) &&
+           witness(*W.Kids[1], Cur, Old, New, Env);
+  case Witness::Kind::WK_Or:
+    return witness(*W.Kids[0], Cur, Old, New, Env) ||
+           witness(*W.Kids[1], Cur, Old, New, Env);
+  case Witness::Kind::WK_Eq: {
+    const ZState *SA = SelectState(W.LhsT.State);
+    const ZState *SB = SelectState(W.RhsT.State);
+    assert(SA && SB && "witness state not supplied");
+    ZEval A = Enc.evalExpr(*SA, Enc.buildExpr(W.LhsT.E, Env));
+    ZEval B = Enc.evalExpr(*SB, Enc.buildExpr(W.RhsT.E, Env));
+    return A.Defined && B.Defined && A.Val == B.Val;
+  }
+  case Witness::Kind::WK_EqUpTo: {
+    assert(Old && New && "EqUpTo needs old/new states");
+    z3::expr X = Enc.buildVar(W.X, Env);
+    z3::expr Loc = z3::select(Old->Env, X);
+    // "X is in scope" is part of the invariant: without it the exempted
+    // location is arbitrary and the region lemmas (reads of other
+    // variables agree) lose the env-injectivity premise.
+    return z3::select(Old->Scope, X) && Old->Ix == New->Ix &&
+           Old->Env == New->Env && Old->Scope == New->Scope &&
+           Old->Alloc == New->Alloc &&
+           New->Sto == z3::store(Old->Sto, Loc, z3::select(New->Sto, Loc));
+  }
+  case Witness::Kind::WK_StateEq: {
+    assert(Old && New && "StateEq needs old/new states");
+    return Enc.stateEq(*Old, *New);
+  }
+  case Witness::Kind::WK_NotPointedTo: {
+    const ZState *S = SelectState(W.State);
+    assert(S && "witness state not supplied");
+    z3::expr X = Enc.buildVar(W.X, Env);
+    return z3::select(S->Scope, X) &&
+           Enc.notPointedToLoc(*S, z3::select(S->Env, X));
+  }
+  }
+  return C.bool_val(false);
+}

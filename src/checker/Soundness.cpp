@@ -1,0 +1,484 @@
+//===- Soundness.cpp ------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Soundness.h"
+
+#include "checker/Encoder.h"
+#include "checker/PatternEncoder.h"
+
+#include <chrono>
+#include <functional>
+#include <sstream>
+
+using namespace cobalt;
+using namespace cobalt::checker;
+using namespace cobalt::ir;
+
+std::string CheckReport::str() const {
+  std::ostringstream Out;
+  Out << Name << ": " << (Sound ? "SOUND" : "NOT PROVEN") << " (";
+  for (size_t I = 0; I < Obligations.size(); ++I) {
+    if (I)
+      Out << ", ";
+    const ObligationResult &R = Obligations[I];
+    Out << R.Name << "="
+        << (R.St == ObligationResult::Status::OS_Proven
+                ? "ok"
+                : (R.St == ObligationResult::Status::OS_Failed ? "FAIL"
+                                                               : "UNKNOWN"));
+  }
+  Out << ")";
+  if (!AssumedAnalyses.empty()) {
+    Out << " assuming sound:";
+    for (const std::string &A : AssumedAnalyses)
+      Out << " " << A;
+  }
+  return Out.str();
+}
+
+namespace {
+
+/// One obligation under construction: a fresh Z3 context + encoders +
+/// collected hypotheses.
+struct ObligationBuilder {
+  z3::context C;
+  Encoder Enc;
+  PatternEncoder PE;
+  MetaEnv Env;
+  std::vector<z3::expr> Hyps;
+  std::vector<ZState> WfStates;
+
+  ObligationBuilder(const LabelRegistry &Registry,
+                    const std::map<std::string, const PureAnalysis *>
+                        &AnalysesByLabel)
+      : Enc(C), PE(Enc, Registry, AnalysesByLabel) {}
+
+  void hyp(const z3::expr &E) { Hyps.push_back(E); }
+
+  /// Registers a well-formedness hypothesis; materialized per solver
+  /// mode (quantified for proofs, bounded for counterexample search).
+  void wfHyp(const ZState &S) { WfStates.push_back(S); }
+  void hypAll(const std::vector<z3::expr> &Es) {
+    for (const z3::expr &E : Es)
+      Hyps.push_back(E);
+  }
+
+  /// Asserts a step's equations: binds the (symbolic) post state to a
+  /// named fresh state so models are readable, and keeps the contract
+  /// constraints.
+  ZState stepHyp(const ZState &Pre, const z3::expr &St,
+                 const std::string &Prefix) {
+    ZStep Step = Enc.encodeStep(Pre, St, Prefix);
+    hyp(Step.Defined);
+    hypAll(Step.Constraints);
+    ZState Post = Enc.freshState(Prefix + "post");
+    hyp(Post.Ix == Step.Post.Ix);
+    hyp(Post.Env == Step.Post.Env);
+    hyp(Post.Scope == Step.Post.Scope);
+    hyp(Post.Sto == Step.Post.Sto);
+    hyp(Post.Alloc == Step.Post.Alloc);
+    return Post;
+  }
+
+  /// Discharges hypotheses ⊢ goal. Unsat of hypotheses ∧ ¬goal proves
+  /// the obligation. On unknown, a second *counterexample search* pass
+  /// closes the uninterpreted domains over the finitely many named
+  /// constants — any model found under the extra constraints is still a
+  /// genuine counterexample (we only shrank the candidate space), and the
+  /// closure is what lets Z3's model builder get past the quantified
+  /// well-formedness hypotheses.
+  ObligationResult check(const std::string &Name, const z3::expr &Goal,
+                         unsigned TimeoutMs) {
+    ObligationResult R;
+    R.Name = Name;
+    auto Start = std::chrono::steady_clock::now();
+    z3::check_result CR = runSolver(Goal, TimeoutMs, /*CexMode=*/false, R);
+    if (CR == z3::unknown)
+      CR = runSolver(Goal, TimeoutMs, /*CexMode=*/true, R);
+    auto End = std::chrono::steady_clock::now();
+    R.Seconds = std::chrono::duration<double>(End - Start).count();
+
+    if (CR == z3::unsat)
+      R.St = ObligationResult::Status::OS_Proven;
+    else if (CR == z3::sat)
+      R.St = ObligationResult::Status::OS_Failed;
+    else {
+      R.St = ObligationResult::Status::OS_Unknown;
+      R.Counterexample = "solver returned unknown (timeout?)";
+    }
+    return R;
+  }
+
+private:
+  z3::check_result runSolver(const z3::expr &Goal, unsigned TimeoutMs,
+                             bool CexMode, ObligationResult &R) {
+    z3::solver S(C);
+    z3::params P(C);
+    P.set("timeout", TimeoutMs);
+    S.set(P);
+    for (const z3::expr &H : Hyps)
+      S.add(H);
+    for (const ZState &St : WfStates)
+      S.add(CexMode ? Enc.wfBounded(St) : Enc.wf(St));
+    S.add(!Goal);
+    if (CexMode) {
+      // Counterexample search: quantifier-free hypotheses only. The
+      // quantified operator semantics would block model construction;
+      // models may therefore under-constrain operator symbols, which is
+      // fine for a *diagnostic* counterexample context (rejection was
+      // already decided by the proof pass coming back non-unsat).
+      Enc.addDistinctnessAxioms(S);
+      for (const z3::expr &E : Enc.domainClosure())
+        S.add(E);
+    } else {
+      Enc.addBackgroundAxioms(S);
+    }
+
+    z3::check_result CR = S.check();
+    // A closed-domain unsat does not prove the obligation (the closure
+    // removed models); only report sat results from this mode.
+    if (CexMode && CR == z3::unsat)
+      return z3::unknown;
+    if (CR == z3::sat) {
+      // The counterexample context (§7): a state of the world violating
+      // the obligation. Print pattern variables, statement parts, and
+      // state components; skip solver-internal constants.
+      std::ostringstream Out;
+      z3::model M = S.get_model();
+      unsigned Printed = 0;
+      for (unsigned I = 0; I < M.num_consts() && Printed < 16; ++I) {
+        z3::func_decl D = M.get_const_decl(I);
+        std::string Name = D.name().str();
+        if (Name.rfind("op!", 0) == 0 || Name.rfind("dc", 0) == 0 ||
+            Name.rfind("lbl!", 0) == 0 || Name.rfind("wild", 0) == 0)
+          continue;
+        Out << Name << " = " << M.get_const_interp(D).to_string() << "; ";
+        ++Printed;
+      }
+      R.Counterexample = Out.str();
+    }
+    return CR;
+  }
+};
+
+/// Progress of a statement independent of its index: "the statement can
+/// execute from this state".
+z3::expr stepDefinedOnly(Encoder &Enc, const ZState &S, const z3::expr &St,
+                         const std::string &Prefix) {
+  return Enc.encodeStep(S, St, Prefix).Defined;
+}
+
+/// The statement-kind case split. Obligations over an arbitrary region
+/// statement are checked once per kind with a statement of that shape
+/// (fresh fields). This mirrors how the paper's hand proofs proceed, lets
+/// Z3 discharge each case without a top-level datatype split, and makes
+/// failures self-localizing ("F2[assign] failed").
+const char *StmtKindTags[] = {"decl", "skip",   "assign", "new",
+                              "call", "branch", "return"};
+
+z3::expr makeStmtOfKind(Encoder &Enc, const std::string &Tag) {
+  if (Tag == "decl")
+    return Enc.SDecl(Enc.freshVar("kd"));
+  if (Tag == "skip")
+    return Enc.SSkip();
+  if (Tag == "assign")
+    return Enc.SAssign(Enc.freshLhs("kl"), Enc.freshExpr("kr"));
+  if (Tag == "new")
+    return Enc.SNew(Enc.freshVar("kn"));
+  if (Tag == "call")
+    return Enc.SCall(Enc.freshVar("kt"), Enc.freshProc("kp"),
+                     Enc.freshBase("ka"));
+  if (Tag == "branch")
+    return Enc.SBranch(Enc.freshBase("kb"), Enc.freshInt("ki"),
+                       Enc.freshInt("kj"));
+  return Enc.SReturn(Enc.freshVar("kv"));
+}
+
+} // namespace
+
+SoundnessChecker::SoundnessChecker(const LabelRegistry &Registry,
+                                   std::vector<PureAnalysis> Analyses)
+    : Registry(Registry), Analyses(std::move(Analyses)) {}
+
+//===----------------------------------------------------------------------===//
+// Optimization obligations.
+//===----------------------------------------------------------------------===//
+
+CheckReport SoundnessChecker::checkOptimization(const Optimization &O) {
+  CheckReport Report;
+  Report.Name = O.Name;
+
+  std::map<std::string, const PureAnalysis *> ByLabel;
+  for (const PureAnalysis &A : Analyses)
+    ByLabel[A.LabelName] = &A;
+
+  // Record the analysis labels the guard mentions: the soundness
+  // guarantee is conditional on those analyses (checked separately).
+  {
+    std::vector<std::pair<std::string, MetaKind>> Ignore;
+    auto Scan = [&](const FormulaPtr &F, auto &&ScanRef) -> void {
+      if (!F)
+        return;
+      if (F->K == Formula::Kind::FK_Label &&
+          Registry.isAnalysisLabel(F->LabelName)) {
+        auto It = ByLabel.find(F->LabelName);
+        std::string Dep = It != ByLabel.end() ? It->second->Name
+                                              : F->LabelName + " (unknown)";
+        if (std::find(Report.AssumedAnalyses.begin(),
+                      Report.AssumedAnalyses.end(),
+                      Dep) == Report.AssumedAnalyses.end())
+          Report.AssumedAnalyses.push_back(Dep);
+      }
+      for (const FormulaPtr &Kid : F->Kids)
+        ScanRef(Kid, ScanRef);
+      for (const CaseArm &Arm : F->Arms)
+        ScanRef(Arm.Body, ScanRef);
+      if (F->ElseBody)
+        ScanRef(F->ElseBody, ScanRef);
+      // Recurse through predicate-label bodies for indirect uses.
+      if (F->K == Formula::Kind::FK_Label)
+        if (const LabelDef *Def = Registry.findPredicate(F->LabelName))
+          ScanRef(Def->Body, ScanRef);
+    };
+    Scan(O.Pat.G.Psi1, Scan);
+    Scan(O.Pat.G.Psi2, Scan);
+    (void)Ignore;
+  }
+
+  const TransformationPattern &Pat = O.Pat;
+  bool Forward = Pat.Dir == Direction::D_Forward;
+  bool Insertion = Pat.From.is<SkipStmt>() && !Pat.To.is<SkipStmt>();
+
+  auto RunObligation =
+      [&](const std::string &Name,
+          const std::function<z3::expr(ObligationBuilder &)> &Build) {
+        ObligationBuilder B(Registry, ByLabel);
+        z3::expr Goal = Build(B);
+        Report.Obligations.push_back(B.check(Name, Goal, TimeoutMs));
+        Report.TotalSeconds += Report.Obligations.back().Seconds;
+      };
+
+  // Obligations quantifying over an arbitrary region statement run once
+  // per statement kind (see makeStmtOfKind).
+  auto RunSplitObligation =
+      [&](const std::string &Name,
+          const std::function<z3::expr(ObligationBuilder &,
+                                       const z3::expr &)> &Build) {
+        for (const char *Tag : StmtKindTags) {
+          ObligationBuilder B(Registry, ByLabel);
+          z3::expr St = makeStmtOfKind(B.Enc, Tag);
+          z3::expr Goal = Build(B, St);
+          Report.Obligations.push_back(
+              B.check(Name + "[" + Tag + "]", Goal, TimeoutMs));
+          Report.TotalSeconds += Report.Obligations.back().Seconds;
+        }
+      };
+
+  if (Forward) {
+    // F1: the enabling statement establishes the witness.
+    RunSplitObligation("F1", [&](ObligationBuilder &B, const z3::expr &St) {
+      ZState Eta = B.Enc.freshState("eta");
+      B.wfHyp(Eta);
+      B.hyp(B.PE.formula(*Pat.G.Psi1, St, Eta, B.Env, B.Hyps));
+      ZState Post = B.stepHyp(Eta, St, "p1");
+      B.wfHyp(Post);
+      return B.PE.witness(*Pat.W, &Post, nullptr, nullptr, B.Env);
+    });
+
+    // F2: innocuous statements preserve the witness.
+    RunSplitObligation("F2", [&](ObligationBuilder &B, const z3::expr &St) {
+      ZState Eta = B.Enc.freshState("eta");
+      B.wfHyp(Eta);
+      B.hyp(B.PE.witness(*Pat.W, &Eta, nullptr, nullptr, B.Env));
+      B.hyp(B.PE.formula(*Pat.G.Psi2, St, Eta, B.Env, B.Hyps));
+      ZState Post = B.stepHyp(Eta, St, "p2");
+      B.wfHyp(Post);
+      return B.PE.witness(*Pat.W, &Post, nullptr, nullptr, B.Env);
+    });
+
+    // F3: under the witness, s' steps exactly like s (and cannot be
+    // stuck when s is not — the footnote-6 progress side).
+    RunObligation("F3", [&](ObligationBuilder &B) {
+      ZState Eta = B.Enc.freshState("eta");
+      z3::expr StS = B.Enc.buildStmt(Pat.From, B.Env);
+      z3::expr StT = B.Enc.buildStmt(Pat.To, B.Env);
+      B.wfHyp(Eta);
+      B.hyp(B.PE.witness(*Pat.W, &Eta, nullptr, nullptr, B.Env));
+      ZState Post = B.stepHyp(Eta, StS, "ps");
+      ZStep StepT = B.Enc.encodeStep(Eta, StT, "pt");
+      B.hypAll(StepT.Constraints);
+      return StepT.Defined && B.Enc.stateEq(StepT.Post, Post);
+    });
+  } else {
+    // B1: executing s and s' from a common state establishes the witness.
+    RunObligation("B1", [&](ObligationBuilder &B) {
+      ZState Eta = B.Enc.freshState("eta");
+      z3::expr StS = B.Enc.buildStmt(Pat.From, B.Env);
+      z3::expr StT = B.Enc.buildStmt(Pat.To, B.Env);
+      B.wfHyp(Eta);
+      ZState Old = B.stepHyp(Eta, StS, "old");
+      ZState New = B.stepHyp(Eta, StT, "new");
+      return B.PE.witness(*Pat.W, nullptr, &Old, &New, B.Env);
+    });
+
+    // B2: innocuous statements preserve the witness, and the transformed
+    // trace can always step along (progress of the simulation).
+    RunSplitObligation("B2", [&](ObligationBuilder &B, const z3::expr &St) {
+      ZState Old = B.Enc.freshState("old");
+      ZState New = B.Enc.freshState("new");
+      B.wfHyp(Old);
+      B.wfHyp(New);
+      B.hyp(B.PE.witness(*Pat.W, nullptr, &Old, &New, B.Env));
+      B.hyp(B.PE.formula(*Pat.G.Psi2, St, Old, B.Env, B.Hyps));
+      ZState OldPost = B.stepHyp(Old, St, "oldp");
+      B.wfHyp(OldPost);
+      ZStep NewStep = B.Enc.encodeStep(New, St, "newp");
+      B.hypAll(NewStep.Constraints);
+      return NewStep.Defined &&
+             B.PE.witness(*Pat.W, nullptr, &OldPost, &NewStep.Post, B.Env);
+    });
+
+    // B3: the enabling statement re-unifies the traces.
+    RunSplitObligation("B3", [&](ObligationBuilder &B, const z3::expr &St) {
+      ZState Old = B.Enc.freshState("old");
+      ZState New = B.Enc.freshState("new");
+      B.wfHyp(Old);
+      B.wfHyp(New);
+      B.hyp(B.PE.witness(*Pat.W, nullptr, &Old, &New, B.Env));
+      B.hyp(B.PE.formula(*Pat.G.Psi1, St, Old, B.Env, B.Hyps));
+      ZState OldPost = B.stepHyp(Old, St, "oldp");
+      ZStep NewStep = B.Enc.encodeStep(New, St, "newp");
+      B.hypAll(NewStep.Constraints);
+      return NewStep.Defined && B.Enc.stateEq(NewStep.Post, OldPost);
+    });
+
+    if (!Insertion) {
+      // B4: s' cannot get stuck when s steps.
+      RunObligation("B4", [&](ObligationBuilder &B) {
+        ZState Eta = B.Enc.freshState("eta");
+        z3::expr StS = B.Enc.buildStmt(Pat.From, B.Env);
+        z3::expr StT = B.Enc.buildStmt(Pat.To, B.Env);
+        B.wfHyp(Eta);
+        B.hyp(stepDefinedOnly(B.Enc, Eta, StS, "ps"));
+        return stepDefinedOnly(B.Enc, Eta, StT, "pt");
+      });
+    } else {
+      // Insertions (s = skip) cannot establish progress locally; instead
+      // the hand-proven meta-theorem walks the complete original trace:
+      // on a returning run the enabler executes, so (I2) s' can step
+      // there, and (I1) pushes that fact backwards through the region.
+      RunSplitObligation("I1", [&](ObligationBuilder &B,
+                                   const z3::expr &St) {
+        ZState Eta = B.Enc.freshState("eta");
+        z3::expr StT = B.Enc.buildStmt(Pat.To, B.Env);
+        B.wfHyp(Eta);
+        B.hyp(B.PE.formula(*Pat.G.Psi2, St, Eta, B.Env, B.Hyps));
+        ZState Post = B.stepHyp(Eta, St, "p");
+        B.wfHyp(Post);
+        B.hyp(stepDefinedOnly(B.Enc, Post, StT, "pa"));
+        return stepDefinedOnly(B.Enc, Eta, StT, "pb");
+      });
+      RunSplitObligation("I2", [&](ObligationBuilder &B,
+                                   const z3::expr &St) {
+        ZState Eta = B.Enc.freshState("eta");
+        z3::expr StT = B.Enc.buildStmt(Pat.To, B.Env);
+        B.wfHyp(Eta);
+        B.hyp(B.PE.formula(*Pat.G.Psi1, St, Eta, B.Env, B.Hyps));
+        B.hyp(stepDefinedOnly(B.Enc, Eta, St, "p"));
+        return stepDefinedOnly(B.Enc, Eta, StT, "pt");
+      });
+    }
+
+    // B5: a return enabler ends the procedure's activation with both
+    // traces agreeing on the return value and on every location the
+    // caller could observe (cells differing between the traces must be
+    // unreachable). Catches escaped-local bugs.
+    RunObligation("B5", [&](ObligationBuilder &B) {
+      ZState Old = B.Enc.freshState("old");
+      ZState New = B.Enc.freshState("new");
+      z3::expr St = B.Enc.SReturn(B.Enc.freshVar("rv"));
+      B.wfHyp(Old);
+      B.wfHyp(New);
+      B.hyp(B.PE.witness(*Pat.W, nullptr, &Old, &New, B.Env));
+      B.hyp(B.PE.formula(*Pat.G.Psi1, St, Old, B.Env, B.Hyps));
+
+      z3::expr RetVar = B.Enc.SReturnVar(St);
+      z3::expr OldDef = z3::select(Old.Scope, RetVar);
+      z3::expr OldVal =
+          z3::select(Old.Sto, z3::select(Old.Env, RetVar));
+      z3::expr NewDef = z3::select(New.Scope, RetVar);
+      z3::expr NewVal =
+          z3::select(New.Sto, z3::select(New.Env, RetVar));
+
+      z3::expr L = B.C.int_const("b5L");
+      z3::expr StoresAgreeOrUnreachable = z3::forall(
+          L, z3::implies(z3::select(Old.Sto, L) != z3::select(New.Sto, L),
+                         B.Enc.notPointedToLoc(Old, L) &&
+                             L != z3::select(Old.Env, RetVar)));
+      return z3::implies(OldDef,
+                         NewDef && OldVal == NewVal &&
+                             Old.Alloc == New.Alloc &&
+                             StoresAgreeOrUnreachable);
+    });
+  }
+
+  Report.Sound = !Report.Obligations.empty();
+  for (const ObligationResult &R : Report.Obligations)
+    Report.Sound = Report.Sound && R.proven();
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// Pure-analysis obligations.
+//===----------------------------------------------------------------------===//
+
+CheckReport SoundnessChecker::checkAnalysis(const PureAnalysis &A) {
+  CheckReport Report;
+  Report.Name = A.Name;
+
+  std::map<std::string, const PureAnalysis *> ByLabel;
+  for (const PureAnalysis &Other : Analyses)
+    if (Other.Name != A.Name)
+      ByLabel[Other.LabelName] = &Other;
+
+  auto RunSplitObligation =
+      [&](const std::string &Name,
+          const std::function<z3::expr(ObligationBuilder &,
+                                       const z3::expr &)> &Build) {
+        for (const char *Tag : StmtKindTags) {
+          ObligationBuilder B(Registry, ByLabel);
+          z3::expr St = makeStmtOfKind(B.Enc, Tag);
+          z3::expr Goal = Build(B, St);
+          Report.Obligations.push_back(
+              B.check(Name + "[" + Tag + "]", Goal, TimeoutMs));
+          Report.TotalSeconds += Report.Obligations.back().Seconds;
+        }
+      };
+
+  RunSplitObligation("F1", [&](ObligationBuilder &B, const z3::expr &St) {
+    ZState Eta = B.Enc.freshState("eta");
+    B.wfHyp(Eta);
+    B.hyp(B.PE.formula(*A.G.Psi1, St, Eta, B.Env, B.Hyps));
+    ZState Post = B.stepHyp(Eta, St, "p1");
+    B.wfHyp(Post);
+    return B.PE.witness(*A.W, &Post, nullptr, nullptr, B.Env);
+  });
+
+  RunSplitObligation("F2", [&](ObligationBuilder &B, const z3::expr &St) {
+    ZState Eta = B.Enc.freshState("eta");
+    B.wfHyp(Eta);
+    B.hyp(B.PE.witness(*A.W, &Eta, nullptr, nullptr, B.Env));
+    B.hyp(B.PE.formula(*A.G.Psi2, St, Eta, B.Env, B.Hyps));
+    ZState Post = B.stepHyp(Eta, St, "p2");
+    B.wfHyp(Post);
+    return B.PE.witness(*A.W, &Post, nullptr, nullptr, B.Env);
+  });
+
+  Report.Sound = !Report.Obligations.empty();
+  for (const ObligationResult &R : Report.Obligations)
+    Report.Sound = Report.Sound && R.proven();
+  return Report;
+}

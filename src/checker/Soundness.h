@@ -1,0 +1,104 @@
+//===- Soundness.h - Automatic soundness proofs of optimizations -*- C++ -*-=//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The automatic proof strategy of paper §4: per-optimization,
+/// non-inductive proof obligations discharged by an automatic theorem
+/// prover. The induction over execution traces lives in the hand-proven
+/// meta-theorems (paper Theorems 1 and 2); the prover only sees facts
+/// about individual states.
+///
+/// Forward patterns (§4.2):
+///   F1  the enabling statement establishes the witness;
+///   F2  innocuous statements preserve the witness;
+///   F3  under the witness, s' steps exactly like s (including that s'
+///       cannot get stuck when s does not — footnote 6's progress side).
+///
+/// Backward patterns (§4.3):
+///   B1  executing s / s' from a common state establishes the witness;
+///   B2  innocuous statements preserve the witness, and the transformed
+///       trace can step whenever the original does;
+///   B3  the enabling statement makes the two traces identical again;
+///   B4  s' cannot get stuck when s does not (progress; for statement
+///       *insertions*, s = skip, replaced by the pair I1/I2 that push
+///       evaluability backwards through the witnessing region — see the
+///       meta-theorem note in the implementation);
+///   B5  at a return enabler the traces agree on the return value and on
+///       every caller-observable store cell (this catches the escaped-
+///       local bug in the naive dead-assignment elimination).
+///
+/// Pure analyses (§2.4/§4.2) need F1 and F2 with the defined label's
+/// witness.
+///
+/// Each obligation is checked by asserting its hypotheses plus the
+/// negated conclusion and expecting unsat; sat/unknown yields a
+/// counterexample context (§7's suggestion) extracted from the model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_CHECKER_SOUNDNESS_H
+#define COBALT_CHECKER_SOUNDNESS_H
+
+#include "core/Formula.h"
+#include "core/Optimization.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cobalt {
+namespace checker {
+
+/// Outcome of one obligation.
+struct ObligationResult {
+  enum class Status { OS_Proven, OS_Failed, OS_Unknown };
+  std::string Name;       ///< "F1", "B3", ...
+  Status St;
+  double Seconds = 0.0;
+  std::string Counterexample; ///< Model summary when not proven.
+
+  bool proven() const { return St == Status::OS_Proven; }
+};
+
+/// Outcome of checking one optimization or analysis.
+struct CheckReport {
+  std::string Name;
+  bool Sound = false; ///< All obligations proven.
+  std::vector<ObligationResult> Obligations;
+  double TotalSeconds = 0.0;
+  /// Analysis labels this result relies on; the overall guarantee only
+  /// holds if the defining analyses are themselves proven sound.
+  std::vector<std::string> AssumedAnalyses;
+
+  std::string str() const;
+};
+
+/// Checks optimizations and pure analyses against the IL semantics.
+/// Stateless between calls except for configuration; construct once and
+/// reuse (each obligation runs in a fresh Z3 context).
+class SoundnessChecker {
+public:
+  /// \p Registry supplies user label definitions; \p Analyses supplies
+  /// the witnesses of analysis labels (§3.2.3 label semantics).
+  SoundnessChecker(const LabelRegistry &Registry,
+                   std::vector<PureAnalysis> Analyses = {});
+
+  /// Per-obligation Z3 timeout (milliseconds). Default 30000.
+  void setTimeoutMs(unsigned Millis) { TimeoutMs = Millis; }
+
+  CheckReport checkOptimization(const Optimization &O);
+  CheckReport checkAnalysis(const PureAnalysis &A);
+
+private:
+  const LabelRegistry &Registry;
+  std::vector<PureAnalysis> Analyses;
+  unsigned TimeoutMs = 30000;
+};
+
+} // namespace checker
+} // namespace cobalt
+
+#endif // COBALT_CHECKER_SOUNDNESS_H

@@ -1,0 +1,107 @@
+//===- WitnessInference.cpp -----------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/WitnessInference.h"
+
+#include "core/Formula.h"
+
+using namespace cobalt;
+using namespace cobalt::ir;
+using namespace cobalt::checker;
+
+namespace {
+
+/// Finds the first stmt(S) literal in the positive conjunctive spine of
+/// ψ (conjuncts only — a disjunction of enablers has no single strongest
+/// postcondition).
+const Stmt *findStmtConjunct(const Formula &F) {
+  switch (F.K) {
+  case Formula::Kind::FK_Label:
+    if (F.LabelName == "stmt")
+      return std::get_if<Stmt>(&F.Args[0]);
+    return nullptr;
+  case Formula::Kind::FK_And:
+    for (const FormulaPtr &Kid : F.Kids)
+      if (const Stmt *S = findStmtConjunct(*Kid))
+        return S;
+    return nullptr;
+  default:
+    return nullptr;
+  }
+}
+
+/// The lhs of an assignment as an expression pattern (x or *x), for
+/// use inside the witness.
+std::optional<Expr> lhsAsExpr(const Lhs &L) {
+  if (const auto *X = std::get_if<Var>(&L)) {
+    if (X->isWildcard())
+      return std::nullopt;
+    return Expr(*X);
+  }
+  const DerefExpr &D = std::get<DerefExpr>(L);
+  if (D.Ptr.isWildcard())
+    return std::nullopt;
+  return Expr(D);
+}
+
+/// True when the pattern expression contains wildcards (no canonical
+/// postcondition can mention it).
+bool mentionsWildcard(const Expr &E) {
+  if (const auto *X = std::get_if<Var>(&E.V))
+    return X->isWildcard();
+  if (const auto *C = std::get_if<ConstVal>(&E.V))
+    return C->isWildcard();
+  if (const auto *D = std::get_if<DerefExpr>(&E.V))
+    return D->Ptr.isWildcard();
+  if (const auto *A = std::get_if<AddrOfExpr>(&E.V))
+    return A->Target.isWildcard();
+  if (const auto *O = std::get_if<OpExpr>(&E.V)) {
+    if (O->Op == "_")
+      return true;
+    for (const BaseExpr &B : O->Args) {
+      if (isVar(B) && asVar(B).isWildcard())
+        return true;
+      if (isConst(B) && asConst(B).isWildcard())
+        return true;
+    }
+    return false;
+  }
+  return std::get<MetaExpr>(E.V).isWildcard();
+}
+
+} // namespace
+
+WitnessPtr checker::inferForwardWitness(const TransformationPattern &Pat) {
+  if (Pat.Dir != Direction::D_Forward)
+    return nullptr;
+  const Stmt *Enabler = findStmtConjunct(*Pat.G.Psi1);
+  if (!Enabler)
+    return nullptr;
+  const auto *Assign = std::get_if<AssignStmt>(&Enabler->V);
+  if (!Assign)
+    return nullptr;
+
+  auto LhsE = lhsAsExpr(Assign->Target);
+  if (!LhsE || mentionsWildcard(*LhsE) || mentionsWildcard(Assign->Value))
+    return nullptr;
+
+  // Strongest postcondition of `lhs := rhs` (as far as the witness
+  // language expresses it): the lhs cell now denotes the rhs value.
+  return wEq(WTerm{StateSel::WS_Cur, *LhsE},
+             WTerm{StateSel::WS_Cur, Assign->Value});
+}
+
+std::optional<Optimization>
+checker::withInferredWitness(const Optimization &O) {
+  WitnessPtr W = inferForwardWitness(O.Pat);
+  if (!W)
+    return std::nullopt;
+  Optimization Out = O;
+  Out.Pat.W = std::move(W);
+  if (validateOptimization(Out))
+    return std::nullopt; // e.g. inferred witness names unbound variables
+  return Out;
+}

@@ -1,0 +1,49 @@
+//===- WitnessInference.h - Inferring witnesses (paper §7) ------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper §7 (future work): "We plan to try inferring the witnesses, which
+/// are currently provided by the user. It may be possible to use some
+/// simple heuristics to guess a witness from the given transformation
+/// pattern. As a simple example, in the constant propagation example of
+/// section 2, the appropriate witness … is simply the strongest
+/// postcondition of the enabling statement Y := C. Many of the other
+/// forward optimizations that we have written also have this property."
+///
+/// Implemented here for forward patterns: find the assignment-shaped
+/// stmt() conjunct of ψ1 and propose the strongest-postcondition witness
+///
+///     η(lhs) = η(rhs)
+///
+/// (for `Y := C` that is η(Y) = C; for `*P := Y`, η(*P) = η(Y); …). The
+/// guess is *verified*, never trusted: callers run the ordinary
+/// obligations with it, so a wrong guess only fails the proof (the same
+/// guarantee as user-provided witnesses, paper footnote 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_CHECKER_WITNESSINFERENCE_H
+#define COBALT_CHECKER_WITNESSINFERENCE_H
+
+#include "core/Optimization.h"
+
+namespace cobalt {
+namespace checker {
+
+/// Proposes a witness for a forward transformation pattern from the
+/// strongest postcondition of its enabling statement. Returns nullptr
+/// when no heuristic applies (non-forward direction, or ψ1 has no
+/// assignment-shaped stmt() conjunct with an expressible postcondition).
+WitnessPtr inferForwardWitness(const TransformationPattern &Pat);
+
+/// Convenience: a copy of \p O with its witness replaced by the inferred
+/// one (nullopt when inference does not apply).
+std::optional<Optimization> withInferredWitness(const Optimization &O);
+
+} // namespace checker
+} // namespace cobalt
+
+#endif // COBALT_CHECKER_WITNESSINFERENCE_H

@@ -1,0 +1,127 @@
+//===- Builder.cpp --------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Builder.h"
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+Term cobalt::tCurrStmt() { return Term(CurrStmtTerm{}); }
+
+Term cobalt::tExpr(std::string_view Pattern) {
+  return Term(parseExprPatternOrDie(Pattern));
+}
+
+Term cobalt::tStmt(std::string_view Pattern) {
+  return Term(parseStmtPatternOrDie(Pattern));
+}
+
+FormulaPtr cobalt::stmtIs(std::string_view Pattern) {
+  return fLabel("stmt", {tStmt(Pattern)});
+}
+
+FormulaPtr cobalt::labelF(std::string Name, std::vector<Term> Args) {
+  return fLabel(std::move(Name), std::move(Args));
+}
+
+CaseBuilder &CaseBuilder::stmtArm(std::string_view Pattern, FormulaPtr Body) {
+  Arms.push_back({tStmt(Pattern), std::move(Body)});
+  return *this;
+}
+
+CaseBuilder &CaseBuilder::exprArm(std::string_view Pattern, FormulaPtr Body) {
+  Arms.push_back({tExpr(Pattern), std::move(Body)});
+  return *this;
+}
+
+CaseBuilder &CaseBuilder::termArm(Term Pattern, FormulaPtr Body) {
+  Arms.push_back({std::move(Pattern), std::move(Body)});
+  return *this;
+}
+
+FormulaPtr CaseBuilder::elseArm(FormulaPtr Body) {
+  return fCase(std::move(Scrutinee), std::move(Arms), std::move(Body));
+}
+
+/// Infers a parameter's kind from its spelling, mirroring the parser's
+/// pattern-mode convention.
+static MetaKind kindFromSpelling(const std::string &Name) {
+  if (Name.empty() || !std::isupper(static_cast<unsigned char>(Name[0])))
+    return MetaKind::MK_Var;
+  auto AllDigits = [&](size_t From) {
+    for (size_t I = From; I < Name.size(); ++I)
+      if (!std::isdigit(static_cast<unsigned char>(Name[I])))
+        return false;
+    return true;
+  };
+  if (Name[0] == 'C' && AllDigits(1))
+    return MetaKind::MK_Const;
+  if (Name[0] == 'E' && AllDigits(1))
+    return MetaKind::MK_Expr;
+  return MetaKind::MK_Var;
+}
+
+LabelDef cobalt::makeLabelDef(std::string Name,
+                              std::vector<std::string> Params,
+                              FormulaPtr Body) {
+  LabelDef Def;
+  Def.Name = std::move(Name);
+  for (std::string &P : Params) {
+    MetaKind K = kindFromSpelling(P);
+    Def.Params.emplace_back(std::move(P), K);
+  }
+  Def.Body = std::move(Body);
+  return Def;
+}
+
+WTerm cobalt::curEval(std::string_view Pattern) {
+  return {StateSel::WS_Cur, parseExprPatternOrDie(Pattern)};
+}
+
+WTerm cobalt::oldEval(std::string_view Pattern) {
+  return {StateSel::WS_Old, parseExprPatternOrDie(Pattern)};
+}
+
+WTerm cobalt::newEval(std::string_view Pattern) {
+  return {StateSel::WS_New, parseExprPatternOrDie(Pattern)};
+}
+
+WitnessPtr cobalt::eqUpTo(std::string_view MetaVarName) {
+  return wEqUpTo(Var::meta(std::string(MetaVarName)));
+}
+
+WitnessPtr cobalt::notPointedToW(std::string_view MetaVarName) {
+  return wNotPointedTo(Var::meta(std::string(MetaVarName)));
+}
+
+OptBuilder &OptBuilder::rewrite(std::string_view From, std::string_view To) {
+  O.Pat.From = parseStmtPatternOrDie(From);
+  O.Pat.To = parseStmtPatternOrDie(To);
+  return *this;
+}
+
+Optimization OptBuilder::build() {
+  if (auto Err = validateOptimization(O)) {
+    std::fprintf(stderr, "fatal: malformed optimization: %s\n",
+                 Err->c_str());
+    std::abort();
+  }
+  return std::move(O);
+}
+
+PureAnalysis AnalysisBuilder::build() {
+  if (auto Err = validateAnalysis(A)) {
+    std::fprintf(stderr, "fatal: malformed analysis: %s\n", Err->c_str());
+    std::abort();
+  }
+  return std::move(A);
+}

@@ -1,0 +1,184 @@
+//===- Builder.h - Ergonomic construction of Cobalt definitions -*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small embedded-DSL surface for writing Cobalt optimizations in C++.
+/// Pattern fragments are written as strings in the paper's concrete
+/// syntax and parsed in pattern mode (upper-case-initial identifiers are
+/// pattern variables; see ir/Parser.h). Example — the paper's Example 1:
+///
+/// \code
+///   Optimization ConstProp =
+///       OptBuilder("const_prop")
+///           .forward()
+///           .psi1(stmtIs("Y := C"))
+///           .psi2(fNot(labelF("mayDef", {tExpr("Y")})))
+///           .rewrite("X := Y", "X := C")
+///           .witness(wEq(curEval("Y"), curEval("C")))
+///           .withLabel(MayDefDef)
+///           .build();
+/// \endcode
+///
+/// build() aborts on a malformed definition: optimization definitions are
+/// code, so structural errors are programmer errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_CORE_BUILDER_H
+#define COBALT_CORE_BUILDER_H
+
+#include "core/Optimization.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cobalt {
+
+//===----------------------------------------------------------------------===//
+// Term and formula helpers.
+//===----------------------------------------------------------------------===//
+
+/// The distinguished currStmt term.
+Term tCurrStmt();
+
+/// Parses an expression-pattern term ("Y", "C", "E", "*P", "X + Y", ...).
+Term tExpr(std::string_view Pattern);
+
+/// Parses a statement-pattern term ("Y := C", "decl X", "return ...").
+Term tStmt(std::string_view Pattern);
+
+/// stmt(S) for a statement pattern.
+FormulaPtr stmtIs(std::string_view Pattern);
+
+/// A label literal l(t, ..., t).
+FormulaPtr labelF(std::string Name, std::vector<Term> Args = {});
+
+/// Builds a case formula over a term, arms added in order.
+class CaseBuilder {
+public:
+  explicit CaseBuilder(Term Scrutinee) : Scrutinee(std::move(Scrutinee)) {}
+
+  /// Adds an arm whose pattern is a statement pattern.
+  CaseBuilder &stmtArm(std::string_view Pattern, FormulaPtr Body);
+  /// Adds an arm whose pattern is an expression pattern.
+  CaseBuilder &exprArm(std::string_view Pattern, FormulaPtr Body);
+  /// Adds an arm with a programmatically-built pattern (shapes without a
+  /// surface syntax, e.g. unary operator applications).
+  CaseBuilder &termArm(Term Pattern, FormulaPtr Body);
+
+  /// Finishes with the else arm.
+  FormulaPtr elseArm(FormulaPtr Body);
+
+private:
+  Term Scrutinee;
+  std::vector<CaseArm> Arms;
+};
+
+/// Builds a predicate label definition. Parameter kinds follow the
+/// pattern-variable spelling convention (C* = Consts, E* = Exprs,
+/// otherwise Vars) unless given explicitly.
+LabelDef makeLabelDef(std::string Name, std::vector<std::string> Params,
+                      FormulaPtr Body);
+
+//===----------------------------------------------------------------------===//
+// Witness helpers.
+//===----------------------------------------------------------------------===//
+
+/// eval of an expression pattern in the forward witness state η.
+WTerm curEval(std::string_view Pattern);
+/// eval in η_old / η_new (backward witnesses).
+WTerm oldEval(std::string_view Pattern);
+WTerm newEval(std::string_view Pattern);
+
+/// η_old/X = η_new/X for a pattern variable name.
+WitnessPtr eqUpTo(std::string_view MetaVarName);
+
+/// notPointedTo(X, η).
+WitnessPtr notPointedToW(std::string_view MetaVarName);
+
+//===----------------------------------------------------------------------===//
+// Optimization and analysis builders.
+//===----------------------------------------------------------------------===//
+
+class OptBuilder {
+public:
+  explicit OptBuilder(std::string Name) { O.Name = std::move(Name); }
+
+  OptBuilder &forward() {
+    O.Pat.Dir = Direction::D_Forward;
+    return *this;
+  }
+  OptBuilder &backward() {
+    O.Pat.Dir = Direction::D_Backward;
+    return *this;
+  }
+  OptBuilder &psi1(FormulaPtr F) {
+    O.Pat.G.Psi1 = std::move(F);
+    return *this;
+  }
+  OptBuilder &psi2(FormulaPtr F) {
+    O.Pat.G.Psi2 = std::move(F);
+    return *this;
+  }
+  /// Parses s and s' from pattern strings.
+  OptBuilder &rewrite(std::string_view From, std::string_view To);
+  OptBuilder &witness(WitnessPtr W) {
+    O.Pat.W = std::move(W);
+    return *this;
+  }
+  OptBuilder &choose(ChooseFn Fn) {
+    O.Choose = std::move(Fn);
+    return *this;
+  }
+  OptBuilder &withLabel(LabelDef Def) {
+    O.Labels.push_back(std::move(Def));
+    return *this;
+  }
+
+  /// Validates and returns the optimization; aborts with the validation
+  /// message on malformed definitions.
+  Optimization build();
+
+private:
+  Optimization O;
+};
+
+class AnalysisBuilder {
+public:
+  explicit AnalysisBuilder(std::string Name) { A.Name = std::move(Name); }
+
+  AnalysisBuilder &psi1(FormulaPtr F) {
+    A.G.Psi1 = std::move(F);
+    return *this;
+  }
+  AnalysisBuilder &psi2(FormulaPtr F) {
+    A.G.Psi2 = std::move(F);
+    return *this;
+  }
+  AnalysisBuilder &defines(std::string LabelName, std::vector<Term> Args) {
+    A.LabelName = std::move(LabelName);
+    A.LabelArgs = std::move(Args);
+    return *this;
+  }
+  AnalysisBuilder &witness(WitnessPtr W) {
+    A.W = std::move(W);
+    return *this;
+  }
+  AnalysisBuilder &withLabel(LabelDef Def) {
+    A.Labels.push_back(std::move(Def));
+    return *this;
+  }
+
+  PureAnalysis build();
+
+private:
+  PureAnalysis A;
+};
+
+} // namespace cobalt
+
+#endif // COBALT_CORE_BUILDER_H

@@ -1,0 +1,85 @@
+//===- CobaltParser.h - Textual front-end for the Cobalt DSL ----*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete syntax for Cobalt definitions, so optimizations can live in
+/// .cob files instead of C++ builder calls (profitability heuristics stay
+/// in C++, as the paper keeps them in "a language of the user's choice").
+/// The syntax follows the paper's notation:
+///
+/// \code
+///   label syntacticDef(X) :=
+///     case currStmt of
+///       decl X => true
+///     | X := E9 => true
+///     | X := new => true
+///     else => false
+///     endcase;
+///
+///   optimization const_prop :=
+///     forward
+///     stmt(Y := C)
+///     followed by !mayDef(Y)
+///     until X := Y  =>  X := C
+///     with witness eta(Y) = eta(C);
+///
+///   optimization dead_assign_elim :=
+///     backward
+///     (stmt(X := ...) || stmt(X := new) || stmt(return ...)) && !mayUse(X)
+///     preceded by !mayUse(X) && !stmt(decl X)
+///     since X := E  =>  skip
+///     with witness eta_old/X = eta_new/X;
+///
+///   analysis taint_analysis :=
+///     stmt(decl X)
+///     followed by !stmt(_ := &X)
+///     defines notTainted(X)
+///     with witness notPointedTo(X);
+/// \endcode
+///
+/// Formula grammar: `true`, `false`, `!ψ`, `ψ && ψ`, `ψ || ψ`, `(ψ)`,
+/// `name(arg, ...)` (label; `stmt(...)` takes a statement pattern,
+/// everything else expression patterns), `t = t` (term equality),
+/// `case <term> of p => ψ | ... else => ψ endcase`. Witness grammar:
+/// `true`, `!w`, `w && w`, `w || w`, `eta(e) = eta(e)` (also eta_old/
+/// eta_new), `eta_old/X = eta_new/X`, `eta_old = eta_new`,
+/// `notPointedTo(X)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_CORE_COBALTPARSER_H
+#define COBALT_CORE_COBALTPARSER_H
+
+#include "core/Optimization.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace cobalt {
+
+/// Everything defined by one Cobalt source buffer.
+struct CobaltModule {
+  std::vector<LabelDef> Labels;
+  std::vector<Optimization> Optimizations;
+  std::vector<PureAnalysis> Analyses;
+};
+
+/// Parses a Cobalt source buffer. Definitions may reference labels
+/// defined earlier in the same buffer (they are attached to each
+/// optimization/analysis that follows them). Optimizations get the
+/// default choose-all profitability heuristic; attach custom heuristics
+/// afterwards by name. Returns nullopt and reports via \p Diags on error.
+std::optional<CobaltModule> parseCobalt(std::string_view Text,
+                                        DiagnosticEngine &Diags);
+
+/// Aborts on parse failure; for trusted literals in tests and examples.
+CobaltModule parseCobaltOrDie(std::string_view Text);
+
+} // namespace cobalt
+
+#endif // COBALT_CORE_COBALTPARSER_H

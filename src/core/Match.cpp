@@ -1,0 +1,351 @@
+//===- Match.cpp ----------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Match.h"
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+//===----------------------------------------------------------------------===//
+// Matching. Each helper extends Theta on success; callers that try
+// multiple alternatives pass a scratch copy.
+//===----------------------------------------------------------------------===//
+
+static bool matchVar(const Var &P, const Var &X, Substitution &Theta) {
+  assert(!X.IsMeta && "matching against a non-ground fragment");
+  if (!P.IsMeta)
+    return P.Name == X.Name;
+  if (P.isWildcard())
+    return true;
+  return Theta.bind(P.Name, Binding::var(X.Name));
+}
+
+static bool matchProc(const ProcName &P, const ProcName &Q,
+                      Substitution &Theta) {
+  assert(!Q.IsMeta && "matching against a non-ground fragment");
+  if (!P.IsMeta)
+    return P.Name == Q.Name;
+  if (P.isWildcard())
+    return true;
+  return Theta.bind(P.Name, Binding::proc(Q.Name));
+}
+
+static bool matchConst(const ConstVal &P, const ConstVal &C,
+                       Substitution &Theta) {
+  assert(!C.IsMeta && "matching against a non-ground fragment");
+  if (!P.IsMeta)
+    return P.Value == C.Value;
+  if (P.isWildcard())
+    return true;
+  return Theta.bind(P.MetaName, Binding::constant(C.Value));
+}
+
+static bool matchIndex(const Index &P, const Index &I, Substitution &Theta) {
+  assert(!I.IsMeta && "matching against a non-ground fragment");
+  if (!P.IsMeta)
+    return P.Value == I.Value;
+  if (P.isWildcard())
+    return true;
+  return Theta.bind(P.MetaName, Binding::index(I.Value));
+}
+
+static bool matchBase(const BaseExpr &P, const BaseExpr &B,
+                      Substitution &Theta) {
+  if (isVar(P)) {
+    // A Vars pattern matches only variables; a concrete var likewise.
+    // Exception: a *wildcard* in base position matches constants too.
+    if (asVar(P).isWildcard())
+      return true;
+    return isVar(B) && matchVar(asVar(P), asVar(B), Theta);
+  }
+  return isConst(B) && matchConst(asConst(P), asConst(B), Theta);
+}
+
+bool cobalt::matchExpr(const Expr &P, const Expr &E, Substitution &Theta) {
+  Substitution Scratch = Theta;
+
+  // An Exprs pattern variable matches any whole expression.
+  if (const auto *M = std::get_if<MetaExpr>(&P.V)) {
+    if (M->isWildcard())
+      return true;
+    if (!Scratch.bind(M->Name, Binding::expr(E)))
+      return false;
+    Theta = std::move(Scratch);
+    return true;
+  }
+
+  bool Ok = false;
+  if (const auto *PX = std::get_if<Var>(&P.V)) {
+    const auto *EX = std::get_if<Var>(&E.V);
+    Ok = EX && matchVar(*PX, *EX, Scratch);
+  } else if (const auto *PC = std::get_if<ConstVal>(&P.V)) {
+    const auto *EC = std::get_if<ConstVal>(&E.V);
+    Ok = EC && matchConst(*PC, *EC, Scratch);
+  } else if (const auto *PD = std::get_if<DerefExpr>(&P.V)) {
+    const auto *ED = std::get_if<DerefExpr>(&E.V);
+    Ok = ED && matchVar(PD->Ptr, ED->Ptr, Scratch);
+  } else if (const auto *PA = std::get_if<AddrOfExpr>(&P.V)) {
+    const auto *EA = std::get_if<AddrOfExpr>(&E.V);
+    Ok = EA && matchVar(PA->Target, EA->Target, Scratch);
+  } else if (const auto *PO = std::get_if<OpExpr>(&P.V)) {
+    // An operator spelling of "_" is the operator wildcard: it matches any
+    // operator of the same arity (used by label definitions that case over
+    // expression shapes, e.g. unchanged(E)).
+    const auto *EO = std::get_if<OpExpr>(&E.V);
+    Ok = EO && (PO->Op == "_" || PO->Op == EO->Op) &&
+         PO->Args.size() == EO->Args.size();
+    for (size_t I = 0; Ok && I < PO->Args.size(); ++I)
+      Ok = matchBase(PO->Args[I], EO->Args[I], Scratch);
+  }
+
+  if (!Ok)
+    return false;
+  Theta = std::move(Scratch);
+  return true;
+}
+
+static bool matchLhs(const Lhs &P, const Lhs &L, Substitution &Theta) {
+  if (const auto *PX = std::get_if<Var>(&P)) {
+    // A wildcard in lhs position is the paper's "… := e": it matches
+    // either lhs alternative (x or *x). A *named* Vars pattern matches
+    // only the variable alternative. Getting this wrong is a genuine
+    // soundness trap: the taint analysis's ¬stmt(… := &X) must also
+    // reject `*p := &x`, which stores x's address through a pointer.
+    if (PX->isWildcard())
+      return true;
+    const auto *LX = std::get_if<Var>(&L);
+    return LX && matchVar(*PX, *LX, Theta);
+  }
+  const auto *LD = std::get_if<DerefExpr>(&L);
+  return LD && matchVar(std::get<DerefExpr>(P).Ptr, LD->Ptr, Theta);
+}
+
+bool cobalt::matchStmt(const Stmt &P, const Stmt &S, Substitution &Theta) {
+  Substitution Scratch = Theta;
+  bool Ok = false;
+
+  if (const auto *PD = std::get_if<DeclStmt>(&P.V)) {
+    const auto *SD = std::get_if<DeclStmt>(&S.V);
+    Ok = SD && matchVar(PD->Name, SD->Name, Scratch);
+  } else if (P.is<SkipStmt>()) {
+    Ok = S.is<SkipStmt>();
+  } else if (const auto *PA = std::get_if<AssignStmt>(&P.V)) {
+    const auto *SA = std::get_if<AssignStmt>(&S.V);
+    Ok = SA && matchLhs(PA->Target, SA->Target, Scratch) &&
+         matchExpr(PA->Value, SA->Value, Scratch);
+  } else if (const auto *PN = std::get_if<NewStmt>(&P.V)) {
+    const auto *SN = std::get_if<NewStmt>(&S.V);
+    Ok = SN && matchVar(PN->Target, SN->Target, Scratch);
+  } else if (const auto *PC = std::get_if<CallStmt>(&P.V)) {
+    const auto *SC = std::get_if<CallStmt>(&S.V);
+    Ok = SC && matchVar(PC->Target, SC->Target, Scratch) &&
+         matchProc(PC->Callee, SC->Callee, Scratch) &&
+         matchBase(PC->Arg, SC->Arg, Scratch);
+  } else if (const auto *PB = std::get_if<BranchStmt>(&P.V)) {
+    const auto *SB = std::get_if<BranchStmt>(&S.V);
+    Ok = SB && matchBase(PB->Cond, SB->Cond, Scratch) &&
+         matchIndex(PB->Then, SB->Then, Scratch) &&
+         matchIndex(PB->Else, SB->Else, Scratch);
+  } else if (const auto *PR = std::get_if<ReturnStmt>(&P.V)) {
+    const auto *SR = std::get_if<ReturnStmt>(&S.V);
+    Ok = SR && matchVar(PR->Value, SR->Value, Scratch);
+  }
+
+  if (!Ok)
+    return false;
+  Theta = std::move(Scratch);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Instantiation.
+//===----------------------------------------------------------------------===//
+
+static std::optional<Var> substVar(const Var &P, const Substitution &Theta) {
+  if (!P.IsMeta)
+    return P;
+  if (P.isWildcard())
+    return std::nullopt;
+  const Binding *B = Theta.lookup(P.Name);
+  if (!B || !B->isVar())
+    return std::nullopt;
+  return Var::concrete(B->asVar());
+}
+
+static std::optional<ProcName> substProc(const ProcName &P,
+                                         const Substitution &Theta) {
+  if (!P.IsMeta)
+    return P;
+  if (P.isWildcard())
+    return std::nullopt;
+  const Binding *B = Theta.lookup(P.Name);
+  if (!B || !B->isProc())
+    return std::nullopt;
+  return ProcName::concrete(B->asProc());
+}
+
+static std::optional<ConstVal> substConst(const ConstVal &P,
+                                          const Substitution &Theta) {
+  if (!P.IsMeta)
+    return P;
+  if (P.isWildcard())
+    return std::nullopt;
+  const Binding *B = Theta.lookup(P.MetaName);
+  if (!B || !B->isConst())
+    return std::nullopt;
+  return ConstVal::concrete(B->asConst());
+}
+
+static std::optional<Index> substIndex(const Index &P,
+                                       const Substitution &Theta) {
+  if (!P.IsMeta)
+    return P;
+  if (P.isWildcard())
+    return std::nullopt;
+  const Binding *B = Theta.lookup(P.MetaName);
+  if (!B || !B->isIndex())
+    return std::nullopt;
+  return Index::concrete(B->asIndex());
+}
+
+static std::optional<BaseExpr> substBase(const BaseExpr &P,
+                                         const Substitution &Theta) {
+  if (isVar(P)) {
+    // A Vars pattern in base position may also be bound to a constant
+    // (e.g. after constant folding binds the result), so consult the
+    // binding kind rather than the pattern kind.
+    const Var &X = asVar(P);
+    if (!X.IsMeta)
+      return BaseExpr(X);
+    if (X.isWildcard())
+      return std::nullopt;
+    const Binding *B = Theta.lookup(X.Name);
+    if (!B)
+      return std::nullopt;
+    if (B->isVar())
+      return BaseExpr(Var::concrete(B->asVar()));
+    if (B->isConst())
+      return BaseExpr(ConstVal::concrete(B->asConst()));
+    return std::nullopt;
+  }
+  auto C = substConst(asConst(P), Theta);
+  if (!C)
+    return std::nullopt;
+  return BaseExpr(*C);
+}
+
+std::optional<Expr> cobalt::applySubstExpr(const Expr &P,
+                                           const Substitution &Theta) {
+  if (const auto *M = std::get_if<MetaExpr>(&P.V)) {
+    if (M->isWildcard())
+      return std::nullopt;
+    const Binding *B = Theta.lookup(M->Name);
+    if (!B)
+      return std::nullopt;
+    if (B->isExpr())
+      return B->asExpr();
+    if (B->isVar())
+      return Expr(Var::concrete(B->asVar()));
+    if (B->isConst())
+      return Expr(ConstVal::concrete(B->asConst()));
+    return std::nullopt;
+  }
+  if (const auto *X = std::get_if<Var>(&P.V)) {
+    auto R = substBase(BaseExpr(*X), Theta);
+    if (!R)
+      return std::nullopt;
+    return Expr(*R);
+  }
+  if (const auto *C = std::get_if<ConstVal>(&P.V)) {
+    auto R = substConst(*C, Theta);
+    if (!R)
+      return std::nullopt;
+    return Expr(*R);
+  }
+  if (const auto *D = std::get_if<DerefExpr>(&P.V)) {
+    auto X = substVar(D->Ptr, Theta);
+    if (!X)
+      return std::nullopt;
+    return Expr(DerefExpr{*X});
+  }
+  if (const auto *A = std::get_if<AddrOfExpr>(&P.V)) {
+    auto X = substVar(A->Target, Theta);
+    if (!X)
+      return std::nullopt;
+    return Expr(AddrOfExpr{*X});
+  }
+  const auto &O = std::get<OpExpr>(P.V);
+  if (O.Op == "_")
+    return std::nullopt; // operator wildcards cannot be instantiated
+  OpExpr Out{O.Op, {}};
+  Out.Args.reserve(O.Args.size());
+  for (const BaseExpr &B : O.Args) {
+    auto R = substBase(B, Theta);
+    if (!R)
+      return std::nullopt;
+    Out.Args.push_back(*R);
+  }
+  return Expr(std::move(Out));
+}
+
+static std::optional<Lhs> substLhs(const Lhs &P, const Substitution &Theta) {
+  if (const auto *X = std::get_if<Var>(&P)) {
+    auto R = substVar(*X, Theta);
+    if (!R)
+      return std::nullopt;
+    return Lhs(*R);
+  }
+  auto R = substVar(std::get<DerefExpr>(P).Ptr, Theta);
+  if (!R)
+    return std::nullopt;
+  return Lhs(DerefExpr{*R});
+}
+
+std::optional<Stmt> cobalt::applySubst(const Stmt &P,
+                                       const Substitution &Theta) {
+  if (const auto *D = std::get_if<DeclStmt>(&P.V)) {
+    auto X = substVar(D->Name, Theta);
+    if (!X)
+      return std::nullopt;
+    return Stmt(DeclStmt{*X});
+  }
+  if (P.is<SkipStmt>())
+    return Stmt(SkipStmt{});
+  if (const auto *A = std::get_if<AssignStmt>(&P.V)) {
+    auto L = substLhs(A->Target, Theta);
+    auto E = applySubstExpr(A->Value, Theta);
+    if (!L || !E)
+      return std::nullopt;
+    return Stmt(AssignStmt{*L, *E});
+  }
+  if (const auto *N = std::get_if<NewStmt>(&P.V)) {
+    auto X = substVar(N->Target, Theta);
+    if (!X)
+      return std::nullopt;
+    return Stmt(NewStmt{*X});
+  }
+  if (const auto *C = std::get_if<CallStmt>(&P.V)) {
+    auto X = substVar(C->Target, Theta);
+    auto Q = substProc(C->Callee, Theta);
+    auto B = substBase(C->Arg, Theta);
+    if (!X || !Q || !B)
+      return std::nullopt;
+    return Stmt(CallStmt{*X, *Q, *B});
+  }
+  if (const auto *Br = std::get_if<BranchStmt>(&P.V)) {
+    auto B = substBase(Br->Cond, Theta);
+    auto T = substIndex(Br->Then, Theta);
+    auto E = substIndex(Br->Else, Theta);
+    if (!B || !T || !E)
+      return std::nullopt;
+    return Stmt(BranchStmt{*B, *T, *E});
+  }
+  const auto &R = std::get<ReturnStmt>(P.V);
+  auto X = substVar(R.Value, Theta);
+  if (!X)
+    return std::nullopt;
+  return Stmt(ReturnStmt{*X});
+}

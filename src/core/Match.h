@@ -1,0 +1,50 @@
+//===- Match.h - Structural matching and instantiation ----------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two halves of pattern-variable semantics (paper §3.2.1):
+///
+/// * matchStmt/matchExpr: match an extended-IL fragment against a ground
+///   fragment, extending a partial substitution. Already-bound pattern
+///   variables act as constants (nonlinear patterns work), wildcards match
+///   anything and bind nothing.
+/// * applySubst: instantiate an extended-IL fragment under a substitution,
+///   yielding a ground fragment. Fails (nullopt) if any named pattern
+///   variable is unbound or bound to a fragment of the wrong kind, or if
+///   the pattern contains wildcards (a rewrite-rule RHS must be fully
+///   determined).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_CORE_MATCH_H
+#define COBALT_CORE_MATCH_H
+
+#include "core/Substitution.h"
+#include "ir/Ast.h"
+
+#include <optional>
+
+namespace cobalt {
+
+/// Matches pattern \p P against ground statement \p S, extending \p Theta.
+/// On failure Theta is left unchanged.
+bool matchStmt(const ir::Stmt &P, const ir::Stmt &S, Substitution &Theta);
+
+/// Matches pattern \p P against ground expression \p E, extending \p Theta.
+bool matchExpr(const ir::Expr &P, const ir::Expr &E, Substitution &Theta);
+
+/// Instantiates a statement pattern. Requires every named pattern variable
+/// bound (to the right kind) and no wildcards.
+std::optional<ir::Stmt> applySubst(const ir::Stmt &P,
+                                   const Substitution &Theta);
+
+/// Instantiates an expression pattern under the same rules.
+std::optional<ir::Expr> applySubstExpr(const ir::Expr &P,
+                                       const Substitution &Theta);
+
+} // namespace cobalt
+
+#endif // COBALT_CORE_MATCH_H

@@ -1,0 +1,207 @@
+//===- Optimization.cpp ---------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Optimization.h"
+
+#include <algorithm>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+ChooseFn cobalt::chooseAll() {
+  return [](const std::vector<MatchSite> &Delta, const Procedure &) {
+    return Delta;
+  };
+}
+
+namespace {
+
+using MetaSet = std::vector<std::pair<std::string, MetaKind>>;
+
+bool contains(const MetaSet &Set, const std::string &Name) {
+  return std::any_of(Set.begin(), Set.end(),
+                     [&](const auto &P) { return P.first == Name; });
+}
+
+void collectWitnessMetas(const Witness &W, MetaSet &Out) {
+  switch (W.K) {
+  case Witness::Kind::WK_True:
+    return;
+  case Witness::Kind::WK_Not:
+  case Witness::Kind::WK_And:
+  case Witness::Kind::WK_Or:
+    for (const WitnessPtr &Kid : W.Kids)
+      collectWitnessMetas(*Kid, Out);
+    return;
+  case Witness::Kind::WK_Eq:
+    collectMetaKinds(W.LhsT.E, Out);
+    collectMetaKinds(W.RhsT.E, Out);
+    return;
+  case Witness::Kind::WK_EqUpTo:
+  case Witness::Kind::WK_NotPointedTo:
+    if (W.X.IsMeta)
+      collectMetaKinds(Expr(W.X), Out);
+    return;
+  case Witness::Kind::WK_StateEq:
+    return;
+  }
+}
+
+/// Shared structural checks over a guard; binds: out-param receiving the
+/// variables ψ1 determines.
+std::optional<std::string> validateGuard(const std::string &Name,
+                                         const Guard &G, MetaSet &Psi1Vars) {
+  if (!G.Psi1 || !G.Psi2)
+    return Name + ": guard formulas must be non-null";
+  collectFreeMetas(*G.Psi1, Psi1Vars);
+  MetaSet Psi2Vars;
+  collectFreeMetas(*G.Psi2, Psi2Vars);
+  for (const auto &[N, K] : Psi2Vars) {
+    (void)K;
+    if (!contains(Psi1Vars, N))
+      return Name + ": pattern variable '" + N +
+             "' used in psi2 is not bound by psi1 (psi2 is checked "
+             "pointwise under the substitution produced at the enabling "
+             "statement)";
+  }
+  return std::nullopt;
+}
+
+bool isReturnShape(const Stmt &S) { return S.is<ReturnStmt>(); }
+bool isBranchShape(const Stmt &S) { return S.is<BranchStmt>(); }
+
+bool hasWildcardVar(const Var &X) { return X.isWildcard(); }
+bool hasWildcardBase(const BaseExpr &B) {
+  if (isVar(B))
+    return asVar(B).isWildcard();
+  return asConst(B).isWildcard();
+}
+
+bool hasWildcard(const Expr &E) {
+  if (const auto *X = std::get_if<Var>(&E.V))
+    return hasWildcardVar(*X);
+  if (const auto *C = std::get_if<ConstVal>(&E.V))
+    return C->isWildcard();
+  if (const auto *D = std::get_if<DerefExpr>(&E.V))
+    return hasWildcardVar(D->Ptr);
+  if (const auto *A = std::get_if<AddrOfExpr>(&E.V))
+    return hasWildcardVar(A->Target);
+  if (const auto *O = std::get_if<OpExpr>(&E.V))
+    return O->Op == "_" ||
+           std::any_of(O->Args.begin(), O->Args.end(), hasWildcardBase);
+  return std::get<MetaExpr>(E.V).isWildcard();
+}
+
+bool hasWildcard(const Stmt &S) {
+  if (const auto *D = std::get_if<DeclStmt>(&S.V))
+    return hasWildcardVar(D->Name);
+  if (S.is<SkipStmt>())
+    return false;
+  if (const auto *A = std::get_if<AssignStmt>(&S.V))
+    return hasWildcardVar(lhsVar(A->Target)) || hasWildcard(A->Value);
+  if (const auto *N = std::get_if<NewStmt>(&S.V))
+    return hasWildcardVar(N->Target);
+  if (const auto *C = std::get_if<CallStmt>(&S.V))
+    return hasWildcardVar(C->Target) || C->Callee.isWildcard() ||
+           hasWildcardBase(C->Arg);
+  if (const auto *B = std::get_if<BranchStmt>(&S.V))
+    return hasWildcardBase(B->Cond) || B->Then.isWildcard() ||
+           B->Else.isWildcard();
+  return std::get<ReturnStmt>(S.V).Value.isWildcard();
+}
+
+} // namespace
+
+std::optional<std::string>
+cobalt::validateOptimization(const Optimization &O) {
+  const TransformationPattern &P = O.Pat;
+
+  MetaSet Psi1Vars;
+  if (auto Err = validateGuard(O.Name, P.G, Psi1Vars))
+    return Err;
+
+  MetaSet FromVars = Psi1Vars;
+  collectMetaKinds(P.From, FromVars);
+
+  MetaSet ToVars;
+  collectMetaKinds(P.To, ToVars);
+  for (const auto &[N, K] : ToVars) {
+    (void)K;
+    if (!contains(FromVars, N))
+      return O.Name + ": pattern variable '" + N +
+             "' in the rewrite result is bound by neither psi1 nor s";
+  }
+
+  // s' must be instantiable: no wildcards.
+  if (hasWildcard(P.To))
+    return O.Name + ": the rewrite result contains wildcards";
+
+  // Statement-shape discipline (see header comment).
+  if (isReturnShape(P.From) != isReturnShape(P.To))
+    return O.Name + ": a rewrite must not change whether the statement "
+                    "is a return";
+  if (!isBranchShape(P.From) && isBranchShape(P.To))
+    return O.Name + ": a rewrite may only produce a branch from a branch";
+
+  if (!P.W)
+    return O.Name + ": missing witness";
+  bool DirOk = P.Dir == Direction::D_Forward ? isForwardWitness(*P.W)
+                                             : isBackwardWitness(*P.W);
+  if (!DirOk)
+    return O.Name + ": witness state selectors do not match the "
+                    "optimization's direction";
+
+  MetaSet WitnessVars;
+  collectWitnessMetas(*P.W, WitnessVars);
+  for (const auto &[N, K] : WitnessVars) {
+    (void)K;
+    if (!contains(FromVars, N))
+      return O.Name + ": pattern variable '" + N +
+             "' in the witness is bound by neither psi1 nor s";
+  }
+
+  if (!O.Choose)
+    return O.Name + ": missing choose function";
+  return std::nullopt;
+}
+
+std::optional<std::string> cobalt::validateAnalysis(const PureAnalysis &A) {
+  MetaSet Psi1Vars;
+  if (auto Err = validateGuard(A.Name, A.G, Psi1Vars))
+    return Err;
+
+  if (A.LabelName.empty())
+    return A.Name + ": missing defined label name";
+  if (LabelRegistry::isBuiltin(A.LabelName))
+    return A.Name + ": defined label shadows the builtin '" + A.LabelName +
+           "'";
+
+  MetaSet ArgVars;
+  for (const Term &T : A.LabelArgs)
+    collectMetaKinds(T, ArgVars);
+  for (const auto &[N, K] : ArgVars) {
+    (void)K;
+    if (!contains(Psi1Vars, N))
+      return A.Name + ": pattern variable '" + N +
+             "' in the defined label is not bound by psi1";
+  }
+
+  if (!A.W)
+    return A.Name + ": missing witness";
+  if (!isForwardWitness(*A.W))
+    return A.Name + ": pure analyses are forward; the witness must only "
+                    "mention the current state";
+
+  MetaSet WitnessVars;
+  collectWitnessMetas(*A.W, WitnessVars);
+  for (const auto &[N, K] : WitnessVars) {
+    (void)K;
+    if (!contains(Psi1Vars, N))
+      return A.Name + ": pattern variable '" + N +
+             "' in the witness is not bound by psi1";
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,117 @@
+//===- Optimization.h - Transformation patterns and optimizations -*- C++ -*-=//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level Cobalt constructs (paper §2, §3.2.3):
+///
+/// * a forward transformation pattern
+///     ψ1 followed by ψ2 until s ⇒ s' with witness P
+/// * a backward transformation pattern
+///     ψ1 preceded by ψ2 since s ⇒ s' with witness P
+/// * an optimization:  O_pat filtered through choose
+/// * a pure analysis:  ψ1 followed by ψ2 defines label with witness P
+///
+/// Profitability heuristics (`choose`) are arbitrary code — here,
+/// std::function over the legal-transformation set Δ (the paper lets them
+/// be "written in a language of the user's choice"; they never affect
+/// soundness, §2.3/§4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_CORE_OPTIMIZATION_H
+#define COBALT_CORE_OPTIMIZATION_H
+
+#include "core/Formula.h"
+#include "core/Witness.h"
+#include "ir/Ast.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cobalt {
+
+enum class Direction { D_Forward, D_Backward };
+
+/// ψ1 followed by / preceded by ψ2.
+struct Guard {
+  FormulaPtr Psi1;
+  FormulaPtr Psi2;
+};
+
+/// One element of Δ: the node to transform and the substitution that
+/// matched (paper Definition 1/2).
+struct MatchSite {
+  int Index;
+  Substitution Theta;
+
+  friend bool operator==(const MatchSite &, const MatchSite &) = default;
+  friend auto operator<=>(const MatchSite &A, const MatchSite &B) {
+    if (auto C = A.Index <=> B.Index; C != 0)
+      return C;
+    return A.Theta <=> B.Theta;
+  }
+};
+
+/// The guard + rewrite rule + witness of an optimization — everything
+/// that matters for soundness.
+struct TransformationPattern {
+  Direction Dir = Direction::D_Forward;
+  Guard G;
+  ir::Stmt From; ///< s.
+  ir::Stmt To;   ///< s'.
+  WitnessPtr W;
+};
+
+/// choose(Δ, p) — selects the subset of legal transformations to perform.
+using ChooseFn = std::function<std::vector<MatchSite>(
+    const std::vector<MatchSite> &, const ir::Procedure &)>;
+
+/// The default profitability heuristic: perform every legal
+/// transformation (choose_all, §2.3).
+ChooseFn chooseAll();
+
+/// A complete optimization.
+struct Optimization {
+  std::string Name;
+  TransformationPattern Pat;
+  ChooseFn Choose = chooseAll();
+
+  /// Label definitions this optimization relies on (beyond builtins),
+  /// in dependency order. Registered into the engine/checker registry.
+  std::vector<LabelDef> Labels;
+};
+
+/// A pure analysis: ψ1 followed by ψ2 defines label(args) with witness P.
+/// Cobalt has only forward pure analyses (§2.4).
+struct PureAnalysis {
+  std::string Name;
+  Guard G;
+  std::string LabelName;
+  std::vector<Term> LabelArgs; ///< Terms over the guard's pattern vars.
+  WitnessPtr W;
+  std::vector<LabelDef> Labels; ///< Label defs used by the guard.
+};
+
+/// Structural well-formedness of an optimization (checked before both
+/// execution and soundness checking):
+/// * the witness's state selectors match the direction;
+/// * free variables of ψ2 are bound by ψ1 (forward/backward guards
+///   evaluate ψ2 pointwise under the θ produced at the enabling
+///   statement plus — for rewrites — the match of s);
+/// * every pattern variable of s' is bound by ψ1 or s;
+/// * s and s' are single non-branch-shape-changing statements as far as
+///   the CFG requires (branches may only rewrite to branches with the
+///   same shape of targets, returns to returns — the paper's app()
+///   replaces one node's statement and must preserve index structure).
+/// Returns an error message, or nullopt when well-formed.
+std::optional<std::string> validateOptimization(const Optimization &O);
+std::optional<std::string> validateAnalysis(const PureAnalysis &A);
+
+} // namespace cobalt
+
+#endif // COBALT_CORE_OPTIMIZATION_H

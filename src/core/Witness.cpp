@@ -1,0 +1,291 @@
+//===- Witness.cpp --------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Witness.h"
+
+#include "core/Match.h"
+#include "ir/Printer.h"
+
+#include <cassert>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+static const char *stateName(StateSel S) {
+  switch (S) {
+  case StateSel::WS_Cur:
+    return "eta";
+  case StateSel::WS_Old:
+    return "eta_old";
+  case StateSel::WS_New:
+    return "eta_new";
+  }
+  return "?";
+}
+
+std::string WTerm::str() const {
+  return std::string(stateName(State)) + "(" + ir::toString(E) + ")";
+}
+
+std::string Witness::str() const {
+  switch (K) {
+  case Kind::WK_True:
+    return "true";
+  case Kind::WK_Not:
+    return "!(" + Kids[0]->str() + ")";
+  case Kind::WK_And:
+    return "(" + Kids[0]->str() + " && " + Kids[1]->str() + ")";
+  case Kind::WK_Or:
+    return "(" + Kids[0]->str() + " || " + Kids[1]->str() + ")";
+  case Kind::WK_Eq:
+    return LhsT.str() + " = " + RhsT.str();
+  case Kind::WK_EqUpTo:
+    return "eta_old/" + ir::toString(X) + " = eta_new/" + ir::toString(X);
+  case Kind::WK_StateEq:
+    return "eta_old = eta_new";
+  case Kind::WK_NotPointedTo:
+    return "notPointedTo(" + ir::toString(X) + ", " + stateName(State) + ")";
+  }
+  return "<invalid>";
+}
+
+static WitnessPtr make(Witness W) {
+  return std::make_shared<const Witness>(std::move(W));
+}
+
+WitnessPtr cobalt::wTrue() {
+  Witness W;
+  W.K = Witness::Kind::WK_True;
+  return make(std::move(W));
+}
+
+WitnessPtr cobalt::wNot(WitnessPtr Inner) {
+  Witness W;
+  W.K = Witness::Kind::WK_Not;
+  W.Kids.push_back(std::move(Inner));
+  return make(std::move(W));
+}
+
+WitnessPtr cobalt::wAnd(WitnessPtr A, WitnessPtr B) {
+  Witness W;
+  W.K = Witness::Kind::WK_And;
+  W.Kids.push_back(std::move(A));
+  W.Kids.push_back(std::move(B));
+  return make(std::move(W));
+}
+
+WitnessPtr cobalt::wOr(WitnessPtr A, WitnessPtr B) {
+  Witness W;
+  W.K = Witness::Kind::WK_Or;
+  W.Kids.push_back(std::move(A));
+  W.Kids.push_back(std::move(B));
+  return make(std::move(W));
+}
+
+WitnessPtr cobalt::wEq(WTerm A, WTerm B) {
+  Witness W;
+  W.K = Witness::Kind::WK_Eq;
+  W.LhsT = std::move(A);
+  W.RhsT = std::move(B);
+  return make(std::move(W));
+}
+
+WitnessPtr cobalt::wEqUpTo(Var X) {
+  Witness W;
+  W.K = Witness::Kind::WK_EqUpTo;
+  W.X = std::move(X);
+  return make(std::move(W));
+}
+
+WitnessPtr cobalt::wStateEq() {
+  Witness W;
+  W.K = Witness::Kind::WK_StateEq;
+  return make(std::move(W));
+}
+
+WitnessPtr cobalt::wNotPointedTo(Var X, StateSel State) {
+  Witness W;
+  W.K = Witness::Kind::WK_NotPointedTo;
+  W.X = std::move(X);
+  W.State = State;
+  return make(std::move(W));
+}
+
+//===----------------------------------------------------------------------===//
+// Direction classification.
+//===----------------------------------------------------------------------===//
+
+static bool statesWithin(const Witness &W, bool AllowCur, bool AllowOldNew) {
+  switch (W.K) {
+  case Witness::Kind::WK_True:
+    return true;
+  case Witness::Kind::WK_Not:
+  case Witness::Kind::WK_And:
+  case Witness::Kind::WK_Or: {
+    for (const WitnessPtr &Kid : W.Kids)
+      if (!statesWithin(*Kid, AllowCur, AllowOldNew))
+        return false;
+    return true;
+  }
+  case Witness::Kind::WK_Eq: {
+    auto Ok = [&](StateSel S) {
+      return S == StateSel::WS_Cur ? AllowCur : AllowOldNew;
+    };
+    return Ok(W.LhsT.State) && Ok(W.RhsT.State);
+  }
+  case Witness::Kind::WK_EqUpTo:
+  case Witness::Kind::WK_StateEq:
+    return AllowOldNew;
+  case Witness::Kind::WK_NotPointedTo:
+    return W.State == StateSel::WS_Cur ? AllowCur : AllowOldNew;
+  }
+  return false;
+}
+
+bool cobalt::isForwardWitness(const Witness &W) {
+  return statesWithin(W, /*AllowCur=*/true, /*AllowOldNew=*/false);
+}
+
+bool cobalt::isBackwardWitness(const Witness &W) {
+  return statesWithin(W, /*AllowCur=*/false, /*AllowOldNew=*/true);
+}
+
+//===----------------------------------------------------------------------===//
+// Concrete evaluation (dynamic witness validation).
+//===----------------------------------------------------------------------===//
+
+static const ExecState *selectState(StateSel S, const ExecState *Cur,
+                                    const ExecState *Old,
+                                    const ExecState *New) {
+  switch (S) {
+  case StateSel::WS_Cur:
+    return Cur;
+  case StateSel::WS_Old:
+    return Old;
+  case StateSel::WS_New:
+    return New;
+  }
+  return nullptr;
+}
+
+static std::optional<Value> evalWTerm(const WTerm &T,
+                                      const Substitution &Theta,
+                                      const ExecState *Cur,
+                                      const ExecState *Old,
+                                      const ExecState *New) {
+  auto Ground = applySubstExpr(T.E, Theta);
+  if (!Ground)
+    return std::nullopt;
+  const ExecState *St = selectState(T.State, Cur, Old, New);
+  if (!St)
+    return std::nullopt;
+  return evalExprIn(*St, *Ground);
+}
+
+std::optional<bool> cobalt::evalWitness(const Witness &W,
+                                        const Substitution &Theta,
+                                        const ExecState *Cur,
+                                        const ExecState *Old,
+                                        const ExecState *New) {
+  switch (W.K) {
+  case Witness::Kind::WK_True:
+    return true;
+  case Witness::Kind::WK_Not: {
+    auto R = evalWitness(*W.Kids[0], Theta, Cur, Old, New);
+    if (!R)
+      return std::nullopt;
+    return !*R;
+  }
+  case Witness::Kind::WK_And: {
+    auto A = evalWitness(*W.Kids[0], Theta, Cur, Old, New);
+    auto B = evalWitness(*W.Kids[1], Theta, Cur, Old, New);
+    if (A && !*A)
+      return false;
+    if (B && !*B)
+      return false;
+    if (!A || !B)
+      return std::nullopt;
+    return true;
+  }
+  case Witness::Kind::WK_Or: {
+    auto A = evalWitness(*W.Kids[0], Theta, Cur, Old, New);
+    auto B = evalWitness(*W.Kids[1], Theta, Cur, Old, New);
+    if (A && *A)
+      return true;
+    if (B && *B)
+      return true;
+    if (!A || !B)
+      return std::nullopt;
+    return false;
+  }
+  case Witness::Kind::WK_Eq: {
+    auto A = evalWTerm(W.LhsT, Theta, Cur, Old, New);
+    auto B = evalWTerm(W.RhsT, Theta, Cur, Old, New);
+    if (!A || !B)
+      return std::nullopt;
+    return *A == *B;
+  }
+  case Witness::Kind::WK_EqUpTo: {
+    if (!Old || !New)
+      return std::nullopt;
+    // Instantiate X and find its location.
+    Var GroundX = W.X;
+    if (GroundX.IsMeta) {
+      const Binding *B = Theta.lookup(GroundX.Name);
+      if (!B || !B->isVar())
+        return std::nullopt;
+      GroundX = Var::concrete(B->asVar());
+    }
+    auto OldLoc = Old->Env.find(GroundX.Name);
+    auto NewLoc = New->Env.find(GroundX.Name);
+    if (OldLoc == Old->Env.end() || NewLoc == New->Env.end())
+      return std::nullopt;
+    if (Old->Index != New->Index || Old->Env != New->Env ||
+        Old->NextLoc != New->NextLoc || OldLoc->second != NewLoc->second)
+      return false;
+    // Stores equal at every allocated location except X's.
+    for (const auto &[L, V] : Old->Store) {
+      if (L == OldLoc->second)
+        continue;
+      auto It = New->Store.find(L);
+      if (It == New->Store.end() || !(It->second == V))
+        return false;
+    }
+    for (const auto &[L, V] : New->Store)
+      if (L != NewLoc->second && !Old->Store.count(L))
+        return false;
+    return true;
+  }
+  case Witness::Kind::WK_StateEq: {
+    if (!Old || !New)
+      return std::nullopt;
+    return Old->Index == New->Index && Old->Env == New->Env &&
+           Old->NextLoc == New->NextLoc && Old->Store == New->Store;
+  }
+  case Witness::Kind::WK_NotPointedTo: {
+    const ExecState *St = selectState(W.State, Cur, Old, New);
+    if (!St)
+      return std::nullopt;
+    Var GroundX = W.X;
+    if (GroundX.IsMeta) {
+      const Binding *B = Theta.lookup(GroundX.Name);
+      if (!B || !B->isVar())
+        return std::nullopt;
+      GroundX = Var::concrete(B->asVar());
+    }
+    auto It = St->Env.find(GroundX.Name);
+    if (It == St->Env.end())
+      return std::nullopt;
+    for (const auto &[L, V] : St->Store) {
+      (void)L;
+      if (V.isLoc() && V.asLoc() == It->second)
+        return false;
+    }
+    return true;
+  }
+  }
+  return std::nullopt;
+}

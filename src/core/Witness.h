@@ -1,0 +1,111 @@
+//===- Witness.h - The witness predicate language ---------------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Witnesses are the optimization writer's "key insight" (paper §2.1.2):
+/// first-order predicates over execution states that the checker proves
+/// established / preserved / sufficient (obligations F1–F3, B1–B3). A
+/// forward witness P(η) speaks about one state; a backward witness
+/// P(η_old, η_new) relates corresponding states of the original and
+/// transformed programs.
+///
+/// The language provides the primitives the paper's optimizations use:
+///
+/// * eval(state, e) — the value of extended-IL expression e in a state
+///   (η(Y), η(E), η(*P), and constants C);
+/// * equality between two such value terms;
+/// * η_old/X = η_new/X — "equal up to X" (backward witnesses, §2.2);
+/// * notPointedTo(X, η) — no store cell holds a pointer to X (§2.4);
+/// * boolean combinations.
+///
+/// Witnesses never affect an optimization's dynamic semantics. They are
+/// consumed by the checker (lowered to Z3 terms) and by the dynamic
+/// witness validator (evaluated concretely over interpreter states in
+/// property tests — footnote 1 of the paper observes that a wrong witness
+/// can only cause a proof to fail, never unsoundness, and the validator
+/// exercises exactly that contract).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_CORE_WITNESS_H
+#define COBALT_CORE_WITNESS_H
+
+#include "core/Substitution.h"
+#include "ir/Ast.h"
+#include "ir/Interp.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cobalt {
+
+/// Which execution state a value term reads. Forward witnesses use
+/// WS_Cur; backward witnesses use WS_Old / WS_New.
+enum class StateSel { WS_Cur, WS_Old, WS_New };
+
+/// A value term: the denotation of an extended-IL expression in one of
+/// the witness's states. Constants are state-independent.
+struct WTerm {
+  StateSel State = StateSel::WS_Cur;
+  ir::Expr E;
+
+  std::string str() const;
+};
+
+struct Witness;
+using WitnessPtr = std::shared_ptr<const Witness>;
+
+struct Witness {
+  enum class Kind {
+    WK_True,
+    WK_Not,
+    WK_And,
+    WK_Or,
+    WK_Eq,           ///< WTerm = WTerm.
+    WK_EqUpTo,       ///< η_old and η_new identical except X's cell (§2.2);
+                     ///< includes "X is in scope", without which the
+                     ///< exempted cell would be meaningless.
+    WK_StateEq,      ///< η_old = η_new (unconditional backward rewrites).
+    WK_NotPointedTo, ///< No store cell of the state holds &X (§2.4).
+  };
+  Kind K;
+
+  std::vector<WitnessPtr> Kids; ///< WK_Not: 1; WK_And/WK_Or: 2.
+  WTerm LhsT, RhsT;             ///< WK_Eq.
+  ir::Var X;                    ///< WK_EqUpTo / WK_NotPointedTo.
+  StateSel State = StateSel::WS_Cur; ///< WK_NotPointedTo.
+
+  std::string str() const;
+};
+
+WitnessPtr wTrue();
+WitnessPtr wNot(WitnessPtr W);
+WitnessPtr wAnd(WitnessPtr A, WitnessPtr B);
+WitnessPtr wOr(WitnessPtr A, WitnessPtr B);
+WitnessPtr wEq(WTerm A, WTerm B);
+WitnessPtr wEqUpTo(ir::Var X);
+WitnessPtr wStateEq();
+WitnessPtr wNotPointedTo(ir::Var X, StateSel State = StateSel::WS_Cur);
+
+/// True when the witness only mentions WS_Cur (usable as a forward
+/// witness) — respectively only WS_Old/WS_New and EqUpTo (backward).
+bool isForwardWitness(const Witness &W);
+bool isBackwardWitness(const Witness &W);
+
+/// Concrete evaluation for the dynamic witness validator. \p Cur / \p Old
+/// / \p New supply the states the witness's terms may select (null when
+/// not applicable). Returns nullopt when a term's expression is stuck in
+/// its state or a pattern variable is unbound.
+std::optional<bool> evalWitness(const Witness &W, const Substitution &Theta,
+                                const ir::ExecState *Cur,
+                                const ir::ExecState *Old,
+                                const ir::ExecState *New);
+
+} // namespace cobalt
+
+#endif // COBALT_CORE_WITNESS_H

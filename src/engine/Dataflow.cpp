@@ -1,0 +1,201 @@
+//===- Dataflow.cpp -------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Dataflow.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace cobalt;
+using namespace cobalt::engine;
+using namespace cobalt::ir;
+
+namespace {
+
+/// Direction-abstracted view of the CFG: "pred"/"succ" follow the guard's
+/// flow direction, and "roots" are the nodes whose IN fact is empty by
+/// definition (the entry for forward guards — no path has a ψ1 node
+/// before the entry; the exits for backward guards).
+struct DirectedView {
+  const Cfg &G;
+  Direction Dir;
+
+  const std::vector<int> &flowPreds(int I) const {
+    return Dir == Direction::D_Forward ? G.preds(I) : G.succs(I);
+  }
+  const std::vector<int> &flowSuccs(int I) const {
+    return Dir == Direction::D_Forward ? G.succs(I) : G.preds(I);
+  }
+  bool isRoot(int I) const {
+    return Dir == Direction::D_Forward ? I == G.entry() : G.isExit(I);
+  }
+
+  /// Nodes that participate: reachable along the flow direction from a
+  /// root (others have no constraining paths; the engine skips them).
+  std::vector<bool> liveNodes() const {
+    std::vector<bool> Live(G.size(), false);
+    std::vector<int> Work;
+    for (int I = 0; I < G.size(); ++I)
+      if (isRoot(I)) {
+        Live[I] = true;
+        Work.push_back(I);
+      }
+    while (!Work.empty()) {
+      int I = Work.back();
+      Work.pop_back();
+      for (int T : flowSuccs(I))
+        if (!Live[T]) {
+          Live[T] = true;
+          Work.push_back(T);
+        }
+    }
+    return Live;
+  }
+};
+
+} // namespace
+
+GuardSolution engine::solveGuard(Direction Dir, const Guard &Gd,
+                                 const Cfg &G,
+                                 const LabelRegistry &Registry,
+                                 const Labeling *AnalysisLabeling) {
+  const Procedure &P = G.proc();
+  int N = G.size();
+  DirectedView View{G, Dir};
+  std::vector<bool> Live = View.liveNodes();
+
+  Universe Univ = buildUniverse(P);
+  auto makeCtx = [&](int I) {
+    return NodeContext{&P, I, &Registry, AnalysisLabeling, &Univ};
+  };
+
+  // GEN(n): substitutions making ψ1 true at n. U = ∪ GEN is the finite
+  // universe of facts; OUT is initialized to U (optimistic greatest fixed
+  // point for the ∩ meet).
+  std::vector<std::set<Substitution>> Gen(N);
+  std::set<Substitution> U;
+  for (int I = 0; I < N; ++I) {
+    if (!Live[I])
+      continue;
+    for (Substitution &S : satisfyFormula(*Gd.Psi1, makeCtx(I), {})) {
+      U.insert(S);
+      Gen[I].insert(std::move(S));
+    }
+  }
+
+  // ψ2 filter, memoized per (node, θ restricted to ψ2's free variables):
+  // facts differing only in variables ψ2 does not mention share one
+  // evaluation, which collapses the per-iteration cost from
+  // O(nodes × facts) formula walks to O(nodes × distinct projections).
+  std::vector<std::pair<std::string, MetaKind>> Psi2Frees;
+  collectFreeMetas(*Gd.Psi2, Psi2Frees);
+  std::vector<std::map<std::string, bool>> Psi2Cache(N);
+  auto survivesPsi2 = [&](int I, const Substitution &Theta) {
+    std::string Key;
+    for (const auto &[Name, Kind] : Psi2Frees) {
+      (void)Kind;
+      const Binding *B = Theta.lookup(Name);
+      Key += B ? B->str() : "?";
+      Key += '\x1f';
+    }
+    auto It = Psi2Cache[I].find(Key);
+    if (It != Psi2Cache[I].end())
+      return It->second;
+    auto R = evalFormula(*Gd.Psi2, makeCtx(I), Theta);
+    bool Ok = R.has_value() && *R; // undeterminable => conservatively drop
+    Psi2Cache[I].emplace(std::move(Key), Ok);
+    return Ok;
+  };
+
+  GuardSolution Sol;
+  Sol.AtNode.assign(N, {});
+  std::vector<std::set<Substitution>> Out(N);
+  for (int I = 0; I < N; ++I)
+    if (Live[I])
+      Out[I] = U;
+
+  // Evaluation order: reverse post-order over the flow direction.
+  // Round-robin sweeps in RPO converge in O(loop-nesting-depth) passes
+  // for reducible CFGs (a FIFO worklist revisits nodes an order of
+  // magnitude more often on loop-heavy code).
+  std::vector<int> Rpo;
+  {
+    std::vector<int> State(N, 0); // 0 = unvisited, 1 = open, 2 = done
+    std::vector<std::pair<int, size_t>> Stack;
+    for (int R = 0; R < N; ++R) {
+      if (!Live[R] || !View.isRoot(R) || State[R])
+        continue;
+      Stack.emplace_back(R, 0);
+      State[R] = 1;
+      while (!Stack.empty()) {
+        auto &[I, Next] = Stack.back();
+        const std::vector<int> &Succs = View.flowSuccs(I);
+        bool Descended = false;
+        while (Next < Succs.size()) {
+          int S = Succs[Next++];
+          if (Live[S] && State[S] == 0) {
+            State[S] = 1;
+            Stack.emplace_back(S, 0);
+            Descended = true;
+            break;
+          }
+        }
+        if (Descended)
+          continue;
+        State[I] = 2;
+        Rpo.push_back(I);
+        Stack.pop_back();
+      }
+    }
+    std::reverse(Rpo.begin(), Rpo.end());
+  }
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int I : Rpo) {
+      ++Sol.Iterations;
+
+      // IN = ∩ over flow-predecessors' OUT; roots have IN = ∅.
+      std::set<Substitution> In;
+      if (!View.isRoot(I)) {
+        bool First = true;
+        for (int Pd : View.flowPreds(I)) {
+          if (!Live[Pd])
+            continue; // no constraining path through a dead node
+          if (First) {
+            In = Out[Pd];
+            First = false;
+          } else {
+            std::set<Substitution> Tmp;
+            std::set_intersection(In.begin(), In.end(), Out[Pd].begin(),
+                                  Out[Pd].end(),
+                                  std::inserter(Tmp, Tmp.begin()));
+            In = std::move(Tmp);
+          }
+          if (In.empty())
+            break;
+        }
+        // A live non-root node always has at least one live flow-pred
+        // (it was reached from a root), so First is false here.
+      }
+      Sol.AtNode[I] = In;
+
+      // OUT = {θ ∈ IN : ψ2 holds} ∪ GEN.
+      std::set<Substitution> NewOut = Gen[I];
+      for (const Substitution &Theta : In)
+        if (survivesPsi2(I, Theta))
+          NewOut.insert(Theta);
+
+      if (NewOut != Out[I]) {
+        Out[I] = std::move(NewOut);
+        Changed = true;
+      }
+    }
+  }
+
+  return Sol;
+}

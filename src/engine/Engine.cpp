@@ -1,0 +1,125 @@
+//===- Engine.cpp ---------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include "core/Match.h"
+#include "ir/Cfg.h"
+
+#include <cassert>
+#include <set>
+
+using namespace cobalt;
+using namespace cobalt::engine;
+using namespace cobalt::ir;
+
+std::vector<MatchSite> engine::computeDelta(const TransformationPattern &Pat,
+                                            const Procedure &P,
+                                            const LabelRegistry &Registry,
+                                            const Labeling *AnalysisLabeling,
+                                            RunStats *Stats) {
+  Cfg G(P);
+  GuardSolution Sol =
+      solveGuard(Pat.Dir, Pat.G, G, Registry, AnalysisLabeling);
+
+  std::vector<MatchSite> Delta;
+  for (int I = 0; I < P.size(); ++I) {
+    std::set<Substitution> Seen;
+    for (const Substitution &Theta : Sol.AtNode[I]) {
+      Substitution Extended = Theta;
+      if (!matchStmt(Pat.From, P.stmtAt(I), Extended))
+        continue;
+      if (Seen.insert(Extended).second)
+        Delta.push_back({I, Extended});
+    }
+  }
+  if (Stats) {
+    Stats->DeltaSize = static_cast<unsigned>(Delta.size());
+    Stats->FixpointIters = Sol.Iterations;
+  }
+  return Delta;
+}
+
+unsigned engine::applySites(const Stmt &To, Procedure &P,
+                            const std::vector<MatchSite> &Sites) {
+  std::set<int> Rewritten;
+  unsigned Count = 0;
+  for (const MatchSite &Site : Sites) {
+    assert(P.isValidIndex(Site.Index) && "transformation site out of range");
+    if (!Rewritten.insert(Site.Index).second)
+      continue; // footnote 4: one winner per index
+    auto NewStmt = applySubst(To, Site.Theta);
+    if (!NewStmt)
+      continue; // uninstantiable site (malformed choose output)
+    if (*NewStmt == P.Stmts[Site.Index])
+      continue; // already in the target form; not a change
+    P.Stmts[Site.Index] = std::move(*NewStmt);
+    ++Count;
+  }
+  return Count;
+}
+
+RunStats engine::runOptimization(const Optimization &O, Procedure &P,
+                                 const LabelRegistry &Registry,
+                                 const Labeling *AnalysisLabeling) {
+  RunStats Stats;
+  std::vector<MatchSite> Delta =
+      computeDelta(O.Pat, P, Registry, AnalysisLabeling, &Stats);
+
+  // choose(Δ, p) ∩ Δ — the intersection guards against a profitability
+  // heuristic inventing sites, which would break the soundness argument
+  // (Definition 2 takes the intersection for exactly this reason).
+  std::vector<MatchSite> Chosen = O.Choose(Delta, P);
+  std::set<MatchSite> Legal(Delta.begin(), Delta.end());
+  std::vector<MatchSite> ToApply;
+  for (MatchSite &Site : Chosen)
+    if (Legal.count(Site))
+      ToApply.push_back(std::move(Site));
+
+  Stats.AppliedCount = applySites(O.Pat.To, P, ToApply);
+  return Stats;
+}
+
+void engine::runPureAnalysis(const PureAnalysis &A, const Procedure &P,
+                             const LabelRegistry &Registry, Labeling &InOut,
+                             RunStats *Stats) {
+  if (InOut.empty())
+    InOut.resize(P.size());
+  assert(InOut.size() == static_cast<size_t>(P.size()) &&
+         "labeling sized for a different procedure");
+
+  Cfg G(P);
+  // The analysis may consult labels produced by earlier analyses: pass
+  // the current labeling while solving (forward analyses compose with
+  // forward analyses; see §4.1).
+  GuardSolution Sol =
+      solveGuard(Direction::D_Forward, A.G, G, Registry, &InOut);
+
+  unsigned Added = 0;
+  Universe Univ = buildUniverse(P);
+  for (int I = 0; I < P.size(); ++I) {
+    NodeContext Ctx{&P, I, &Registry, &InOut, &Univ};
+    for (const Substitution &Theta : Sol.AtNode[I]) {
+      GroundLabel L;
+      L.Name = A.LabelName;
+      bool Ok = true;
+      for (const Term &T : A.LabelArgs) {
+        auto B = termToBinding(T, Ctx, Theta);
+        if (!B) {
+          Ok = false;
+          break;
+        }
+        L.Args.push_back(std::move(*B));
+      }
+      if (Ok && InOut[I].insert(std::move(L)).second)
+        ++Added;
+    }
+  }
+  if (Stats) {
+    Stats->DeltaSize = Added;
+    Stats->FixpointIters = Sol.Iterations;
+  }
+}

@@ -1,0 +1,144 @@
+//===- PassManager.cpp ----------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/PassManager.h"
+
+#include <cassert>
+
+using namespace cobalt;
+using namespace cobalt::engine;
+using namespace cobalt::ir;
+
+void PassManager::registerLabels(const std::vector<LabelDef> &Labels) {
+  for (const LabelDef &Def : Labels) {
+    // Shared label library: re-registration of an identical name is
+    // expected when several passes carry the same definitions.
+    if (!Registry.findPredicate(Def.Name))
+      Registry.define(Def);
+  }
+}
+
+void PassManager::addAnalysis(PureAnalysis A) {
+  assert(!validateAnalysis(A) && "malformed analysis");
+  registerLabels(A.Labels);
+  if (!Registry.findPredicate(A.LabelName) &&
+      !Registry.isAnalysisLabel(A.LabelName))
+    Registry.declareAnalysisLabel(A.LabelName);
+  Analyses.push_back(std::move(A));
+  Pipeline.push_back({/*IsAnalysis=*/true, Analyses.size() - 1});
+}
+
+void PassManager::addOptimization(Optimization O) {
+  assert(!validateOptimization(O) && "malformed optimization");
+  registerLabels(O.Labels);
+  Optimizations.push_back(std::move(O));
+  Pipeline.push_back({/*IsAnalysis=*/false, Optimizations.size() - 1});
+}
+
+void PassManager::defineLabel(const LabelDef &Def) {
+  if (!Registry.findPredicate(Def.Name))
+    Registry.define(Def);
+}
+
+const Labeling *PassManager::labelingFor(const std::string &ProcName) const {
+  auto It = LastLabelings.find(ProcName);
+  return It == LastLabelings.end() ? nullptr : &It->second;
+}
+
+std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
+                                               Program &Prog) {
+  std::vector<PassReport> Reports;
+  LastLabelings.clear();
+
+  for (Procedure &P : Prog.Procs) {
+    Labeling &Labels = LastLabelings[P.Name];
+    Labels.assign(P.size(), {});
+    bool LabelsValid = true;
+
+    for (const Pass &Ps : ToRun) {
+      PassReport Report;
+      Report.ProcName = P.Name;
+
+      if (Ps.IsAnalysis) {
+        const PureAnalysis &A = Analyses[Ps.Index];
+        Report.PassName = A.Name;
+        if (!LabelsValid) {
+          // A backward optimization ran since the labels were computed;
+          // §4.1 forbids reusing them. Recompute from scratch by
+          // replaying all earlier analyses.
+          Labels.assign(P.size(), {});
+          for (const Pass &Prev : ToRun) {
+            if (&Prev == &Ps)
+              break;
+            if (Prev.IsAnalysis)
+              runPureAnalysis(Analyses[Prev.Index], P, Registry, Labels);
+          }
+          LabelsValid = true;
+        }
+        RunStats Stats;
+        runPureAnalysis(A, P, Registry, Labels, &Stats);
+        Report.DeltaSize = Stats.DeltaSize;
+        Report.FixpointIters = Stats.FixpointIters;
+      } else {
+        const Optimization &O = Optimizations[Ps.Index];
+        Report.PassName = O.Name;
+        if (!LabelsValid) {
+          Labels.assign(P.size(), {});
+          for (const Pass &Prev : ToRun) {
+            if (&Prev == &Ps)
+              break;
+            if (Prev.IsAnalysis)
+              runPureAnalysis(Analyses[Prev.Index], P, Registry, Labels);
+          }
+          LabelsValid = true;
+        }
+        // Forward analyses may feed forward optimizations (§4.1); a
+        // backward optimization must not consume them, so it runs with
+        // no labeling and invalidates it afterwards if it rewrote
+        // anything.
+        bool IsBackward = O.Pat.Dir == Direction::D_Backward;
+        RunStats Stats = runOptimization(
+            O, P, Registry, IsBackward ? nullptr : &Labels);
+        Report.DeltaSize = Stats.DeltaSize;
+        Report.AppliedCount = Stats.AppliedCount;
+        Report.FixpointIters = Stats.FixpointIters;
+        if (Stats.AppliedCount > 0)
+          LabelsValid = false; // statements changed: labels are stale
+      }
+      Reports.push_back(std::move(Report));
+    }
+  }
+  return Reports;
+}
+
+std::vector<PassReport> PassManager::run(Program &Prog) {
+  return runPasses(Pipeline, Prog);
+}
+
+unsigned PassManager::runToFixpoint(Program &Prog, unsigned MaxRounds) {
+  unsigned ActiveRounds = 0;
+  for (unsigned Round = 0; Round < MaxRounds; ++Round) {
+    unsigned Applied = 0;
+    for (const PassReport &R : run(Prog))
+      Applied += R.AppliedCount;
+    if (Applied == 0)
+      break;
+    ++ActiveRounds;
+  }
+  return ActiveRounds;
+}
+
+std::vector<PassReport> PassManager::runOne(const std::string &Name,
+                                            Program &Prog) {
+  std::vector<Pass> ToRun;
+  for (const Pass &Ps : Pipeline) {
+    const std::string &PName =
+        Ps.IsAnalysis ? Analyses[Ps.Index].Name : Optimizations[Ps.Index].Name;
+    if (PName == Name)
+      ToRun.push_back(Ps);
+  }
+  return runPasses(ToRun, Prog);
+}

@@ -1,0 +1,94 @@
+//===- PassManager.h - Pipelines of analyses and optimizations -*- C++ -*--===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives Cobalt passes over whole programs: registers the label
+/// definitions each pass relies on, runs pure analyses to build node
+/// labelings, and applies optimizations procedure by procedure. Enforces
+/// the paper's composition restriction (§2.4/§4.1): results of forward
+/// pure analyses may feed forward optimizations and other forward
+/// analyses, but a backward optimization in the pipeline invalidates the
+/// current labeling (labels are recomputed afterwards) — combining a
+/// forward analysis with a backward transformation may interfere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_ENGINE_PASSMANAGER_H
+#define COBALT_ENGINE_PASSMANAGER_H
+
+#include "core/Optimization.h"
+#include "engine/Engine.h"
+#include "ir/Ast.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cobalt {
+namespace engine {
+
+/// Per-pass, per-procedure record of what happened.
+struct PassReport {
+  std::string PassName;
+  std::string ProcName;
+  unsigned DeltaSize = 0;
+  unsigned AppliedCount = 0;
+  unsigned FixpointIters = 0;
+};
+
+class PassManager {
+public:
+  /// Registers a pass. Label definitions carried by the pass are added to
+  /// the shared registry (duplicate definitions of the same label are
+  /// tolerated if they were registered before — passes share mayDef etc.).
+  void addAnalysis(PureAnalysis A);
+  void addOptimization(Optimization O);
+
+  /// Registers a label definition directly (shared label library).
+  void defineLabel(const LabelDef &Def);
+
+  const LabelRegistry &registry() const { return Registry; }
+
+  /// Runs all registered passes, in registration order, over every
+  /// procedure of \p Prog (analyses label; optimizations rewrite).
+  /// Returns one report per (pass, procedure).
+  std::vector<PassReport> run(ir::Program &Prog);
+
+  /// Repeats run() until a whole round applies no rewrite (or \p
+  /// MaxRounds is hit). Soundness is per-round (each round is a
+  /// composition of proven passes); returns the number of rounds that
+  /// performed at least one rewrite.
+  unsigned runToFixpoint(ir::Program &Prog, unsigned MaxRounds = 8);
+
+  /// Runs a single registered optimization by name over the program.
+  std::vector<PassReport> runOne(const std::string &Name,
+                                 ir::Program &Prog);
+
+  /// The labeling computed for a procedure during the last run (empty if
+  /// none). Useful for inspecting analysis results.
+  const Labeling *labelingFor(const std::string &ProcName) const;
+
+private:
+  struct Pass {
+    bool IsAnalysis;
+    size_t Index; ///< Into Analyses or Optimizations.
+  };
+
+  void registerLabels(const std::vector<LabelDef> &Labels);
+  std::vector<PassReport> runPasses(const std::vector<Pass> &ToRun,
+                                    ir::Program &Prog);
+
+  LabelRegistry Registry;
+  std::vector<PureAnalysis> Analyses;
+  std::vector<Optimization> Optimizations;
+  std::vector<Pass> Pipeline;
+  std::map<std::string, Labeling> LastLabelings;
+};
+
+} // namespace engine
+} // namespace cobalt
+
+#endif // COBALT_ENGINE_PASSMANAGER_H

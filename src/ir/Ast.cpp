@@ -1,0 +1,254 @@
+//===- Ast.cpp ------------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ast.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+bool ir::isVar(const BaseExpr &B) { return std::holds_alternative<Var>(B); }
+bool ir::isConst(const BaseExpr &B) {
+  return std::holds_alternative<ConstVal>(B);
+}
+const Var &ir::asVar(const BaseExpr &B) { return std::get<Var>(B); }
+const ConstVal &ir::asConst(const BaseExpr &B) {
+  return std::get<ConstVal>(B);
+}
+
+Expr::Expr(BaseExpr B) {
+  if (isVar(B))
+    V = std::get<Var>(std::move(B));
+  else
+    V = std::get<ConstVal>(std::move(B));
+}
+
+std::optional<BaseExpr> Expr::asBase() const {
+  if (const auto *X = std::get_if<Var>(&V))
+    return BaseExpr(*X);
+  if (const auto *C = std::get_if<ConstVal>(&V))
+    return BaseExpr(*C);
+  return std::nullopt;
+}
+
+bool ir::isVarLhs(const Lhs &L) { return std::holds_alternative<Var>(L); }
+
+const Var &ir::lhsVar(const Lhs &L) {
+  if (const auto *X = std::get_if<Var>(&L))
+    return *X;
+  return std::get<DerefExpr>(L).Ptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Groundness.
+//===----------------------------------------------------------------------===//
+
+static bool isGroundBase(const BaseExpr &B) {
+  if (isVar(B))
+    return !asVar(B).IsMeta;
+  return !asConst(B).IsMeta;
+}
+
+bool ir::isGround(const Expr &E) {
+  if (const auto *X = std::get_if<Var>(&E.V))
+    return !X->IsMeta;
+  if (const auto *C = std::get_if<ConstVal>(&E.V))
+    return !C->IsMeta;
+  if (const auto *D = std::get_if<DerefExpr>(&E.V))
+    return !D->Ptr.IsMeta;
+  if (const auto *A = std::get_if<AddrOfExpr>(&E.V))
+    return !A->Target.IsMeta;
+  if (const auto *O = std::get_if<OpExpr>(&E.V))
+    return O->Op != "_" &&
+           std::all_of(O->Args.begin(), O->Args.end(), isGroundBase);
+  return false; // MetaExpr
+}
+
+bool ir::isGround(const Stmt &S) {
+  if (const auto *D = std::get_if<DeclStmt>(&S.V))
+    return !D->Name.IsMeta;
+  if (S.is<SkipStmt>())
+    return true;
+  if (const auto *A = std::get_if<AssignStmt>(&S.V)) {
+    bool LhsOk = isVarLhs(A->Target) ? !std::get<Var>(A->Target).IsMeta
+                                     : !std::get<DerefExpr>(A->Target).Ptr.IsMeta;
+    return LhsOk && isGround(A->Value);
+  }
+  if (const auto *N = std::get_if<NewStmt>(&S.V))
+    return !N->Target.IsMeta;
+  if (const auto *C = std::get_if<CallStmt>(&S.V))
+    return !C->Target.IsMeta && !C->Callee.IsMeta && isGroundBase(C->Arg);
+  if (const auto *B = std::get_if<BranchStmt>(&S.V))
+    return isGroundBase(B->Cond) && !B->Then.IsMeta && !B->Else.IsMeta;
+  if (const auto *R = std::get_if<ReturnStmt>(&S.V))
+    return !R->Value.IsMeta;
+  return true;
+}
+
+bool ir::isGround(const Procedure &P) {
+  return std::all_of(P.Stmts.begin(), P.Stmts.end(),
+                     [](const Stmt &S) { return isGround(S); });
+}
+
+//===----------------------------------------------------------------------===//
+// Pattern-variable collection.
+//===----------------------------------------------------------------------===//
+
+static void addName(const std::string &Name, std::vector<std::string> &Out) {
+  if (Name.empty())
+    return; // wildcard
+  if (std::find(Out.begin(), Out.end(), Name) == Out.end())
+    Out.push_back(Name);
+}
+
+static void collectMetaBase(const BaseExpr &B, std::vector<std::string> &Out) {
+  if (isVar(B)) {
+    if (asVar(B).IsMeta)
+      addName(asVar(B).Name, Out);
+  } else if (asConst(B).IsMeta) {
+    addName(asConst(B).MetaName, Out);
+  }
+}
+
+void ir::collectMetaNames(const Expr &E, std::vector<std::string> &Out) {
+  if (const auto *X = std::get_if<Var>(&E.V)) {
+    if (X->IsMeta)
+      addName(X->Name, Out);
+  } else if (const auto *C = std::get_if<ConstVal>(&E.V)) {
+    if (C->IsMeta)
+      addName(C->MetaName, Out);
+  } else if (const auto *D = std::get_if<DerefExpr>(&E.V)) {
+    if (D->Ptr.IsMeta)
+      addName(D->Ptr.Name, Out);
+  } else if (const auto *A = std::get_if<AddrOfExpr>(&E.V)) {
+    if (A->Target.IsMeta)
+      addName(A->Target.Name, Out);
+  } else if (const auto *O = std::get_if<OpExpr>(&E.V)) {
+    for (const BaseExpr &B : O->Args)
+      collectMetaBase(B, Out);
+  } else if (const auto *M = std::get_if<MetaExpr>(&E.V)) {
+    addName(M->Name, Out);
+  }
+}
+
+void ir::collectMetaNames(const Stmt &S, std::vector<std::string> &Out) {
+  if (const auto *D = std::get_if<DeclStmt>(&S.V)) {
+    if (D->Name.IsMeta)
+      addName(D->Name.Name, Out);
+  } else if (const auto *A = std::get_if<AssignStmt>(&S.V)) {
+    const Var &L = lhsVar(A->Target);
+    if (L.IsMeta)
+      addName(L.Name, Out);
+    collectMetaNames(A->Value, Out);
+  } else if (const auto *N = std::get_if<NewStmt>(&S.V)) {
+    if (N->Target.IsMeta)
+      addName(N->Target.Name, Out);
+  } else if (const auto *C = std::get_if<CallStmt>(&S.V)) {
+    if (C->Target.IsMeta)
+      addName(C->Target.Name, Out);
+    if (C->Callee.IsMeta)
+      addName(C->Callee.Name, Out);
+    collectMetaBase(C->Arg, Out);
+  } else if (const auto *B = std::get_if<BranchStmt>(&S.V)) {
+    collectMetaBase(B->Cond, Out);
+    if (B->Then.IsMeta)
+      addName(B->Then.MetaName, Out);
+    if (B->Else.IsMeta)
+      addName(B->Else.MetaName, Out);
+  } else if (const auto *R = std::get_if<ReturnStmt>(&S.V)) {
+    if (R->Value.IsMeta)
+      addName(R->Value.Name, Out);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Used-variable collection.
+//===----------------------------------------------------------------------===//
+
+static void collectUsedBase(const BaseExpr &B, std::vector<Var> &Out) {
+  if (isVar(B))
+    Out.push_back(asVar(B));
+}
+
+void ir::collectUsedVars(const Expr &E, std::vector<Var> &Out) {
+  if (const auto *X = std::get_if<Var>(&E.V)) {
+    Out.push_back(*X);
+  } else if (const auto *D = std::get_if<DerefExpr>(&E.V)) {
+    Out.push_back(D->Ptr);
+  } else if (const auto *O = std::get_if<OpExpr>(&E.V)) {
+    for (const BaseExpr &B : O->Args)
+      collectUsedBase(B, Out);
+  }
+  // &x names x but does not read it; constants and MetaExpr read nothing
+  // syntactically.
+}
+
+//===----------------------------------------------------------------------===//
+// Well-formedness.
+//===----------------------------------------------------------------------===//
+
+std::optional<std::string> ir::validateProcedure(const Procedure &P) {
+  if (P.Stmts.empty())
+    return "procedure '" + P.Name + "' has no statements";
+  if (!isGround(P))
+    return "procedure '" + P.Name + "' contains pattern variables";
+  if (!P.Stmts.back().is<ReturnStmt>())
+    return "procedure '" + P.Name + "' does not end with a return";
+
+  std::set<std::string> Declared;
+  for (int I = 0; I < P.size(); ++I) {
+    const Stmt &S = P.stmtAt(I);
+    if (const auto *D = std::get_if<DeclStmt>(&S.V)) {
+      if (D->Name.Name == P.Param)
+        return "procedure '" + P.Name + "' re-declares its parameter '" +
+               D->Name.Name + "'";
+      if (!Declared.insert(D->Name.Name).second)
+        return "procedure '" + P.Name + "' declares '" + D->Name.Name +
+               "' more than once";
+    }
+    if (const auto *B = std::get_if<BranchStmt>(&S.V)) {
+      if (!P.isValidIndex(B->Then.Value) || !P.isValidIndex(B->Else.Value))
+        return "procedure '" + P.Name + "': branch at index " +
+               std::to_string(I) + " targets an out-of-range index";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ir::validateProgram(const Program &Prog) {
+  std::set<std::string> Names;
+  for (const Procedure &P : Prog.Procs) {
+    if (!Names.insert(P.Name).second)
+      return "duplicate procedure '" + P.Name + "'";
+    if (auto Err = validateProcedure(P))
+      return Err;
+  }
+  if (!Prog.findProc("main"))
+    return std::string("program has no 'main' procedure");
+  for (const Procedure &P : Prog.Procs)
+    for (const Stmt &S : P.Stmts)
+      if (const auto *C = std::get_if<CallStmt>(&S.V))
+        if (!Prog.findProc(C->Callee.Name))
+          return "procedure '" + P.Name + "' calls undefined procedure '" +
+                 C->Callee.Name + "'";
+  return std::nullopt;
+}
+
+const Procedure *Program::findProc(const std::string &Name) const {
+  for (const Procedure &P : Procs)
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+Procedure *Program::findProc(const std::string &Name) {
+  for (Procedure &P : Procs)
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}

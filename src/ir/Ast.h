@@ -1,0 +1,325 @@
+//===- Ast.h - The C-like intermediate language of PLDI'03 §3.1 -*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The *extended* intermediate language of the paper: the untyped C-like IL
+/// of §3.1 (unstructured control flow, pointers to locals, dynamic
+/// allocation, recursive procedures) where every grammar production also
+/// admits a *pattern variable* case (§3.2.1). A Procedure whose statements
+/// contain no pattern variables is an ordinary IL procedure; statements with
+/// pattern variables appear in Cobalt rewrite rules and label definitions.
+///
+/// Grammar (paper §3.1, extended per §3.2.1):
+/// \code
+///   π   ::= pr ... pr
+///   pr  ::= p(x) { s; ...; s; }
+///   s   ::= decl x | skip | lhs := e | x := new | x := p(b)
+///         | if b goto ι else ι | return x
+///   e   ::= b | *x | &x | op b ... b
+///   lhs ::= x | *x
+///   b   ::= x | c
+/// \endcode
+///
+/// The AST is a small value-semantic tree (std::variant based): Cobalt
+/// substitutions copy statement fragments freely, and structural equality is
+/// the primitive operation of both the execution engine and the checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_IR_AST_H
+#define COBALT_IR_AST_H
+
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cobalt {
+namespace ir {
+
+//===----------------------------------------------------------------------===//
+// Leaves: variables, constants, procedure names, statement indices.
+//===----------------------------------------------------------------------===//
+
+/// A variable occurrence: either a concrete program variable ("x") or a
+/// pattern variable over Vars ("X" in the paper). A pattern variable with an
+/// empty name is the wildcard "_": it matches any variable and binds nothing.
+struct Var {
+  std::string Name;
+  bool IsMeta = false;
+
+  static Var concrete(std::string Name) { return {std::move(Name), false}; }
+  static Var meta(std::string Name) { return {std::move(Name), true}; }
+  static Var wildcard() { return {"", true}; }
+
+  bool isWildcard() const { return IsMeta && Name.empty(); }
+  friend bool operator==(const Var &A, const Var &B) = default;
+};
+
+/// A procedure-name occurrence; pattern case used by e.g. "X := P(Z)".
+struct ProcName {
+  std::string Name;
+  bool IsMeta = false;
+
+  static ProcName concrete(std::string N) { return {std::move(N), false}; }
+  static ProcName meta(std::string N) { return {std::move(N), true}; }
+
+  bool isWildcard() const { return IsMeta && Name.empty(); }
+  friend bool operator==(const ProcName &A, const ProcName &B) = default;
+};
+
+/// A constant occurrence: a concrete integer literal or a pattern variable
+/// over Consts ("C" in the paper).
+struct ConstVal {
+  int64_t Value = 0;
+  std::string MetaName;
+  bool IsMeta = false;
+
+  static ConstVal concrete(int64_t V) { return {V, "", false}; }
+  static ConstVal meta(std::string N) { return {0, std::move(N), true}; }
+
+  bool isWildcard() const { return IsMeta && MetaName.empty(); }
+  friend bool operator==(const ConstVal &A, const ConstVal &B) = default;
+};
+
+/// A statement index (branch target): a concrete index or a pattern
+/// variable over Indices ("I1"/"I2" in branch-folding rules).
+struct Index {
+  int Value = 0;
+  std::string MetaName;
+  bool IsMeta = false;
+
+  static Index concrete(int V) { return {V, "", false}; }
+  static Index meta(std::string N) { return {0, std::move(N), true}; }
+
+  bool isWildcard() const { return IsMeta && MetaName.empty(); }
+  friend bool operator==(const Index &A, const Index &B) = default;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions.
+//===----------------------------------------------------------------------===//
+
+/// Base expression b ::= x | c.
+using BaseExpr = std::variant<Var, ConstVal>;
+
+bool isVar(const BaseExpr &B);
+bool isConst(const BaseExpr &B);
+const Var &asVar(const BaseExpr &B);
+const ConstVal &asConst(const BaseExpr &B);
+
+/// *x — load through a pointer-valued variable.
+struct DerefExpr {
+  Var Ptr;
+  friend bool operator==(const DerefExpr &, const DerefExpr &) = default;
+};
+
+/// &x — address of a local variable.
+struct AddrOfExpr {
+  Var Target;
+  friend bool operator==(const AddrOfExpr &, const AddrOfExpr &) = default;
+};
+
+/// op b ... b — an n-ary operator (arity >= 1) over base expressions.
+/// Operators are identified by spelling ("+", "<", "neg", ...). In pattern
+/// position, the spelling "_" is the operator wildcard: it matches any
+/// operator of the same arity and binds nothing.
+struct OpExpr {
+  std::string Op;
+  std::vector<BaseExpr> Args;
+  friend bool operator==(const OpExpr &, const OpExpr &) = default;
+};
+
+/// A pattern variable over whole expressions ("E" in the paper). Wildcard
+/// when the name is empty (the paper's "..." in statement patterns).
+struct MetaExpr {
+  std::string Name;
+  bool isWildcard() const { return Name.empty(); }
+  friend bool operator==(const MetaExpr &, const MetaExpr &) = default;
+};
+
+/// e ::= b | *x | &x | op b ... b | E.
+/// The first two alternatives inline BaseExpr's members so a BaseExpr
+/// converts to an Expr without an extra wrapper level.
+using ExprVariant =
+    std::variant<Var, ConstVal, DerefExpr, AddrOfExpr, OpExpr, MetaExpr>;
+
+struct Expr {
+  ExprVariant V;
+
+  Expr() : V(ConstVal::concrete(0)) {}
+  Expr(ExprVariant V) : V(std::move(V)) {}
+  Expr(Var X) : V(std::move(X)) {}
+  Expr(ConstVal C) : V(std::move(C)) {}
+  Expr(DerefExpr D) : V(std::move(D)) {}
+  Expr(AddrOfExpr A) : V(std::move(A)) {}
+  Expr(OpExpr O) : V(std::move(O)) {}
+  Expr(MetaExpr M) : V(std::move(M)) {}
+  Expr(BaseExpr B);
+
+  template <typename T> bool is() const {
+    return std::holds_alternative<T>(V);
+  }
+  template <typename T> const T &as() const { return std::get<T>(V); }
+
+  /// Returns this expression as a BaseExpr if it is one.
+  std::optional<BaseExpr> asBase() const;
+
+  friend bool operator==(const Expr &, const Expr &) = default;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements.
+//===----------------------------------------------------------------------===//
+
+/// lhs ::= x | *x.
+using Lhs = std::variant<Var, DerefExpr>;
+
+bool isVarLhs(const Lhs &L);
+const Var &lhsVar(const Lhs &L); ///< The variable in either alternative.
+
+/// decl x.
+struct DeclStmt {
+  Var Name;
+  friend bool operator==(const DeclStmt &, const DeclStmt &) = default;
+};
+
+/// skip.
+struct SkipStmt {
+  friend bool operator==(const SkipStmt &, const SkipStmt &) = default;
+};
+
+/// lhs := e.
+struct AssignStmt {
+  Lhs Target;
+  Expr Value;
+  friend bool operator==(const AssignStmt &, const AssignStmt &) = default;
+};
+
+/// x := new.
+struct NewStmt {
+  Var Target;
+  friend bool operator==(const NewStmt &, const NewStmt &) = default;
+};
+
+/// x := p(b).
+struct CallStmt {
+  Var Target;
+  ProcName Callee;
+  BaseExpr Arg;
+  friend bool operator==(const CallStmt &, const CallStmt &) = default;
+};
+
+/// if b goto ι else ι.
+struct BranchStmt {
+  BaseExpr Cond;
+  Index Then;
+  Index Else;
+  friend bool operator==(const BranchStmt &, const BranchStmt &) = default;
+};
+
+/// return x.
+struct ReturnStmt {
+  Var Value;
+  friend bool operator==(const ReturnStmt &, const ReturnStmt &) = default;
+};
+
+using StmtVariant = std::variant<DeclStmt, SkipStmt, AssignStmt, NewStmt,
+                                 CallStmt, BranchStmt, ReturnStmt>;
+
+/// One statement. Carries its source location for diagnostics; location is
+/// ignored by structural equality.
+struct Stmt {
+  StmtVariant V;
+  SourceLoc Loc;
+
+  Stmt() : V(SkipStmt{}) {}
+  Stmt(StmtVariant V, SourceLoc Loc = SourceLoc()) : V(std::move(V)), Loc(Loc) {}
+
+  template <typename T> bool is() const {
+    return std::holds_alternative<T>(V);
+  }
+  template <typename T> const T &as() const { return std::get<T>(V); }
+
+  friend bool operator==(const Stmt &A, const Stmt &B) { return A.V == B.V; }
+};
+
+//===----------------------------------------------------------------------===//
+// Procedures and programs.
+//===----------------------------------------------------------------------===//
+
+/// pr ::= p(x) { s; ...; s; }. Statements are indexed consecutively from 0
+/// within the procedure; stmtAt(ι) returns the statement with index ι.
+struct Procedure {
+  std::string Name;
+  std::string Param;
+  std::vector<Stmt> Stmts;
+
+  int size() const { return static_cast<int>(Stmts.size()); }
+  bool isValidIndex(int I) const { return I >= 0 && I < size(); }
+  const Stmt &stmtAt(int I) const {
+    assert(isValidIndex(I) && "statement index out of range");
+    return Stmts[I];
+  }
+
+  friend bool operator==(const Procedure &A, const Procedure &B) {
+    return A.Name == B.Name && A.Param == B.Param && A.Stmts == B.Stmts;
+  }
+};
+
+/// π ::= pr ... pr, with a distinguished procedure named "main".
+struct Program {
+  std::vector<Procedure> Procs;
+
+  /// Returns the procedure with the given name, or nullptr.
+  const Procedure *findProc(const std::string &Name) const;
+  Procedure *findProc(const std::string &Name);
+
+  friend bool operator==(const Program &A, const Program &B) {
+    return A.Procs == B.Procs;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// AST walks shared by the engine, checker, and well-formedness checks.
+//===----------------------------------------------------------------------===//
+
+/// True if the fragment contains no pattern variables (it is a plain
+/// intermediate-language fragment, executable by the interpreter).
+bool isGround(const Expr &E);
+bool isGround(const Stmt &S);
+bool isGround(const Procedure &P);
+
+/// Collects the names of all named pattern variables in the fragment (of
+/// every kind: Var, Const, Expr, ProcName, Index patterns). Wildcards are
+/// not collected. Names are appended in first-occurrence order without
+/// duplicates.
+void collectMetaNames(const Expr &E, std::vector<std::string> &Out);
+void collectMetaNames(const Stmt &S, std::vector<std::string> &Out);
+
+/// Collects the concrete variables syntactically read by an expression /
+/// statement (not including variables whose address is taken, which are
+/// named but not read). Used by label definitions and the generator.
+void collectUsedVars(const Expr &E, std::vector<Var> &Out);
+
+/// Validates an executable procedure: no pattern variables, branch targets
+/// in range, no duplicate decls, final statement is a return (paper §3.1
+/// assumes each procedure ends with a return). Returns an error message or
+/// std::nullopt when well-formed.
+std::optional<std::string> validateProcedure(const Procedure &P);
+
+/// Validates a whole program: each procedure well-formed, names unique,
+/// "main" present, all callees resolve.
+std::optional<std::string> validateProgram(const Program &Prog);
+
+} // namespace ir
+} // namespace cobalt
+
+#endif // COBALT_IR_AST_H

@@ -1,0 +1,54 @@
+//===- Cfg.cpp ------------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Cfg.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+Cfg::Cfg(const Procedure &Proc) : P(&Proc) {
+  int N = Proc.size();
+  assert(N > 0 && "CFG of an empty procedure");
+  Succs.resize(N);
+  Preds.resize(N);
+  Reachable.assign(N, false);
+
+  for (int I = 0; I < N; ++I) {
+    const Stmt &S = Proc.stmtAt(I);
+    if (const auto *B = std::get_if<BranchStmt>(&S.V)) {
+      assert(!B->Then.IsMeta && !B->Else.IsMeta &&
+             "CFG over a pattern fragment");
+      Succs[I].push_back(B->Then.Value);
+      if (B->Else.Value != B->Then.Value)
+        Succs[I].push_back(B->Else.Value);
+    } else if (S.is<ReturnStmt>()) {
+      Exits.push_back(I);
+    } else {
+      assert(I + 1 < N && "fallthrough off the end of the procedure");
+      Succs[I].push_back(I + 1);
+    }
+    for (int T : Succs[I]) {
+      assert(Proc.isValidIndex(T) && "branch target out of range");
+      Preds[T].push_back(I);
+    }
+  }
+
+  // Depth-first reachability from the entry node.
+  std::vector<int> Work = {0};
+  Reachable[0] = true;
+  while (!Work.empty()) {
+    int I = Work.back();
+    Work.pop_back();
+    for (int T : Succs[I])
+      if (!Reachable[T]) {
+        Reachable[T] = true;
+        Work.push_back(T);
+      }
+  }
+}

@@ -1,0 +1,61 @@
+//===- Cfg.h - Control-flow graph over statement indices --------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The control-flow graph of a procedure. Nodes are statement indices
+/// (paper §2.1.3 labels CFG nodes, which are exactly the indexed
+/// statements). Edges: a branch flows to both targets, a return has no
+/// successors, and every other statement falls through to index+1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_IR_CFG_H
+#define COBALT_IR_CFG_H
+
+#include "ir/Ast.h"
+
+#include <vector>
+
+namespace cobalt {
+namespace ir {
+
+/// Immutable successor/predecessor structure for one procedure. The
+/// procedure must stay alive and unmodified for the lifetime of the Cfg;
+/// after a transformation rewrites statements in place (one statement
+/// replaced by one statement, never changing control flow *shape* is NOT
+/// guaranteed — branch folding rewrites targets), rebuild the Cfg.
+class Cfg {
+public:
+  explicit Cfg(const Procedure &P);
+
+  const Procedure &proc() const { return *P; }
+  int size() const { return static_cast<int>(Succs.size()); }
+  int entry() const { return 0; }
+
+  const std::vector<int> &succs(int I) const { return Succs[I]; }
+  const std::vector<int> &preds(int I) const { return Preds[I]; }
+
+  /// True if \p I is reachable from the entry node.
+  bool isReachable(int I) const { return Reachable[I]; }
+
+  /// True if the node is an exit (return statement).
+  bool isExit(int I) const { return P->stmtAt(I).is<ReturnStmt>(); }
+
+  /// All exit-node indices.
+  const std::vector<int> &exits() const { return Exits; }
+
+private:
+  const Procedure *P;
+  std::vector<std::vector<int>> Succs;
+  std::vector<std::vector<int>> Preds;
+  std::vector<bool> Reachable;
+  std::vector<int> Exits;
+};
+
+} // namespace ir
+} // namespace cobalt
+
+#endif // COBALT_IR_CFG_H

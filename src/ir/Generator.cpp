@@ -1,0 +1,253 @@
+//===- Generator.cpp ------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Generator.h"
+
+#include <cassert>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+namespace {
+
+/// Emits one procedure body into a statement vector, fixing branch targets
+/// as it goes (all emitted control flow is structured, so targets are
+/// known once the enclosing construct is complete).
+class ProcBuilder {
+public:
+  ProcBuilder(const GenOptions &Options, std::mt19937_64 &Rng,
+              unsigned NumCallees)
+      : Options(Options), Rng(Rng), NumCallees(NumCallees) {}
+
+  Procedure build(const std::string &Name, bool IsMain);
+
+private:
+  unsigned pick(unsigned Bound) {
+    assert(Bound > 0 && "pick from empty range");
+    return static_cast<unsigned>(Rng() % Bound);
+  }
+  bool chance(unsigned Percent) { return pick(100) < Percent; }
+
+  std::string scalarVar(unsigned I) const { return "v" + std::to_string(I); }
+  Var randomScalar() { return Var::concrete(scalarVar(pick(Options.NumVars))); }
+
+  BaseExpr randomBase() {
+    if (chance(35))
+      return ConstVal::concrete(static_cast<int64_t>(pick(21)) - 10);
+    return randomScalar();
+  }
+
+  Expr randomPureExpr() {
+    unsigned Kind = pick(Options.WithDivision ? 4 : 3);
+    switch (Kind) {
+    case 0:
+      return Expr(randomBase());
+    case 1: {
+      static const char *Arith[] = {"+", "-", "*"};
+      return Expr(OpExpr{Arith[pick(3)], {randomBase(), randomBase()}});
+    }
+    case 2: {
+      static const char *Cmp[] = {"==", "!=", "<", "<=", ">", ">="};
+      return Expr(OpExpr{Cmp[pick(6)], {randomBase(), randomBase()}});
+    }
+    default:
+      return Expr(OpExpr{pick(2) ? "/" : "%", {randomBase(), randomBase()}});
+    }
+  }
+
+  void emitSimpleStmt(std::vector<Stmt> &Out);
+  void emitDiamond(std::vector<Stmt> &Out, unsigned Depth);
+  void emitCountedLoop(std::vector<Stmt> &Out, unsigned Depth);
+  void emitBlock(std::vector<Stmt> &Out, unsigned Budget, unsigned Depth);
+
+  const GenOptions &Options;
+  std::mt19937_64 &Rng;
+  unsigned NumCallees;
+  unsigned NumPtrVars = 0;
+  unsigned NumCounters = 0;
+};
+
+} // namespace
+
+void ProcBuilder::emitSimpleStmt(std::vector<Stmt> &Out) {
+  // Pointer statements are rarer than scalar assignments.
+  if (Options.WithPointers && chance(25)) {
+    std::string P = "p" + std::to_string(pick(std::max(1u, NumPtrVars)));
+    switch (pick(4)) {
+    case 0:
+      Out.push_back(Stmt(AssignStmt{Var::concrete(P),
+                                    Expr(AddrOfExpr{randomScalar()})}));
+      return;
+    case 1:
+      Out.push_back(Stmt(NewStmt{Var::concrete(P)}));
+      return;
+    case 2:
+      Out.push_back(Stmt(AssignStmt{DerefExpr{Var::concrete(P)},
+                                    Expr(randomBase())}));
+      return;
+    default:
+      Out.push_back(Stmt(AssignStmt{randomScalar(),
+                                    Expr(DerefExpr{Var::concrete(P)})}));
+      return;
+    }
+  }
+  if (Options.WithCalls && NumCallees > 0 && chance(10)) {
+    std::string Callee = "helper" + std::to_string(pick(NumCallees));
+    Out.push_back(Stmt(CallStmt{randomScalar(), ProcName::concrete(Callee),
+                                randomBase()}));
+    return;
+  }
+  if (chance(8)) {
+    Out.push_back(Stmt(SkipStmt{}));
+    return;
+  }
+  Out.push_back(Stmt(AssignStmt{randomScalar(), randomPureExpr()}));
+}
+
+void ProcBuilder::emitDiamond(std::vector<Stmt> &Out, unsigned Depth) {
+  // if b goto then else else; <then>; goto join; <else>; join:
+  size_t BranchAt = Out.size();
+  Out.push_back(Stmt(BranchStmt{randomBase(), Index::concrete(0),
+                                Index::concrete(0)}));
+  size_t ThenStart = Out.size();
+  emitBlock(Out, 1 + pick(3), Depth + 1);
+  size_t GotoAt = Out.size();
+  // Unconditional jump simulated as `if 1 goto J else J`.
+  Out.push_back(Stmt(BranchStmt{ConstVal::concrete(1), Index::concrete(0),
+                                Index::concrete(0)}));
+  size_t ElseStart = Out.size();
+  emitBlock(Out, 1 + pick(3), Depth + 1);
+  int Join = static_cast<int>(Out.size());
+
+  auto &Br = std::get<BranchStmt>(Out[BranchAt].V);
+  Br.Then = Index::concrete(static_cast<int>(ThenStart));
+  Br.Else = Index::concrete(static_cast<int>(ElseStart));
+  auto &Jmp = std::get<BranchStmt>(Out[GotoAt].V);
+  Jmp.Then = Index::concrete(Join);
+  Jmp.Else = Index::concrete(Join);
+}
+
+void ProcBuilder::emitCountedLoop(std::vector<Stmt> &Out, unsigned Depth) {
+  // i := 0;
+  // G: g := i < Trip;
+  //    if g goto body else exit;
+  //    <body>; i := i + 1; if 1 goto G else G;
+  // exit:
+  // The guard comparison lives in its own variable because branch
+  // conditions are base expressions in the IL grammar.
+  std::string Counter = "c" + std::to_string(NumCounters++);
+  Var I = Var::concrete(Counter);
+  Var Guard = Var::concrete(Counter + "g");
+  int64_t Trip = 1 + pick(Options.MaxLoopTrip);
+
+  Out.push_back(Stmt(AssignStmt{I, Expr(ConstVal::concrete(0))}));
+  int Head = static_cast<int>(Out.size());
+  Out.push_back(Stmt(AssignStmt{
+      Guard,
+      Expr(OpExpr{"<", {BaseExpr(I), BaseExpr(ConstVal::concrete(Trip))}})}));
+  size_t TestAt = Out.size();
+  Out.push_back(Stmt(BranchStmt{Guard, Index::concrete(0),
+                                Index::concrete(0)}));
+  int BodyStart = static_cast<int>(Out.size());
+  emitBlock(Out, 1 + pick(3), Depth + 1);
+  Out.push_back(Stmt(AssignStmt{
+      I, Expr(OpExpr{"+", {BaseExpr(I), BaseExpr(ConstVal::concrete(1))}})}));
+  Out.push_back(Stmt(BranchStmt{ConstVal::concrete(1), Index::concrete(Head),
+                                Index::concrete(Head)}));
+  int Exit = static_cast<int>(Out.size());
+
+  auto &Test = std::get<BranchStmt>(Out[TestAt].V);
+  Test.Then = Index::concrete(BodyStart);
+  Test.Else = Index::concrete(Exit);
+}
+
+void ProcBuilder::emitBlock(std::vector<Stmt> &Out, unsigned Budget,
+                            unsigned Depth) {
+  for (unsigned I = 0; I < Budget; ++I) {
+    if (Depth < 2 && Options.WithLoops && chance(12)) {
+      emitCountedLoop(Out, Depth);
+      continue;
+    }
+    if (Depth < 3 && Options.WithBranches && chance(18)) {
+      emitDiamond(Out, Depth);
+      continue;
+    }
+    emitSimpleStmt(Out);
+  }
+}
+
+Procedure ProcBuilder::build(const std::string &Name, bool IsMain) {
+  Procedure P;
+  P.Name = Name;
+  P.Param = "arg";
+
+  NumPtrVars = Options.WithPointers ? 2 : 0;
+
+  // Declarations first: scalars, pointer temps, then seed a few scalars
+  // from the parameter so data flows from the input.
+  for (unsigned I = 0; I < Options.NumVars; ++I)
+    P.Stmts.push_back(Stmt(DeclStmt{Var::concrete(scalarVar(I))}));
+  for (unsigned I = 0; I < NumPtrVars; ++I)
+    P.Stmts.push_back(Stmt(DeclStmt{Var::concrete("p" + std::to_string(I))}));
+  // Pointer vars must hold locations before any deref; point them at v0/v1.
+  for (unsigned I = 0; I < NumPtrVars; ++I)
+    P.Stmts.push_back(
+        Stmt(AssignStmt{Var::concrete("p" + std::to_string(I)),
+                        Expr(AddrOfExpr{Var::concrete(scalarVar(I))})}));
+  P.Stmts.push_back(Stmt(AssignStmt{Var::concrete(scalarVar(0)),
+                                    Expr(Var::concrete("arg"))}));
+
+  std::vector<Stmt> Body;
+  emitBlock(Body, Options.NumStmts, 0);
+
+  // Loop counters and guards were invented during emission; declare them
+  // up front (shifting all branch targets by the number of new decls).
+  std::vector<std::string> Extra;
+  for (unsigned I = 0; I < NumCounters; ++I) {
+    Extra.push_back("c" + std::to_string(I));
+    Extra.push_back("c" + std::to_string(I) + "g");
+  }
+  int Shift = static_cast<int>(P.Stmts.size() + Extra.size());
+  for (const std::string &Name2 : Extra)
+    P.Stmts.push_back(Stmt(DeclStmt{Var::concrete(Name2)}));
+  for (Stmt &S : Body) {
+    if (auto *B = std::get_if<BranchStmt>(&S.V)) {
+      B->Then = Index::concrete(B->Then.Value + Shift);
+      B->Else = Index::concrete(B->Else.Value + Shift);
+    }
+    P.Stmts.push_back(std::move(S));
+  }
+
+  // Return scalar v0. With pointers enabled v0 may hold a location at run
+  // time; the differential-testing harness compares whole return values,
+  // and the interpreter's bump allocator is deterministic, so this is
+  // still a meaningful comparison for semantics-preserving rewrites that
+  // do not add or remove allocations. Rewrites that change allocation
+  // counts are exercised by pointer-free configurations.
+  (void)IsMain;
+  P.Stmts.push_back(Stmt(ReturnStmt{Var::concrete(scalarVar(0))}));
+  return P;
+}
+
+Program ir::generateProgram(const GenOptions &Options, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  Program Prog;
+
+  GenOptions HelperOptions = Options;
+  HelperOptions.WithCalls = false; // helpers do not call further
+  HelperOptions.NumStmts = std::max(4u, Options.NumStmts / 4);
+  for (unsigned I = 0; I < Options.NumHelperProcs; ++I) {
+    ProcBuilder B(HelperOptions, Rng, 0);
+    Prog.Procs.push_back(
+        B.build("helper" + std::to_string(I), /*IsMain=*/false));
+  }
+
+  ProcBuilder B(Options, Rng, Options.NumHelperProcs);
+  Prog.Procs.push_back(B.build("main", /*IsMain=*/true));
+
+  assert(!validateProgram(Prog) && "generator produced ill-formed program");
+  return Prog;
+}

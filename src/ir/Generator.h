@@ -1,0 +1,47 @@
+//===- Generator.h - Random well-formed IL programs -------------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seedable generator of well-formed IL programs, used by the
+/// property-based tests (differential semantic testing of optimizations,
+/// noninterference sweeps) and by the engine benchmarks (program-size
+/// scaling). Programs always terminate when loops are enabled: the only
+/// loops emitted are counted loops over fresh counter variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_IR_GENERATOR_H
+#define COBALT_IR_GENERATOR_H
+
+#include "ir/Ast.h"
+
+#include <cstdint>
+#include <random>
+
+namespace cobalt {
+namespace ir {
+
+/// Knobs for program generation.
+struct GenOptions {
+  unsigned NumVars = 5;        ///< Scalar variables per procedure.
+  unsigned NumStmts = 20;      ///< Approximate body length (pre-control-flow).
+  unsigned NumHelperProcs = 0; ///< Callable helper procedures.
+  bool WithPointers = false;   ///< Emit &x, *p loads/stores, new.
+  bool WithLoops = true;       ///< Emit counted loops.
+  bool WithBranches = true;    ///< Emit if/else diamonds.
+  bool WithCalls = false;      ///< Emit calls to helper procedures.
+  bool WithDivision = false;   ///< Emit '/'/'%' (may make runs stuck).
+  unsigned MaxLoopTrip = 6;    ///< Upper bound on loop trip counts.
+};
+
+/// Generates one random program. The same (Options, Seed) pair always
+/// yields the same program.
+Program generateProgram(const GenOptions &Options, uint64_t Seed);
+
+} // namespace ir
+} // namespace cobalt
+
+#endif // COBALT_IR_GENERATOR_H

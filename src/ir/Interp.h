@@ -1,0 +1,182 @@
+//===- Interp.h - Concrete small-step semantics of the IL -------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete operational semantics of the intermediate language
+/// (paper §3.1). A state of execution is a tuple η = (ι, ρ, σ, ξ, M):
+/// statement index, environment (variables -> locations), store
+/// (locations -> values), dynamic call chain, and memory allocator. The
+/// allocator is a bump counter over an unbounded location space.
+///
+/// Run-time errors are modelled through the *absence* of transitions: if
+/// execution would fail (use of an undeclared variable, dereference of a
+/// non-pointer, arithmetic on pointers, division by zero, ...), the state
+/// is *stuck* and step() reports SR_Stuck with a reason. This is exactly
+/// the paper's error model and is what the soundness notion quantifies
+/// over ("whenever main(v1) returns v2 in π, it also does in π'").
+///
+/// Two step relations are exposed, mirroring the paper: step() is →π, and
+/// stepOver() is the intraprocedural ↪π that steps "over" calls, running
+/// the callee to completion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_IR_INTERP_H
+#define COBALT_IR_INTERP_H
+
+#include "ir/Ast.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cobalt {
+namespace ir {
+
+/// A memory location. Locations are opaque to programs (there is no
+/// pointer arithmetic in the IL); the interpreter implements them as
+/// integers handed out by a bump allocator.
+using LocT = int64_t;
+
+/// A run-time value: an integer constant or a location (paper: "values
+/// (constants and locations)").
+struct Value {
+  enum class Kind { VK_Int, VK_Loc };
+  Kind K = Kind::VK_Int;
+  int64_t Raw = 0;
+
+  static Value intV(int64_t V) { return {Kind::VK_Int, V}; }
+  static Value locV(LocT L) { return {Kind::VK_Loc, L}; }
+
+  bool isInt() const { return K == Kind::VK_Int; }
+  bool isLoc() const { return K == Kind::VK_Loc; }
+  int64_t asInt() const {
+    assert(isInt() && "not an integer value");
+    return Raw;
+  }
+  LocT asLoc() const {
+    assert(isLoc() && "not a location value");
+    return Raw;
+  }
+
+  std::string str() const;
+  friend bool operator==(const Value &, const Value &) = default;
+};
+
+/// One suspended caller on the dynamic call chain ξ.
+struct Frame {
+  const Procedure *Proc;
+  std::unordered_map<std::string, LocT> Env;
+  int CallIndex;  ///< Index of the call statement in Proc.
+  Var CallTarget; ///< Variable receiving the callee's return value.
+};
+
+/// The execution state η = (ι, ρ, σ, ξ, M).
+struct ExecState {
+  const Procedure *Proc = nullptr;
+  int Index = 0;
+  std::unordered_map<std::string, LocT> Env;
+  std::unordered_map<LocT, Value> Store;
+  std::vector<Frame> Stack;
+  LocT NextLoc = 1; ///< The allocator M: next fresh location.
+
+  /// Reads the value of variable \p Name, or nullopt if unbound /
+  /// unallocated (a stuck condition for the caller to report).
+  std::optional<Value> readVar(const std::string &Name) const;
+};
+
+/// Outcome of one step.
+enum class StepResult {
+  SR_Ok,       ///< Transitioned to a new state.
+  SR_Returned, ///< main executed return: program terminated.
+  SR_Stuck     ///< No transition exists (run-time error).
+};
+
+/// Outcome of a bounded run.
+struct RunResult {
+  enum class Kind { RK_Returned, RK_Stuck, RK_OutOfFuel };
+  Kind K;
+  Value Result;            ///< Valid when RK_Returned.
+  std::string StuckReason; ///< Valid when RK_Stuck.
+  std::string StuckProc;   ///< Procedure where execution got stuck.
+  int StuckIndex = -1;     ///< Statement index where execution got stuck.
+  uint64_t Steps = 0;      ///< →π steps taken.
+
+  bool returned() const { return K == Kind::RK_Returned; }
+  bool stuck() const { return K == Kind::RK_Stuck; }
+  bool outOfFuel() const { return K == Kind::RK_OutOfFuel; }
+  std::string str() const;
+};
+
+/// Evaluates a base expression / expression / lhs location in a state.
+/// These are the denotations η(·) used throughout the paper; the
+/// interpreter, the witness evaluator, and tests all share them. On
+/// failure (a stuck condition) returns nullopt and, if \p Why is
+/// non-null, stores a human-readable reason.
+std::optional<Value> evalBaseIn(const ExecState &St, const BaseExpr &B,
+                                std::string *Why = nullptr);
+std::optional<Value> evalExprIn(const ExecState &St, const Expr &E,
+                                std::string *Why = nullptr);
+std::optional<LocT> evalLhsLocIn(const ExecState &St, const Lhs &L,
+                                 std::string *Why = nullptr);
+
+/// Evaluates operator \p Op over integer arguments; the single source of
+/// truth for operator semantics, shared by the interpreter, the engine's
+/// `computes` builtin label, and the checker's operator axioms. Returns
+/// nullopt for unknown operators, unsupported arities, and division by
+/// zero (all of which are stuck conditions at run time).
+std::optional<int64_t> evalConstOp(const std::string &Op,
+                                   const std::vector<int64_t> &Args);
+
+/// Executes programs. Construct once per program; states reference the
+/// program's procedures.
+class Interpreter {
+public:
+  explicit Interpreter(const Program &Prog) : Prog(Prog) {}
+
+  /// Builds the initial state of `main(Input)`.
+  ExecState initialState(int64_t Input) const;
+
+  /// The →π relation: performs one step in place. On SR_Stuck the state is
+  /// unchanged and stuckReason() describes the error. On SR_Returned,
+  /// returnValue() holds main's result.
+  StepResult step(ExecState &St);
+
+  /// The ↪π relation: like step(), but a call statement runs the callee
+  /// (and its callees) to completion, bounded by \p Fuel →π steps.
+  /// Returns SR_Stuck with reason "out of fuel" when the bound is hit
+  /// (matching the paper: a non-returning call yields no ↪π transition).
+  StepResult stepOver(ExecState &St, uint64_t Fuel = 1u << 20);
+
+  /// Runs `main(Input)` for at most \p Fuel steps.
+  RunResult run(int64_t Input, uint64_t Fuel = 1u << 20);
+
+  /// Runs and records the (procedure, index) sequence of every →π step
+  /// into \p Trace (initial state included).
+  RunResult runWithTrace(int64_t Input,
+                         std::vector<std::pair<std::string, int>> &Trace,
+                         uint64_t Fuel = 1u << 20);
+
+  const std::string &stuckReason() const { return StuckReason; }
+  Value returnValue() const { return ReturnVal; }
+
+private:
+  std::optional<Value> evalBase(const ExecState &St, const BaseExpr &B);
+  std::optional<Value> evalExpr(const ExecState &St, const Expr &E);
+  std::optional<LocT> evalLhsLoc(const ExecState &St, const Lhs &L);
+  bool stuck(const std::string &Reason);
+
+  const Program &Prog;
+  std::string StuckReason;
+  Value ReturnVal;
+};
+
+} // namespace ir
+} // namespace cobalt
+
+#endif // COBALT_IR_INTERP_H

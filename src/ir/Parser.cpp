@@ -1,0 +1,544 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Printer.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+bool Parser::expectPunct(std::string_view Spelling) {
+  Token Tok = Lex.lex();
+  if (Tok.isPunct(Spelling))
+    return true;
+  Diags.error(Tok.Loc, "expected '" + std::string(Spelling) + "', found '" +
+                           std::string(Tok.Spelling) + "'");
+  return false;
+}
+
+Token Parser::expectIdent(const char *What) {
+  Token Tok = Lex.lex();
+  if (!Tok.is(TokenKind::TK_Ident)) {
+    Diags.error(Tok.Loc, std::string("expected ") + What + ", found '" +
+                             std::string(Tok.Spelling) + "'");
+    Tok.Kind = TokenKind::TK_Error;
+  }
+  return Tok;
+}
+
+/// In pattern mode, upper-case-initial identifiers are pattern variables
+/// (paper convention, §3.2.1).
+static bool isPatternSpelling(std::string_view S) {
+  return !S.empty() && std::isupper(static_cast<unsigned char>(S[0]));
+}
+
+/// True for the spellings that denote Consts pattern variables in
+/// expression positions: "C", "C0", "C1", ...
+static bool isConstPatternSpelling(std::string_view S) {
+  if (S.empty() || S[0] != 'C')
+    return false;
+  for (char Ch : S.substr(1))
+    if (!std::isdigit(static_cast<unsigned char>(Ch)))
+      return false;
+  return true;
+}
+
+/// True for the spellings that denote Exprs pattern variables: "E", "E0"...
+static bool isExprPatternSpelling(std::string_view S) {
+  if (S.empty() || S[0] != 'E')
+    return false;
+  for (char Ch : S.substr(1))
+    if (!std::isdigit(static_cast<unsigned char>(Ch)))
+      return false;
+  return true;
+}
+
+Var Parser::classifyVar(const Token &Tok) {
+  std::string Name(Tok.Spelling);
+  if (PatternMode && isPatternSpelling(Tok.Spelling))
+    return Var::meta(std::move(Name));
+  return Var::concrete(std::move(Name));
+}
+
+BaseExpr Parser::classifyBase(const Token &Tok) {
+  std::string Name(Tok.Spelling);
+  if (PatternMode && isPatternSpelling(Tok.Spelling)) {
+    if (isConstPatternSpelling(Tok.Spelling))
+      return ConstVal::meta(std::move(Name));
+    return Var::meta(std::move(Name));
+  }
+  return Var::concrete(std::move(Name));
+}
+
+std::optional<Var> Parser::parseVarOccurrence() {
+  Token Tok = Lex.lex();
+  if (Tok.is(TokenKind::TK_Ident))
+    return classifyVar(Tok);
+  if (Tok.isPunct("_") || Tok.is(TokenKind::TK_Ellipsis))
+    return Var::wildcard();
+  if (Tok.isPunct("?")) {
+    Token Name = expectIdent("pattern-variable name");
+    if (Name.is(TokenKind::TK_Error))
+      return std::nullopt;
+    return Var::meta(std::string(Name.Spelling));
+  }
+  Diags.error(Tok.Loc, "expected a variable, found '" +
+                           std::string(Tok.Spelling) + "'");
+  return std::nullopt;
+}
+
+std::optional<BaseExpr> Parser::parseBaseExpr() {
+  Token Tok = Lex.lex();
+  if (Tok.is(TokenKind::TK_Int))
+    return BaseExpr(ConstVal::concrete(Tok.IntValue));
+  if (Tok.isPunct("-") && Lex.peek().is(TokenKind::TK_Int)) {
+    Token Num = Lex.lex();
+    return BaseExpr(ConstVal::concrete(-Num.IntValue));
+  }
+  if (Tok.is(TokenKind::TK_Ident))
+    return classifyBase(Tok);
+  if (Tok.isPunct("_") || Tok.is(TokenKind::TK_Ellipsis))
+    return BaseExpr(Var::wildcard());
+  if (Tok.isPunct("?")) {
+    Token Name = expectIdent("pattern-variable name");
+    if (Name.is(TokenKind::TK_Error))
+      return std::nullopt;
+    if (isConstPatternSpelling(Name.Spelling))
+      return BaseExpr(ConstVal::meta(std::string(Name.Spelling)));
+    return BaseExpr(Var::meta(std::string(Name.Spelling)));
+  }
+  Diags.error(Tok.Loc, "expected a variable or constant, found '" +
+                           std::string(Tok.Spelling) + "'");
+  return std::nullopt;
+}
+
+static bool isInfixOpSpelling(std::string_view S) {
+  return S == "+" || S == "-" || S == "*" || S == "/" || S == "%" ||
+         S == "==" || S == "!=" || S == "<" || S == "<=" || S == ">" ||
+         S == ">=";
+}
+
+std::optional<Expr> Parser::parseExprImpl() {
+  const Token &Next = Lex.peek();
+
+  // *x and &x.
+  if (Next.isPunct("*")) {
+    Lex.lex();
+    auto X = parseVarOccurrence();
+    if (!X)
+      return std::nullopt;
+    return Expr(DerefExpr{*X});
+  }
+  if (Next.isPunct("&")) {
+    Lex.lex();
+    auto X = parseVarOccurrence();
+    if (!X)
+      return std::nullopt;
+    return Expr(AddrOfExpr{*X});
+  }
+
+  // Unary operators over a base expression: "! b" and "neg" via "- b"
+  // (disambiguated from negative literals inside parseBaseExpr).
+  if (Next.isPunct("!")) {
+    Lex.lex();
+    auto B = parseBaseExpr();
+    if (!B)
+      return std::nullopt;
+    return Expr(OpExpr{"!", {*B}});
+  }
+
+  // "~b": the unary operator wildcard — any unary operator applied to b
+  // (pattern mode only; the checker and matcher treat the "_" operator
+  // spelling as matching every operator of that arity).
+  if (PatternMode && Next.isPunct("~")) {
+    Lex.lex();
+    auto B = parseBaseExpr();
+    if (!B)
+      return std::nullopt;
+    return Expr(OpExpr{"_", {*B}});
+  }
+
+  // Exprs pattern variables and wildcards.
+  if (PatternMode && Next.is(TokenKind::TK_Ident) &&
+      isExprPatternSpelling(Next.Spelling)) {
+    Token Tok = Lex.lex();
+    return Expr(MetaExpr{std::string(Tok.Spelling)});
+  }
+  if (Next.is(TokenKind::TK_Ellipsis)) {
+    Lex.lex();
+    return Expr(MetaExpr{""});
+  }
+
+  // Base expression, possibly followed by an infix operator. In pattern
+  // mode a lone "_" in operator position is the operator wildcard.
+  auto B1 = parseBaseExpr();
+  if (!B1)
+    return std::nullopt;
+  const Token &After = Lex.peek();
+  bool IsInfix = After.is(TokenKind::TK_Punct) &&
+                 (isInfixOpSpelling(After.Spelling) ||
+                  (PatternMode && After.Spelling == "_"));
+  if (IsInfix) {
+    std::string Op(Lex.lex().Spelling);
+    auto B2 = parseBaseExpr();
+    if (!B2)
+      return std::nullopt;
+    return Expr(OpExpr{std::move(Op), {*B1, *B2}});
+  }
+  return Expr(BaseExpr(*B1));
+}
+
+std::optional<Expr> Parser::parseExpr() { return parseExprImpl(); }
+
+std::optional<Index> Parser::parseBranchTarget() {
+  Token Tok = Lex.lex();
+  if (Tok.is(TokenKind::TK_Int))
+    return Index::concrete(static_cast<int>(Tok.IntValue));
+  if (Tok.isPunct("_"))
+    return Index::meta("");
+  if (Tok.isPunct("?")) {
+    Token Name = expectIdent("pattern-variable name");
+    if (Name.is(TokenKind::TK_Error))
+      return std::nullopt;
+    return Index::meta(std::string(Name.Spelling));
+  }
+  if (Tok.is(TokenKind::TK_Ident)) {
+    if (PatternMode && isPatternSpelling(Tok.Spelling))
+      return Index::meta(std::string(Tok.Spelling));
+    // A label use; record a fixup resolved at end of procedure.
+    Index Placeholder = Index::concrete(-1);
+    Fixups.push_back({/*StmtIndex=*/-1, /*IsThen=*/false,
+                      std::string(Tok.Spelling), Tok.Loc});
+    return Placeholder;
+  }
+  Diags.error(Tok.Loc, "expected branch target, found '" +
+                           std::string(Tok.Spelling) + "'");
+  return std::nullopt;
+}
+
+std::optional<Stmt> Parser::parseStmt() {
+  SourceLoc Loc = Lex.currentLoc();
+  const Token &Next = Lex.peek();
+
+  if (Next.isIdent("decl")) {
+    Lex.lex();
+    auto X = parseVarOccurrence();
+    if (!X)
+      return std::nullopt;
+    return Stmt(DeclStmt{*X}, Loc);
+  }
+
+  if (Next.isIdent("skip")) {
+    Lex.lex();
+    return Stmt(SkipStmt{}, Loc);
+  }
+
+  if (Next.isIdent("return")) {
+    Lex.lex();
+    auto X = parseVarOccurrence();
+    if (!X)
+      return std::nullopt;
+    return Stmt(ReturnStmt{*X}, Loc);
+  }
+
+  if (Next.isIdent("if")) {
+    Lex.lex();
+    auto Cond = parseBaseExpr();
+    if (!Cond)
+      return std::nullopt;
+    Token GotoTok = Lex.lex();
+    if (!GotoTok.isIdent("goto")) {
+      if (GotoTok.is(TokenKind::TK_Punct) &&
+          isInfixOpSpelling(GotoTok.Spelling))
+        Diags.error(GotoTok.Loc,
+                    "branch conditions must be a variable or constant "
+                    "(grammar: 'if b goto ι else ι'); compute the "
+                    "comparison into a variable first");
+      else
+        Diags.error(GotoTok.Loc, "expected 'goto' in branch");
+      return std::nullopt;
+    }
+    size_t FixupsBefore = Fixups.size();
+    auto Then = parseBranchTarget();
+    size_t FixupsAfterThen = Fixups.size();
+    Token ElseTok = Lex.lex();
+    if (!ElseTok.isIdent("else")) {
+      Diags.error(ElseTok.Loc, "expected 'else' in branch");
+      return std::nullopt;
+    }
+    auto Else = parseBranchTarget();
+    if (!Then || !Else)
+      return std::nullopt;
+    // Mark which fixups belong to the then/else slots of this statement;
+    // the statement index is patched in by parseProcedure.
+    for (size_t I = FixupsBefore; I < FixupsAfterThen; ++I)
+      Fixups[I].IsThen = true;
+    return Stmt(BranchStmt{*Cond, *Then, *Else}, Loc);
+  }
+
+  // Assignments: "x := ..." or "*x := ...".
+  Lhs Target = Var::concrete("");
+  if (Next.isPunct("*")) {
+    Lex.lex();
+    auto X = parseVarOccurrence();
+    if (!X)
+      return std::nullopt;
+    Target = DerefExpr{*X};
+  } else {
+    auto X = parseVarOccurrence();
+    if (!X)
+      return std::nullopt;
+    Target = *X;
+  }
+  if (!expectPunct(":="))
+    return std::nullopt;
+
+  // RHS alternatives: new | callee(b) | expression.
+  if (Lex.peek().isIdent("new")) {
+    Lex.lex();
+    if (!isVarLhs(Target)) {
+      Diags.error(Loc, "'new' may only be assigned to a variable");
+      return std::nullopt;
+    }
+    return Stmt(NewStmt{std::get<Var>(Target)}, Loc);
+  }
+
+  // A call looks like `ident ( b )`; in pattern mode the callee may be a
+  // pattern variable (e.g. "X := P(Z)").
+  if (Lex.peek().is(TokenKind::TK_Ident)) {
+    Token Callee = Lex.lex();
+    if (Lex.peek().isPunct("(")) {
+      Lex.lex();
+      auto Arg = parseBaseExpr();
+      if (!Arg)
+        return std::nullopt;
+      if (!expectPunct(")"))
+        return std::nullopt;
+      if (!isVarLhs(Target)) {
+        Diags.error(Loc, "a call result may only be assigned to a variable");
+        return std::nullopt;
+      }
+      ProcName PN = (PatternMode && isPatternSpelling(Callee.Spelling))
+                        ? ProcName::meta(std::string(Callee.Spelling))
+                        : ProcName::concrete(std::string(Callee.Spelling));
+      return Stmt(CallStmt{std::get<Var>(Target), PN, *Arg}, Loc);
+    }
+    // Not a call: re-interpret the identifier as the start of an
+    // expression (base expr, possibly infix).
+    BaseExpr B1 = classifyBase(Callee);
+    if (PatternMode && isExprPatternSpelling(Callee.Spelling))
+      return Stmt(AssignStmt{Target, Expr(MetaExpr{std::string(
+                                         Callee.Spelling)})},
+                  Loc);
+    const Token &After = Lex.peek();
+    bool IsInfix = After.is(TokenKind::TK_Punct) &&
+                   (isInfixOpSpelling(After.Spelling) ||
+                    (PatternMode && After.Spelling == "_"));
+    if (IsInfix) {
+      std::string Op(Lex.lex().Spelling);
+      auto B2 = parseBaseExpr();
+      if (!B2)
+        return std::nullopt;
+      return Stmt(AssignStmt{Target, Expr(OpExpr{std::move(Op), {B1, *B2}})},
+                  Loc);
+    }
+    return Stmt(AssignStmt{Target, Expr(B1)}, Loc);
+  }
+
+  auto Value = parseExprImpl();
+  if (!Value)
+    return std::nullopt;
+  return Stmt(AssignStmt{Target, *Value}, Loc);
+}
+
+std::optional<Stmt> Parser::parseSingleStmt() {
+  auto S = parseStmt();
+  if (!S)
+    return std::nullopt;
+  if (!Fixups.empty()) {
+    Diags.error(Fixups.front().Loc,
+                "label branch targets are not allowed in a single-statement "
+                "pattern; use a numeric or pattern-variable target");
+    return std::nullopt;
+  }
+  return S;
+}
+
+std::optional<Procedure> Parser::parseProcedure() {
+  Labels.clear();
+  Fixups.clear();
+
+  Token ProcTok = Lex.lex();
+  if (!ProcTok.isIdent("proc")) {
+    Diags.error(ProcTok.Loc, "expected 'proc'");
+    return std::nullopt;
+  }
+  Token Name = expectIdent("procedure name");
+  if (Name.is(TokenKind::TK_Error) || !expectPunct("("))
+    return std::nullopt;
+  Token Param = expectIdent("parameter name");
+  if (Param.is(TokenKind::TK_Error) || !expectPunct(")") ||
+      !expectPunct("{"))
+    return std::nullopt;
+
+  Procedure P;
+  P.Name = std::string(Name.Spelling);
+  P.Param = std::string(Param.Spelling);
+
+  while (!Lex.peek().isPunct("}")) {
+    if (Lex.peek().is(TokenKind::TK_End)) {
+      Diags.error(Lex.currentLoc(), "unexpected end of input in procedure '" +
+                                        P.Name + "'");
+      return std::nullopt;
+    }
+
+    // Optional label or explicit-index prefixes: `name:` / `3:`.
+    if (Lex.peek().is(TokenKind::TK_Int)) {
+      // Explicit index as printed by the Printer; verify it.
+      Token Num = Lex.lex();
+      if (!expectPunct(":"))
+        return std::nullopt;
+      if (Num.IntValue != P.size()) {
+        Diags.error(Num.Loc, "explicit statement index " +
+                                 std::to_string(Num.IntValue) +
+                                 " does not match " + std::to_string(P.size()));
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (Lex.peek().is(TokenKind::TK_Ident)) {
+      // Identifier followed by ':' (but not ':=') is a label definition;
+      // anything else starts an ordinary statement.
+      Token Ident = Lex.lex();
+      if (Lex.peek().isPunct(":")) {
+        Lex.lex();
+        std::string Label(Ident.Spelling);
+        if (!Labels.emplace(Label, P.size()).second) {
+          Diags.error(Ident.Loc, "duplicate label '" + Label + "'");
+          return std::nullopt;
+        }
+        continue;
+      }
+      Lex.unlex(Ident);
+    }
+
+    size_t FixupStart = Fixups.size();
+    auto S = parseStmt();
+    if (!S)
+      return std::nullopt;
+    for (size_t I = FixupStart; I < Fixups.size(); ++I)
+      Fixups[I].StmtIndex = P.size();
+    if (!expectPunct(";"))
+      return std::nullopt;
+    P.Stmts.push_back(std::move(*S));
+  }
+  Lex.lex(); // consume '}'
+
+  // Resolve label fixups.
+  for (const Fixup &F : Fixups) {
+    auto It = Labels.find(F.Label);
+    if (It == Labels.end()) {
+      Diags.error(F.Loc, "undefined label '" + F.Label + "'");
+      return std::nullopt;
+    }
+    auto &B = std::get<BranchStmt>(P.Stmts[F.StmtIndex].V);
+    (F.IsThen ? B.Then : B.Else) = Index::concrete(It->second);
+  }
+  return P;
+}
+
+std::optional<Program> Parser::parseProgram() {
+  Program Prog;
+  while (!atEnd()) {
+    auto P = parseProcedure();
+    if (!P)
+      return std::nullopt;
+    Prog.Procs.push_back(std::move(*P));
+  }
+  if (auto Err = validateProgram(Prog)) {
+    Diags.error(*Err);
+    return std::nullopt;
+  }
+  return Prog;
+}
+
+//===----------------------------------------------------------------------===//
+// Convenience wrappers.
+//===----------------------------------------------------------------------===//
+
+std::optional<Program> ir::parseProgram(std::string_view Text,
+                                        DiagnosticEngine &Diags) {
+  Parser P(Text, Diags);
+  return P.parseProgram();
+}
+
+std::optional<Procedure> ir::parseProcedureText(std::string_view Text,
+                                                DiagnosticEngine &Diags) {
+  Parser P(Text, Diags);
+  auto Proc = P.parseProcedure();
+  if (Proc && !P.atEnd()) {
+    Diags.error("trailing input after procedure");
+    return std::nullopt;
+  }
+  return Proc;
+}
+
+std::optional<Stmt> ir::parseStmtPattern(std::string_view Text,
+                                         DiagnosticEngine &Diags) {
+  Parser P(Text, Diags, /*PatternMode=*/true);
+  auto S = P.parseSingleStmt();
+  if (S && !P.atEnd()) {
+    Diags.error("trailing input after statement pattern");
+    return std::nullopt;
+  }
+  return S;
+}
+
+std::optional<Expr> ir::parseExprPattern(std::string_view Text,
+                                         DiagnosticEngine &Diags) {
+  Parser P(Text, Diags, /*PatternMode=*/true);
+  auto E = P.parseExpr();
+  if (E && !P.atEnd()) {
+    Diags.error("trailing input after expression pattern");
+    return std::nullopt;
+  }
+  return E;
+}
+
+static void dieOnDiags(const DiagnosticEngine &Diags, std::string_view Text) {
+  if (!Diags.hasErrors())
+    return;
+  std::fprintf(stderr, "fatal: failed to parse:\n%.*s\n%s\n",
+               static_cast<int>(Text.size()), Text.data(),
+               Diags.str().c_str());
+  std::abort();
+}
+
+Program ir::parseProgramOrDie(std::string_view Text) {
+  DiagnosticEngine Diags;
+  auto Prog = parseProgram(Text, Diags);
+  dieOnDiags(Diags, Text);
+  return std::move(*Prog);
+}
+
+Stmt ir::parseStmtPatternOrDie(std::string_view Text) {
+  DiagnosticEngine Diags;
+  auto S = parseStmtPattern(Text, Diags);
+  dieOnDiags(Diags, Text);
+  return std::move(*S);
+}
+
+Expr ir::parseExprPatternOrDie(std::string_view Text) {
+  DiagnosticEngine Diags;
+  auto E = parseExprPattern(Text, Diags);
+  dieOnDiags(Diags, Text);
+  return std::move(*E);
+}

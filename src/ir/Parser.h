@@ -1,0 +1,129 @@
+//===- Parser.h - Textual front-end for the IL ------------------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the intermediate language. Two modes:
+///
+/// * Program mode (default): every identifier is a concrete variable /
+///   procedure name; branch targets may be numeric indices or statement
+///   labels (`loop:` before a statement, `goto loop`).
+/// * Pattern mode: used by the Cobalt front-end for rewrite rules and
+///   label definitions. Following the paper's convention, identifiers
+///   beginning with an upper-case letter are pattern variables. The
+///   syntactic position determines the pattern-variable kind where
+///   possible (lhs/deref/addr-of -> Vars, callee -> ProcNames, goto
+///   targets -> Indices); in expression positions, names beginning with
+///   'E' denote Exprs patterns, names beginning with 'C' denote Consts
+///   patterns, and anything else denotes a Vars pattern. `_` and `...`
+///   are wildcards. `?name` forces a pattern variable in either mode.
+///
+/// Example program:
+/// \code
+///   proc main(n) {
+///     decl i;
+///     i := 0;
+///   loop:
+///     if i < n goto body else done;
+///   body:
+///     i := i + 1;
+///     if 1 goto loop else loop;
+///   done:
+///     return i;
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_IR_PARSER_H
+#define COBALT_IR_PARSER_H
+
+#include "ir/Ast.h"
+#include "support/Diagnostics.h"
+#include "support/Lexer.h"
+
+#include <map>
+#include <optional>
+#include <string_view>
+
+namespace cobalt {
+namespace ir {
+
+class Parser {
+public:
+  Parser(std::string_view Buffer, DiagnosticEngine &Diags,
+         bool PatternMode = false)
+      : Lex(Buffer, Diags), Diags(Diags), PatternMode(PatternMode) {}
+
+  /// Parses `proc name(param) { stmts }` repeatedly to end of input.
+  /// Returns std::nullopt (with diagnostics) on any error.
+  std::optional<Program> parseProgram();
+
+  /// Parses one procedure.
+  std::optional<Procedure> parseProcedure();
+
+  /// Parses a single statement (no label, no trailing ';'); used for
+  /// rewrite-rule sides and case patterns. Branch targets must be numeric
+  /// or pattern variables in this form.
+  std::optional<Stmt> parseSingleStmt();
+
+  /// Parses a single expression; used by witness syntax.
+  std::optional<Expr> parseExpr();
+
+  /// True when the whole input has been consumed.
+  bool atEnd() { return Lex.peek().is(TokenKind::TK_End); }
+
+private:
+  std::optional<Stmt> parseStmt();
+  std::optional<Expr> parseExprImpl();
+  std::optional<BaseExpr> parseBaseExpr();
+  std::optional<Var> parseVarOccurrence();
+  std::optional<Index> parseBranchTarget();
+
+  /// Classifies an identifier at a variable-only position.
+  Var classifyVar(const Token &Tok);
+  /// Classifies an identifier at a base-expression position (may yield a
+  /// Consts pattern in pattern mode).
+  BaseExpr classifyBase(const Token &Tok);
+
+  bool expectPunct(std::string_view Spelling);
+  Token expectIdent(const char *What);
+
+  Lexer Lex;
+  DiagnosticEngine &Diags;
+  bool PatternMode;
+
+  /// Per-procedure label resolution state.
+  std::map<std::string, int, std::less<>> Labels;
+  struct Fixup {
+    int StmtIndex;
+    bool IsThen;
+    std::string Label;
+    SourceLoc Loc;
+  };
+  std::vector<Fixup> Fixups;
+};
+
+/// Convenience wrappers. On failure they report via \p Diags and return
+/// std::nullopt.
+std::optional<Program> parseProgram(std::string_view Text,
+                                    DiagnosticEngine &Diags);
+std::optional<Procedure> parseProcedureText(std::string_view Text,
+                                            DiagnosticEngine &Diags);
+std::optional<Stmt> parseStmtPattern(std::string_view Text,
+                                     DiagnosticEngine &Diags);
+std::optional<Expr> parseExprPattern(std::string_view Text,
+                                     DiagnosticEngine &Diags);
+
+/// Parses a program and aborts the process on failure; for tests, benches
+/// and examples where the text is a trusted literal.
+Program parseProgramOrDie(std::string_view Text);
+Stmt parseStmtPatternOrDie(std::string_view Text);
+Expr parseExprPatternOrDie(std::string_view Text);
+
+} // namespace ir
+} // namespace cobalt
+
+#endif // COBALT_IR_PARSER_H

@@ -1,0 +1,111 @@
+//===- Printer.cpp --------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+std::string ir::toString(const Var &X) {
+  if (!X.IsMeta)
+    return X.Name;
+  return X.Name.empty() ? "_" : "?" + X.Name;
+}
+
+static std::string toStringProcName(const ProcName &P) {
+  if (!P.IsMeta)
+    return P.Name;
+  return P.Name.empty() ? "_" : "?" + P.Name;
+}
+
+std::string ir::toString(const ConstVal &C) {
+  if (!C.IsMeta)
+    return std::to_string(C.Value);
+  return C.MetaName.empty() ? "_" : "?" + C.MetaName;
+}
+
+static std::string toStringIndex(const Index &I) {
+  if (!I.IsMeta)
+    return std::to_string(I.Value);
+  return I.MetaName.empty() ? "_" : "?" + I.MetaName;
+}
+
+std::string ir::toString(const BaseExpr &B) {
+  if (isVar(B))
+    return toString(asVar(B));
+  return toString(asConst(B));
+}
+
+/// True for operator spellings the parser accepts in infix position
+/// (including the operator wildcard "_", pattern mode only).
+static bool isInfixOp(const std::string &Op) {
+  return Op == "+" || Op == "-" || Op == "*" || Op == "/" || Op == "%" ||
+         Op == "==" || Op == "!=" || Op == "<" || Op == "<=" || Op == ">" ||
+         Op == ">=" || Op == "_";
+}
+
+std::string ir::toString(const Expr &E) {
+  if (const auto *X = std::get_if<Var>(&E.V))
+    return toString(*X);
+  if (const auto *C = std::get_if<ConstVal>(&E.V))
+    return toString(*C);
+  if (const auto *D = std::get_if<DerefExpr>(&E.V))
+    return "*" + toString(D->Ptr);
+  if (const auto *A = std::get_if<AddrOfExpr>(&E.V))
+    return "&" + toString(A->Target);
+  if (const auto *O = std::get_if<OpExpr>(&E.V)) {
+    if (O->Args.size() == 2 && isInfixOp(O->Op))
+      return toString(O->Args[0]) + " " + O->Op + " " + toString(O->Args[1]);
+    std::string Out = O->Op + "(";
+    for (size_t I = 0; I < O->Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += toString(O->Args[I]);
+    }
+    return Out + ")";
+  }
+  const auto &M = std::get<MetaExpr>(E.V);
+  return M.Name.empty() ? "_" : "?" + M.Name;
+}
+
+std::string ir::toString(const Lhs &L) {
+  if (const auto *X = std::get_if<Var>(&L))
+    return toString(*X);
+  return "*" + toString(std::get<DerefExpr>(L).Ptr);
+}
+
+std::string ir::toString(const Stmt &S) {
+  if (const auto *D = std::get_if<DeclStmt>(&S.V))
+    return "decl " + toString(D->Name);
+  if (S.is<SkipStmt>())
+    return "skip";
+  if (const auto *A = std::get_if<AssignStmt>(&S.V))
+    return toString(A->Target) + " := " + toString(A->Value);
+  if (const auto *N = std::get_if<NewStmt>(&S.V))
+    return toString(N->Target) + " := new";
+  if (const auto *C = std::get_if<CallStmt>(&S.V))
+    return toString(C->Target) + " := " + toStringProcName(C->Callee) + "(" +
+           toString(C->Arg) + ")";
+  if (const auto *B = std::get_if<BranchStmt>(&S.V))
+    return "if " + toString(B->Cond) + " goto " + toStringIndex(B->Then) +
+           " else " + toStringIndex(B->Else);
+  const auto &R = std::get<ReturnStmt>(S.V);
+  return "return " + toString(R.Value);
+}
+
+std::string ir::toString(const Procedure &P) {
+  std::string Out = "proc " + P.Name + "(" + P.Param + ") {\n";
+  for (int I = 0; I < P.size(); ++I)
+    Out += "  " + std::to_string(I) + ": " + toString(P.stmtAt(I)) + ";\n";
+  return Out + "}\n";
+}
+
+std::string ir::toString(const Program &Prog) {
+  std::string Out;
+  for (const Procedure &P : Prog.Procs)
+    Out += toString(P);
+  return Out;
+}

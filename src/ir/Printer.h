@@ -1,0 +1,40 @@
+//===- Printer.h - Textual rendering of IL fragments ------------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders IL fragments (including pattern-variable fragments) back to the
+/// textual syntax accepted by the parser. Round-tripping is exercised by
+/// the unit tests. Pattern variables print as `?Name` (or `_` for
+/// wildcards) so ground and non-ground fragments are visually distinct.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_IR_PRINTER_H
+#define COBALT_IR_PRINTER_H
+
+#include "ir/Ast.h"
+
+#include <string>
+
+namespace cobalt {
+namespace ir {
+
+std::string toString(const Var &X);
+std::string toString(const ConstVal &C);
+std::string toString(const BaseExpr &B);
+std::string toString(const Expr &E);
+std::string toString(const Lhs &L);
+std::string toString(const Stmt &S);
+
+/// Prints a procedure with one `ι: stmt;` line per statement, so branch
+/// targets can be read off directly.
+std::string toString(const Procedure &P);
+std::string toString(const Program &Prog);
+
+} // namespace ir
+} // namespace cobalt
+
+#endif // COBALT_IR_PRINTER_H

@@ -1,0 +1,249 @@
+//===- Buggy.cpp ----------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opts/Buggy.h"
+
+#include "core/Builder.h"
+#include "opts/Labels.h"
+#include "opts/Optimizations.h"
+
+using namespace cobalt;
+using namespace cobalt::ir;
+using namespace cobalt::opts;
+
+BuggyCase opts::constPropNoGuard() {
+  Optimization O = OptBuilder("const_prop_no_guard")
+                       .forward()
+                       .psi1(stmtIs("Y := C"))
+                       .psi2(fTrue()) // BUG: everything is "innocuous"
+                       .rewrite("X := Y", "X := C")
+                       .witness(wEq(curEval("Y"), curEval("C")))
+                       .build();
+  return {std::move(O), "F2",
+          "missing ¬mayDef(Y): a redefinition of Y inside the region "
+          "invalidates Y = C"};
+}
+
+BuggyCase opts::constPropWrongWitness() {
+  Optimization O = OptBuilder("const_prop_wrong_witness")
+                       .forward()
+                       .psi1(stmtIs("Y := C"))
+                       .psi2(fNot(labelF("mayDef", {tExpr("Y")})))
+                       .rewrite("X := Y", "X := C")
+                       // BUG: speaks about X, which ψ1 says nothing about.
+                       .witness(wEq(curEval("X"), curEval("C")))
+                       .withLabel(syntacticDefLabel())
+                       .withLabel(mayDefLabel())
+                       .build();
+  return {std::move(O), "F1",
+          "the witness η(X) = C is not established by Y := C"};
+}
+
+BuggyCase opts::constPropWrongRewrite() {
+  Optimization O = OptBuilder("const_prop_wrong_rewrite")
+                       .forward()
+                       .psi1(stmtIs("Y := C"))
+                       .psi2(fNot(labelF("mayDef", {tExpr("Y")})))
+                       // BUG: rewrites the use to Y + C instead of C.
+                       .rewrite("X := Y", "X := Y + C")
+                       .witness(wEq(curEval("Y"), curEval("C")))
+                       .withLabel(syntacticDefLabel())
+                       .withLabel(mayDefLabel())
+                       .build();
+  return {std::move(O), "F3",
+          "X := Y and X := Y + C compute different values"};
+}
+
+BuggyCase opts::cseSelfReference() {
+  Optimization O = OptBuilder("cse_self_reference")
+                       .forward()
+                       // BUG: missing ¬exprUses(E, X).
+                       .psi1(stmtIs("X := E"))
+                       .psi2(fAnd(labelF("unchanged", {tExpr("E")}),
+                                  fNot(labelF("mayDef", {tExpr("X")}))))
+                       .rewrite("Y := E", "Y := X")
+                       .witness(wEq(curEval("X"), curEval("E")))
+                       .withLabel(syntacticDefLabel())
+                       .withLabel(exprUsesLabel())
+                       .withLabel(mayDefLabel())
+                       .withLabel(unchangedLabel())
+                       .build();
+  return {std::move(O), "F1",
+          "after x := x + 1, x does not hold the value of x + 1"};
+}
+
+BuggyCase opts::daeThroughPointers() {
+  // A "syntactic use" label that ignores loads through pointers.
+  LabelDef NaiveUse = makeLabelDef(
+      "naiveUse", {"X"},
+      CaseBuilder(tCurrStmt())
+          .stmtArm("Y9 := X", fTrue())
+          .stmtArm("Y9 := X _ _", fTrue())
+          .stmtArm("Y9 := _ _ X", fTrue())
+          .stmtArm("if X goto I8 else I9", fTrue())
+          .stmtArm("return Y9", fTrue())
+          .elseArm(fFalse()));
+  FormulaPtr Redefined = fOr(fOr(stmtIs("X := ..."), stmtIs("X := new")),
+                             stmtIs("return ..."));
+  Optimization O =
+      OptBuilder("dae_through_pointers")
+          .backward()
+          .psi1(fAnd(Redefined, fNot(labelF("naiveUse", {tExpr("X")}))))
+          .psi2(fAnd(fNot(labelF("naiveUse", {tExpr("X")})),
+                     fNot(stmtIs("decl X"))))
+          .rewrite("X := E", "skip")
+          .witness(eqUpTo("X"))
+          .withLabel(NaiveUse)
+          .build();
+  return {std::move(O), "B2",
+          "a load *p may read X's cell; the naive use label misses it"};
+}
+
+BuggyCase opts::daeEscapedLocal() {
+  // mayUse with the paper's literal Example 2 return arm.
+  LabelDef NaiveMayUse = makeLabelDef(
+      "mayUseRetNaive", {"X"},
+      CaseBuilder(tCurrStmt())
+          .stmtArm("decl Y9", fFalse())
+          .stmtArm("skip", fFalse())
+          .stmtArm("Y9 := new", fFalse())
+          .stmtArm("Y9 := P9(_)", fTrue())
+          .stmtArm("*Y9 := E9",
+                   fOr(fEq(tExpr("Y9"), tExpr("X")),
+                       labelF("exprUses", {tExpr("E9"), tExpr("X")})))
+          .stmtArm("Y9 := E9",
+                   labelF("exprUses", {tExpr("E9"), tExpr("X")}))
+          .stmtArm("if B9 goto I8 else I9", fEq(tExpr("B9"), tExpr("X")))
+          // BUG: a return only "uses" the returned variable — but the
+          // caller can still read X through an escaped pointer.
+          .stmtArm("return Y9", fEq(tExpr("Y9"), tExpr("X")))
+          .elseArm(fFalse()));
+  FormulaPtr Redefined = fOr(fOr(stmtIs("X := ..."), stmtIs("X := new")),
+                             stmtIs("return ..."));
+  Optimization O =
+      OptBuilder("dae_escaped_local")
+          .backward()
+          .psi1(fAnd(Redefined, fNot(labelF("mayUseRetNaive", {tExpr("X")}))))
+          .psi2(fAnd(fNot(labelF("mayUseRetNaive", {tExpr("X")})),
+                     fNot(stmtIs("decl X"))))
+          .rewrite("X := E", "skip")
+          .witness(eqUpTo("X"))
+          .withLabel(syntacticDefLabel())
+          .withLabel(exprUsesLabel())
+          .withLabel(NaiveMayUse)
+          .build();
+  return {std::move(O), "B5",
+          "X's cell can outlive the return via an escaped pointer (the "
+          "caller observes the removed store)"};
+}
+
+BuggyCase opts::loadCseNoTaint() {
+  // The §6 bug: direct assignments in the region were assumed harmless.
+  LabelDef BuggyDerefUnchanged = makeLabelDef(
+      "derefUnchangedNoTaint", {"P"},
+      CaseBuilder(tCurrStmt())
+          .stmtArm("*Y9 := E9", fFalse())
+          .stmtArm("Y9 := P9(_)", fFalse())
+          .stmtArm("Y9 := new", fNot(fEq(tExpr("Y9"), tExpr("P"))))
+          .stmtArm("decl Y9", fNot(fEq(tExpr("Y9"), tExpr("P"))))
+          // BUG: Y := e can change *P when P points to Y.
+          .stmtArm("Y9 := E9", fNot(fEq(tExpr("Y9"), tExpr("P"))))
+          .elseArm(fTrue()));
+  Optimization O =
+      OptBuilder("load_cse_no_taint")
+          .forward()
+          .psi1(fAnd(stmtIs("X := *P"), fNot(fEq(tExpr("X"), tExpr("P")))))
+          .psi2(fAnd(labelF("derefUnchangedNoTaint", {tExpr("P")}),
+                     fNot(labelF("mayDef", {tExpr("X")}))))
+          .rewrite("Y := *P", "Y := X")
+          .witness(wEq(curEval("X"), curEval("*P")))
+          .withLabel(syntacticDefLabel())
+          .withLabel(mayDefLabel())
+          .withLabel(BuggyDerefUnchanged)
+          .build();
+  return {std::move(O), "F2",
+          "a direct assignment y := e changes *p when p points to y "
+          "(the exact §6 anecdote)"};
+}
+
+BuggyCase opts::storeForwardSelfPointer() {
+  Optimization O = OptBuilder("store_forward_self_pointer")
+                       .forward()
+                       // BUG: missing notTainted(P).
+                       .psi1(stmtIs("*P := Y"))
+                       .psi2(fAnd(labelF("derefUnchanged", {tExpr("P")}),
+                                  fNot(labelF("mayDef", {tExpr("Y")}))))
+                       .rewrite("X := *P", "X := Y")
+                       .witness(wEq(curEval("*P"), curEval("Y")))
+                       .withLabel(syntacticDefLabel())
+                       .withLabel(mayDefLabel())
+                       .withLabel(derefUnchangedLabel())
+                       .build();
+  return {std::move(O), "F1",
+          "when P points to itself, *P := Y overwrites P and the "
+          "forwarded value is wrong"};
+}
+
+BuggyCase opts::branchTakenWrongLeg() {
+  Optimization O =
+      OptBuilder("branch_taken_wrong_leg")
+          .forward()
+          .psi1(labelF("computes", {tExpr("C != 0"), tExpr("1")}))
+          .psi2(fTrue())
+          // BUG: the condition is nonzero, so control goes to I1, not I2.
+          .rewrite("if C goto I1 else I2", "if 1 goto I2 else I2")
+          .witness(wEq(curEval("C != 0"), curEval("1")))
+          .build();
+  return {std::move(O), "F3", "redirects the branch to the wrong leg"};
+}
+
+BuggyCase opts::selfAssignNotSelf() {
+  Optimization O = OptBuilder("self_assign_not_self")
+                       .backward()
+                       .psi1(fTrue())
+                       .psi2(fFalse())
+                       // BUG: X := Y is not a no-op for Y ≠ X.
+                       .rewrite("X := Y", "skip")
+                       .witness(wStateEq())
+                       .build();
+  return {std::move(O), "B1", "removes assignments that change X"};
+}
+
+BuggyAnalysisCase opts::buggyTaintAnalysis() {
+  // BUG: only var-lhs address-taking kills the fact; `*p := &x` stores
+  // x's address too. (The arm-local Z9 keeps ψ2's free variables to X.)
+  LabelDef TakesAddrVarLhs =
+      makeLabelDef("takesAddrVarLhs", {"X"},
+                   CaseBuilder(tCurrStmt())
+                       .stmtArm("Z9 := &X", fTrue())
+                       .elseArm(fFalse()));
+  PureAnalysis A =
+      AnalysisBuilder("taint_analysis_misses_deref")
+          .psi1(stmtIs("decl X"))
+          .psi2(fNot(labelF("takesAddrVarLhs", {tExpr("X")})))
+          .defines("notTainted", {tExpr("X")})
+          .witness(notPointedToW("X"))
+          .withLabel(TakesAddrVarLhs)
+          .build();
+  return {std::move(A), "F2",
+          "a pointer store *p := &x taints x but does not match the "
+          "var-lhs pattern"};
+}
+
+std::vector<BuggyCase> opts::allBuggyOptimizations() {
+  std::vector<BuggyCase> Out;
+  Out.push_back(constPropNoGuard());
+  Out.push_back(constPropWrongWitness());
+  Out.push_back(constPropWrongRewrite());
+  Out.push_back(cseSelfReference());
+  Out.push_back(daeThroughPointers());
+  Out.push_back(daeEscapedLocal());
+  Out.push_back(loadCseNoTaint());
+  Out.push_back(storeForwardSelfPointer());
+  Out.push_back(branchTakenWrongLeg());
+  Out.push_back(selfAssignNotSelf());
+  return Out;
+}

@@ -1,0 +1,96 @@
+//===- Buggy.h - Deliberately unsound optimization variants -----*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E2 ("debugging benefit", paper §6): deliberately broken
+/// variants of the shipped optimizations. Each is structurally
+/// well-formed (it passes validateOptimization and would happily run in
+/// the engine) but semantically wrong; the soundness checker must reject
+/// every one, and the named obligation localizes the bug. Several are
+/// *real* bugs the checker caught during this reproduction's own
+/// development — the best possible replication of the paper's anecdote.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_OPTS_BUGGY_H
+#define COBALT_OPTS_BUGGY_H
+
+#include "core/Optimization.h"
+
+#include <vector>
+
+namespace cobalt {
+namespace opts {
+
+/// A buggy variant plus where the checker is expected to flag it.
+struct BuggyCase {
+  Optimization Opt;
+  /// A prefix of the obligation expected to fail ("F2" matches
+  /// "F2[assign]" etc.).
+  std::string FailingObligation;
+  /// What is wrong, for documentation and test output.
+  std::string Explanation;
+};
+
+/// Constant propagation without the ¬mayDef(Y) region check: any
+/// redefinition of Y between the definition and the use breaks it.
+BuggyCase constPropNoGuard();
+
+/// Constant propagation with a witness about the wrong variable; the
+/// checker rejects it even though the *transformation* schedule is the
+/// same — witnesses are verified, never trusted (paper footnote 1).
+BuggyCase constPropWrongWitness();
+
+/// Constant propagation that rewrites to the wrong constant expression.
+BuggyCase constPropWrongRewrite();
+
+/// CSE without the ¬exprUses(E, X) conjunct: `x := x + 1` would "make
+/// x + 1 available in x".
+BuggyCase cseSelfReference();
+
+/// Dead assignment elimination whose region admits uses through
+/// pointers (mayUse replaced by a syntactic-only occurrence check).
+BuggyCase daeThroughPointers();
+
+/// Dead assignment elimination with the paper's literal Example 2 return
+/// arm (`return Y uses only Y`): unsound when X's address escapes to the
+/// caller before the return. Caught by the return-exit obligation B5.
+BuggyCase daeEscapedLocal();
+
+/// Redundant-load elimination without the taint check on intervening
+/// direct assignments — the exact bug narrated in §6.
+BuggyCase loadCseNoTaint();
+
+/// Store-to-load forwarding without notTainted(P): unsound for a
+/// self-pointing P (found by this reproduction's own checker).
+BuggyCase storeForwardSelfPointer();
+
+/// Branch folding that redirects to the wrong leg.
+BuggyCase branchTakenWrongLeg();
+
+/// "Self"-assignment removal that removes X := Y for arbitrary Y.
+BuggyCase selfAssignNotSelf();
+
+/// A taint analysis that only kills facts on var-lhs address-taking,
+/// missing `*p := &x`.
+BuggyCase taintMissesDerefStores();
+
+/// All buggy optimization variants (taintMissesDerefStores is an
+/// analysis and exposed separately).
+std::vector<BuggyCase> allBuggyOptimizations();
+
+/// The buggy analysis variant with its expected failing obligation.
+struct BuggyAnalysisCase {
+  PureAnalysis Analysis;
+  std::string FailingObligation;
+  std::string Explanation;
+};
+BuggyAnalysisCase buggyTaintAnalysis();
+
+} // namespace opts
+} // namespace cobalt
+
+#endif // COBALT_OPTS_BUGGY_H

@@ -1,0 +1,185 @@
+//===- Labels.cpp ---------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opts/Labels.h"
+
+#include "core/Builder.h"
+
+using namespace cobalt;
+using namespace cobalt::ir;
+using namespace cobalt::opts;
+
+/// Unary operator application patterns have no surface syntax; build
+/// OpExpr("_", {arg}) terms directly.
+static Term unaryOp(Var Arg) {
+  return Term(Expr(OpExpr{"_", {BaseExpr(std::move(Arg))}}));
+}
+
+LabelDef opts::syntacticDefLabel() {
+  return makeLabelDef("syntacticDef", {"X"},
+                      CaseBuilder(tCurrStmt())
+                          .stmtArm("decl X", fTrue())
+                          .stmtArm("X := E9", fTrue())
+                          .stmtArm("X := new", fTrue())
+                          .elseArm(fFalse()));
+}
+
+LabelDef opts::exprUsesLabel() {
+  return makeLabelDef(
+      "exprUses", {"E", "X"},
+      CaseBuilder(tExpr("E"))
+          .exprArm("C9", fFalse())
+          .exprArm("X", fTrue())
+          .exprArm("Y9", fFalse())
+          .exprArm("*X", fTrue())
+          .exprArm("*Y9", fTrue()) // any load may read X's cell
+          .exprArm("&Y9", fFalse())
+          .termArm(unaryOp(Var::meta("X")), fTrue())
+          .termArm(unaryOp(Var::wildcard()), fFalse())
+          .exprArm("X _ _", fTrue())
+          .exprArm("_ _ X", fTrue())
+          .exprArm("_ _ _", fFalse())
+          .elseArm(fFalse()));
+}
+
+LabelDef opts::exprUsesPreciseLabel() {
+  return makeLabelDef(
+      "exprUsesPrecise", {"E", "X"},
+      CaseBuilder(tExpr("E"))
+          .exprArm("C9", fFalse())
+          .exprArm("X", fTrue())
+          .exprArm("Y9", fFalse())
+          .exprArm("*X", fTrue())
+          .exprArm("*Y9", fNot(labelF("notTainted", {tExpr("X")})))
+          .exprArm("&Y9", fFalse())
+          .termArm(unaryOp(Var::meta("X")), fTrue())
+          .termArm(unaryOp(Var::wildcard()), fFalse())
+          .exprArm("X _ _", fTrue())
+          .exprArm("_ _ X", fTrue())
+          .exprArm("_ _ _", fFalse())
+          .elseArm(fFalse()));
+}
+
+LabelDef opts::mayDefLabel() {
+  // Paper §2.1.3: pointer stores and calls may define any variable.
+  return makeLabelDef("mayDef", {"X"},
+                      CaseBuilder(tCurrStmt())
+                          .stmtArm("*Y9 := E9", fTrue())
+                          .stmtArm("Y9 := P9(_)", fTrue())
+                          .elseArm(labelF("syntacticDef", {tExpr("X")})));
+}
+
+LabelDef opts::mayDefPreciseLabel() {
+  // Paper §2.4: pointer stores cannot affect untainted variables; a call
+  // defines its target and (conservatively) anything tainted.
+  return makeLabelDef(
+      "mayDefPrecise", {"X"},
+      CaseBuilder(tCurrStmt())
+          .stmtArm("*Y9 := E9", fNot(labelF("notTainted", {tExpr("X")})))
+          .stmtArm("Y9 := P9(_)",
+                   fOr(fEq(tExpr("Y9"), tExpr("X")),
+                       fNot(labelF("notTainted", {tExpr("X")}))))
+          .elseArm(labelF("syntacticDef", {tExpr("X")})));
+}
+
+LabelDef opts::mayUseLabel() {
+  return makeLabelDef(
+      "mayUse", {"X"},
+      CaseBuilder(tCurrStmt())
+          .stmtArm("decl Y9", fFalse())
+          .stmtArm("skip", fFalse())
+          .stmtArm("Y9 := new", fFalse())
+          .stmtArm("Y9 := P9(_)", fTrue()) // callee may read anything
+          .stmtArm("*Y9 := E9",
+                   fOr(fEq(tExpr("Y9"), tExpr("X")),
+                       labelF("exprUses", {tExpr("E9"), tExpr("X")})))
+          .stmtArm("Y9 := E9",
+                   labelF("exprUses", {tExpr("E9"), tExpr("X")}))
+          .stmtArm("if B9 goto I8 else I9", fEq(tExpr("B9"), tExpr("X")))
+          // A return publishes the whole store to the caller: if X's
+          // address escaped (e.g. the callee returned &X earlier in some
+          // cell), the caller can still read X's cell after the return.
+          // Without pointer information the only sound choice is "may
+          // use". The naive arm `return Y9 -> Y9 = X` (what the paper's
+          // Example 2 suggests) is exercised as a buggy variant that the
+          // soundness checker rejects via the return-exit obligation.
+          .stmtArm("return Y9", fTrue())
+          .elseArm(fFalse()));
+}
+
+LabelDef opts::mayUsePreciseLabel() {
+  return makeLabelDef(
+      "mayUsePrecise", {"X"},
+      CaseBuilder(tCurrStmt())
+          .stmtArm("decl Y9", fFalse())
+          .stmtArm("skip", fFalse())
+          .stmtArm("Y9 := new", fFalse())
+          .stmtArm("Y9 := P9(B9)",
+                   fOr(fEq(tExpr("B9"), tExpr("X")),
+                       fNot(labelF("notTainted", {tExpr("X")}))))
+          .stmtArm("Y9 := P9(_)", // constant-argument calls
+                   fNot(labelF("notTainted", {tExpr("X")})))
+          .stmtArm("*Y9 := E9",
+                   fOr(fEq(tExpr("Y9"), tExpr("X")),
+                       labelF("exprUsesPrecise", {tExpr("E9"), tExpr("X")})))
+          .stmtArm("Y9 := E9",
+                   labelF("exprUsesPrecise", {tExpr("E9"), tExpr("X")}))
+          .stmtArm("if B9 goto I8 else I9", fEq(tExpr("B9"), tExpr("X")))
+          // See mayUse: an escaped (tainted) X outlives the return.
+          .stmtArm("return Y9",
+                   fOr(fEq(tExpr("Y9"), tExpr("X")),
+                       fNot(labelF("notTainted", {tExpr("X")}))))
+          .elseArm(fFalse()));
+}
+
+LabelDef opts::unchangedLabel() {
+  return makeLabelDef(
+      "unchanged", {"E"},
+      CaseBuilder(tExpr("E"))
+          .exprArm("C9", fTrue())
+          .exprArm("Y9", fNot(labelF("mayDef", {tExpr("Y9")})))
+          .exprArm("&Y9", fNot(stmtIs("decl Y9")))
+          .exprArm("*Y9", fFalse()) // loads: see derefUnchanged
+          .termArm(unaryOp(Var::meta("Y9")),
+                   fNot(labelF("mayDef", {tExpr("Y9")})))
+          .termArm(unaryOp(Var::wildcard()), fTrue()) // unary over const
+          .exprArm("Y8 _ Y9", fAnd(fNot(labelF("mayDef", {tExpr("Y8")})),
+                                   fNot(labelF("mayDef", {tExpr("Y9")}))))
+          .exprArm("Y9 _ C9", fNot(labelF("mayDef", {tExpr("Y9")})))
+          .exprArm("C9 _ Y9", fNot(labelF("mayDef", {tExpr("Y9")})))
+          .exprArm("C8 _ C9", fTrue())
+          .elseArm(fFalse()));
+}
+
+LabelDef opts::derefUnchangedLabel() {
+  // The §6 story. A direct assignment Y := e preserves *P only when
+  // Y ≠ P *and* Y is untainted (P might point to Y); the initial, buggy
+  // version of redundant-load elimination omitted the taint check.
+  return makeLabelDef(
+      "derefUnchanged", {"P"},
+      CaseBuilder(tCurrStmt())
+          .stmtArm("*Y9 := E9", fFalse())
+          .stmtArm("Y9 := P9(_)", fFalse())
+          // `Y9 := new` *writes* Y9's cell (with the fresh location), so
+          // like a direct assignment it needs Y9 untainted -- P might
+          // point to Y9. Found by the checker (F2[new]).
+          .stmtArm("Y9 := new",
+                   fAnd(fNot(fEq(tExpr("Y9"), tExpr("P"))),
+                        labelF("notTainted", {tExpr("Y9")})))
+          .stmtArm("decl Y9", fNot(fEq(tExpr("Y9"), tExpr("P"))))
+          .stmtArm("Y9 := E9",
+                   fAnd(fNot(fEq(tExpr("Y9"), tExpr("P"))),
+                        labelF("notTainted", {tExpr("Y9")})))
+          .elseArm(fTrue()));
+}
+
+std::vector<LabelDef> opts::standardLabels() {
+  return {syntacticDefLabel(),   exprUsesLabel(),
+          exprUsesPreciseLabel(), mayDefLabel(),
+          mayDefPreciseLabel(),   mayUseLabel(),
+          mayUsePreciseLabel(),   unchangedLabel(),
+          derefUnchangedLabel()};
+}

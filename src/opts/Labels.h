@@ -1,0 +1,80 @@
+//===- Labels.h - The standard Cobalt label library -------------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The label definitions the paper's optimizations are written against
+/// (§2.1.3, §2.4). Every label is a pure *syntactic* predicate over
+/// currStmt (or over an expression argument); its semantic content —
+/// e.g. "¬mayDef(Y) implies Y's cell is unchanged" — is *proven* by the
+/// checker from these definitions plus the step axioms, never assumed.
+///
+/// Two variants of the may-alias-sensitive labels exist:
+/// * conservative — no pointer information: pointer stores and calls may
+///   define/use anything (paper §2.1.3);
+/// * precise — consult the notTainted(X) analysis label produced by the
+///   taint pure analysis (paper §2.4).
+///
+/// Arm-local pattern variables deliberately use spellings (Y9, E9, B8,
+/// ...) that no optimization uses for its own pattern variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_OPTS_LABELS_H
+#define COBALT_OPTS_LABELS_H
+
+#include "core/Formula.h"
+
+#include <vector>
+
+namespace cobalt {
+namespace opts {
+
+/// syntacticDef(X): currStmt declares or directly assigns X
+/// (decl X | X := e | X := new). Calls are handled by mayDef.
+LabelDef syntacticDefLabel();
+
+/// exprUses(E, X) [conservative]: expression E may read variable X's
+/// contents — a syntactic occurrence of X, or any dereference (which may
+/// alias X).
+LabelDef exprUsesLabel();
+
+/// exprUsesPrecise(E, X): like exprUses, but a dereference *Y (Y ≠ X)
+/// only counts when X is tainted (uses notTainted(X)).
+LabelDef exprUsesPreciseLabel();
+
+/// mayDef(X) [conservative]: pointer stores and calls may define
+/// anything; otherwise syntacticDef (paper §2.1.3).
+LabelDef mayDefLabel();
+
+/// mayDefPrecise(X): pointer stores and calls cannot touch untainted
+/// variables (paper §2.4).
+LabelDef mayDefPreciseLabel();
+
+/// mayUse(X) [conservative]: currStmt may read X's contents.
+LabelDef mayUseLabel();
+
+/// mayUsePrecise(X): calls and dereferences only use untainted X when it
+/// is syntactically mentioned.
+LabelDef mayUsePreciseLabel();
+
+/// unchanged(E): currStmt does not change the value of E (used by CSE
+/// and PRE's code-duplication pass). Conservative for loads: an E
+/// containing a dereference is never "unchanged".
+LabelDef unchangedLabel();
+
+/// derefUnchanged(P): currStmt does not change the value of *P. Requires
+/// the notTainted analysis: a direct assignment Y := e preserves *P only
+/// when Y ≠ P and Y is not tainted — the exact §6 debugging story.
+LabelDef derefUnchangedLabel();
+
+/// The whole library in dependency order (later defs may reference
+/// earlier ones).
+std::vector<LabelDef> standardLabels();
+
+} // namespace opts
+} // namespace cobalt
+
+#endif // COBALT_OPTS_LABELS_H

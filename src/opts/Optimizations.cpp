@@ -1,0 +1,374 @@
+//===- Optimizations.cpp --------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opts/Optimizations.h"
+
+#include "core/Builder.h"
+#include "ir/Cfg.h"
+#include "opts/Labels.h"
+
+using namespace cobalt;
+using namespace cobalt::ir;
+using namespace cobalt::opts;
+
+//===----------------------------------------------------------------------===//
+// Forward optimizations.
+//===----------------------------------------------------------------------===//
+
+Optimization opts::constProp() {
+  return OptBuilder("const_prop")
+      .forward()
+      .psi1(stmtIs("Y := C"))
+      .psi2(fNot(labelF("mayDef", {tExpr("Y")})))
+      .rewrite("X := Y", "X := C")
+      .witness(wEq(curEval("Y"), curEval("C")))
+      .withLabel(syntacticDefLabel())
+      .withLabel(mayDefLabel())
+      .build();
+}
+
+Optimization opts::constPropFold() {
+  return OptBuilder("const_prop_fold")
+      .forward()
+      .psi1(fAnd(stmtIs("Y := E"),
+                 labelF("computes", {tExpr("E"), tExpr("C")})))
+      .psi2(fNot(labelF("mayDef", {tExpr("Y")})))
+      .rewrite("X := Y", "X := C")
+      .witness(wEq(curEval("Y"), curEval("C")))
+      .withLabel(syntacticDefLabel())
+      .withLabel(mayDefLabel())
+      .build();
+}
+
+Optimization opts::constPropPrecise() {
+  return OptBuilder("const_prop_precise")
+      .forward()
+      .psi1(stmtIs("Y := C"))
+      .psi2(fNot(labelF("mayDefPrecise", {tExpr("Y")})))
+      .rewrite("X := Y", "X := C")
+      .witness(wEq(curEval("Y"), curEval("C")))
+      .withLabel(syntacticDefLabel())
+      .withLabel(mayDefPreciseLabel())
+      .build();
+}
+
+Optimization opts::copyProp() {
+  return OptBuilder("copy_prop")
+      .forward()
+      .psi1(stmtIs("Y := Z"))
+      .psi2(fAnd(fNot(labelF("mayDef", {tExpr("Y")})),
+                 fNot(labelF("mayDef", {tExpr("Z")}))))
+      .rewrite("X := Y", "X := Z")
+      .witness(wEq(curEval("Y"), curEval("Z")))
+      .withLabel(syntacticDefLabel())
+      .withLabel(mayDefLabel())
+      .build();
+}
+
+/// Shared shape of the per-operator in-place folding rules. The enabling
+/// condition computes(C1 op C2, C3) holds at every node for consistent
+/// constant triples, so any predecessor enables the rewrite (forward
+/// guards require an enabling statement strictly before the rewritten
+/// one; procedures start with declarations, so this never bites).
+static Optimization constFoldOp(const char *Name, const char *From,
+                                const char *FoldedExpr) {
+  return OptBuilder(Name)
+      .forward()
+      .psi1(labelF("computes", {tExpr(FoldedExpr), tExpr("C3")}))
+      .psi2(fTrue())
+      .rewrite(From, "X := C3")
+      .witness(wEq(curEval(FoldedExpr), curEval("C3")))
+      .build();
+}
+
+Optimization opts::constFoldAdd() {
+  return constFoldOp("const_fold_add", "X := C1 + C2", "C1 + C2");
+}
+
+Optimization opts::constFoldMul() {
+  return constFoldOp("const_fold_mul", "X := C1 * C2", "C1 * C2");
+}
+
+/// Algebraic identities share one shape: a node-independent guard pins
+/// the constant (or nothing at all), the witness carries the same fact,
+/// and F3 is pure operator arithmetic.
+static Optimization simplifyRule(const char *Name, FormulaPtr Guard,
+                                 WitnessPtr W, const char *From,
+                                 const char *To) {
+  return OptBuilder(Name)
+      .forward()
+      .psi1(std::move(Guard))
+      .psi2(fTrue())
+      .rewrite(From, To)
+      .witness(std::move(W))
+      .build();
+}
+
+Optimization opts::simplifyAddZero() {
+  return simplifyRule("simplify_add_zero", fEq(tExpr("C"), tExpr("0")),
+                      wEq(curEval("C"), curEval("0")), "X := Y + C",
+                      "X := Y");
+}
+
+Optimization opts::simplifyMulOne() {
+  return simplifyRule("simplify_mul_one", fEq(tExpr("C"), tExpr("1")),
+                      wEq(curEval("C"), curEval("1")), "X := Y * C",
+                      "X := Y");
+}
+
+Optimization opts::simplifyMulZero() {
+  // X := Y * 0 ⇒ X := 0. The rewrite drops the read of Y, which can only
+  // make the program more defined — sound for the paper's equivalence.
+  return simplifyRule("simplify_mul_zero", fEq(tExpr("C"), tExpr("0")),
+                      wEq(curEval("C"), curEval("0")), "X := Y * C",
+                      "X := C");
+}
+
+Optimization opts::simplifySubSelf() {
+  return simplifyRule("simplify_sub_self", fTrue(), wTrue(), "X := Y - Y",
+                      "X := 0");
+}
+
+Optimization opts::cse() {
+  return OptBuilder("cse")
+      .forward()
+      .psi1(fAnd(stmtIs("X := E"),
+                 fNot(labelF("exprUses", {tExpr("E"), tExpr("X")}))))
+      .psi2(fAnd(labelF("unchanged", {tExpr("E")}),
+                 fNot(labelF("mayDef", {tExpr("X")}))))
+      .rewrite("Y := E", "Y := X")
+      .witness(wEq(curEval("X"), curEval("E")))
+      .withLabel(syntacticDefLabel())
+      .withLabel(exprUsesLabel())
+      .withLabel(mayDefLabel())
+      .withLabel(unchangedLabel())
+      .build();
+}
+
+Optimization opts::storeForward() {
+  return OptBuilder("store_forward")
+      .forward()
+      // notTainted(P) rules out a self-pointing P (σ(ρ(P)) = ρ(P)), for
+      // which `*P := Y` overwrites P itself and the forwarded value is
+      // wrong — a genuine unsoundness our checker found via F1[assign].
+      .psi1(fAnd(stmtIs("*P := Y"), labelF("notTainted", {tExpr("P")})))
+      .psi2(fAnd(labelF("derefUnchanged", {tExpr("P")}),
+                 fNot(labelF("mayDef", {tExpr("Y")}))))
+      .rewrite("X := *P", "X := Y")
+      .witness(wEq(curEval("*P"), curEval("Y")))
+      .withLabel(syntacticDefLabel())
+      .withLabel(mayDefLabel())
+      .withLabel(derefUnchangedLabel())
+      .build();
+}
+
+Optimization opts::loadCse() {
+  return OptBuilder("load_cse")
+      .forward()
+      .psi1(fAnd(stmtIs("X := *P"), fNot(fEq(tExpr("X"), tExpr("P")))))
+      .psi2(fAnd(labelF("derefUnchanged", {tExpr("P")}),
+                 fNot(labelF("mayDef", {tExpr("X")}))))
+      .rewrite("Y := *P", "Y := X")
+      .witness(wEq(curEval("X"), curEval("*P")))
+      .withLabel(syntacticDefLabel())
+      .withLabel(mayDefLabel())
+      .withLabel(derefUnchangedLabel())
+      .build();
+}
+
+Optimization opts::branchFold() {
+  return OptBuilder("branch_fold")
+      .forward()
+      .psi1(stmtIs("Y := C"))
+      .psi2(fNot(labelF("mayDef", {tExpr("Y")})))
+      .rewrite("if Y goto I1 else I2", "if C goto I1 else I2")
+      .witness(wEq(curEval("Y"), curEval("C")))
+      .withLabel(syntacticDefLabel())
+      .withLabel(mayDefLabel())
+      .build();
+}
+
+Optimization opts::branchTaken() {
+  return OptBuilder("branch_taken")
+      .forward()
+      .psi1(labelF("computes", {tExpr("C != 0"), tExpr("1")}))
+      .psi2(fTrue())
+      .rewrite("if C goto I1 else I2", "if 1 goto I1 else I1")
+      .witness(wEq(curEval("C != 0"), curEval("1")))
+      .build();
+}
+
+Optimization opts::branchNotTaken() {
+  return OptBuilder("branch_not_taken")
+      .forward()
+      .psi1(labelF("computes", {tExpr("C == 0"), tExpr("1")}))
+      .psi2(fTrue())
+      .rewrite("if C goto I1 else I2", "if 1 goto I2 else I2")
+      .witness(wEq(curEval("C == 0"), curEval("1")))
+      .build();
+}
+
+//===----------------------------------------------------------------------===//
+// Backward optimizations.
+//===----------------------------------------------------------------------===//
+
+Optimization opts::deadAssignElim() {
+  FormulaPtr Redefined = fOr(fOr(stmtIs("X := ..."), stmtIs("X := new")),
+                             stmtIs("return ..."));
+  return OptBuilder("dead_assign_elim")
+      .backward()
+      .psi1(fAnd(Redefined, fNot(labelF("mayUse", {tExpr("X")}))))
+      // ¬stmt(decl X): a re-declaration would rebind X to a fresh cell,
+      // leaving the traces' disagreement in a ghost cell that a captured
+      // pointer could still observe. Well-formed procedures declare each
+      // variable once, but the per-statement obligations cannot assume
+      // that, and the checker rightly rejects the guard without this
+      // conjunct (obligation B2[decl]).
+      .psi2(fAnd(fNot(labelF("mayUse", {tExpr("X")})),
+                 fNot(stmtIs("decl X"))))
+      .rewrite("X := E", "skip")
+      .witness(eqUpTo("X"))
+      .withLabel(syntacticDefLabel())
+      .withLabel(exprUsesLabel())
+      .withLabel(mayUseLabel())
+      .build();
+}
+
+Optimization opts::selfAssignRemoval() {
+  // Unconditional rewrite: ψ1 = true holds at every following node, so
+  // the guard holds at every statement with a successor.
+  return OptBuilder("self_assign_removal")
+      .backward()
+      .psi1(fTrue())
+      .psi2(fFalse())
+      .rewrite("X := X", "skip")
+      .witness(wStateEq())
+      .build();
+}
+
+Optimization opts::redundantBranchElim() {
+  return OptBuilder("redundant_branch_elim")
+      .backward()
+      .psi1(fTrue())
+      .psi2(fFalse())
+      .rewrite("if B goto I1 else I1", "if 1 goto I1 else I1")
+      .witness(wStateEq())
+      .build();
+}
+
+/// PRE's profitability heuristic: keep only the *latest* legal insertion
+/// sites for each substitution — those from which no other legal site
+/// for the same θ is reachable. Later insertions convert partial
+/// redundancies at minimal cost (§2.3's "latest ones ... do not
+/// introduce any partially dead computations" in simplified form).
+static ChooseFn preChooseLatest() {
+  return [](const std::vector<MatchSite> &Delta, const Procedure &P) {
+    Cfg G(P);
+    // Reachability between site indices (procedures are small; a BFS per
+    // site is fine, and choose never affects soundness).
+    auto Reaches = [&](int From, int To) {
+      std::vector<bool> Seen(G.size(), false);
+      std::vector<int> Work = {From};
+      Seen[From] = true;
+      while (!Work.empty()) {
+        int I = Work.back();
+        Work.pop_back();
+        for (int S : G.succs(I)) {
+          if (S == To)
+            return true;
+          if (!Seen[S]) {
+            Seen[S] = true;
+            Work.push_back(S);
+          }
+        }
+      }
+      return false;
+    };
+
+    std::vector<MatchSite> Out;
+    for (const MatchSite &Site : Delta) {
+      bool Latest = true;
+      for (const MatchSite &Other : Delta) {
+        if (Other.Theta == Site.Theta && Other.Index != Site.Index &&
+            Reaches(Site.Index, Other.Index)) {
+          Latest = false;
+          break;
+        }
+      }
+      if (Latest)
+        Out.push_back(Site);
+    }
+    return Out;
+  };
+}
+
+Optimization opts::preDuplicate() {
+  return OptBuilder("pre_duplicate")
+      .backward()
+      .psi1(fAnd(stmtIs("X := E"), fNot(labelF("mayUse", {tExpr("X")}))))
+      .psi2(fAnd(fAnd(labelF("unchanged", {tExpr("E")}),
+                      fNot(labelF("mayDef", {tExpr("X")}))),
+                 fNot(labelF("mayUse", {tExpr("X")}))))
+      .rewrite("skip", "X := E")
+      .witness(eqUpTo("X"))
+      .choose(preChooseLatest())
+      .withLabel(syntacticDefLabel())
+      .withLabel(exprUsesLabel())
+      .withLabel(mayDefLabel())
+      .withLabel(mayUseLabel())
+      .withLabel(unchangedLabel())
+      .build();
+}
+
+//===----------------------------------------------------------------------===//
+// Pure analyses.
+//===----------------------------------------------------------------------===//
+
+PureAnalysis opts::taintAnalysis() {
+  // Example 4: a variable is untainted at a statement if on all paths it
+  // was declared and its address never taken since.
+  return AnalysisBuilder("taint_analysis")
+      .psi1(stmtIs("decl X"))
+      .psi2(fNot(stmtIs("_ := &X")))
+      .defines("notTainted", {tExpr("X")})
+      .witness(notPointedToW("X"))
+      .build();
+}
+
+//===----------------------------------------------------------------------===//
+// Registry.
+//===----------------------------------------------------------------------===//
+
+std::vector<Optimization> opts::allOptimizations() {
+  std::vector<Optimization> Out;
+  Out.push_back(constProp());
+  Out.push_back(constPropFold());
+  Out.push_back(constPropPrecise());
+  Out.push_back(copyProp());
+  Out.push_back(constFoldAdd());
+  Out.push_back(constFoldMul());
+  Out.push_back(simplifyAddZero());
+  Out.push_back(simplifyMulOne());
+  Out.push_back(simplifyMulZero());
+  Out.push_back(simplifySubSelf());
+  Out.push_back(cse());
+  Out.push_back(storeForward());
+  Out.push_back(loadCse());
+  Out.push_back(branchFold());
+  Out.push_back(branchTaken());
+  Out.push_back(branchNotTaken());
+  Out.push_back(deadAssignElim());
+  Out.push_back(selfAssignRemoval());
+  Out.push_back(redundantBranchElim());
+  Out.push_back(preDuplicate());
+  return Out;
+}
+
+std::vector<PureAnalysis> opts::allAnalyses() {
+  std::vector<PureAnalysis> Out;
+  Out.push_back(taintAnalysis());
+  return Out;
+}

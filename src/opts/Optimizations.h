@@ -1,0 +1,129 @@
+//===- Optimizations.h - The Cobalt optimization suite ----------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizations and analyses the paper reports implementing and
+/// proving sound (§1, §2, §5.1): constant propagation and folding, copy
+/// propagation, common subexpression elimination (arithmetic and
+/// redundant-load forms), branch folding, dead assignment elimination,
+/// partial redundancy elimination (as a code-duplication pass + CSE +
+/// self-assignment removal, §2.3), and a simple pointer (taint) analysis
+/// (§2.4). Loop-invariant code motion arises by composing the PRE
+/// pieces (§6 "Expressiveness").
+///
+/// Each returns a fresh Optimization/PureAnalysis value carrying the
+/// label definitions it needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_OPTS_OPTIMIZATIONS_H
+#define COBALT_OPTS_OPTIMIZATIONS_H
+
+#include "core/Optimization.h"
+
+#include <vector>
+
+namespace cobalt {
+namespace opts {
+
+//===----------------------------------------------------------------------===//
+// Forward optimizations.
+//===----------------------------------------------------------------------===//
+
+/// Example 1: X := Y ⇒ X := C after Y := C, through ¬mayDef(Y).
+Optimization constProp();
+
+/// Constant propagation with folding at the definition: after Y := E
+/// where E folds to C (the computes builtin), X := Y ⇒ X := C.
+Optimization constPropFold();
+
+/// As constProp but using mayDefPrecise (consumes notTainted labels) —
+/// the §2.4 "less conservative in the face of pointers" variant.
+Optimization constPropPrecise();
+
+/// Copy propagation: X := Y ⇒ X := Z after Y := Z, with neither Y nor Z
+/// redefined in between.
+Optimization copyProp();
+
+/// In-place constant folding, one rule per operator: X := C1 op C2 ⇒
+/// X := C3 where C3 = fold(C1 op C2). The enabling condition
+/// computes(C1 op C2, C3) is node-independent, so any predecessor
+/// enables it.
+Optimization constFoldAdd();
+Optimization constFoldMul();
+
+/// Algebraic simplifications via node-independent term-equality guards:
+/// X := Y + C ⇒ X := Y when C = 0, X := Y * C ⇒ X := Y when C = 1,
+/// X := Y * C ⇒ X := C when C = 0 (Y must still evaluate — the rewrite
+/// can only make the program *more* defined, which is fine), and
+/// X := Y - Y ⇒ X := 0.
+Optimization simplifyAddZero();
+Optimization simplifyMulOne();
+Optimization simplifyMulZero();
+Optimization simplifySubSelf();
+
+/// Common subexpression elimination over pure expressions:
+/// Y := E ⇒ Y := X after X := E (E not using X), with E and X unchanged.
+Optimization cse();
+
+/// Store-to-load forwarding: X := *P ⇒ X := Y after *P := Y, with *P and
+/// Y unchanged.
+Optimization storeForward();
+
+/// Redundant-load elimination (the §6 example): Y := *P ⇒ Y := X after
+/// X := *P, with *P preserved via derefUnchanged (requires notTainted).
+Optimization loadCse();
+
+/// Branch folding: if Y goto I1 else I2 ⇒ if C goto I1 else I2 after
+/// Y := C.
+Optimization branchFold();
+
+/// Branch direction folding: if C goto I1 else I2 ⇒ if 1 goto I1 else I1
+/// when C ≠ 0 (respectively ⇒ if 1 goto I2 else I2 when C = 0).
+Optimization branchTaken();
+Optimization branchNotTaken();
+
+//===----------------------------------------------------------------------===//
+// Backward optimizations.
+//===----------------------------------------------------------------------===//
+
+/// Example 2: dead assignment elimination, X := E ⇒ skip.
+Optimization deadAssignElim();
+
+/// Self-assignment removal: X := X ⇒ skip (used after CSE in the PRE
+/// pipeline, §2.3).
+Optimization selfAssignRemoval();
+
+/// Redundant-branch simplification: if B goto I1 else I1 ⇒
+/// if 1 goto I1 else I1 (drops the dead use of B).
+Optimization redundantBranchElim();
+
+/// Example 3: PRE's code-duplication pass, skip ⇒ X := E, with a
+/// profitability heuristic selecting insertions that convert partial
+/// redundancies into full ones.
+Optimization preDuplicate();
+
+//===----------------------------------------------------------------------===//
+// Pure analyses.
+//===----------------------------------------------------------------------===//
+
+/// Example 4: the taint analysis defining notTainted(X).
+PureAnalysis taintAnalysis();
+
+//===----------------------------------------------------------------------===//
+// Registry.
+//===----------------------------------------------------------------------===//
+
+/// Every optimization above, in a sensible pipeline order.
+std::vector<Optimization> allOptimizations();
+
+/// Every pure analysis above.
+std::vector<PureAnalysis> allAnalyses();
+
+} // namespace opts
+} // namespace cobalt
+
+#endif // COBALT_OPTS_OPTIMIZATIONS_H

@@ -1,0 +1,164 @@
+//===- StdlibCobalt.h - The standard suite in Cobalt's own syntax -*- C++ -*-=//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core of the optimization suite written in Cobalt's *textual*
+/// syntax. This is the single-source demonstration that the DSL surface
+/// covers the shipped definitions: tests parse this module and require it
+/// to be structurally identical to the C++-builder versions (witness,
+/// guard, and rewrite rule; profitability heuristics stay in C++, as the
+/// paper keeps them in "a language of the user's choice").
+///
+/// The `cobaltc` tool loads files in exactly this format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_OPTS_STDLIBCOBALT_H
+#define COBALT_OPTS_STDLIBCOBALT_H
+
+namespace cobalt {
+namespace opts {
+
+inline constexpr const char *StdlibCobaltSource = R"COB(
+// ---------------------------------------------------------------------
+// Labels (paper 2.1.3 / 2.4). Arm-local pattern variables use the *9/*8
+// spellings so they never collide with optimization pattern variables.
+// ---------------------------------------------------------------------
+
+label syntacticDef(X) :=
+  case currStmt of
+    decl X => true
+  | X := E9 => true
+  | X := new => true
+  else => false
+  endcase;
+
+label exprUses(E, X) :=
+  case E of
+    C9 => false
+  | X => true
+  | Y9 => false
+  | *X => true
+  | *Y9 => true          // any load may read X's cell
+  | &Y9 => false
+  | ~X => true
+  | ~_ => false
+  | X _ _ => true
+  | _ _ X => true
+  | _ _ _ => false
+  else => false
+  endcase;
+
+label mayDef(X) :=
+  case currStmt of
+    *Y9 := E9 => true
+  | Y9 := P9(_) => true
+  else => syntacticDef(X)
+  endcase;
+
+label mayUse(X) :=
+  case currStmt of
+    decl Y9 => false
+  | skip => false
+  | Y9 := new => false
+  | Y9 := P9(_) => true
+  | *Y9 := E9 => Y9 = X || exprUses(E9, X)
+  | Y9 := E9 => exprUses(E9, X)
+  | if B9 goto I8 else I9 => B9 = X
+  | return Y9 => true    // escaped locals outlive the return
+  else => false
+  endcase;
+
+label unchanged(E) :=
+  case E of
+    C9 => true
+  | Y9 => !mayDef(Y9)
+  | &Y9 => !stmt(decl Y9)
+  | *Y9 => false
+  | ~Y9 => !mayDef(Y9)
+  | ~_ => true
+  | Y8 _ Y9 => !mayDef(Y8) && !mayDef(Y9)
+  | Y9 _ C9 => !mayDef(Y9)
+  | C9 _ Y9 => !mayDef(Y9)
+  | C8 _ C9 => true
+  else => false
+  endcase;
+
+// ---------------------------------------------------------------------
+// Optimizations.
+// ---------------------------------------------------------------------
+
+optimization const_prop :=
+  forward
+  stmt(Y := C)
+  followed by !mayDef(Y)
+  until X := Y => X := C
+  with witness eta(Y) = eta(C);
+
+optimization copy_prop :=
+  forward
+  stmt(Y := Z)
+  followed by !mayDef(Y) && !mayDef(Z)
+  until X := Y => X := Z
+  with witness eta(Y) = eta(Z);
+
+optimization cse :=
+  forward
+  stmt(X := E) && !exprUses(E, X)
+  followed by unchanged(E) && !mayDef(X)
+  until Y := E => Y := X
+  with witness eta(X) = eta(E);
+
+optimization branch_fold :=
+  forward
+  stmt(Y := C)
+  followed by !mayDef(Y)
+  until if Y goto I1 else I2 => if C goto I1 else I2
+  with witness eta(Y) = eta(C);
+
+optimization branch_taken :=
+  forward
+  computes(C != 0, 1)
+  followed by true
+  until if C goto I1 else I2 => if 1 goto I1 else I1
+  with witness eta(C != 0) = eta(1);
+
+optimization dead_assign_elim :=
+  backward
+  (stmt(X := ...) || stmt(X := new) || stmt(return ...)) && !mayUse(X)
+  preceded by !mayUse(X) && !stmt(decl X)
+  since X := E => skip
+  with witness eta_old/X = eta_new/X;
+
+optimization self_assign_removal :=
+  backward
+  true
+  preceded by false
+  since X := X => skip
+  with witness eta_old = eta_new;
+
+optimization pre_duplicate :=
+  backward
+  stmt(X := E) && !mayUse(X)
+  preceded by unchanged(E) && !mayDef(X) && !mayUse(X)
+  since skip => X := E
+  with witness eta_old/X = eta_new/X;
+
+// ---------------------------------------------------------------------
+// Pure analyses (paper 2.4).
+// ---------------------------------------------------------------------
+
+analysis taint_analysis :=
+  stmt(decl X)
+  followed by !stmt(_ := &X)
+  defines notTainted(X)
+  with witness notPointedTo(X);
+)COB";
+
+} // namespace opts
+} // namespace cobalt
+
+#endif // COBALT_OPTS_STDLIBCOBALT_H

@@ -1,0 +1,38 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace cobalt;
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  switch (Kind) {
+  case DiagKind::DK_Error:
+    Out = "error";
+    break;
+  case DiagKind::DK_Warning:
+    Out = "warning";
+    break;
+  case DiagKind::DK_Note:
+    Out = "note";
+    break;
+  }
+  if (Loc.isValid())
+    Out += " at " + Loc.str();
+  Out += ": " + Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    if (!Out.empty())
+      Out += '\n';
+    Out += D.str();
+  }
+  return Out;
+}

@@ -1,0 +1,67 @@
+//===- Diagnostics.h - Error collection for parsers and checkers -*- C++ -*-=//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic sink. Library code never aborts on user input;
+/// parsers and the soundness checker report through a DiagnosticEngine and
+/// callers decide how to surface failures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_SUPPORT_DIAGNOSTICS_H
+#define COBALT_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace cobalt {
+
+/// Severity of a diagnostic. Errors make the owning operation fail;
+/// warnings and notes are informational.
+enum class DiagKind { DK_Error, DK_Warning, DK_Note };
+
+/// One reported diagnostic: severity, optional location, message text.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "error at 3:7: ..." in the style required for tools.
+  std::string str() const;
+};
+
+/// Accumulates diagnostics for one operation (a parse, a soundness check).
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::DK_Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void error(std::string Message) { error(SourceLoc(), std::move(Message)); }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::DK_Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::DK_Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics joined with newlines, for test assertions and CLIs.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace cobalt
+
+#endif // COBALT_SUPPORT_DIAGNOSTICS_H

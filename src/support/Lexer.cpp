@@ -1,0 +1,139 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace cobalt;
+
+/// Punctuators, longest first so prefix-sharing spellings lex greedily.
+static constexpr std::string_view Punctuators[] = {
+    ":=", "=>", "->", "==", "!=", "<=", ">=", "&&", "||", "(", ")", "{",
+    "}",  "[",  "]",  ";",  ",",  ":",  "*",  "&",  "=",  "<", ">", "+",
+    "-",  "/",  "%",  "!",  "|",  ".",  "@",  "_",  "?",  "~"};
+
+char Lexer::peekChar(unsigned Ahead) const {
+  return Pos + Ahead < Buffer.size() ? Buffer[Pos + Ahead] : '\0';
+}
+
+char Lexer::bumpChar() {
+  assert(Pos < Buffer.size() && "bump past end of buffer");
+  char C = Buffer[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Buffer.size()) {
+    char C = peekChar();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      bumpChar();
+      continue;
+    }
+    if (C == '#' || (C == '/' && peekChar(1) == '/')) {
+      while (Pos < Buffer.size() && peekChar() != '\n')
+        bumpChar();
+      continue;
+    }
+    break;
+  }
+}
+
+const Token &Lexer::peek() {
+  if (Pushback.empty())
+    Pushback.push_back(lexImpl());
+  return Pushback.back();
+}
+
+Token Lexer::lex() {
+  if (!Pushback.empty()) {
+    Token Tok = Pushback.back();
+    Pushback.pop_back();
+    return Tok;
+  }
+  return lexImpl();
+}
+
+void Lexer::unlex(Token Tok) { Pushback.push_back(std::move(Tok)); }
+
+SourceLoc Lexer::currentLoc() { return peek().Loc; }
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+static bool isIdentBody(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '\'';
+}
+
+Token Lexer::lexImpl() {
+  skipWhitespaceAndComments();
+
+  Token Tok;
+  Tok.Loc = {Line, Column};
+  if (Pos >= Buffer.size()) {
+    Tok.Kind = TokenKind::TK_End;
+    return Tok;
+  }
+
+  size_t Start = Pos;
+  char C = peekChar();
+
+  if (isIdentStart(C)) {
+    while (Pos < Buffer.size() && isIdentBody(peekChar()))
+      bumpChar();
+    Tok.Kind = TokenKind::TK_Ident;
+    Tok.Spelling = Buffer.substr(Start, Pos - Start);
+    // A lone "_" is the wildcard punctuator, not an identifier.
+    if (Tok.Spelling == "_")
+      Tok.Kind = TokenKind::TK_Punct;
+    return Tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t Value = 0;
+    while (Pos < Buffer.size() &&
+           std::isdigit(static_cast<unsigned char>(peekChar())))
+      Value = Value * 10 + (bumpChar() - '0');
+    Tok.Kind = TokenKind::TK_Int;
+    Tok.Spelling = Buffer.substr(Start, Pos - Start);
+    Tok.IntValue = Value;
+    return Tok;
+  }
+
+  if (C == '.' && peekChar(1) == '.' && peekChar(2) == '.') {
+    bumpChar();
+    bumpChar();
+    bumpChar();
+    Tok.Kind = TokenKind::TK_Ellipsis;
+    Tok.Spelling = Buffer.substr(Start, 3);
+    return Tok;
+  }
+
+  for (std::string_view P : Punctuators) {
+    if (Buffer.substr(Pos, P.size()) == P) {
+      for (size_t I = 0; I < P.size(); ++I)
+        bumpChar();
+      Tok.Kind = TokenKind::TK_Punct;
+      Tok.Spelling = Buffer.substr(Start, P.size());
+      return Tok;
+    }
+  }
+
+  bumpChar();
+  Tok.Kind = TokenKind::TK_Error;
+  Tok.Spelling = Buffer.substr(Start, 1);
+  Diags.error(Tok.Loc, "unrecognized character '" +
+                           std::string(Tok.Spelling) + "'");
+  return Tok;
+}

@@ -1,0 +1,94 @@
+//===- Lexer.h - Shared token stream for IL and Cobalt texts ----*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written lexer shared by the intermediate-language parser and the
+/// Cobalt DSL parser. Produces identifiers, integer literals, and
+/// punctuation; keywords are recognized by the parsers from identifier
+/// spellings so the two front-ends can have different keyword sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_SUPPORT_LEXER_H
+#define COBALT_SUPPORT_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cobalt {
+
+/// Lexical category of a Token.
+enum class TokenKind {
+  TK_Ident,    ///< [A-Za-z_][A-Za-z0-9_']*
+  TK_Int,      ///< decimal integer literal
+  TK_Punct,    ///< one of the multi/single-char punctuators
+  TK_Ellipsis, ///< "..." (used by Cobalt patterns)
+  TK_End,      ///< end of input
+  TK_Error     ///< unrecognized character (diagnosed)
+};
+
+/// One lexed token. \c Spelling views into the lexer's buffer and is valid
+/// for the lifetime of the Lexer.
+struct Token {
+  TokenKind Kind = TokenKind::TK_End;
+  std::string_view Spelling;
+  int64_t IntValue = 0; ///< Valid when Kind == TK_Int.
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  /// True for a punctuator with exactly this spelling.
+  bool isPunct(std::string_view S) const {
+    return Kind == TokenKind::TK_Punct && Spelling == S;
+  }
+  /// True for an identifier with exactly this spelling (keyword check).
+  bool isIdent(std::string_view S) const {
+    return Kind == TokenKind::TK_Ident && Spelling == S;
+  }
+};
+
+/// Tokenizes a source buffer on demand. Comments run from "//" or "#" to
+/// end of line. Multi-character punctuators are matched longest-first.
+class Lexer {
+public:
+  Lexer(std::string_view Buffer, DiagnosticEngine &Diags)
+      : Buffer(Buffer), Diags(Diags) {}
+
+  /// Lexes and returns the next token, advancing the stream.
+  Token lex();
+
+  /// Returns the next token without consuming it.
+  const Token &peek();
+
+  /// Pushes a previously-lexed token back onto the stream; it will be the
+  /// next token returned. Supports the two-token lookahead needed to
+  /// distinguish `label:` from `var := ...`.
+  void unlex(Token Tok);
+
+  /// Current location (of the next token to be lexed).
+  SourceLoc currentLoc();
+
+private:
+  Token lexImpl();
+  void skipWhitespaceAndComments();
+  char peekChar(unsigned Ahead = 0) const;
+  char bumpChar();
+
+  std::string_view Buffer;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+  std::vector<Token> Pushback;
+};
+
+} // namespace cobalt
+
+#endif // COBALT_SUPPORT_LEXER_H

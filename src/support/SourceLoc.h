@@ -1,0 +1,44 @@
+//===- SourceLoc.h - Source positions for diagnostics ----------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction of Lerner, Millstein & Chambers,
+// "Automatically Proving the Correctness of Compiler Optimizations",
+// PLDI 2003. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 1-based (line, column) position in a source buffer, shared by the
+/// intermediate-language and Cobalt parsers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_SUPPORT_SOURCELOC_H
+#define COBALT_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace cobalt {
+
+/// A position in a source buffer. Line and column are 1-based; a
+/// default-constructed location is "unknown" and prints as "<unknown>".
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  /// Renders as "line:column", or "<unknown>" for invalid locations.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+} // namespace cobalt
+
+#endif // COBALT_SUPPORT_SOURCELOC_H

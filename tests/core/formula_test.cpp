@@ -1,0 +1,258 @@
+//===- formula_test.cpp - ψ evaluation and satisfaction -------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Formula.h"
+
+#include "core/Builder.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+namespace {
+
+/// Fixture: the §5.2 example procedure plus a registry with a small
+/// syntacticDef/mayDef label set.
+class FormulaTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Prog = parseProgramOrDie(R"(
+      proc main(x) {
+        decl a;
+        decl b;
+        decl c;
+        a := 2;
+        b := 3;
+        c := a;
+        return c;
+      }
+    )");
+    Proc = &Prog.Procs[0];
+    Univ = buildUniverse(*Proc);
+
+    // syntacticDef(Y): decl Y or an assignment to Y.
+    Registry.define(makeLabelDef(
+        "syntacticDef", {"Y"},
+        CaseBuilder(tCurrStmt())
+            .stmtArm("decl Y", fTrue())
+            .stmtArm("Y := E", fTrue())
+            .stmtArm("Y := new", fTrue())
+            .elseArm(fFalse())));
+
+    // mayDef(Y): conservative — pointer stores and calls may define
+    // anything; otherwise a syntactic definition.
+    Registry.define(makeLabelDef(
+        "mayDef", {"Y"},
+        CaseBuilder(tCurrStmt())
+            .stmtArm("*X := Z", fTrue())
+            .stmtArm("X := P(Z)", fTrue())
+            .elseArm(labelF("syntacticDef", {tExpr("Y")}))));
+
+    Registry.declareAnalysisLabel("notTainted");
+    Labels.resize(Proc->size());
+  }
+
+  NodeContext ctx(int Index) {
+    return {Proc, Index, &Registry, &Labels, &Univ};
+  }
+
+  Program Prog;
+  const Procedure *Proc;
+  Universe Univ;
+  LabelRegistry Registry;
+  Labeling Labels;
+};
+
+TEST_F(FormulaTest, UniverseContents) {
+  // Vars: x, a, b, c. Consts: 2, 3. Indices: 0..6.
+  EXPECT_EQ(Univ.Vars.size(), 4u);
+  EXPECT_EQ(Univ.Consts.size(), 2u);
+  EXPECT_EQ(Univ.Indices.size(), 7u);
+  EXPECT_TRUE(Univ.Procs.empty());
+}
+
+TEST_F(FormulaTest, StmtLabelCheckMode) {
+  // Node 3 is `a := 2`.
+  Substitution Theta;
+  Theta.bind("Y", Binding::var("a"));
+  Theta.bind("C", Binding::constant(2));
+  auto R = evalFormula(*stmtIs("Y := C"), ctx(3), Theta);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(*R);
+
+  Substitution Wrong;
+  Wrong.bind("Y", Binding::var("b"));
+  Wrong.bind("C", Binding::constant(2));
+  R = evalFormula(*stmtIs("Y := C"), ctx(3), Wrong);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(*R);
+}
+
+TEST_F(FormulaTest, StmtLabelUnboundIsError) {
+  Substitution Theta; // Y, C unbound
+  EXPECT_FALSE(evalFormula(*stmtIs("Y := C"), ctx(3), Theta).has_value());
+}
+
+TEST_F(FormulaTest, StmtLabelGenerative) {
+  auto Sats = satisfyFormula(*stmtIs("Y := C"), ctx(3), Substitution());
+  ASSERT_EQ(Sats.size(), 1u);
+  EXPECT_EQ(Sats[0].lookup("Y")->asVar(), "a");
+  EXPECT_EQ(Sats[0].lookup("C")->asConst(), 2);
+
+  // `c := a` (node 5) does not match Y := C.
+  EXPECT_TRUE(satisfyFormula(*stmtIs("Y := C"), ctx(5), Substitution())
+                  .empty());
+}
+
+TEST_F(FormulaTest, UserPredicateLabel) {
+  Substitution Theta;
+  Theta.bind("Y", Binding::var("a"));
+  // Node 3 `a := 2` defines a.
+  auto R = evalFormula(*labelF("mayDef", {tExpr("Y")}), ctx(3), Theta);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(*R);
+  // Node 4 `b := 3` does not define a.
+  R = evalFormula(*labelF("mayDef", {tExpr("Y")}), ctx(4), Theta);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(*R);
+  // decl a (node 0) is a syntactic definition of a.
+  R = evalFormula(*labelF("syntacticDef", {tExpr("Y")}), ctx(0), Theta);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(*R);
+}
+
+TEST_F(FormulaTest, NegatedLabelGenerativeEnumeratesUniverse) {
+  // !mayDef(Y) at node 4 (`b := 3`): true for Y ∈ {x, a, c}.
+  auto Sats = satisfyFormula(*fNot(labelF("mayDef", {tExpr("Y")})), ctx(4),
+                             Substitution());
+  EXPECT_EQ(Sats.size(), 3u);
+  for (const Substitution &S : Sats)
+    EXPECT_NE(S.lookup("Y")->asVar(), "b");
+}
+
+TEST_F(FormulaTest, AndComposesGeneratively) {
+  // stmt(Y := C) && !mayDef(X): Y,C from the match; X enumerated.
+  FormulaPtr F = fAnd(stmtIs("Y := C"), fNot(labelF("mayDef", {tExpr("X")})));
+  auto Sats = satisfyFormula(*F, ctx(3), Substitution());
+  // At node 3 (`a := 2`): Y=a, C=2; X ranges over {x, b, c}.
+  EXPECT_EQ(Sats.size(), 3u);
+}
+
+TEST_F(FormulaTest, OrUnionsBranches) {
+  FormulaPtr F = fOr(stmtIs("Y := C"), stmtIs("decl Y"));
+  auto At3 = satisfyFormula(*F, ctx(3), Substitution());
+  EXPECT_EQ(At3.size(), 1u);
+  auto At0 = satisfyFormula(*F, ctx(0), Substitution());
+  EXPECT_EQ(At0.size(), 1u);
+  EXPECT_EQ(At0[0].lookup("Y")->asVar(), "a");
+}
+
+TEST_F(FormulaTest, EqOnTerms) {
+  Substitution Theta;
+  Theta.bind("X", Binding::var("a"));
+  Theta.bind("Y", Binding::var("a"));
+  auto R = evalFormula(*fEq(tExpr("X"), tExpr("Y")), ctx(0), Theta);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(*R);
+  Theta = Substitution();
+  Theta.bind("X", Binding::var("a"));
+  Theta.bind("Y", Binding::var("b"));
+  R = evalFormula(*fEq(tExpr("X"), tExpr("Y")), ctx(0), Theta);
+  EXPECT_FALSE(*R);
+}
+
+TEST_F(FormulaTest, CaseFirstMatchWins) {
+  // case currStmt of X := E => false | _ := E2 => true | else true.
+  FormulaPtr F = CaseBuilder(tCurrStmt())
+                     .stmtArm("X := E", fFalse())
+                     .stmtArm("_ := E2", fTrue())
+                     .elseArm(fTrue());
+  // Node 3 `a := 2` matches the first arm -> false (not the second).
+  auto R = evalFormula(*F, ctx(3), Substitution());
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(*R);
+  // Node 0 `decl a` falls through to else -> true.
+  R = evalFormula(*F, ctx(0), Substitution());
+  EXPECT_TRUE(*R);
+}
+
+TEST_F(FormulaTest, CaseArmBindingsAreLocal) {
+  // Arm pattern binds E locally; the formula has no free variables, so
+  // generative satisfaction yields exactly the unchanged θ.
+  FormulaPtr F = CaseBuilder(tCurrStmt())
+                     .stmtArm("X := E", fTrue())
+                     .elseArm(fFalse());
+  std::vector<std::pair<std::string, MetaKind>> Frees;
+  collectFreeMetas(*F, Frees);
+  EXPECT_TRUE(Frees.empty());
+  auto Sats = satisfyFormula(*F, ctx(3), Substitution());
+  ASSERT_EQ(Sats.size(), 1u);
+  EXPECT_TRUE(Sats[0].empty());
+}
+
+TEST_F(FormulaTest, ComputesFoldsConstants) {
+  // computes(E, C) with E bound to 2 + 3 binds C to 5.
+  Substitution Theta;
+  Theta.bind("E", Binding::expr(parseExprPatternOrDie("2 + 3")));
+  auto Sats = satisfyFormula(*labelF("computes", {tExpr("E"), tExpr("C")}),
+                             ctx(0), Theta);
+  ASSERT_EQ(Sats.size(), 1u);
+  EXPECT_EQ(Sats[0].lookup("C")->asConst(), 5);
+
+  // Check mode agrees.
+  Substitution Full = Sats[0];
+  auto R = evalFormula(*labelF("computes", {tExpr("E"), tExpr("C")}), ctx(0),
+                       Full);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(*R);
+}
+
+TEST_F(FormulaTest, ComputesRejectsNonConstant) {
+  Substitution Theta;
+  Theta.bind("E", Binding::expr(parseExprPatternOrDie("a + 3")));
+  EXPECT_TRUE(satisfyFormula(*labelF("computes", {tExpr("E"), tExpr("C")}),
+                             ctx(0), Theta)
+                  .empty());
+  // Division by zero does not fold.
+  Substitution T2;
+  T2.bind("E", Binding::expr(parseExprPatternOrDie("1 / 0")));
+  EXPECT_TRUE(satisfyFormula(*labelF("computes", {tExpr("E"), tExpr("C")}),
+                             ctx(0), T2)
+                  .empty());
+}
+
+TEST_F(FormulaTest, AnalysisLabelMembershipAndGenerativity) {
+  GroundLabel G{"notTainted", {Binding::var("a")}};
+  Labels[4].insert(G);
+
+  Substitution Theta;
+  Theta.bind("X", Binding::var("a"));
+  auto R = evalFormula(*labelF("notTainted", {tExpr("X")}), ctx(4), Theta);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(*R);
+  R = evalFormula(*labelF("notTainted", {tExpr("X")}), ctx(3), Theta);
+  EXPECT_FALSE(*R);
+
+  auto Sats = satisfyFormula(*labelF("notTainted", {tExpr("X")}), ctx(4),
+                             Substitution());
+  ASSERT_EQ(Sats.size(), 1u);
+  EXPECT_EQ(Sats[0].lookup("X")->asVar(), "a");
+}
+
+TEST_F(FormulaTest, FreeMetasOfGuardFormulas) {
+  FormulaPtr F = fAnd(stmtIs("Y := C"), fNot(labelF("mayDef", {tExpr("X")})));
+  std::vector<std::pair<std::string, MetaKind>> Frees;
+  collectFreeMetas(*F, Frees);
+  ASSERT_EQ(Frees.size(), 3u);
+  EXPECT_EQ(Frees[0].first, "Y");
+  EXPECT_EQ(Frees[1].first, "C");
+  EXPECT_EQ(Frees[1].second, MetaKind::MK_Const);
+  EXPECT_EQ(Frees[2].first, "X");
+}
+
+} // namespace

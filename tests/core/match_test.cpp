@@ -1,0 +1,218 @@
+//===- match_test.cpp - Matching and instantiation ------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Match.h"
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+namespace {
+
+Stmt stmtOf(const char *Text) {
+  // Ground statements parse through pattern mode with lower-case names.
+  return parseStmtPatternOrDie(Text);
+}
+
+TEST(MatchTest, AssignBindsBothSides) {
+  Substitution Theta;
+  ASSERT_TRUE(matchStmt(parseStmtPatternOrDie("Y := C"), stmtOf("a := 2"),
+                        Theta));
+  EXPECT_EQ(Theta.lookup("Y")->asVar(), "a");
+  EXPECT_EQ(Theta.lookup("C")->asConst(), 2);
+}
+
+TEST(MatchTest, KindsMustAgree) {
+  Substitution Theta;
+  // A Consts pattern does not match a variable RHS.
+  EXPECT_FALSE(matchStmt(parseStmtPatternOrDie("Y := C"), stmtOf("a := b"),
+                         Theta));
+  // A Vars pattern does not match a constant RHS.
+  EXPECT_FALSE(matchStmt(parseStmtPatternOrDie("X := Y"), stmtOf("a := 2"),
+                         Theta));
+  EXPECT_TRUE(Theta.empty());
+}
+
+TEST(MatchTest, MetaExprMatchesAnyRhs) {
+  Substitution T1, T2, T3;
+  EXPECT_TRUE(matchStmt(parseStmtPatternOrDie("X := E"), stmtOf("a := b + c"),
+                        T1));
+  EXPECT_EQ(T1.lookup("E")->asExpr(), parseExprPatternOrDie("b + c"));
+  EXPECT_TRUE(matchStmt(parseStmtPatternOrDie("X := E"), stmtOf("a := 5"),
+                        T2));
+  EXPECT_TRUE(matchStmt(parseStmtPatternOrDie("X := E"), stmtOf("a := *p"),
+                        T3));
+}
+
+TEST(MatchTest, NonlinearPatternsRequireEqualFragments) {
+  Substitution Theta;
+  EXPECT_TRUE(matchStmt(parseStmtPatternOrDie("X := X + X"),
+                        stmtOf("a := a + a"), Theta));
+  Substitution Theta2;
+  EXPECT_FALSE(matchStmt(parseStmtPatternOrDie("X := X + X"),
+                         stmtOf("a := a + b"), Theta2));
+}
+
+TEST(MatchTest, PreboundVariablesActAsConstants) {
+  Substitution Theta;
+  Theta.bind("Y", Binding::var("a"));
+  EXPECT_TRUE(matchStmt(parseStmtPatternOrDie("X := Y"), stmtOf("t := a"),
+                        Theta));
+  Substitution Theta2;
+  Theta2.bind("Y", Binding::var("zz"));
+  EXPECT_FALSE(matchStmt(parseStmtPatternOrDie("X := Y"), stmtOf("t := a"),
+                         Theta2));
+}
+
+TEST(MatchTest, FailedMatchLeavesThetaUntouched) {
+  Substitution Theta;
+  Theta.bind("K", Binding::constant(9));
+  Substitution Before = Theta;
+  EXPECT_FALSE(matchStmt(parseStmtPatternOrDie("X := Y + Y"),
+                         stmtOf("a := b + c"), Theta));
+  EXPECT_EQ(Theta, Before);
+}
+
+TEST(MatchTest, WildcardLhsMatchesDerefStores) {
+  // ¬stmt(_ := &X) must also reject `*p := &x` — storing x's address
+  // through a pointer taints x just as a direct assignment does.
+  Substitution T1;
+  EXPECT_TRUE(matchStmt(parseStmtPatternOrDie("_ := &X"),
+                        stmtOf("*p := &v"), T1));
+  EXPECT_EQ(T1.lookup("X")->asVar(), "v");
+  // A *named* lhs pattern still requires the variable alternative.
+  Substitution T2;
+  EXPECT_FALSE(matchStmt(parseStmtPatternOrDie("Y := &X"),
+                         stmtOf("*p := &v"), T2));
+}
+
+TEST(MatchTest, WildcardsMatchWithoutBinding) {
+  Substitution Theta;
+  EXPECT_TRUE(matchStmt(parseStmtPatternOrDie("_ := E"), stmtOf("a := 1"),
+                        Theta));
+  EXPECT_EQ(Theta.size(), 1u); // only E
+  Substitution T2;
+  EXPECT_TRUE(matchStmt(parseStmtPatternOrDie("X := ..."), stmtOf("a := *p"),
+                        T2));
+  EXPECT_EQ(T2.size(), 1u); // only X
+}
+
+TEST(MatchTest, ReturnAndDeclPatterns) {
+  Substitution T1;
+  EXPECT_TRUE(matchStmt(parseStmtPatternOrDie("return ..."),
+                        stmtOf("return v"), T1));
+  Substitution T2;
+  EXPECT_TRUE(
+      matchStmt(parseStmtPatternOrDie("decl X"), stmtOf("decl y"), T2));
+  EXPECT_EQ(T2.lookup("X")->asVar(), "y");
+  Substitution T3;
+  EXPECT_FALSE(
+      matchStmt(parseStmtPatternOrDie("decl X"), stmtOf("skip"), T3));
+}
+
+TEST(MatchTest, PointerAndCallPatterns) {
+  Substitution T1;
+  EXPECT_TRUE(matchStmt(parseStmtPatternOrDie("*X := Z"),
+                        stmtOf("*p := q"), T1));
+  EXPECT_EQ(T1.lookup("X")->asVar(), "p");
+
+  Substitution T2;
+  EXPECT_TRUE(matchStmt(parseStmtPatternOrDie("X := P(Z)"),
+                        stmtOf("r := f(v)"), T2));
+  EXPECT_EQ(T2.lookup("P")->asProc(), "f");
+
+  Substitution T3;
+  EXPECT_TRUE(matchStmt(parseStmtPatternOrDie("X := &Y"),
+                        stmtOf("p := &v"), T3));
+  EXPECT_EQ(T3.lookup("Y")->asVar(), "v");
+}
+
+TEST(MatchTest, OperatorWildcardMatchesAnyOperator) {
+  Substitution T1;
+  EXPECT_TRUE(matchExpr(parseExprPatternOrDie("Y1 _ Y2"),
+                        parseExprPatternOrDie("a + b"), T1));
+  Substitution T2;
+  EXPECT_TRUE(matchExpr(parseExprPatternOrDie("Y1 _ Y2"),
+                        parseExprPatternOrDie("a < b"), T2));
+  Substitution T3;
+  EXPECT_FALSE(matchExpr(parseExprPatternOrDie("Y1 _ Y2"),
+                         parseExprPatternOrDie("a"), T3));
+}
+
+TEST(MatchTest, BranchPatternsBindIndices) {
+  Substitution Theta;
+  EXPECT_TRUE(matchStmt(parseStmtPatternOrDie("if C goto I1 else I2"),
+                        stmtOf("if 1 goto 3 else 7"), Theta));
+  EXPECT_EQ(Theta.lookup("C")->asConst(), 1);
+  EXPECT_EQ(Theta.lookup("I1")->asIndex(), 3);
+  EXPECT_EQ(Theta.lookup("I2")->asIndex(), 7);
+}
+
+//===--------------------------------------------------------------------===//
+// Instantiation.
+//===--------------------------------------------------------------------===//
+
+TEST(ApplySubstTest, RoundTripThroughMatch) {
+  Stmt Pattern = parseStmtPatternOrDie("X := Y + C");
+  Stmt Concrete = stmtOf("t := a + 3");
+  Substitution Theta;
+  ASSERT_TRUE(matchStmt(Pattern, Concrete, Theta));
+  auto Out = applySubst(Pattern, Theta);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(*Out, Concrete);
+}
+
+TEST(ApplySubstTest, UnboundVariableFails) {
+  Substitution Theta;
+  Theta.bind("X", Binding::var("t"));
+  EXPECT_FALSE(applySubst(parseStmtPatternOrDie("X := Y"), Theta));
+}
+
+TEST(ApplySubstTest, WrongKindFails) {
+  Substitution Theta;
+  Theta.bind("X", Binding::constant(1)); // X used in var position
+  EXPECT_FALSE(applySubst(parseStmtPatternOrDie("decl X"), Theta));
+}
+
+TEST(ApplySubstTest, WildcardsCannotBeInstantiated) {
+  Substitution Theta;
+  EXPECT_FALSE(applySubst(parseStmtPatternOrDie("_ := 1"), Theta));
+  EXPECT_FALSE(applySubstExpr(parseExprPatternOrDie("Y1 _ Y2"), Theta));
+}
+
+TEST(ApplySubstTest, MetaExprSubstitutesWholeExpression) {
+  Substitution Theta;
+  Theta.bind("X", Binding::var("t"));
+  Theta.bind("E", Binding::expr(parseExprPatternOrDie("a + b")));
+  auto Out = applySubst(parseStmtPatternOrDie("X := E"), Theta);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(*Out, stmtOf("t := a + b"));
+}
+
+TEST(ApplySubstTest, VarsBindingInBasePositionMayBeConst) {
+  // After constant folding C may appear where a base expression is
+  // expected; a Vars meta bound to a constant instantiates to that
+  // constant.
+  Substitution Theta;
+  Theta.bind("X", Binding::var("t"));
+  Theta.bind("B", Binding::constant(4));
+  auto Out = applySubst(parseStmtPatternOrDie("X := B"), Theta);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(*Out, stmtOf("t := 4"));
+}
+
+TEST(ApplySubstTest, SkipIsAlwaysInstantiable) {
+  Substitution Theta;
+  auto Out = applySubst(parseStmtPatternOrDie("skip"), Theta);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_TRUE(Out->is<SkipStmt>());
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+//===- optimization_test.cpp - Structural validation of optimizations -----===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Optimization.h"
+
+#include "core/Builder.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+namespace {
+
+Optimization makeConstProp() {
+  Optimization O;
+  O.Name = "const_prop";
+  O.Pat.Dir = Direction::D_Forward;
+  O.Pat.G.Psi1 = stmtIs("Y := C");
+  O.Pat.G.Psi2 = fNot(labelF("mayDef", {tExpr("Y")}));
+  O.Pat.From = parseStmtPatternOrDie("X := Y");
+  O.Pat.To = parseStmtPatternOrDie("X := C");
+  O.Pat.W = wEq(curEval("Y"), curEval("C"));
+  return O;
+}
+
+TEST(OptimizationValidationTest, WellFormedConstProp) {
+  EXPECT_EQ(validateOptimization(makeConstProp()), std::nullopt);
+}
+
+TEST(OptimizationValidationTest, Psi2VariableNotBoundByPsi1) {
+  Optimization O = makeConstProp();
+  O.Pat.G.Psi2 = fNot(labelF("mayDef", {tExpr("Z")}));
+  auto Err = validateOptimization(O);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("Z"), std::string::npos);
+}
+
+TEST(OptimizationValidationTest, RewriteResultVariableUnbound) {
+  Optimization O = makeConstProp();
+  O.Pat.To = parseStmtPatternOrDie("X := C9");
+  auto Err = validateOptimization(O);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("C9"), std::string::npos);
+}
+
+TEST(OptimizationValidationTest, RewriteResultWildcardRejected) {
+  Optimization O = makeConstProp();
+  O.Pat.To = parseStmtPatternOrDie("X := ...");
+  auto Err = validateOptimization(O);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("wildcard"), std::string::npos);
+}
+
+TEST(OptimizationValidationTest, WitnessDirectionMismatch) {
+  Optimization O = makeConstProp();
+  O.Pat.W = eqUpTo("X"); // backward witness in a forward pattern
+  auto Err = validateOptimization(O);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("direction"), std::string::npos);
+
+  O.Pat.Dir = Direction::D_Backward;
+  O.Pat.W = wEq(curEval("Y"), curEval("C"));
+  EXPECT_TRUE(validateOptimization(O).has_value());
+}
+
+TEST(OptimizationValidationTest, WitnessVariableUnbound) {
+  Optimization O = makeConstProp();
+  O.Pat.W = wEq(curEval("Q"), curEval("C"));
+  auto Err = validateOptimization(O);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("Q"), std::string::npos);
+}
+
+TEST(OptimizationValidationTest, ReturnShapeMustBePreserved) {
+  Optimization O = makeConstProp();
+  O.Pat.From = parseStmtPatternOrDie("return X");
+  O.Pat.To = parseStmtPatternOrDie("skip");
+  O.Pat.G.Psi1 = stmtIs("Y := C"); // keep psi1 valid
+  O.Pat.W = wEq(curEval("Y"), curEval("C"));
+  auto Err = validateOptimization(O);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("return"), std::string::npos);
+}
+
+TEST(OptimizationValidationTest, BranchFromNonBranchRejected) {
+  Optimization O = makeConstProp();
+  O.Pat.From = parseStmtPatternOrDie("skip");
+  O.Pat.To = parseStmtPatternOrDie("if 1 goto 0 else 0");
+  auto Err = validateOptimization(O);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("branch"), std::string::npos);
+}
+
+TEST(OptimizationValidationTest, BranchToBranchAllowed) {
+  // Branch folding: if C goto I1 else I2 => if 1 goto I1 else I1.
+  Optimization O;
+  O.Name = "branch_fold";
+  O.Pat.Dir = Direction::D_Forward;
+  O.Pat.G.Psi1 = stmtIs("Y := C");
+  O.Pat.G.Psi2 = fNot(labelF("mayDef", {tExpr("Y")}));
+  O.Pat.From = parseStmtPatternOrDie("if Y goto I1 else I2");
+  O.Pat.To = parseStmtPatternOrDie("if 1 goto I1 else I1");
+  O.Pat.W = wEq(curEval("Y"), curEval("C"));
+  EXPECT_EQ(validateOptimization(O), std::nullopt);
+}
+
+TEST(OptimizationValidationTest, MissingPieces) {
+  Optimization O = makeConstProp();
+  O.Pat.W = nullptr;
+  EXPECT_TRUE(validateOptimization(O).has_value());
+
+  O = makeConstProp();
+  O.Pat.G.Psi1 = nullptr;
+  EXPECT_TRUE(validateOptimization(O).has_value());
+
+  O = makeConstProp();
+  O.Choose = nullptr;
+  EXPECT_TRUE(validateOptimization(O).has_value());
+}
+
+TEST(OptimizationValidationTest, ChooseAllIsIdentity) {
+  std::vector<MatchSite> Delta;
+  Substitution Theta;
+  Theta.bind("X", Binding::var("a"));
+  Delta.push_back({3, Theta});
+  Procedure P;
+  auto Out = chooseAll()(Delta, P);
+  EXPECT_EQ(Out, Delta);
+}
+
+//===--------------------------------------------------------------------===//
+// Pure analyses.
+//===--------------------------------------------------------------------===//
+
+PureAnalysis makeNotTainted() {
+  PureAnalysis A;
+  A.Name = "taint_analysis";
+  A.G.Psi1 = stmtIs("decl X");
+  A.G.Psi2 = fNot(stmtIs("_ := &X"));
+  A.LabelName = "notTainted";
+  A.LabelArgs = {tExpr("X")};
+  A.W = notPointedToW("X");
+  return A;
+}
+
+TEST(AnalysisValidationTest, WellFormedNotTainted) {
+  EXPECT_EQ(validateAnalysis(makeNotTainted()), std::nullopt);
+}
+
+TEST(AnalysisValidationTest, LabelArgUnbound) {
+  PureAnalysis A = makeNotTainted();
+  A.LabelArgs = {tExpr("Q")};
+  auto Err = validateAnalysis(A);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("Q"), std::string::npos);
+}
+
+TEST(AnalysisValidationTest, BuiltinLabelNameRejected) {
+  PureAnalysis A = makeNotTainted();
+  A.LabelName = "stmt";
+  EXPECT_TRUE(validateAnalysis(A).has_value());
+}
+
+TEST(AnalysisValidationTest, BackwardWitnessRejected) {
+  PureAnalysis A = makeNotTainted();
+  A.W = eqUpTo("X");
+  auto Err = validateAnalysis(A);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("forward"), std::string::npos);
+}
+
+//===--------------------------------------------------------------------===//
+// Builders.
+//===--------------------------------------------------------------------===//
+
+TEST(BuilderTest, OptBuilderProducesValidOptimization) {
+  Optimization O = OptBuilder("const_prop")
+                       .forward()
+                       .psi1(stmtIs("Y := C"))
+                       .psi2(fNot(labelF("mayDef", {tExpr("Y")})))
+                       .rewrite("X := Y", "X := C")
+                       .witness(wEq(curEval("Y"), curEval("C")))
+                       .build();
+  EXPECT_EQ(O.Name, "const_prop");
+  EXPECT_EQ(validateOptimization(O), std::nullopt);
+  EXPECT_EQ(O.Pat.Dir, Direction::D_Forward);
+}
+
+TEST(BuilderTest, AnalysisBuilderProducesValidAnalysis) {
+  PureAnalysis A = AnalysisBuilder("taint_analysis")
+                       .psi1(stmtIs("decl X"))
+                       .psi2(fNot(stmtIs("_ := &X")))
+                       .defines("notTainted", {tExpr("X")})
+                       .witness(notPointedToW("X"))
+                       .build();
+  EXPECT_EQ(validateAnalysis(A), std::nullopt);
+}
+
+TEST(BuilderTest, MatchSiteOrdering) {
+  Substitution T1, T2;
+  T1.bind("X", Binding::var("a"));
+  T2.bind("X", Binding::var("b"));
+  MatchSite A{1, T1}, B{1, T2}, C{2, T1};
+  EXPECT_LT(A, B);
+  EXPECT_LT(B, C);
+  EXPECT_EQ(A, A);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+//===- substitution_test.cpp ----------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Substitution.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+namespace {
+
+TEST(SubstitutionTest, BindAndLookup) {
+  Substitution Theta;
+  EXPECT_TRUE(Theta.empty());
+  EXPECT_TRUE(Theta.bind("Y", Binding::var("a")));
+  EXPECT_TRUE(Theta.bind("C", Binding::constant(2)));
+  ASSERT_NE(Theta.lookup("Y"), nullptr);
+  EXPECT_EQ(Theta.lookup("Y")->asVar(), "a");
+  EXPECT_EQ(Theta.lookup("C")->asConst(), 2);
+  EXPECT_EQ(Theta.lookup("Z"), nullptr);
+  EXPECT_EQ(Theta.size(), 2u);
+}
+
+TEST(SubstitutionTest, RebindSameValueSucceeds) {
+  Substitution Theta;
+  EXPECT_TRUE(Theta.bind("X", Binding::var("a")));
+  EXPECT_TRUE(Theta.bind("X", Binding::var("a")));
+  EXPECT_EQ(Theta.size(), 1u);
+}
+
+TEST(SubstitutionTest, ConflictingRebindFails) {
+  Substitution Theta;
+  EXPECT_TRUE(Theta.bind("X", Binding::var("a")));
+  EXPECT_FALSE(Theta.bind("X", Binding::var("b")));
+  EXPECT_EQ(Theta.lookup("X")->asVar(), "a");
+  // Different kinds conflict too.
+  EXPECT_FALSE(Theta.bind("X", Binding::constant(1)));
+}
+
+TEST(SubstitutionTest, MergeDisjointAndConflicting) {
+  Substitution A, B;
+  A.bind("X", Binding::var("a"));
+  B.bind("Y", Binding::constant(1));
+  EXPECT_TRUE(A.merge(B));
+  EXPECT_EQ(A.size(), 2u);
+
+  Substitution C;
+  C.bind("X", Binding::var("zzz"));
+  EXPECT_FALSE(A.merge(C));
+}
+
+TEST(SubstitutionTest, OrderingIsTotalAndDeterministic) {
+  Substitution A, B;
+  A.bind("X", Binding::var("a"));
+  B.bind("X", Binding::var("b"));
+  std::set<Substitution> S{A, B, A};
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_TRUE(A < B || B < A);
+}
+
+TEST(SubstitutionTest, ExprBindingsCompareStructurally) {
+  Expr E1 = parseExprPatternOrDie("a + b");
+  Expr E2 = parseExprPatternOrDie("a + b");
+  Expr E3 = parseExprPatternOrDie("a + c");
+  EXPECT_EQ(Binding::expr(E1), Binding::expr(E2));
+  EXPECT_NE(Binding::expr(E1), Binding::expr(E3));
+}
+
+TEST(SubstitutionTest, StrRendersPaperNotation) {
+  Substitution Theta;
+  Theta.bind("Y", Binding::var("a"));
+  Theta.bind("C", Binding::constant(2));
+  EXPECT_EQ(Theta.str(), "[C -> 2, Y -> a]");
+}
+
+TEST(SubstitutionTest, BindingKindsAreDistinct) {
+  EXPECT_NE(Binding::var("x"), Binding::proc("x"));
+  EXPECT_NE(Binding::constant(0), Binding::index(0));
+}
+
+} // namespace

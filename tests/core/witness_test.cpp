@@ -1,0 +1,176 @@
+//===- witness_test.cpp - Witness language and dynamic evaluation ---------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Witness.h"
+
+#include "core/Builder.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+namespace {
+
+/// Builds a small state: variables a=2, b=3, p=&a.
+ExecState makeState() {
+  ExecState St;
+  St.Env = {{"a", 1}, {"b", 2}, {"p", 3}};
+  St.Store = {{1, Value::intV(2)}, {2, Value::intV(3)}, {3, Value::locV(1)}};
+  St.NextLoc = 4;
+  return St;
+}
+
+TEST(WitnessTest, DirectionClassification) {
+  EXPECT_TRUE(isForwardWitness(*wEq(curEval("Y"), curEval("C"))));
+  EXPECT_FALSE(isBackwardWitness(*wEq(curEval("Y"), curEval("C"))));
+  EXPECT_TRUE(isBackwardWitness(*eqUpTo("X")));
+  EXPECT_FALSE(isForwardWitness(*eqUpTo("X")));
+  EXPECT_TRUE(isForwardWitness(*notPointedToW("X")));
+  EXPECT_TRUE(isForwardWitness(*wTrue()));
+  EXPECT_TRUE(isBackwardWitness(*wTrue()));
+  EXPECT_TRUE(
+      isBackwardWitness(*wEq(oldEval("X"), newEval("X"))));
+  EXPECT_FALSE(
+      isForwardWitness(*wAnd(wTrue(), wEq(oldEval("X"), newEval("X")))));
+}
+
+TEST(WitnessTest, EvalEquality) {
+  ExecState St = makeState();
+  Substitution Theta;
+  Theta.bind("Y", Binding::var("a"));
+  Theta.bind("C", Binding::constant(2));
+
+  auto R = evalWitness(*wEq(curEval("Y"), curEval("C")), Theta, &St, nullptr,
+                       nullptr);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(*R);
+
+  Theta = Substitution();
+  Theta.bind("Y", Binding::var("b"));
+  Theta.bind("C", Binding::constant(2));
+  R = evalWitness(*wEq(curEval("Y"), curEval("C")), Theta, &St, nullptr,
+                  nullptr);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(*R);
+}
+
+TEST(WitnessTest, EvalThroughDeref) {
+  ExecState St = makeState();
+  Substitution Theta;
+  Theta.bind("P", Binding::var("p"));
+  Theta.bind("X", Binding::var("a"));
+  // η(*P) = η(X): *p and a are the same cell.
+  auto R = evalWitness(*wEq(curEval("*P"), curEval("X")), Theta, &St,
+                       nullptr, nullptr);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(*R);
+}
+
+TEST(WitnessTest, StuckTermIsUnknown) {
+  ExecState St = makeState();
+  Substitution Theta;
+  Theta.bind("Y", Binding::var("nosuch"));
+  Theta.bind("C", Binding::constant(0));
+  EXPECT_FALSE(evalWitness(*wEq(curEval("Y"), curEval("C")), Theta, &St,
+                           nullptr, nullptr)
+                   .has_value());
+  // Deref of a non-pointer is stuck too.
+  Substitution T2;
+  T2.bind("P", Binding::var("a"));
+  T2.bind("X", Binding::var("b"));
+  EXPECT_FALSE(evalWitness(*wEq(curEval("*P"), curEval("X")), T2, &St,
+                           nullptr, nullptr)
+                   .has_value());
+}
+
+TEST(WitnessTest, EqUpToHoldsWhenOnlyXDiffers) {
+  ExecState Old = makeState();
+  ExecState New = makeState();
+  New.Store[1] = Value::intV(99); // only a's cell differs
+
+  Substitution Theta;
+  Theta.bind("X", Binding::var("a"));
+  auto R = evalWitness(*eqUpTo("X"), Theta, nullptr, &Old, &New);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(*R);
+
+  // Differing in b's cell as well breaks it.
+  New.Store[2] = Value::intV(100);
+  R = evalWitness(*eqUpTo("X"), Theta, nullptr, &Old, &New);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(*R);
+}
+
+TEST(WitnessTest, EqUpToRequiresSameEnvAndAllocator) {
+  ExecState Old = makeState();
+  ExecState New = makeState();
+  New.NextLoc = 9;
+  Substitution Theta;
+  Theta.bind("X", Binding::var("a"));
+  auto R = evalWitness(*eqUpTo("X"), Theta, nullptr, &Old, &New);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(*R);
+}
+
+TEST(WitnessTest, EqUpToIdenticalStates) {
+  ExecState Old = makeState();
+  ExecState New = makeState();
+  Substitution Theta;
+  Theta.bind("X", Binding::var("b"));
+  auto R = evalWitness(*eqUpTo("X"), Theta, nullptr, &Old, &New);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(*R);
+}
+
+TEST(WitnessTest, NotPointedTo) {
+  ExecState St = makeState(); // p points to a
+  Substitution ThetaA, ThetaB;
+  ThetaA.bind("X", Binding::var("a"));
+  ThetaB.bind("X", Binding::var("b"));
+
+  auto RA = evalWitness(*notPointedToW("X"), ThetaA, &St, nullptr, nullptr);
+  ASSERT_TRUE(RA.has_value());
+  EXPECT_FALSE(*RA); // a IS pointed to
+
+  auto RB = evalWitness(*notPointedToW("X"), ThetaB, &St, nullptr, nullptr);
+  ASSERT_TRUE(RB.has_value());
+  EXPECT_TRUE(*RB);
+}
+
+TEST(WitnessTest, BooleanConnectives) {
+  ExecState St = makeState();
+  Substitution Theta;
+  Theta.bind("Y", Binding::var("a"));
+  Theta.bind("C", Binding::constant(2));
+  WitnessPtr Holds = wEq(curEval("Y"), curEval("C"));
+
+  auto R = evalWitness(*wAnd(Holds, wTrue()), Theta, &St, nullptr, nullptr);
+  EXPECT_TRUE(*R);
+  R = evalWitness(*wNot(Holds), Theta, &St, nullptr, nullptr);
+  EXPECT_FALSE(*R);
+  R = evalWitness(*wOr(wNot(Holds), Holds), Theta, &St, nullptr, nullptr);
+  EXPECT_TRUE(*R);
+}
+
+TEST(WitnessTest, UnboundPatternVariableIsUnknown) {
+  ExecState St = makeState();
+  Substitution Empty;
+  EXPECT_FALSE(evalWitness(*wEq(curEval("Y"), curEval("C")), Empty, &St,
+                           nullptr, nullptr)
+                   .has_value());
+  EXPECT_FALSE(
+      evalWitness(*notPointedToW("X"), Empty, &St, nullptr, nullptr)
+          .has_value());
+}
+
+TEST(WitnessTest, Printing) {
+  EXPECT_EQ(wEq(curEval("Y"), curEval("C"))->str(), "eta(?Y) = eta(?C)");
+  EXPECT_EQ(eqUpTo("X")->str(), "eta_old/?X = eta_new/?X");
+}
+
+} // namespace

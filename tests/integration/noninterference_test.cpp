@@ -1,0 +1,155 @@
+//===- noninterference_test.cpp - Any subset of Δ is sound (E5) -----------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Experiment E5 (paper §4.1): a Cobalt transformation pattern cannot
+/// interfere with itself — if each suggested transformation is correct in
+/// isolation, *any subset* may be applied together. We exercise random
+/// subsets of Δ via custom choose functions, and reproduce the paper's
+/// S1/S2 example showing why DAE + redundant-assignment elimination must
+/// be two separate optimizations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+#include "ir/Generator.h"
+#include "ir/Interp.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opts/Labels.h"
+#include "opts/Optimizations.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace cobalt;
+using namespace cobalt::engine;
+using namespace cobalt::ir;
+
+namespace {
+
+void expectEquivalent(const Program &Original, const Program &Optimized,
+                      const std::string &What) {
+  for (int64_t Input : {-3, 0, 1, 5}) {
+    Interpreter IO(Original), IT(Optimized);
+    RunResult RO = IO.run(Input, 300000);
+    if (!RO.returned())
+      continue;
+    RunResult RT = IT.run(Input, 600000);
+    ASSERT_TRUE(RT.returned()) << What << " input " << Input;
+    EXPECT_EQ(RO.Result, RT.Result)
+        << What << " input " << Input << "\noriginal:\n"
+        << toString(Original) << "optimized:\n"
+        << toString(Optimized);
+  }
+}
+
+class NoninterferenceTest : public ::testing::TestWithParam<uint64_t> {
+protected:
+  void SetUp() override {
+    for (const LabelDef &Def : opts::standardLabels())
+      Registry.define(Def);
+    Registry.declareAnalysisLabel("notTainted");
+  }
+  LabelRegistry Registry;
+};
+
+TEST_P(NoninterferenceTest, RandomSubsetsOfDeltaPreserveSemantics) {
+  GenOptions Options{.NumVars = 4, .NumStmts = 16};
+  Program Original = generateProgram(Options, GetParam());
+  std::mt19937_64 Rng(GetParam() * 7919 + 13);
+
+  for (const Optimization &Base : opts::allOptimizations()) {
+    // Each subset trial: keep each legal site with probability 1/2.
+    for (int Trial = 0; Trial < 3; ++Trial) {
+      Optimization O = Base;
+      uint64_t Salt = Rng();
+      O.Choose = [Salt](const std::vector<MatchSite> &Delta,
+                        const Procedure &) {
+        std::mt19937_64 Local(Salt);
+        std::vector<MatchSite> Out;
+        for (const MatchSite &Site : Delta)
+          if (Local() % 2 == 0)
+            Out.push_back(Site);
+        return Out;
+      };
+      Program Optimized = Original;
+      runOptimization(O, *Optimized.findProc("main"), Registry, nullptr);
+      ASSERT_EQ(validateProgram(Optimized), std::nullopt)
+          << Base.Name << "\n"
+          << toString(Optimized);
+      expectEquivalent(Original, Optimized,
+                       Base.Name + " random subset");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoninterferenceTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+/// The §4.1 example: S1: x := x + 1; S2: x := x + 1. A combined
+/// dead+redundant assignment eliminator would remove both — changing
+/// semantics. Written as Cobalt patterns, DAE alone never suggests both
+/// (S1 is not dead: S2 uses x), so every subset is safe.
+TEST(NoninterferenceDirected, Section41DoubleIncrement) {
+  LabelRegistry Registry;
+  for (const LabelDef &Def : opts::standardLabels())
+    Registry.define(Def);
+
+  Program Prog = parseProgramOrDie(R"(
+    proc main(n) {
+      decl x;
+      x := n;
+      x := x + 1;
+      x := x + 1;
+      return x;
+    }
+  )");
+  Optimization Dae = opts::deadAssignElim();
+  auto Delta = computeDelta(Dae.Pat, *Prog.findProc("main"), Registry,
+                            nullptr);
+  // Neither increment is dead (each is used downstream); Δ is empty for
+  // them. DAE cannot reproduce the interference scenario by design.
+  for (const MatchSite &Site : Delta)
+    EXPECT_NE(Site.Index, 1);
+  for (const MatchSite &Site : Delta)
+    EXPECT_NE(Site.Index, 2);
+
+  // And x := n is not dead either (x is used by S1).
+  EXPECT_TRUE(Delta.empty()) << toString(Prog);
+}
+
+/// Forward pure analyses compose with forward optimizations (§4.1): the
+/// precise const prop consuming taint labels must agree with plain const
+/// prop wherever both fire, and be strictly more willing.
+TEST(NoninterferenceDirected, ForwardAnalysisFeedsForwardOptSafely) {
+  LabelRegistry Registry;
+  for (const LabelDef &Def : opts::standardLabels())
+    Registry.define(Def);
+  Registry.declareAnalysisLabel("notTainted");
+
+  for (uint64_t Seed = 0; Seed < 10; ++Seed) {
+    GenOptions Options{.NumVars = 4, .NumStmts = 14, .WithPointers = true};
+    Program Prog = generateProgram(Options, Seed);
+    Procedure &Main = *Prog.findProc("main");
+
+    Labeling Labels;
+    runPureAnalysis(opts::taintAnalysis(), Main, Registry, Labels);
+
+    auto DeltaPlain = computeDelta(opts::constProp().Pat, Main, Registry,
+                                   nullptr);
+    auto DeltaPrecise = computeDelta(opts::constPropPrecise().Pat, Main,
+                                     Registry, &Labels);
+    // Precise subsumes plain.
+    for (const MatchSite &Site : DeltaPlain)
+      EXPECT_NE(std::find(DeltaPrecise.begin(), DeltaPrecise.end(), Site),
+                DeltaPrecise.end())
+          << "seed " << Seed;
+    EXPECT_GE(DeltaPrecise.size(), DeltaPlain.size());
+  }
+}
+
+} // namespace

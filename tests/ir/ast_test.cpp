@@ -1,0 +1,156 @@
+//===- ast_test.cpp - Unit tests for the IL AST ---------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ast.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+namespace {
+
+TEST(AstTest, StructuralEqualityIgnoresLocations) {
+  Stmt A(SkipStmt{}, SourceLoc{1, 1});
+  Stmt B(SkipStmt{}, SourceLoc{9, 9});
+  EXPECT_EQ(A, B);
+}
+
+TEST(AstTest, VarEquality) {
+  EXPECT_EQ(Var::concrete("x"), Var::concrete("x"));
+  EXPECT_NE(Var::concrete("x"), Var::concrete("y"));
+  EXPECT_NE(Var::concrete("x"), Var::meta("x"));
+  EXPECT_TRUE(Var::wildcard().isWildcard());
+  EXPECT_FALSE(Var::meta("X").isWildcard());
+}
+
+TEST(AstTest, GroundnessOfExprs) {
+  EXPECT_TRUE(isGround(Expr(Var::concrete("x"))));
+  EXPECT_FALSE(isGround(Expr(Var::meta("X"))));
+  EXPECT_TRUE(isGround(Expr(ConstVal::concrete(3))));
+  EXPECT_FALSE(isGround(Expr(ConstVal::meta("C"))));
+  EXPECT_FALSE(isGround(Expr(MetaExpr{"E"})));
+  EXPECT_TRUE(isGround(Expr(OpExpr{
+      "+", {BaseExpr(Var::concrete("x")), BaseExpr(ConstVal::concrete(1))}})));
+  EXPECT_FALSE(isGround(Expr(OpExpr{
+      "+", {BaseExpr(Var::meta("X")), BaseExpr(ConstVal::concrete(1))}})));
+}
+
+TEST(AstTest, GroundnessOfStmts) {
+  EXPECT_TRUE(isGround(Stmt(SkipStmt{})));
+  EXPECT_TRUE(isGround(Stmt(DeclStmt{Var::concrete("x")})));
+  EXPECT_FALSE(isGround(Stmt(DeclStmt{Var::meta("X")})));
+  EXPECT_FALSE(isGround(
+      Stmt(AssignStmt{Var::concrete("x"), Expr(MetaExpr{"E"})})));
+  EXPECT_FALSE(isGround(Stmt(
+      CallStmt{Var::concrete("x"), ProcName::meta("P"),
+               BaseExpr(Var::concrete("y"))})));
+}
+
+TEST(AstTest, CollectMetaNamesInOrderWithoutDuplicates) {
+  // X := op(X, C) has metas X, C with X first and deduplicated.
+  Stmt S(AssignStmt{Var::meta("X"),
+                    Expr(OpExpr{"+", {BaseExpr(Var::meta("X")),
+                                      BaseExpr(ConstVal::meta("C"))}})});
+  std::vector<std::string> Names;
+  collectMetaNames(S, Names);
+  ASSERT_EQ(Names.size(), 2u);
+  EXPECT_EQ(Names[0], "X");
+  EXPECT_EQ(Names[1], "C");
+}
+
+TEST(AstTest, WildcardsAreNotCollected) {
+  Stmt S(AssignStmt{Var::wildcard(), Expr(MetaExpr{""})});
+  std::vector<std::string> Names;
+  collectMetaNames(S, Names);
+  EXPECT_TRUE(Names.empty());
+}
+
+TEST(AstTest, CollectUsedVarsReadsOnly) {
+  // &x names x but does not read it.
+  std::vector<Var> Used;
+  collectUsedVars(Expr(AddrOfExpr{Var::concrete("x")}), Used);
+  EXPECT_TRUE(Used.empty());
+
+  Used.clear();
+  collectUsedVars(Expr(DerefExpr{Var::concrete("p")}), Used);
+  ASSERT_EQ(Used.size(), 1u);
+  EXPECT_EQ(Used[0].Name, "p");
+
+  Used.clear();
+  collectUsedVars(Expr(OpExpr{"+", {BaseExpr(Var::concrete("a")),
+                                    BaseExpr(Var::concrete("b"))}}),
+                  Used);
+  EXPECT_EQ(Used.size(), 2u);
+}
+
+TEST(AstTest, ValidateRejectsMissingReturn) {
+  Procedure P;
+  P.Name = "f";
+  P.Param = "x";
+  P.Stmts.push_back(Stmt(SkipStmt{}));
+  auto Err = validateProcedure(P);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("return"), std::string::npos);
+}
+
+TEST(AstTest, ValidateRejectsDuplicateDecl) {
+  Procedure P;
+  P.Name = "f";
+  P.Param = "x";
+  P.Stmts.push_back(Stmt(DeclStmt{Var::concrete("y")}));
+  P.Stmts.push_back(Stmt(DeclStmt{Var::concrete("y")}));
+  P.Stmts.push_back(Stmt(ReturnStmt{Var::concrete("y")}));
+  EXPECT_TRUE(validateProcedure(P).has_value());
+}
+
+TEST(AstTest, ValidateRejectsParamRedeclaration) {
+  Procedure P;
+  P.Name = "f";
+  P.Param = "x";
+  P.Stmts.push_back(Stmt(DeclStmt{Var::concrete("x")}));
+  P.Stmts.push_back(Stmt(ReturnStmt{Var::concrete("x")}));
+  EXPECT_TRUE(validateProcedure(P).has_value());
+}
+
+TEST(AstTest, ValidateRejectsOutOfRangeBranch) {
+  Procedure P;
+  P.Name = "f";
+  P.Param = "x";
+  P.Stmts.push_back(Stmt(BranchStmt{BaseExpr(Var::concrete("x")),
+                                    Index::concrete(7), Index::concrete(1)}));
+  P.Stmts.push_back(Stmt(ReturnStmt{Var::concrete("x")}));
+  EXPECT_TRUE(validateProcedure(P).has_value());
+}
+
+TEST(AstTest, ValidateProgramRequiresMainAndResolvedCalls) {
+  Program Prog;
+  Procedure P;
+  P.Name = "f";
+  P.Param = "x";
+  P.Stmts.push_back(Stmt(ReturnStmt{Var::concrete("x")}));
+  Prog.Procs.push_back(P);
+  EXPECT_TRUE(validateProgram(Prog).has_value()); // no main
+
+  Prog.Procs[0].Name = "main";
+  EXPECT_FALSE(validateProgram(Prog).has_value());
+
+  Prog.Procs[0].Stmts.insert(
+      Prog.Procs[0].Stmts.begin(),
+      Stmt(CallStmt{Var::concrete("x"), ProcName::concrete("nosuch"),
+                    BaseExpr(ConstVal::concrete(1))}));
+  EXPECT_TRUE(validateProgram(Prog).has_value()); // unresolved callee
+}
+
+TEST(AstTest, PrinterRendersPatternsDistinctly) {
+  Stmt S = parseStmtPatternOrDie("X := Y + C");
+  std::string Text = toString(S);
+  EXPECT_EQ(Text, "?X := ?Y + ?C");
+}
+
+} // namespace

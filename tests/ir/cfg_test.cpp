@@ -1,0 +1,129 @@
+//===- cfg_test.cpp - Unit tests for the CFG ------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Cfg.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+namespace {
+
+TEST(CfgTest, StraightLine) {
+  Program Prog = parseProgramOrDie(
+      "proc main(x) { decl y; y := 1; return y; }");
+  Cfg G(Prog.Procs[0]);
+  EXPECT_EQ(G.size(), 3);
+  EXPECT_EQ(G.succs(0), std::vector<int>{1});
+  EXPECT_EQ(G.succs(1), std::vector<int>{2});
+  EXPECT_TRUE(G.succs(2).empty());
+  EXPECT_TRUE(G.preds(0).empty());
+  EXPECT_EQ(G.preds(2), std::vector<int>{1});
+  EXPECT_EQ(G.exits(), std::vector<int>{2});
+}
+
+TEST(CfgTest, BranchHasTwoSuccessors) {
+  Program Prog = parseProgramOrDie(R"(
+    proc main(x) {
+      if x goto t else f;
+    t:
+      x := 1;
+    f:
+      return x;
+    }
+  )");
+  Cfg G(Prog.Procs[0]);
+  EXPECT_EQ(G.succs(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(G.preds(2), (std::vector<int>{0, 1}));
+}
+
+TEST(CfgTest, SelfEqualTargetsYieldOneSuccessor) {
+  // `if 1 goto l else l` is the unconditional-jump idiom; the CFG must
+  // not duplicate the edge.
+  Program Prog = parseProgramOrDie(R"(
+    proc main(x) {
+      if 1 goto end else end;
+      x := 2;
+    end:
+      return x;
+    }
+  )");
+  Cfg G(Prog.Procs[0]);
+  EXPECT_EQ(G.succs(0), std::vector<int>{2});
+  EXPECT_EQ(G.preds(2), (std::vector<int>{0, 1}));
+}
+
+TEST(CfgTest, LoopBackEdgeAndReachability) {
+  Program Prog = parseProgramOrDie(R"(
+    proc main(n) {
+      decl i;
+      decl g;
+      i := 0;
+    head:
+      g := i < n;
+      if g goto body else done;
+    body:
+      i := i + 1;
+      if 1 goto head else head;
+    done:
+      return i;
+    }
+  )");
+  Cfg G(Prog.Procs[0]);
+  // Back edge: statement 6 -> 3.
+  EXPECT_EQ(G.succs(6), std::vector<int>{3});
+  // The loop head has two predecessors: initialization fallthrough and
+  // the back edge.
+  EXPECT_EQ(G.preds(3), (std::vector<int>{2, 6}));
+  for (int I = 0; I < G.size(); ++I)
+    EXPECT_TRUE(G.isReachable(I)) << "index " << I;
+}
+
+TEST(CfgTest, UnreachableCodeDetected) {
+  Program Prog = parseProgramOrDie(R"(
+    proc main(x) {
+      if 1 goto end else end;
+      x := 5;
+    end:
+      return x;
+    }
+  )");
+  Cfg G(Prog.Procs[0]);
+  EXPECT_TRUE(G.isReachable(0));
+  EXPECT_FALSE(G.isReachable(1));
+  EXPECT_TRUE(G.isReachable(2));
+}
+
+TEST(CfgTest, MultipleExits) {
+  Program Prog = parseProgramOrDie(R"(
+    proc main(x) {
+      if x goto a else b;
+    a:
+      return x;
+    b:
+      return x;
+    }
+  )");
+  Cfg G(Prog.Procs[0]);
+  EXPECT_EQ(G.exits(), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(G.isExit(1));
+  EXPECT_FALSE(G.isExit(0));
+}
+
+TEST(CfgTest, CallIsAFallthroughNode) {
+  // Intraprocedural CFGs step over calls (the paper's ↪π view).
+  Program Prog = parseProgramOrDie(R"(
+    proc f(a) { return a; }
+    proc main(x) { x := f(x); return x; }
+  )");
+  Cfg G(*Prog.findProc("main"));
+  EXPECT_EQ(G.succs(0), std::vector<int>{1});
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- generator_test.cpp - Property tests for the program generator ------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Generator.h"
+
+#include "ir/Cfg.h"
+#include "ir/Interp.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+namespace {
+
+/// Sweep over seeds and configurations: every generated program must be
+/// well-formed, round-trippable, and must terminate (or get stuck, when
+/// division is enabled) within a generous fuel budget.
+struct GenCase {
+  GenOptions Options;
+  const char *Name;
+};
+
+class GeneratorProperty : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorProperty, WellFormedAcrossSeeds) {
+  for (uint64_t Seed = 0; Seed < 40; ++Seed) {
+    Program Prog = generateProgram(GetParam().Options, Seed);
+    EXPECT_FALSE(validateProgram(Prog).has_value()) << toString(Prog);
+  }
+}
+
+TEST_P(GeneratorProperty, Deterministic) {
+  Program A = generateProgram(GetParam().Options, 7);
+  Program B = generateProgram(GetParam().Options, 7);
+  EXPECT_EQ(A, B);
+  Program C = generateProgram(GetParam().Options, 8);
+  EXPECT_NE(toString(A), toString(C)); // overwhelmingly likely
+}
+
+TEST_P(GeneratorProperty, RoundTripsThroughText) {
+  for (uint64_t Seed = 0; Seed < 10; ++Seed) {
+    Program Prog = generateProgram(GetParam().Options, Seed);
+    Program Again = parseProgramOrDie(toString(Prog));
+    EXPECT_EQ(Prog, Again);
+  }
+}
+
+TEST_P(GeneratorProperty, TerminatesWithinFuel) {
+  for (uint64_t Seed = 0; Seed < 40; ++Seed) {
+    Program Prog = generateProgram(GetParam().Options, Seed);
+    Interpreter Interp(Prog);
+    for (int64_t Input : {-3, 0, 7}) {
+      RunResult R = Interp.run(Input, /*Fuel=*/200000);
+      // Stuck runs are legal when division is enabled (divide by zero) --
+      // stuckness is part of the semantics -- but fuel exhaustion would
+      // mean an unbounded loop, which the generator must never emit.
+      EXPECT_FALSE(R.outOfFuel())
+          << "seed " << Seed << " input " << Input << "\n"
+          << toString(Prog);
+      if (!GetParam().Options.WithDivision) {
+        EXPECT_TRUE(R.returned())
+            << "seed " << Seed << " input " << Input << ": " << R.str()
+            << "\n"
+            << toString(Prog);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, GeneratorProperty,
+    ::testing::Values(
+        GenCase{{}, "default"},
+        GenCase{{.NumVars = 3, .NumStmts = 8, .WithLoops = false}, "tiny"},
+        GenCase{{.NumVars = 8, .NumStmts = 60}, "large"},
+        GenCase{{.WithPointers = true}, "pointers"},
+        GenCase{{.NumHelperProcs = 2, .WithCalls = true}, "calls"},
+        GenCase{{.NumHelperProcs = 2,
+                 .WithPointers = true,
+                 .WithCalls = true},
+                "pointers_and_calls"},
+        GenCase{{.WithDivision = true}, "division"},
+        GenCase{{.NumVars = 2, .NumStmts = 120, .WithLoops = true},
+                "loop_heavy"}),
+    [](const ::testing::TestParamInfo<GenCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(GeneratorTest, RespectsStatementBudgetRoughly) {
+  GenOptions Small{.NumVars = 3, .NumStmts = 5};
+  GenOptions Big{.NumVars = 3, .NumStmts = 200};
+  Program A = generateProgram(Small, 1);
+  Program B = generateProgram(Big, 1);
+  EXPECT_LT(A.findProc("main")->size(), B.findProc("main")->size());
+}
+
+} // namespace

@@ -1,0 +1,302 @@
+//===- interp_test.cpp - Unit tests for the IL interpreter ----------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interp.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+namespace {
+
+RunResult runMain(const char *Text, int64_t Input) {
+  Program Prog = parseProgramOrDie(Text);
+  Interpreter Interp(Prog);
+  return Interp.run(Input);
+}
+
+TEST(InterpTest, ReturnsInput) {
+  RunResult R = runMain("proc main(x) { return x; }", 42);
+  ASSERT_TRUE(R.returned()) << R.str();
+  EXPECT_EQ(R.Result, Value::intV(42));
+}
+
+TEST(InterpTest, Arithmetic) {
+  RunResult R = runMain(
+      "proc main(x) { decl y; y := x * 3; y := y + 1; return y; }", 5);
+  ASSERT_TRUE(R.returned()) << R.str();
+  EXPECT_EQ(R.Result, Value::intV(16));
+}
+
+TEST(InterpTest, DeclInitializesToZero) {
+  RunResult R = runMain("proc main(x) { decl y; return y; }", 7);
+  ASSERT_TRUE(R.returned()) << R.str();
+  EXPECT_EQ(R.Result, Value::intV(0));
+}
+
+TEST(InterpTest, ComparisonsYieldZeroOne) {
+  RunResult R = runMain(
+      "proc main(x) { decl y; y := x < 10; return y; }", 5);
+  ASSERT_TRUE(R.returned());
+  EXPECT_EQ(R.Result, Value::intV(1));
+  R = runMain("proc main(x) { decl y; y := x < 10; return y; }", 15);
+  ASSERT_TRUE(R.returned());
+  EXPECT_EQ(R.Result, Value::intV(0));
+}
+
+TEST(InterpTest, BranchTakesThenOnNonzero) {
+  const char *Text = R"(
+    proc main(x) {
+      decl y;
+      if x goto t else f;
+    t:
+      y := 1;
+      if 1 goto end else end;
+    f:
+      y := 2;
+    end:
+      return y;
+    }
+  )";
+  EXPECT_EQ(runMain(Text, 5).Result, Value::intV(1));
+  EXPECT_EQ(runMain(Text, 0).Result, Value::intV(2));
+}
+
+TEST(InterpTest, CountedLoop) {
+  const char *Text = R"(
+    proc main(n) {
+      decl i;
+      decl sum;
+      decl g;
+      i := 0;
+      sum := 0;
+    head:
+      g := i < n;
+      if g goto body else done;
+    body:
+      sum := sum + i;
+      i := i + 1;
+      if 1 goto head else head;
+    done:
+      return sum;
+    }
+  )";
+  RunResult R = runMain(Text, 5);
+  ASSERT_TRUE(R.returned()) << R.str();
+  EXPECT_EQ(R.Result, Value::intV(0 + 1 + 2 + 3 + 4));
+}
+
+TEST(InterpTest, PointersToLocals) {
+  const char *Text = R"(
+    proc main(x) {
+      decl y;
+      decl p;
+      p := &y;
+      *p := x + 1;
+      y := *p;
+      return y;
+    }
+  )";
+  RunResult R = runMain(Text, 9);
+  ASSERT_TRUE(R.returned()) << R.str();
+  EXPECT_EQ(R.Result, Value::intV(10));
+}
+
+TEST(InterpTest, AliasedStoreIsVisibleThroughVariable) {
+  // Writing through p changes y: the §6 debugging scenario's root cause.
+  const char *Text = R"(
+    proc main(x) {
+      decl y;
+      decl p;
+      y := 1;
+      p := &y;
+      *p := 99;
+      return y;
+    }
+  )";
+  EXPECT_EQ(runMain(Text, 0).Result, Value::intV(99));
+}
+
+TEST(InterpTest, HeapAllocation) {
+  const char *Text = R"(
+    proc main(x) {
+      decl p;
+      decl q;
+      decl r;
+      p := new;
+      q := new;
+      *p := 5;
+      *q := 6;
+      r := *p;
+      return r;
+    }
+  )";
+  EXPECT_EQ(runMain(Text, 0).Result, Value::intV(5));
+}
+
+TEST(InterpTest, ProcedureCallAndReturn) {
+  const char *Text = R"(
+    proc double(a) { decl t; t := a * 2; return t; }
+    proc main(x) { decl y; y := double(x); y := y + 1; return y; }
+  )";
+  EXPECT_EQ(runMain(Text, 10).Result, Value::intV(21));
+}
+
+TEST(InterpTest, RecursionComputesFactorial) {
+  const char *Text = R"(
+    proc fact(n) {
+      decl r;
+      decl g;
+      decl m;
+      g := n <= 1;
+      if g goto base else rec;
+    base:
+      r := 1;
+      if 1 goto end else end;
+    rec:
+      m := n - 1;
+      r := fact(m);
+      r := r * n;
+    end:
+      return r;
+    }
+    proc main(x) { decl y; y := fact(x); return y; }
+  )";
+  EXPECT_EQ(runMain(Text, 5).Result, Value::intV(120));
+}
+
+TEST(InterpTest, CalleeCannotSeeCallerLocalsButPointersWork) {
+  // The callee receives a pointer to a caller local and writes through it.
+  const char *Text = R"(
+    proc setit(p) { decl z; *p := 77; z := 0; return z; }
+    proc main(x) {
+      decl y;
+      decl p;
+      decl t;
+      y := 1;
+      p := &y;
+      t := setit(p);
+      return y;
+    }
+  )";
+  EXPECT_EQ(runMain(Text, 0).Result, Value::intV(77));
+}
+
+//===--------------------------------------------------------------------===//
+// Stuck states: run-time errors are the absence of transitions (§3.1).
+//===--------------------------------------------------------------------===//
+
+TEST(InterpTest, StuckOnUndeclaredVariable) {
+  RunResult R = runMain("proc main(x) { decl y; y := z; return y; }", 0);
+  ASSERT_TRUE(R.stuck());
+  EXPECT_NE(R.StuckReason.find("undeclared"), std::string::npos);
+  EXPECT_EQ(R.StuckIndex, 1);
+}
+
+TEST(InterpTest, StuckOnDerefOfInteger) {
+  RunResult R = runMain(
+      "proc main(x) { decl y; decl p; p := 3; y := *p; return y; }", 0);
+  ASSERT_TRUE(R.stuck());
+  EXPECT_NE(R.StuckReason.find("non-pointer"), std::string::npos);
+}
+
+TEST(InterpTest, StuckOnDivisionByZero) {
+  RunResult R = runMain("proc main(x) { decl y; y := 1 / x; return y; }", 0);
+  ASSERT_TRUE(R.stuck());
+  EXPECT_NE(R.StuckReason.find("zero"), std::string::npos);
+  // Nonzero divisor works.
+  EXPECT_TRUE(
+      runMain("proc main(x) { decl y; y := 10 / x; return y; }", 2)
+          .returned());
+}
+
+TEST(InterpTest, StuckOnArithmeticOverPointer) {
+  RunResult R = runMain(
+      "proc main(x) { decl y; decl p; p := &y; y := p + 1; return y; }", 0);
+  ASSERT_TRUE(R.stuck());
+  EXPECT_NE(R.StuckReason.find("pointer"), std::string::npos);
+}
+
+TEST(InterpTest, StuckOnBranchOverPointer) {
+  RunResult R = runMain(
+      "proc main(x) { decl p; p := &x; if p goto 2 else 2; return x; }", 0);
+  ASSERT_TRUE(R.stuck());
+}
+
+TEST(InterpTest, InfiniteLoopRunsOutOfFuel) {
+  Program Prog = parseProgramOrDie(
+      "proc main(x) { l: if 1 goto l else l; return x; }");
+  Interpreter Interp(Prog);
+  RunResult R = Interp.run(0, /*Fuel=*/1000);
+  EXPECT_TRUE(R.outOfFuel());
+}
+
+//===--------------------------------------------------------------------===//
+// Step relations.
+//===--------------------------------------------------------------------===//
+
+TEST(InterpTest, StepOverRunsCalleeToCompletion) {
+  Program Prog = parseProgramOrDie(R"(
+    proc inc(a) { decl t; t := a + 1; return t; }
+    proc main(x) { decl y; y := inc(x); return y; }
+  )");
+  Interpreter Interp(Prog);
+  ExecState St = Interp.initialState(5);
+  ASSERT_EQ(Interp.step(St), StepResult::SR_Ok); // decl y
+  EXPECT_EQ(St.Index, 1);
+  ASSERT_EQ(Interp.stepOver(St), StepResult::SR_Ok); // whole call
+  EXPECT_EQ(St.Proc->Name, "main");
+  EXPECT_EQ(St.Index, 2);
+  EXPECT_EQ(*St.readVar("y"), Value::intV(6));
+}
+
+TEST(InterpTest, StepOverOnNonCallIsOneStep) {
+  Program Prog = parseProgramOrDie("proc main(x) { skip; return x; }");
+  Interpreter Interp(Prog);
+  ExecState St = Interp.initialState(1);
+  ASSERT_EQ(Interp.stepOver(St), StepResult::SR_Ok);
+  EXPECT_EQ(St.Index, 1);
+}
+
+TEST(InterpTest, StepOverDivergingCalleeHasNoTransition) {
+  Program Prog = parseProgramOrDie(R"(
+    proc spin(a) { l: if 1 goto l else l; return a; }
+    proc main(x) { decl y; y := spin(x); return y; }
+  )");
+  Interpreter Interp(Prog);
+  ExecState St = Interp.initialState(0);
+  ASSERT_EQ(Interp.step(St), StepResult::SR_Ok); // decl
+  EXPECT_EQ(Interp.stepOver(St, /*Fuel=*/500), StepResult::SR_Stuck);
+}
+
+TEST(InterpTest, TraceRecordsProcedureAndIndex) {
+  Program Prog = parseProgramOrDie("proc main(x) { skip; return x; }");
+  Interpreter Interp(Prog);
+  std::vector<std::pair<std::string, int>> Trace;
+  RunResult R = Interp.runWithTrace(3, Trace);
+  ASSERT_TRUE(R.returned());
+  ASSERT_EQ(Trace.size(), 2u);
+  EXPECT_EQ(Trace[0], (std::pair<std::string, int>("main", 0)));
+  EXPECT_EQ(Trace[1], (std::pair<std::string, int>("main", 1)));
+}
+
+TEST(InterpTest, DeterministicAllocationOrder) {
+  // Two identical runs produce identical results including locations.
+  const char *Text = R"(
+    proc main(x) { decl p; p := new; *p := x; x := *p; return x; }
+  )";
+  Program Prog = parseProgramOrDie(Text);
+  Interpreter I1(Prog), I2(Prog);
+  RunResult R1 = I1.run(5), R2 = I2.run(5);
+  ASSERT_TRUE(R1.returned());
+  EXPECT_EQ(R1.Result, R2.Result);
+  EXPECT_EQ(R1.Steps, R2.Steps);
+}
+
+} // namespace

@@ -1,0 +1,232 @@
+//===- parser_test.cpp - Unit tests for the IL parser ---------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+namespace {
+
+TEST(ParserTest, MinimalProgram) {
+  DiagnosticEngine Diags;
+  auto Prog = parseProgram("proc main(x) { return x; }", Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.str();
+  ASSERT_EQ(Prog->Procs.size(), 1u);
+  EXPECT_EQ(Prog->Procs[0].Name, "main");
+  EXPECT_EQ(Prog->Procs[0].Param, "x");
+  ASSERT_EQ(Prog->Procs[0].size(), 1);
+  EXPECT_TRUE(Prog->Procs[0].stmtAt(0).is<ReturnStmt>());
+}
+
+TEST(ParserTest, AllStatementKinds) {
+  DiagnosticEngine Diags;
+  auto Prog = parseProgram(R"(
+    proc helper(a) { return a; }
+    proc main(x) {
+      decl y;
+      decl p;
+      skip;
+      y := 5;
+      y := x + 1;
+      p := &y;
+      *p := 7;
+      y := *p;
+      p := new;
+      y := helper(y);
+      if y goto 11 else 12;
+      return y;
+      return x;
+    }
+  )",
+                           Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.str();
+  const Procedure &Main = *Prog->findProc("main");
+  EXPECT_TRUE(Main.stmtAt(0).is<DeclStmt>());
+  EXPECT_TRUE(Main.stmtAt(2).is<SkipStmt>());
+  EXPECT_TRUE(Main.stmtAt(3).is<AssignStmt>());
+  EXPECT_TRUE(Main.stmtAt(5).is<AssignStmt>());
+  EXPECT_TRUE(isVarLhs(Main.stmtAt(5).as<AssignStmt>().Target));
+  EXPECT_FALSE(isVarLhs(Main.stmtAt(6).as<AssignStmt>().Target));
+  EXPECT_TRUE(Main.stmtAt(8).is<NewStmt>());
+  EXPECT_TRUE(Main.stmtAt(9).is<CallStmt>());
+  EXPECT_TRUE(Main.stmtAt(10).is<BranchStmt>());
+}
+
+TEST(ParserTest, LabelsResolveToIndices) {
+  DiagnosticEngine Diags;
+  auto Prog = parseProgram(R"(
+    proc main(n) {
+      decl i;
+      decl g;
+      i := 0;
+    loop:
+      g := i < n;
+      if g goto body else done;
+    body:
+      i := i + 1;
+      if 1 goto loop else loop;
+    done:
+      return i;
+    }
+  )",
+                           Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.str();
+  const Procedure &Main = Prog->Procs[0];
+  const auto &Head = Main.stmtAt(4).as<BranchStmt>();
+  EXPECT_EQ(Head.Then.Value, 5);
+  EXPECT_EQ(Head.Else.Value, 7);
+  const auto &Back = Main.stmtAt(6).as<BranchStmt>();
+  EXPECT_EQ(Back.Then.Value, 3);
+  EXPECT_EQ(Back.Else.Value, 3);
+}
+
+TEST(ParserTest, ForwardLabelReferenceWorks) {
+  DiagnosticEngine Diags;
+  auto Prog = parseProgram(R"(
+    proc main(x) {
+      if x goto yes else no;
+    yes:
+      x := 1;
+    no:
+      return x;
+    }
+  )",
+                           Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.str();
+  const auto &B = Prog->Procs[0].stmtAt(0).as<BranchStmt>();
+  EXPECT_EQ(B.Then.Value, 1);
+  EXPECT_EQ(B.Else.Value, 2);
+}
+
+TEST(ParserTest, UndefinedLabelIsAnError) {
+  DiagnosticEngine Diags;
+  auto Prog = parseProgram(
+      "proc main(x) { if x goto nowhere else nowhere; return x; }", Diags);
+  EXPECT_FALSE(Prog.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("nowhere"), std::string::npos);
+}
+
+TEST(ParserTest, DuplicateLabelIsAnError) {
+  DiagnosticEngine Diags;
+  auto Prog = parseProgram(
+      "proc main(x) { l: skip; l: return x; }", Diags);
+  EXPECT_FALSE(Prog.has_value());
+}
+
+TEST(ParserTest, NegativeConstants) {
+  DiagnosticEngine Diags;
+  auto Prog =
+      parseProgram("proc main(x) { decl y; y := -5; return y; }", Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.str();
+  const auto &A = Prog->Procs[0].stmtAt(1).as<AssignStmt>();
+  const auto *C = std::get_if<ConstVal>(&A.Value.V);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Value, -5);
+}
+
+TEST(ParserTest, RoundTripThroughPrinter) {
+  const char *Text = R"(
+    proc helper(a) { decl t; t := a * 2; return t; }
+    proc main(x) {
+      decl y;
+      decl p;
+      decl g;
+      p := &y;
+      *p := x + 3;
+      y := helper(y);
+      g := y >= 10;
+      if g goto 8 else 9;
+      y := 0;
+      return y;
+    }
+  )";
+  Program Prog = parseProgramOrDie(Text);
+  std::string Printed = toString(Prog);
+  Program Again = parseProgramOrDie(Printed);
+  EXPECT_EQ(Prog, Again) << Printed;
+}
+
+TEST(ParserTest, PatternModeClassifiesByConvention) {
+  // Paper convention: upper-case = pattern variable; C* are Consts
+  // patterns, E* are Exprs patterns, rest are Vars patterns.
+  Stmt S = parseStmtPatternOrDie("X := Y");
+  const auto &A = S.as<AssignStmt>();
+  EXPECT_TRUE(std::get<Var>(A.Target).IsMeta);
+  EXPECT_TRUE(A.Value.is<Var>());
+  EXPECT_TRUE(A.Value.as<Var>().IsMeta);
+
+  Stmt S2 = parseStmtPatternOrDie("Y := C");
+  EXPECT_TRUE(S2.as<AssignStmt>().Value.is<ConstVal>());
+  EXPECT_TRUE(S2.as<AssignStmt>().Value.as<ConstVal>().IsMeta);
+
+  Stmt S3 = parseStmtPatternOrDie("X := E");
+  EXPECT_TRUE(S3.as<AssignStmt>().Value.is<MetaExpr>());
+
+  // Lower-case identifiers stay concrete even in pattern mode.
+  Stmt S4 = parseStmtPatternOrDie("x := y");
+  EXPECT_FALSE(std::get<Var>(S4.as<AssignStmt>().Target).IsMeta);
+}
+
+TEST(ParserTest, PatternModeEllipsisAndWildcard) {
+  Stmt S = parseStmtPatternOrDie("X := ...");
+  EXPECT_TRUE(S.as<AssignStmt>().Value.is<MetaExpr>());
+  EXPECT_TRUE(S.as<AssignStmt>().Value.as<MetaExpr>().isWildcard());
+
+  Stmt R = parseStmtPatternOrDie("return ...");
+  EXPECT_TRUE(R.as<ReturnStmt>().Value.isWildcard());
+
+  Stmt W = parseStmtPatternOrDie("_ := E");
+  EXPECT_TRUE(std::get<Var>(W.as<AssignStmt>().Target).isWildcard());
+}
+
+TEST(ParserTest, PatternModeCallAndDeref) {
+  Stmt S = parseStmtPatternOrDie("X := P(Z)");
+  const auto &C = S.as<CallStmt>();
+  EXPECT_TRUE(C.Target.IsMeta);
+  EXPECT_TRUE(C.Callee.IsMeta);
+  EXPECT_TRUE(isVar(C.Arg));
+  EXPECT_TRUE(asVar(C.Arg).IsMeta);
+
+  Stmt S2 = parseStmtPatternOrDie("*X := Z");
+  EXPECT_FALSE(isVarLhs(S2.as<AssignStmt>().Target));
+
+  Stmt S3 = parseStmtPatternOrDie("X := &Y");
+  EXPECT_TRUE(S3.as<AssignStmt>().Value.is<AddrOfExpr>());
+}
+
+TEST(ParserTest, ExplicitIndicesAreVerified) {
+  DiagnosticEngine Diags;
+  auto Good = parseProgram("proc main(x) { 0: skip; 1: return x; }", Diags);
+  EXPECT_TRUE(Good.has_value()) << Diags.str();
+
+  DiagnosticEngine Diags2;
+  auto Bad = parseProgram("proc main(x) { 0: skip; 5: return x; }", Diags2);
+  EXPECT_FALSE(Bad.has_value());
+}
+
+TEST(ParserTest, ErrorsCarryLocations) {
+  DiagnosticEngine Diags;
+  auto Prog = parseProgram("proc main(x) {\n  y := ;\n  return x;\n}", Diags);
+  EXPECT_FALSE(Prog.has_value());
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.diagnostics()[0].Loc.Line, 2u);
+}
+
+TEST(ParserTest, ValidationFailuresSurfaceAsDiagnostics) {
+  DiagnosticEngine Diags;
+  // Missing main.
+  auto Prog = parseProgram("proc f(x) { return x; }", Diags);
+  EXPECT_FALSE(Prog.has_value());
+  EXPECT_NE(Diags.str().find("main"), std::string::npos);
+}
+
+} // namespace

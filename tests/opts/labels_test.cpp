@@ -1,0 +1,169 @@
+//===- labels_test.cpp - The standard label library -----------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opts/Labels.h"
+
+#include "core/Builder.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+namespace {
+
+/// Evaluates label(args...) against a one-statement context.
+class LabelsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    for (const LabelDef &Def : opts::standardLabels())
+      Registry.define(Def);
+    Registry.declareAnalysisLabel("notTainted");
+  }
+
+  /// Builds a tiny procedure whose node 0 is \p StmtText and evaluates
+  /// the label there under \p Theta.
+  bool holds(const std::string &LabelName, const Substitution &Theta,
+             const std::string &StmtText,
+             const Labeling *Labels = nullptr) {
+    Proc.Name = "p";
+    Proc.Param = "arg";
+    Proc.Stmts = {parseStmtPatternOrDie(StmtText),
+                  Stmt(ReturnStmt{Var::concrete("arg")})};
+    Univ = buildUniverse(Proc);
+    NodeContext Ctx{&Proc, 0, &Registry, Labels, &Univ};
+    std::vector<Term> Args;
+    const LabelDef *Def = Registry.findPredicate(LabelName);
+    for (const auto &[Name, Kind] : Def->Params) {
+      (void)Kind;
+      // Look the arg up in Theta by the label's own param order: tests
+      // bind E/X/P names directly.
+      Args.push_back(tExpr(Name));
+    }
+    auto R = evalFormula(*fLabel(LabelName, Args), Ctx, Theta);
+    EXPECT_TRUE(R.has_value()) << LabelName << " at " << StmtText;
+    return R.has_value() && *R;
+  }
+
+  Substitution varBinding(const char *Name, const char *Value) {
+    Substitution Theta;
+    Theta.bind(Name, Binding::var(Value));
+    return Theta;
+  }
+
+  LabelRegistry Registry;
+  Procedure Proc;
+  Universe Univ;
+};
+
+TEST_F(LabelsTest, SyntacticDef) {
+  Substitution X = varBinding("X", "a");
+  EXPECT_TRUE(holds("syntacticDef", X, "decl a"));
+  EXPECT_TRUE(holds("syntacticDef", X, "a := 1"));
+  EXPECT_TRUE(holds("syntacticDef", X, "a := new"));
+  EXPECT_FALSE(holds("syntacticDef", X, "b := 1"));
+  EXPECT_FALSE(holds("syntacticDef", X, "*a := 1")); // store, not def of a
+  EXPECT_FALSE(holds("syntacticDef", X, "skip"));
+  EXPECT_FALSE(holds("syntacticDef", X, "return a"));
+}
+
+TEST_F(LabelsTest, MayDefConservative) {
+  Substitution X = varBinding("X", "a");
+  // Pointer stores and calls may define anything — even with constant
+  // arguments (a bug our checker caught in an earlier version).
+  EXPECT_TRUE(holds("mayDef", X, "*p := 1"));
+  EXPECT_TRUE(holds("mayDef", X, "b := f(c)"));
+  EXPECT_TRUE(holds("mayDef", X, "b := f(3)"));
+  EXPECT_TRUE(holds("mayDef", X, "a := 2"));
+  EXPECT_FALSE(holds("mayDef", X, "b := 2"));
+  EXPECT_FALSE(holds("mayDef", X, "skip"));
+}
+
+TEST_F(LabelsTest, ExprUses) {
+  auto Uses = [&](const char *ExprText, const char *Of) {
+    Substitution Theta;
+    Theta.bind("E", Binding::expr(parseExprPatternOrDie(ExprText)));
+    Theta.bind("X", Binding::var(Of));
+    return holds("exprUses", Theta, "skip");
+  };
+  EXPECT_TRUE(Uses("a", "a"));
+  EXPECT_FALSE(Uses("b", "a"));
+  EXPECT_FALSE(Uses("3", "a"));
+  EXPECT_TRUE(Uses("a + b", "a"));
+  EXPECT_TRUE(Uses("b + a", "a"));
+  EXPECT_FALSE(Uses("b + c", "a"));
+  EXPECT_TRUE(Uses("b + 1", "b"));
+  EXPECT_TRUE(Uses("*a", "a"));
+  EXPECT_TRUE(Uses("*p", "a")); // conservative: any load may read a
+  EXPECT_FALSE(Uses("&b", "a"));
+}
+
+TEST_F(LabelsTest, MayUseConservative) {
+  Substitution X = varBinding("X", "a");
+  EXPECT_TRUE(holds("mayUse", X, "b := a"));
+  EXPECT_TRUE(holds("mayUse", X, "b := a + 1"));
+  EXPECT_FALSE(holds("mayUse", X, "b := c"));
+  EXPECT_TRUE(holds("mayUse", X, "*p := a"));
+  EXPECT_TRUE(holds("mayUse", X, "*a := 1"));
+  EXPECT_TRUE(holds("mayUse", X, "if a goto 0 else 0"));
+  EXPECT_FALSE(holds("mayUse", X, "if b goto 0 else 0"));
+  // Returns conservatively use everything (escaped locals).
+  EXPECT_TRUE(holds("mayUse", X, "return b"));
+  EXPECT_TRUE(holds("mayUse", X, "b := f(1)"));
+  EXPECT_FALSE(holds("mayUse", X, "decl b"));
+  EXPECT_FALSE(holds("mayUse", X, "b := new"));
+}
+
+TEST_F(LabelsTest, Unchanged) {
+  auto Unchanged = [&](const char *ExprText, const char *StmtText) {
+    Substitution Theta;
+    Theta.bind("E", Binding::expr(parseExprPatternOrDie(ExprText)));
+    return holds("unchanged", Theta, StmtText);
+  };
+  EXPECT_TRUE(Unchanged("3", "a := 1"));
+  EXPECT_TRUE(Unchanged("a + b", "c := 1"));
+  EXPECT_FALSE(Unchanged("a + b", "a := 1"));
+  EXPECT_FALSE(Unchanged("a + b", "*p := 1"));
+  EXPECT_FALSE(Unchanged("a + b", "c := f(1)"));
+  EXPECT_FALSE(Unchanged("*p", "skip")); // loads are never "unchanged"
+  EXPECT_TRUE(Unchanged("&a", "a := 1")); // the address survives writes
+  EXPECT_FALSE(Unchanged("&a", "decl a")); // but not re-declaration
+}
+
+TEST_F(LabelsTest, DerefUnchangedNeedsTaintInfo) {
+  Substitution P = varBinding("P", "p");
+  // Without a labeling, notTainted is never derivable: assignments and
+  // news are conservatively rejected.
+  EXPECT_FALSE(holds("derefUnchanged", P, "a := 1"));
+  EXPECT_FALSE(holds("derefUnchanged", P, "a := new"));
+  EXPECT_TRUE(holds("derefUnchanged", P, "skip"));
+  EXPECT_TRUE(holds("derefUnchanged", P, "if a goto 0 else 0"));
+  EXPECT_FALSE(holds("derefUnchanged", P, "*q := 1"));
+  EXPECT_FALSE(holds("derefUnchanged", P, "a := f(1)"));
+
+  // With notTainted(a) at the node, a := 1 preserves *p.
+  Labeling Labels(2);
+  Labels[0].insert(GroundLabel{"notTainted", {Binding::var("a")}});
+  EXPECT_TRUE(holds("derefUnchanged", P, "a := 1", &Labels));
+  // But assigning to p itself never does.
+  EXPECT_FALSE(holds("derefUnchanged", P, "p := 1", &Labels));
+}
+
+TEST_F(LabelsTest, PreciseVariantsConsultTaintLabels) {
+  Substitution X = varBinding("X", "a");
+  Labeling Labels(2);
+  Labels[0].insert(GroundLabel{"notTainted", {Binding::var("a")}});
+
+  // Precise mayDef: the pointer store cannot touch untainted a.
+  Proc.Stmts.clear();
+  EXPECT_FALSE(holds("mayDefPrecise", X, "*p := 1", &Labels));
+  EXPECT_TRUE(holds("mayDefPrecise", X, "*p := 1")); // no labels: may
+  EXPECT_TRUE(holds("mayDefPrecise", X, "a := f(1)", &Labels)); // target
+  EXPECT_FALSE(holds("mayDefPrecise", X, "b := f(1)", &Labels));
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+//===- lexer_test.cpp - Unit tests for the shared lexer -------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cobalt;
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Text, DiagnosticEngine &Diags) {
+  Lexer Lex(Text, Diags);
+  std::vector<Token> Out;
+  while (true) {
+    Token Tok = Lex.lex();
+    if (Tok.is(TokenKind::TK_End))
+      break;
+    Out.push_back(Tok);
+  }
+  return Out;
+}
+
+TEST(LexerTest, IdentifiersAndInts) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("foo bar42 123 0", Diags);
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_TRUE(Toks[0].isIdent("foo"));
+  EXPECT_TRUE(Toks[1].isIdent("bar42"));
+  EXPECT_TRUE(Toks[2].is(TokenKind::TK_Int));
+  EXPECT_EQ(Toks[2].IntValue, 123);
+  EXPECT_EQ(Toks[3].IntValue, 0);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(LexerTest, MultiCharPunctuatorsLexGreedily) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll(":= == != <= >= => ->", Diags);
+  ASSERT_EQ(Toks.size(), 7u);
+  EXPECT_TRUE(Toks[0].isPunct(":="));
+  EXPECT_TRUE(Toks[1].isPunct("=="));
+  EXPECT_TRUE(Toks[2].isPunct("!="));
+  EXPECT_TRUE(Toks[3].isPunct("<="));
+  EXPECT_TRUE(Toks[4].isPunct(">="));
+  EXPECT_TRUE(Toks[5].isPunct("=>"));
+  EXPECT_TRUE(Toks[6].isPunct("->"));
+}
+
+TEST(LexerTest, ColonEqualsVersusColon) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("x := y : z", Diags);
+  ASSERT_EQ(Toks.size(), 5u);
+  EXPECT_TRUE(Toks[1].isPunct(":="));
+  EXPECT_TRUE(Toks[3].isPunct(":"));
+}
+
+TEST(LexerTest, EllipsisAndWildcard) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("... _ .", Diags);
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_TRUE(Toks[0].is(TokenKind::TK_Ellipsis));
+  EXPECT_TRUE(Toks[1].isPunct("_"));
+  EXPECT_TRUE(Toks[2].isPunct("."));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("a // comment to end\nb # another\nc", Diags);
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_TRUE(Toks[0].isIdent("a"));
+  EXPECT_TRUE(Toks[1].isIdent("b"));
+  EXPECT_TRUE(Toks[2].isIdent("c"));
+}
+
+TEST(LexerTest, LocationsTrackLinesAndColumns) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("a\n  b", Diags);
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Column, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Column, 3u);
+}
+
+TEST(LexerTest, UnrecognizedCharacterIsDiagnosed) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("a $ b", Diags);
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_TRUE(Toks[1].is(TokenKind::TK_Error));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, PeekDoesNotConsume) {
+  DiagnosticEngine Diags;
+  Lexer Lex("x y", Diags);
+  EXPECT_TRUE(Lex.peek().isIdent("x"));
+  EXPECT_TRUE(Lex.peek().isIdent("x"));
+  EXPECT_TRUE(Lex.lex().isIdent("x"));
+  EXPECT_TRUE(Lex.lex().isIdent("y"));
+  EXPECT_TRUE(Lex.lex().is(TokenKind::TK_End));
+}
+
+TEST(LexerTest, UnlexPushesBack) {
+  DiagnosticEngine Diags;
+  Lexer Lex("x y z", Diags);
+  Token X = Lex.lex();
+  EXPECT_TRUE(Lex.peek().isIdent("y"));
+  Lex.unlex(X);
+  EXPECT_TRUE(Lex.lex().isIdent("x"));
+  EXPECT_TRUE(Lex.lex().isIdent("y"));
+  EXPECT_TRUE(Lex.lex().isIdent("z"));
+}
+
+TEST(LexerTest, PrimesAllowedInIdentifiers) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("x' eta_old", Diags);
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_TRUE(Toks[0].isIdent("x'"));
+  EXPECT_TRUE(Toks[1].isIdent("eta_old"));
+}
+
+} // namespace

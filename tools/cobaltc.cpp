@@ -1,0 +1,192 @@
+//===- cobaltc.cpp - The Cobalt checker/compiler driver -------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Command-line driver tying the whole system together:
+///
+///   cobaltc check  <module.cob>                 prove every definition
+///   cobaltc run    <module.cob> <program.il> N  check, then optimize and
+///                                               run main(N) before/after
+///   cobaltc stdlib                              print the bundled module
+///
+/// `check` exits nonzero if any definition fails its soundness proof,
+/// printing the failing obligations and counterexample contexts. `run`
+/// refuses to apply unproven optimizations — the extensible-compiler
+/// discipline of paper §1/§6.
+///
+//===----------------------------------------------------------------------===//
+
+#include "checker/Soundness.h"
+#include "core/CobaltParser.h"
+#include "engine/PassManager.h"
+#include "ir/Interp.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opts/StdlibCobalt.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace cobalt;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cobaltc check <module.cob>\n"
+               "       cobaltc run <module.cob> <program.il> [input]\n"
+               "       cobaltc stdlib\n");
+  return 2;
+}
+
+std::optional<std::string> readFile(const char *Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+/// Parses a module, falling back to the bundled stdlib for the special
+/// path "stdlib".
+std::optional<CobaltModule> loadModule(const char *Path,
+                                       DiagnosticEngine &Diags) {
+  if (std::strcmp(Path, "stdlib") == 0)
+    return parseCobalt(opts::StdlibCobaltSource, Diags);
+  auto Text = readFile(Path);
+  if (!Text) {
+    Diags.error(std::string("cannot read '") + Path + "'");
+    return std::nullopt;
+  }
+  return parseCobalt(*Text, Diags);
+}
+
+/// Proves every definition in the module; returns the number of
+/// failures and prints a per-definition verdict table.
+unsigned checkModule(const CobaltModule &Module) {
+  LabelRegistry Registry;
+  for (const LabelDef &Def : Module.Labels)
+    Registry.define(Def);
+  for (const PureAnalysis &A : Module.Analyses)
+    Registry.declareAnalysisLabel(A.LabelName);
+
+  checker::SoundnessChecker Checker(Registry, Module.Analyses);
+  Checker.setTimeoutMs(8000);
+
+  unsigned Failures = 0;
+  auto Report = [&](const checker::CheckReport &R) {
+    std::printf("  %-24s %-10s %zu obligations, %.2f s\n", R.Name.c_str(),
+                R.Sound ? "SOUND" : "REJECTED", R.Obligations.size(),
+                R.TotalSeconds);
+    if (!R.Sound) {
+      ++Failures;
+      for (const auto &Ob : R.Obligations)
+        if (!Ob.proven())
+          std::printf("      %s failed%s%s\n", Ob.Name.c_str(),
+                      Ob.Counterexample.empty() ? "" : ": ",
+                      Ob.Counterexample.substr(0, 120).c_str());
+    }
+  };
+
+  for (const PureAnalysis &A : Module.Analyses)
+    Report(Checker.checkAnalysis(A));
+  for (const Optimization &O : Module.Optimizations)
+    Report(Checker.checkOptimization(O));
+  return Failures;
+}
+
+int cmdCheck(const char *ModulePath) {
+  DiagnosticEngine Diags;
+  auto Module = loadModule(ModulePath, Diags);
+  if (!Module) {
+    std::fprintf(stderr, "%s\n", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("checking %zu label(s), %zu analysis(es), %zu "
+              "optimization(s) from %s:\n",
+              Module->Labels.size(), Module->Analyses.size(),
+              Module->Optimizations.size(), ModulePath);
+  unsigned Failures = checkModule(*Module);
+  std::printf("%s\n", Failures == 0 ? "all definitions proven sound"
+                                    : "REJECTED definitions present");
+  return Failures == 0 ? 0 : 1;
+}
+
+int cmdRun(const char *ModulePath, const char *ProgramPath,
+           const char *InputText) {
+  DiagnosticEngine Diags;
+  auto Module = loadModule(ModulePath, Diags);
+  if (!Module) {
+    std::fprintf(stderr, "%s\n", Diags.str().c_str());
+    return 1;
+  }
+  auto ProgramText = readFile(ProgramPath);
+  if (!ProgramText) {
+    std::fprintf(stderr, "cannot read '%s'\n", ProgramPath);
+    return 1;
+  }
+  DiagnosticEngine ProgDiags;
+  auto Prog = ir::parseProgram(*ProgramText, ProgDiags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s: %s\n", ProgramPath,
+                 ProgDiags.str().c_str());
+    return 1;
+  }
+
+  std::printf("== soundness gate ==\n");
+  if (checkModule(*Module) != 0) {
+    std::fprintf(stderr,
+                 "refusing to run: module contains unproven "
+                 "optimizations\n");
+    return 1;
+  }
+
+  int64_t Input = InputText ? std::atoll(InputText) : 0;
+  ir::Program Original = *Prog;
+
+  engine::PassManager PM;
+  for (PureAnalysis &A : Module->Analyses)
+    PM.addAnalysis(std::move(A));
+  for (Optimization &O : Module->Optimizations)
+    PM.addOptimization(std::move(O));
+
+  std::printf("\n== optimizing ==\n");
+  unsigned Applied = 0;
+  for (const engine::PassReport &R : PM.run(*Prog)) {
+    if (R.AppliedCount)
+      std::printf("  %-24s %-10s rewrote %u site(s)\n", R.PassName.c_str(),
+                  R.ProcName.c_str(), R.AppliedCount);
+    Applied += R.AppliedCount;
+  }
+  std::printf("  total rewrites: %u\n\n%s\n", Applied,
+              ir::toString(*Prog).c_str());
+
+  ir::Interpreter IO(Original), IT(*Prog);
+  ir::RunResult RO = IO.run(Input), RT = IT.run(Input);
+  std::printf("main(%lld): original %s, optimized %s\n",
+              static_cast<long long>(Input), RO.str().c_str(),
+              RT.str().c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  if (std::strcmp(Argv[1], "stdlib") == 0) {
+    std::printf("%s", opts::StdlibCobaltSource);
+    return 0;
+  }
+  if (std::strcmp(Argv[1], "check") == 0 && Argc == 3)
+    return cmdCheck(Argv[2]);
+  if (std::strcmp(Argv[1], "run") == 0 && (Argc == 4 || Argc == 5))
+    return cmdRun(Argv[2], Argv[3], Argc == 5 ? Argv[4] : nullptr);
+  return usage();
+}
