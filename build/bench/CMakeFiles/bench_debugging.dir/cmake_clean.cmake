@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_debugging.dir/bench_debugging.cpp.o"
+  "CMakeFiles/bench_debugging.dir/bench_debugging.cpp.o.d"
+  "bench_debugging"
+  "bench_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugging_cse.dir/debugging_cse.cpp.o"
+  "CMakeFiles/debugging_cse.dir/debugging_cse.cpp.o.d"
+  "debugging_cse"
+  "debugging_cse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugging_cse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for debugging_cse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensible_compiler.dir/extensible_compiler.cpp.o"
+  "CMakeFiles/extensible_compiler.dir/extensible_compiler.cpp.o.d"
+  "extensible_compiler"
+  "extensible_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensible_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licm.dir/licm.cpp.o"
+  "CMakeFiles/licm.dir/licm.cpp.o.d"
+  "licm"
+  "licm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointer_analysis.dir/pointer_analysis.cpp.o"
+  "CMakeFiles/pointer_analysis.dir/pointer_analysis.cpp.o.d"
+  "pointer_analysis"
+  "pointer_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointer_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

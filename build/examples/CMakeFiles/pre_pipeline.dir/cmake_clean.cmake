@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pre_pipeline.dir/pre_pipeline.cpp.o"
+  "CMakeFiles/pre_pipeline.dir/pre_pipeline.cpp.o.d"
+  "pre_pipeline"
+  "pre_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pre_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

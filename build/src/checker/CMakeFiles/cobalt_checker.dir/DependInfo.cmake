@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/Encoder.cpp" "src/checker/CMakeFiles/cobalt_checker.dir/Encoder.cpp.o" "gcc" "src/checker/CMakeFiles/cobalt_checker.dir/Encoder.cpp.o.d"
+  "/root/repo/src/checker/PatternEncoder.cpp" "src/checker/CMakeFiles/cobalt_checker.dir/PatternEncoder.cpp.o" "gcc" "src/checker/CMakeFiles/cobalt_checker.dir/PatternEncoder.cpp.o.d"
+  "/root/repo/src/checker/Soundness.cpp" "src/checker/CMakeFiles/cobalt_checker.dir/Soundness.cpp.o" "gcc" "src/checker/CMakeFiles/cobalt_checker.dir/Soundness.cpp.o.d"
+  "/root/repo/src/checker/WitnessInference.cpp" "src/checker/CMakeFiles/cobalt_checker.dir/WitnessInference.cpp.o" "gcc" "src/checker/CMakeFiles/cobalt_checker.dir/WitnessInference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cobalt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cobalt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cobalt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

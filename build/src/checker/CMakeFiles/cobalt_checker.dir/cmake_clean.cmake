@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobalt_checker.dir/Encoder.cpp.o"
+  "CMakeFiles/cobalt_checker.dir/Encoder.cpp.o.d"
+  "CMakeFiles/cobalt_checker.dir/PatternEncoder.cpp.o"
+  "CMakeFiles/cobalt_checker.dir/PatternEncoder.cpp.o.d"
+  "CMakeFiles/cobalt_checker.dir/Soundness.cpp.o"
+  "CMakeFiles/cobalt_checker.dir/Soundness.cpp.o.d"
+  "CMakeFiles/cobalt_checker.dir/WitnessInference.cpp.o"
+  "CMakeFiles/cobalt_checker.dir/WitnessInference.cpp.o.d"
+  "libcobalt_checker.a"
+  "libcobalt_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobalt_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

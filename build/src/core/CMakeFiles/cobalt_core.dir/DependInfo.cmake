@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Builder.cpp" "src/core/CMakeFiles/cobalt_core.dir/Builder.cpp.o" "gcc" "src/core/CMakeFiles/cobalt_core.dir/Builder.cpp.o.d"
+  "/root/repo/src/core/CobaltParser.cpp" "src/core/CMakeFiles/cobalt_core.dir/CobaltParser.cpp.o" "gcc" "src/core/CMakeFiles/cobalt_core.dir/CobaltParser.cpp.o.d"
+  "/root/repo/src/core/Formula.cpp" "src/core/CMakeFiles/cobalt_core.dir/Formula.cpp.o" "gcc" "src/core/CMakeFiles/cobalt_core.dir/Formula.cpp.o.d"
+  "/root/repo/src/core/Match.cpp" "src/core/CMakeFiles/cobalt_core.dir/Match.cpp.o" "gcc" "src/core/CMakeFiles/cobalt_core.dir/Match.cpp.o.d"
+  "/root/repo/src/core/Optimization.cpp" "src/core/CMakeFiles/cobalt_core.dir/Optimization.cpp.o" "gcc" "src/core/CMakeFiles/cobalt_core.dir/Optimization.cpp.o.d"
+  "/root/repo/src/core/Substitution.cpp" "src/core/CMakeFiles/cobalt_core.dir/Substitution.cpp.o" "gcc" "src/core/CMakeFiles/cobalt_core.dir/Substitution.cpp.o.d"
+  "/root/repo/src/core/Witness.cpp" "src/core/CMakeFiles/cobalt_core.dir/Witness.cpp.o" "gcc" "src/core/CMakeFiles/cobalt_core.dir/Witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cobalt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cobalt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobalt_core.dir/Builder.cpp.o"
+  "CMakeFiles/cobalt_core.dir/Builder.cpp.o.d"
+  "CMakeFiles/cobalt_core.dir/CobaltParser.cpp.o"
+  "CMakeFiles/cobalt_core.dir/CobaltParser.cpp.o.d"
+  "CMakeFiles/cobalt_core.dir/Formula.cpp.o"
+  "CMakeFiles/cobalt_core.dir/Formula.cpp.o.d"
+  "CMakeFiles/cobalt_core.dir/Match.cpp.o"
+  "CMakeFiles/cobalt_core.dir/Match.cpp.o.d"
+  "CMakeFiles/cobalt_core.dir/Optimization.cpp.o"
+  "CMakeFiles/cobalt_core.dir/Optimization.cpp.o.d"
+  "CMakeFiles/cobalt_core.dir/Substitution.cpp.o"
+  "CMakeFiles/cobalt_core.dir/Substitution.cpp.o.d"
+  "CMakeFiles/cobalt_core.dir/Witness.cpp.o"
+  "CMakeFiles/cobalt_core.dir/Witness.cpp.o.d"
+  "libcobalt_core.a"
+  "libcobalt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobalt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcobalt_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/Dataflow.cpp" "src/engine/CMakeFiles/cobalt_engine.dir/Dataflow.cpp.o" "gcc" "src/engine/CMakeFiles/cobalt_engine.dir/Dataflow.cpp.o.d"
+  "/root/repo/src/engine/Engine.cpp" "src/engine/CMakeFiles/cobalt_engine.dir/Engine.cpp.o" "gcc" "src/engine/CMakeFiles/cobalt_engine.dir/Engine.cpp.o.d"
+  "/root/repo/src/engine/PassManager.cpp" "src/engine/CMakeFiles/cobalt_engine.dir/PassManager.cpp.o" "gcc" "src/engine/CMakeFiles/cobalt_engine.dir/PassManager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cobalt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cobalt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cobalt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

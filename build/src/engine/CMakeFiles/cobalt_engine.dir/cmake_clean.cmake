@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobalt_engine.dir/Dataflow.cpp.o"
+  "CMakeFiles/cobalt_engine.dir/Dataflow.cpp.o.d"
+  "CMakeFiles/cobalt_engine.dir/Engine.cpp.o"
+  "CMakeFiles/cobalt_engine.dir/Engine.cpp.o.d"
+  "CMakeFiles/cobalt_engine.dir/PassManager.cpp.o"
+  "CMakeFiles/cobalt_engine.dir/PassManager.cpp.o.d"
+  "libcobalt_engine.a"
+  "libcobalt_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobalt_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

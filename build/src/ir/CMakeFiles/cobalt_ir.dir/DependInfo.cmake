@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Ast.cpp" "src/ir/CMakeFiles/cobalt_ir.dir/Ast.cpp.o" "gcc" "src/ir/CMakeFiles/cobalt_ir.dir/Ast.cpp.o.d"
+  "/root/repo/src/ir/Cfg.cpp" "src/ir/CMakeFiles/cobalt_ir.dir/Cfg.cpp.o" "gcc" "src/ir/CMakeFiles/cobalt_ir.dir/Cfg.cpp.o.d"
+  "/root/repo/src/ir/Generator.cpp" "src/ir/CMakeFiles/cobalt_ir.dir/Generator.cpp.o" "gcc" "src/ir/CMakeFiles/cobalt_ir.dir/Generator.cpp.o.d"
+  "/root/repo/src/ir/Interp.cpp" "src/ir/CMakeFiles/cobalt_ir.dir/Interp.cpp.o" "gcc" "src/ir/CMakeFiles/cobalt_ir.dir/Interp.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/ir/CMakeFiles/cobalt_ir.dir/Parser.cpp.o" "gcc" "src/ir/CMakeFiles/cobalt_ir.dir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/cobalt_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/cobalt_ir.dir/Printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cobalt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobalt_ir.dir/Ast.cpp.o"
+  "CMakeFiles/cobalt_ir.dir/Ast.cpp.o.d"
+  "CMakeFiles/cobalt_ir.dir/Cfg.cpp.o"
+  "CMakeFiles/cobalt_ir.dir/Cfg.cpp.o.d"
+  "CMakeFiles/cobalt_ir.dir/Generator.cpp.o"
+  "CMakeFiles/cobalt_ir.dir/Generator.cpp.o.d"
+  "CMakeFiles/cobalt_ir.dir/Interp.cpp.o"
+  "CMakeFiles/cobalt_ir.dir/Interp.cpp.o.d"
+  "CMakeFiles/cobalt_ir.dir/Parser.cpp.o"
+  "CMakeFiles/cobalt_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/cobalt_ir.dir/Printer.cpp.o"
+  "CMakeFiles/cobalt_ir.dir/Printer.cpp.o.d"
+  "libcobalt_ir.a"
+  "libcobalt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobalt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobalt_opts.dir/Buggy.cpp.o"
+  "CMakeFiles/cobalt_opts.dir/Buggy.cpp.o.d"
+  "CMakeFiles/cobalt_opts.dir/Labels.cpp.o"
+  "CMakeFiles/cobalt_opts.dir/Labels.cpp.o.d"
+  "CMakeFiles/cobalt_opts.dir/Optimizations.cpp.o"
+  "CMakeFiles/cobalt_opts.dir/Optimizations.cpp.o.d"
+  "libcobalt_opts.a"
+  "libcobalt_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobalt_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobalt_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/cobalt_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/cobalt_support.dir/Lexer.cpp.o"
+  "CMakeFiles/cobalt_support.dir/Lexer.cpp.o.d"
+  "libcobalt_support.a"
+  "libcobalt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobalt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

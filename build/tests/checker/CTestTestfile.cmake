@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/checker
+# Build directory: /root/repo/build/tests/checker
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/checker/encoder_test[1]_include.cmake")
+include("/root/repo/build/tests/checker/soundness_test[1]_include.cmake")
+include("/root/repo/build/tests/checker/rejection_test[1]_include.cmake")
+include("/root/repo/build/tests/checker/witness_inference_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobalt_parser_test.dir/cobalt_parser_test.cpp.o"
+  "CMakeFiles/cobalt_parser_test.dir/cobalt_parser_test.cpp.o.d"
+  "cobalt_parser_test"
+  "cobalt_parser_test.pdb"
+  "cobalt_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobalt_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimization_test.dir/optimization_test.cpp.o"
+  "CMakeFiles/optimization_test.dir/optimization_test.cpp.o.d"
+  "optimization_test"
+  "optimization_test.pdb"
+  "optimization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satisfy_consistency_test.dir/satisfy_consistency_test.cpp.o"
+  "CMakeFiles/satisfy_consistency_test.dir/satisfy_consistency_test.cpp.o.d"
+  "satisfy_consistency_test"
+  "satisfy_consistency_test.pdb"
+  "satisfy_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satisfy_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

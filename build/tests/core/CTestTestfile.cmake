@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/substitution_test[1]_include.cmake")
+include("/root/repo/build/tests/core/match_test[1]_include.cmake")
+include("/root/repo/build/tests/core/formula_test[1]_include.cmake")
+include("/root/repo/build/tests/core/witness_test[1]_include.cmake")
+include("/root/repo/build/tests/core/optimization_test[1]_include.cmake")
+include("/root/repo/build/tests/core/cobalt_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/core/satisfy_consistency_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guard_semantics_test.dir/guard_semantics_test.cpp.o"
+  "CMakeFiles/guard_semantics_test.dir/guard_semantics_test.cpp.o.d"
+  "guard_semantics_test"
+  "guard_semantics_test.pdb"
+  "guard_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guard_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passmanager_test.dir/passmanager_test.cpp.o"
+  "CMakeFiles/passmanager_test.dir/passmanager_test.cpp.o.d"
+  "passmanager_test"
+  "passmanager_test.pdb"
+  "passmanager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passmanager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_equivalence_test.dir/semantic_equivalence_test.cpp.o"
+  "CMakeFiles/semantic_equivalence_test.dir/semantic_equivalence_test.cpp.o.d"
+  "semantic_equivalence_test"
+  "semantic_equivalence_test.pdb"
+  "semantic_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

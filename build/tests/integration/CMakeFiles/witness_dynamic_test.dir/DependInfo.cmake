@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/witness_dynamic_test.cpp" "tests/integration/CMakeFiles/witness_dynamic_test.dir/witness_dynamic_test.cpp.o" "gcc" "tests/integration/CMakeFiles/witness_dynamic_test.dir/witness_dynamic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/cobalt_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/opts/CMakeFiles/cobalt_opts.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cobalt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cobalt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cobalt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

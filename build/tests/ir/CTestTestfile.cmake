@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ir
+# Build directory: /root/repo/build/tests/ir
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ir/ast_test[1]_include.cmake")
+include("/root/repo/build/tests/ir/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/ir/cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/ir/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/ir/generator_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labels_test.dir/labels_test.cpp.o"
+  "CMakeFiles/labels_test.dir/labels_test.cpp.o.d"
+  "labels_test"
+  "labels_test.pdb"
+  "labels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stdlib_text_test.dir/stdlib_text_test.cpp.o"
+  "CMakeFiles/stdlib_text_test.dir/stdlib_text_test.cpp.o.d"
+  "stdlib_text_test"
+  "stdlib_text_test.pdb"
+  "stdlib_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stdlib_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/opts
+# Build directory: /root/repo/build/tests/opts
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/opts/labels_test[1]_include.cmake")
+include("/root/repo/build/tests/opts/stdlib_text_test[1]_include.cmake")

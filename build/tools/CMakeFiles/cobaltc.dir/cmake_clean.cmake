@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobaltc.dir/cobaltc.cpp.o"
+  "CMakeFiles/cobaltc.dir/cobaltc.cpp.o.d"
+  "cobaltc"
+  "cobaltc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobaltc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
