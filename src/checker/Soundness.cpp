@@ -8,6 +8,8 @@
 
 #include "checker/Encoder.h"
 #include "checker/PatternEncoder.h"
+#include "ir/Printer.h"
+#include "support/FaultInjection.h"
 
 #include <chrono>
 #include <functional>
@@ -16,19 +18,43 @@
 using namespace cobalt;
 using namespace cobalt::checker;
 using namespace cobalt::ir;
+using support::ErrorKind;
 
 std::string CheckReport::str() const {
   std::ostringstream Out;
-  Out << Name << ": " << (Sound ? "SOUND" : "NOT PROVEN") << " (";
+  Out << Name << ": ";
+  switch (V) {
+  case Verdict::V_Sound:
+    Out << "SOUND";
+    break;
+  case Verdict::V_Unsound:
+    Out << "UNSOUND";
+    break;
+  case Verdict::V_Unproven:
+    Out << "NOT PROVEN [" << support::errorKindName(Degradation) << "]";
+    break;
+  }
+  if (CacheHit)
+    Out << " (cached)";
+  Out << " (";
   for (size_t I = 0; I < Obligations.size(); ++I) {
     if (I)
       Out << ", ";
     const ObligationResult &R = Obligations[I];
-    Out << R.Name << "="
-        << (R.St == ObligationResult::Status::OS_Proven
-                ? "ok"
-                : (R.St == ObligationResult::Status::OS_Failed ? "FAIL"
-                                                               : "UNKNOWN"));
+    Out << R.Name << "=";
+    switch (R.St) {
+    case ObligationResult::Status::OS_Proven:
+      Out << "ok";
+      break;
+    case ObligationResult::Status::OS_Failed:
+      Out << "FAIL";
+      break;
+    case ObligationResult::Status::OS_Unknown:
+      Out << (R.Err == ErrorKind::EK_ProverTimeout ? "TIMEOUT"
+              : R.Err == ErrorKind::EK_ProverResourceOut ? "RESOURCE"
+                                                         : "UNKNOWN");
+      break;
+    }
   }
   Out << ")";
   if (!AssumedAnalyses.empty()) {
@@ -83,6 +109,20 @@ struct ObligationBuilder {
     return Post;
   }
 
+  /// Classifies a Z3 reason_unknown() string into the error taxonomy.
+  static ErrorKind classifyUnknown(const std::string &Reason) {
+    if (Reason.find("timeout") != std::string::npos ||
+        Reason.find("canceled") != std::string::npos ||
+        Reason.find("cancelled") != std::string::npos)
+      return ErrorKind::EK_ProverTimeout;
+    if (Reason.find("resource") != std::string::npos ||
+        Reason.find("memory") != std::string::npos ||
+        Reason.find("memout") != std::string::npos ||
+        Reason.find("rlimit") != std::string::npos)
+      return ErrorKind::EK_ProverResourceOut;
+    return ErrorKind::EK_ProverUnknown;
+  }
+
   /// Discharges hypotheses ⊢ goal. Unsat of hypotheses ∧ ¬goal proves
   /// the obligation. On unknown, a second *counterexample search* pass
   /// closes the uninterpreted domains over the finitely many named
@@ -90,34 +130,103 @@ struct ObligationBuilder {
   /// genuine counterexample (we only shrank the candidate space), and the
   /// closure is what lets Z3's model builder get past the quantified
   /// well-formedness hypotheses.
+  ///
+  /// Attempts escalate per ProverPolicy (e.g. 2 s → 10 s → full budget):
+  /// most obligations are cheap, so a failed fast attempt costs little
+  /// and a successful one saves the full timeout. \p RemainingMs bounds
+  /// the whole obligation when the caller has a wall-clock budget
+  /// (negative = unlimited).
   ObligationResult check(const std::string &Name, const z3::expr &Goal,
-                         unsigned TimeoutMs) {
+                         const ProverPolicy &Policy, int64_t RemainingMs) {
     ObligationResult R;
     R.Name = Name;
     auto Start = std::chrono::steady_clock::now();
-    z3::check_result CR = runSolver(Goal, TimeoutMs, /*CexMode=*/false, R);
-    if (CR == z3::unknown)
-      CR = runSolver(Goal, TimeoutMs, /*CexMode=*/true, R);
-    auto End = std::chrono::steady_clock::now();
-    R.Seconds = std::chrono::duration<double>(End - Start).count();
+    auto ElapsedMs = [&Start]() {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(
+                 std::chrono::steady_clock::now() - Start)
+          .count();
+    };
 
-    if (CR == z3::unsat)
+    // Escalating timeout schedule; the last attempt gets the full budget.
+    std::vector<unsigned> Schedule;
+    uint64_t T = std::max(1u, std::min(Policy.InitialTimeoutMs,
+                                       Policy.TimeoutMs));
+    for (unsigned I = 0; I < Policy.Retries; ++I) {
+      Schedule.push_back(static_cast<unsigned>(T));
+      T *= std::max(2u, Policy.EscalationFactor);
+      if (T >= Policy.TimeoutMs)
+        break;
+    }
+    Schedule.push_back(Policy.TimeoutMs);
+
+    z3::check_result CR = z3::unknown;
+    std::string Reason;
+    for (size_t I = 0; I < Schedule.size(); ++I) {
+      unsigned AttemptMs = Schedule[I];
+      if (RemainingMs >= 0) {
+        int64_t Left = RemainingMs - ElapsedMs();
+        if (Left <= 0) {
+          Reason = "total budget exhausted";
+          break;
+        }
+        AttemptMs = static_cast<unsigned>(
+            std::min<int64_t>(AttemptMs, Left));
+      }
+      ++R.Attempts;
+
+      // Fault-injection points: simulate a prover giving up without
+      // spending real solver time. Checked per attempt so @N rules can
+      // exercise the retry path deterministically.
+      if (support::faultFires(support::faults::CheckerForceTimeout)) {
+        CR = z3::unknown;
+        Reason = "timeout (injected)";
+        continue;
+      }
+      if (support::faultFires(support::faults::CheckerForceUnknown)) {
+        CR = z3::unknown;
+        Reason = "incomplete quantifiers (injected)";
+        continue;
+      }
+
+      CR = runSolver(Goal, AttemptMs, Policy, /*CexMode=*/false, R,
+                     &Reason);
+      if (CR == z3::unknown)
+        CR = runSolver(Goal, AttemptMs, Policy, /*CexMode=*/true, R,
+                       nullptr);
+      if (CR != z3::unknown)
+        break;
+    }
+    R.Seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+    if (CR == z3::unsat) {
       R.St = ObligationResult::Status::OS_Proven;
-    else if (CR == z3::sat)
+    } else if (CR == z3::sat) {
       R.St = ObligationResult::Status::OS_Failed;
-    else {
+    } else {
+      // Unknown is *not* a counterexample: report it distinctly, with a
+      // machine-dispatchable kind and the prover's reason.
       R.St = ObligationResult::Status::OS_Unknown;
-      R.Counterexample = "solver returned unknown (timeout?)";
+      R.Counterexample.clear();
+      R.UnknownReason = Reason.empty() ? "solver returned unknown" : Reason;
+      R.Err = classifyUnknown(R.UnknownReason);
     }
     return R;
   }
 
 private:
   z3::check_result runSolver(const z3::expr &Goal, unsigned TimeoutMs,
-                             bool CexMode, ObligationResult &R) {
+                             const ProverPolicy &Policy, bool CexMode,
+                             ObligationResult &R,
+                             std::string *ReasonUnknown) {
     z3::solver S(C);
     z3::params P(C);
     P.set("timeout", TimeoutMs);
+    if (Policy.RLimit != 0)
+      P.set("rlimit", static_cast<unsigned>(Policy.RLimit));
+    if (Policy.MaxMemoryMb != 0)
+      P.set("max_memory", static_cast<unsigned>(Policy.MaxMemoryMb));
     S.set(P);
     for (const z3::expr &H : Hyps)
       S.add(H);
@@ -138,6 +247,8 @@ private:
     }
 
     z3::check_result CR = S.check();
+    if (CR == z3::unknown && ReasonUnknown)
+      *ReasonUnknown = S.reason_unknown();
     // A closed-domain unsat does not prove the obligation (the closure
     // removed models); only report sat results from this mode.
     if (CexMode && CR == z3::unsat)
@@ -179,6 +290,86 @@ z3::expr stepDefinedOnly(Encoder &Enc, const ZState &S, const z3::expr &St,
 const char *StmtKindTags[] = {"decl", "skip",   "assign", "new",
                               "call", "branch", "return"};
 
+/// The result recorded for obligations skipped because the check's total
+/// wall-clock budget ran out before they were attempted.
+ObligationResult budgetExhausted(const std::string &Name) {
+  ObligationResult R;
+  R.Name = Name;
+  R.St = ObligationResult::Status::OS_Unknown;
+  R.Err = ErrorKind::EK_ProverTimeout;
+  R.UnknownReason = "total budget exhausted before this obligation";
+  return R;
+}
+
+/// Derives the three-valued verdict and the degradation kind from the
+/// per-obligation results.
+void finalizeVerdict(CheckReport &Report) {
+  bool AnyFailed = false;
+  ErrorKind Deg = ErrorKind::EK_None;
+  for (const ObligationResult &R : Report.Obligations) {
+    if (R.St == ObligationResult::Status::OS_Failed)
+      AnyFailed = true;
+    else if (R.St == ObligationResult::Status::OS_Unknown &&
+             Deg == ErrorKind::EK_None)
+      Deg = R.Err == ErrorKind::EK_None ? ErrorKind::EK_ProverUnknown
+                                        : R.Err;
+  }
+  Report.Degradation = Deg;
+  if (AnyFailed)
+    Report.V = CheckReport::Verdict::V_Unsound;
+  else if (Deg != ErrorKind::EK_None || Report.Obligations.empty())
+    Report.V = CheckReport::Verdict::V_Unproven;
+  else
+    Report.V = CheckReport::Verdict::V_Sound;
+  Report.Sound = Report.V == CheckReport::Verdict::V_Sound;
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprinting (verdict cache keys).
+//===----------------------------------------------------------------------===//
+
+/// FNV-1a over the bytes of \p S plus a separator, folded into \p H.
+/// Definitions are fingerprinted through their printed forms — the
+/// printers are total over the formula/witness/IR languages, so two
+/// definitions collide only if they are structurally identical (or on a
+/// genuine 64-bit hash collision, which at a dozen optimizations is
+/// negligible).
+void hashStr(uint64_t &H, const std::string &S) {
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  H ^= 0x1f;
+  H *= 0x100000001b3ull;
+}
+
+void hashLabelDefs(uint64_t &H, const std::vector<LabelDef> &Defs) {
+  for (const LabelDef &D : Defs) {
+    hashStr(H, D.Name);
+    for (const auto &Param : D.Params) {
+      hashStr(H, Param.first);
+      hashStr(H, std::string(1, static_cast<char>(
+                                    'A' + static_cast<int>(Param.second))));
+    }
+    hashStr(H, D.Body ? D.Body->str() : "<null>");
+  }
+}
+
+void hashGuardWitness(uint64_t &H, const Guard &G, const WitnessPtr &W) {
+  hashStr(H, G.Psi1 ? G.Psi1->str() : "<null>");
+  hashStr(H, G.Psi2 ? G.Psi2->str() : "<null>");
+  hashStr(H, W ? W->str() : "<null>");
+}
+
+void hashAnalysisDef(uint64_t &H, const PureAnalysis &A) {
+  hashStr(H, A.Name);
+  hashStr(H, A.LabelName);
+  for (const Term &T : A.LabelArgs)
+    hashStr(H, toString(T));
+  hashGuardWitness(H, A.G, A.W);
+  hashLabelDefs(H, A.Labels);
+}
+
 z3::expr makeStmtOfKind(Encoder &Enc, const std::string &Tag) {
   if (Tag == "decl")
     return Enc.SDecl(Enc.freshVar("kd"));
@@ -203,11 +394,63 @@ SoundnessChecker::SoundnessChecker(const LabelRegistry &Registry,
                                    std::vector<PureAnalysis> Analyses)
     : Registry(Registry), Analyses(std::move(Analyses)) {}
 
+uint64_t
+SoundnessChecker::fingerprintOptimization(const Optimization &O) const {
+  uint64_t H = 0xcbf29ce484222325ull;
+  hashStr(H, "optimization");
+  hashStr(H, O.Name);
+  hashStr(H, O.Pat.Dir == Direction::D_Forward ? "fwd" : "bwd");
+  hashStr(H, ir::toString(O.Pat.From));
+  hashStr(H, ir::toString(O.Pat.To));
+  hashGuardWitness(H, O.Pat.G, O.Pat.W);
+  hashLabelDefs(H, O.Labels);
+  // Obligations also depend on every registered predicate and on the
+  // analysis witnesses, so fold the whole context in.
+  hashLabelDefs(H, Registry.predicates());
+  for (const PureAnalysis &A : Analyses)
+    hashAnalysisDef(H, A);
+  return H;
+}
+
+uint64_t SoundnessChecker::fingerprintAnalysis(const PureAnalysis &A) const {
+  uint64_t H = 0xcbf29ce484222325ull;
+  hashStr(H, "analysis");
+  hashAnalysisDef(H, A);
+  hashLabelDefs(H, Registry.predicates());
+  for (const PureAnalysis &Other : Analyses)
+    hashAnalysisDef(H, Other);
+  return H;
+}
+
+const CheckReport *SoundnessChecker::cacheLookup(uint64_t Key) const {
+  auto It = Cache.find(Key);
+  return It == Cache.end() ? nullptr : &It->second;
+}
+
+void SoundnessChecker::cacheStore(uint64_t Key, const CheckReport &R) {
+  // Only definitive verdicts are cacheable: an unproven verdict reflects
+  // transient prover limits, and a rerun (possibly with a larger budget)
+  // may well decide it.
+  if (R.V != CheckReport::Verdict::V_Unproven)
+    Cache[Key] = R;
+}
+
 //===----------------------------------------------------------------------===//
 // Optimization obligations.
 //===----------------------------------------------------------------------===//
 
 CheckReport SoundnessChecker::checkOptimization(const Optimization &O) {
+  uint64_t Key = 0;
+  if (Policy.CacheVerdicts) {
+    Key = fingerprintOptimization(O);
+    if (const CheckReport *Hit = cacheLookup(Key)) {
+      CheckReport R = *Hit;
+      R.CacheHit = true;
+      R.TotalSeconds = 0.0;
+      return R;
+    }
+  }
+
   CheckReport Report;
   Report.Name = O.Name;
 
@@ -252,12 +495,30 @@ CheckReport SoundnessChecker::checkOptimization(const Optimization &O) {
   bool Forward = Pat.Dir == Direction::D_Forward;
   bool Insertion = Pat.From.is<SkipStmt>() && !Pat.To.is<SkipStmt>();
 
+  // Total wall-clock budget across all obligations of this check.
+  auto CheckStart = std::chrono::steady_clock::now();
+  auto RemainingMs = [&]() -> int64_t {
+    if (Policy.BudgetMs == 0)
+      return -1; // unlimited
+    int64_t Elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - CheckStart)
+            .count();
+    return std::max<int64_t>(0, static_cast<int64_t>(Policy.BudgetMs) -
+                                    Elapsed);
+  };
+
   auto RunObligation =
       [&](const std::string &Name,
           const std::function<z3::expr(ObligationBuilder &)> &Build) {
+        int64_t Left = RemainingMs();
+        if (Left == 0) {
+          Report.Obligations.push_back(budgetExhausted(Name));
+          return;
+        }
         ObligationBuilder B(Registry, ByLabel);
         z3::expr Goal = Build(B);
-        Report.Obligations.push_back(B.check(Name, Goal, TimeoutMs));
+        Report.Obligations.push_back(B.check(Name, Goal, Policy, Left));
         Report.TotalSeconds += Report.Obligations.back().Seconds;
       };
 
@@ -268,11 +529,17 @@ CheckReport SoundnessChecker::checkOptimization(const Optimization &O) {
           const std::function<z3::expr(ObligationBuilder &,
                                        const z3::expr &)> &Build) {
         for (const char *Tag : StmtKindTags) {
+          int64_t Left = RemainingMs();
+          if (Left == 0) {
+            Report.Obligations.push_back(
+                budgetExhausted(Name + "[" + Tag + "]"));
+            continue;
+          }
           ObligationBuilder B(Registry, ByLabel);
           z3::expr St = makeStmtOfKind(B.Enc, Tag);
           z3::expr Goal = Build(B, St);
           Report.Obligations.push_back(
-              B.check(Name + "[" + Tag + "]", Goal, TimeoutMs));
+              B.check(Name + "[" + Tag + "]", Goal, Policy, Left));
           Report.TotalSeconds += Report.Obligations.back().Seconds;
         }
       };
@@ -425,9 +692,9 @@ CheckReport SoundnessChecker::checkOptimization(const Optimization &O) {
     });
   }
 
-  Report.Sound = !Report.Obligations.empty();
-  for (const ObligationResult &R : Report.Obligations)
-    Report.Sound = Report.Sound && R.proven();
+  finalizeVerdict(Report);
+  if (Policy.CacheVerdicts)
+    cacheStore(Key, Report);
   return Report;
 }
 
@@ -436,6 +703,17 @@ CheckReport SoundnessChecker::checkOptimization(const Optimization &O) {
 //===----------------------------------------------------------------------===//
 
 CheckReport SoundnessChecker::checkAnalysis(const PureAnalysis &A) {
+  uint64_t Key = 0;
+  if (Policy.CacheVerdicts) {
+    Key = fingerprintAnalysis(A);
+    if (const CheckReport *Hit = cacheLookup(Key)) {
+      CheckReport R = *Hit;
+      R.CacheHit = true;
+      R.TotalSeconds = 0.0;
+      return R;
+    }
+  }
+
   CheckReport Report;
   Report.Name = A.Name;
 
@@ -444,16 +722,34 @@ CheckReport SoundnessChecker::checkAnalysis(const PureAnalysis &A) {
     if (Other.Name != A.Name)
       ByLabel[Other.LabelName] = &Other;
 
+  auto CheckStart = std::chrono::steady_clock::now();
+  auto RemainingMs = [&]() -> int64_t {
+    if (Policy.BudgetMs == 0)
+      return -1; // unlimited
+    int64_t Elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - CheckStart)
+            .count();
+    return std::max<int64_t>(0, static_cast<int64_t>(Policy.BudgetMs) -
+                                    Elapsed);
+  };
+
   auto RunSplitObligation =
       [&](const std::string &Name,
           const std::function<z3::expr(ObligationBuilder &,
                                        const z3::expr &)> &Build) {
         for (const char *Tag : StmtKindTags) {
+          int64_t Left = RemainingMs();
+          if (Left == 0) {
+            Report.Obligations.push_back(
+                budgetExhausted(Name + "[" + Tag + "]"));
+            continue;
+          }
           ObligationBuilder B(Registry, ByLabel);
           z3::expr St = makeStmtOfKind(B.Enc, Tag);
           z3::expr Goal = Build(B, St);
           Report.Obligations.push_back(
-              B.check(Name + "[" + Tag + "]", Goal, TimeoutMs));
+              B.check(Name + "[" + Tag + "]", Goal, Policy, Left));
           Report.TotalSeconds += Report.Obligations.back().Seconds;
         }
       };
@@ -477,8 +773,8 @@ CheckReport SoundnessChecker::checkAnalysis(const PureAnalysis &A) {
     return B.PE.witness(*A.W, &Post, nullptr, nullptr, B.Env);
   });
 
-  Report.Sound = !Report.Obligations.empty();
-  for (const ObligationResult &R : Report.Obligations)
-    Report.Sound = Report.Sound && R.proven();
+  finalizeVerdict(Report);
+  if (Policy.CacheVerdicts)
+    cacheStore(Key, Report);
   return Report;
 }

@@ -44,7 +44,9 @@
 
 #include "core/Formula.h"
 #include "core/Optimization.h"
+#include "support/Errors.h"
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -52,33 +54,85 @@
 namespace cobalt {
 namespace checker {
 
-/// Outcome of one obligation.
+/// Outcome of one obligation. Three-valued: *proven* (unsat), *failed*
+/// (a genuine counterexample model was found — the definition is
+/// unsound), or *unknown* (the prover gave up; the definition is merely
+/// unproven). Failed and unknown are distinct outcomes with distinct
+/// payloads: only a failed obligation carries a counterexample, and only
+/// an unknown one carries a degradation kind callers can dispatch on.
 struct ObligationResult {
   enum class Status { OS_Proven, OS_Failed, OS_Unknown };
-  std::string Name;       ///< "F1", "B3", ...
+  std::string Name; ///< "F1", "B3", ...
   Status St;
+  /// Why the prover gave up; set exactly when St == OS_Unknown
+  /// (EK_ProverTimeout / EK_ProverUnknown / EK_ProverResourceOut).
+  support::ErrorKind Err = support::ErrorKind::EK_None;
   double Seconds = 0.0;
-  std::string Counterexample; ///< Model summary when not proven.
+  unsigned Attempts = 0; ///< Solver attempts made (retry escalation).
+  /// Model summary; nonempty only when St == OS_Failed.
+  std::string Counterexample;
+  /// The solver's reason for giving up; set only when St == OS_Unknown.
+  std::string UnknownReason;
 
   bool proven() const { return St == Status::OS_Proven; }
+  bool unknown() const { return St == Status::OS_Unknown; }
 };
 
 /// Outcome of checking one optimization or analysis.
 struct CheckReport {
+  /// V_Sound: every obligation proven. V_Unsound: at least one genuine
+  /// counterexample. V_Unproven: no counterexample, but some obligation
+  /// could not be discharged (prover timeout/unknown/resource-out) — the
+  /// definition must not be applied, yet nothing is known to be wrong
+  /// with it.
+  enum class Verdict { V_Sound, V_Unsound, V_Unproven };
+
   std::string Name;
-  bool Sound = false; ///< All obligations proven.
+  Verdict V = Verdict::V_Unproven;
+  bool Sound = false; ///< Convenience: V == V_Sound.
+  /// First infrastructure failure among the obligations (EK_None when
+  /// every obligation was decided). A report can be V_Unsound *and*
+  /// degraded when some obligations failed and others timed out.
+  support::ErrorKind Degradation = support::ErrorKind::EK_None;
+  bool CacheHit = false; ///< Served from the verdict cache.
   std::vector<ObligationResult> Obligations;
   double TotalSeconds = 0.0;
   /// Analysis labels this result relies on; the overall guarantee only
   /// holds if the defining analyses are themselves proven sound.
   std::vector<std::string> AssumedAnalyses;
 
+  bool degraded() const {
+    return Degradation != support::ErrorKind::EK_None;
+  }
+  bool unsound() const { return V == Verdict::V_Unsound; }
+
   std::string str() const;
 };
 
+/// Resource policy for discharging obligations. Attempts escalate: the
+/// first runs at InitialTimeoutMs, each retry multiplies the timeout by
+/// EscalationFactor, and the final attempt runs at the full TimeoutMs.
+/// An optional total wall-clock budget bounds one whole
+/// checkOptimization/checkAnalysis call; obligations past the budget are
+/// reported unknown(ProverTimeout) without invoking the solver.
+struct ProverPolicy {
+  unsigned TimeoutMs = 30000;       ///< Final-attempt (full) timeout.
+  unsigned InitialTimeoutMs = 2000; ///< First-attempt timeout.
+  unsigned EscalationFactor = 5;    ///< Timeout multiplier per retry.
+  unsigned Retries = 2;             ///< Extra attempts after the first.
+  uint64_t BudgetMs = 0;            ///< Per-check wall budget; 0 = none.
+  unsigned MaxMemoryMb = 0;         ///< Z3 max_memory cap; 0 = default.
+  uint64_t RLimit = 0;              ///< Z3 rlimit cap; 0 = unlimited.
+  bool CacheVerdicts = true;        ///< Fingerprint-keyed verdict cache.
+};
+
 /// Checks optimizations and pure analyses against the IL semantics.
-/// Stateless between calls except for configuration; construct once and
-/// reuse (each obligation runs in a fresh Z3 context).
+/// Construct once and reuse (each obligation runs in a fresh Z3 context).
+/// Holds a verdict cache keyed by a structural fingerprint of the
+/// definition plus the label registry: re-checking an unchanged
+/// optimization is free. Only definitive verdicts (sound/unsound) are
+/// cached — an unproven verdict reflects transient resource limits and
+/// is always recomputed.
 class SoundnessChecker {
 public:
   /// \p Registry supplies user label definitions; \p Analyses supplies
@@ -86,16 +140,28 @@ public:
   SoundnessChecker(const LabelRegistry &Registry,
                    std::vector<PureAnalysis> Analyses = {});
 
-  /// Per-obligation Z3 timeout (milliseconds). Default 30000.
-  void setTimeoutMs(unsigned Millis) { TimeoutMs = Millis; }
+  /// Full-budget Z3 timeout (milliseconds). Default 30000. Retained for
+  /// existing callers; equivalent to editing policy().TimeoutMs.
+  void setTimeoutMs(unsigned Millis) { Policy.TimeoutMs = Millis; }
+
+  void setPolicy(const ProverPolicy &P) { Policy = P; }
+  const ProverPolicy &policy() const { return Policy; }
+
+  void clearCache() { Cache.clear(); }
 
   CheckReport checkOptimization(const Optimization &O);
   CheckReport checkAnalysis(const PureAnalysis &A);
 
 private:
+  uint64_t fingerprintOptimization(const Optimization &O) const;
+  uint64_t fingerprintAnalysis(const PureAnalysis &A) const;
+  const CheckReport *cacheLookup(uint64_t Key) const;
+  void cacheStore(uint64_t Key, const CheckReport &R);
+
   const LabelRegistry &Registry;
   std::vector<PureAnalysis> Analyses;
-  unsigned TimeoutMs = 30000;
+  ProverPolicy Policy;
+  std::map<uint64_t, CheckReport> Cache;
 };
 
 } // namespace checker

@@ -8,6 +8,8 @@
 
 #include "core/Match.h"
 #include "ir/Cfg.h"
+#include "support/Errors.h"
+#include "support/FaultInjection.h"
 
 #include <cassert>
 #include <set>
@@ -58,6 +60,15 @@ unsigned engine::applySites(const Stmt &To, Procedure &P,
       continue; // already in the target form; not a change
     P.Stmts[Site.Index] = std::move(*NewStmt);
     ++Count;
+    // Fault-injection point: die with the rewrite half-applied. This is
+    // the worst-case engine failure (a partially transformed procedure)
+    // and is what the transactional pass manager's snapshot/rollback is
+    // proven against.
+    if (support::faultFires(support::faults::EngineThrowMidRewrite))
+      throw support::PassError(
+          support::ErrorKind::EK_PassPanic,
+          "injected engine fault: exception after rewriting statement " +
+              std::to_string(Site.Index) + " of '" + P.Name + "'");
   }
   return Count;
 }

@@ -6,11 +6,15 @@
 
 #include "engine/PassManager.h"
 
+#include "ir/Interp.h"
+
+#include <algorithm>
 #include <cassert>
 
 using namespace cobalt;
 using namespace cobalt::engine;
 using namespace cobalt::ir;
+using support::ErrorKind;
 
 void PassManager::registerLabels(const std::vector<LabelDef> &Labels) {
   for (const LabelDef &Def : Labels) {
@@ -48,15 +52,161 @@ const Labeling *PassManager::labelingFor(const std::string &ProcName) const {
   return It == LastLabelings.end() ? nullptr : &It->second;
 }
 
+//===----------------------------------------------------------------------===//
+// Quarantine bookkeeping.
+//===----------------------------------------------------------------------===//
+
+void PassManager::recordFailure(const std::string &PassName) {
+  ++ConsecutiveFailures[PassName];
+}
+
+void PassManager::recordSuccess(const std::string &PassName) {
+  ConsecutiveFailures.erase(PassName);
+}
+
+bool PassManager::isQuarantined(const std::string &PassName) const {
+  if (Tx.QuarantineAfter == 0)
+    return false;
+  auto It = ConsecutiveFailures.find(PassName);
+  return It != ConsecutiveFailures.end() &&
+         It->second >= Tx.QuarantineAfter;
+}
+
+unsigned PassManager::failureCount(const std::string &PassName) const {
+  auto It = ConsecutiveFailures.find(PassName);
+  return It == ConsecutiveFailures.end() ? 0 : It->second;
+}
+
+std::vector<std::string> PassManager::quarantined() const {
+  std::vector<std::string> Names;
+  for (const auto &[Name, Count] : ConsecutiveFailures)
+    if (Tx.QuarantineAfter != 0 && Count >= Tx.QuarantineAfter)
+      Names.push_back(Name);
+  return Names; // map iteration order: already sorted
+}
+
+void PassManager::resetQuarantine() { ConsecutiveFailures.clear(); }
+
+//===----------------------------------------------------------------------===//
+// Post-pass sanity checking.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Deterministic inputs for the interpreter spot-check: a fixed set of
+/// interesting points extended by a seeded xorshift stream, so every run
+/// (and every CI machine) exercises the same inputs.
+std::vector<int64_t> spotCheckInputs(unsigned Count) {
+  static const int64_t Fixed[] = {0, 1, -1, 7, 42, -13, 100, 3};
+  constexpr unsigned NumFixed = sizeof(Fixed) / sizeof(Fixed[0]);
+  std::vector<int64_t> Inputs;
+  uint64_t X = 0x9e3779b97f4a7c15ull;
+  for (unsigned I = 0; I < Count; ++I) {
+    if (I < NumFixed) {
+      Inputs.push_back(Fixed[I]);
+    } else {
+      X ^= X << 13;
+      X ^= X >> 7;
+      X ^= X << 17;
+      Inputs.push_back(static_cast<int64_t>(X % 201) - 100);
+    }
+  }
+  return Inputs;
+}
+
+/// The cheap post-pass sanity check run after a pass rewrote \p P:
+/// (1) CFG well-formedness of the rewritten procedure, and (2) an
+/// interpreter spot-check of the paper's soundness direction — on every
+/// generated input where the pre-pass program returned, the post-pass
+/// program must return the same value. \p Snapshot holds the pre-pass
+/// body; it is swapped into \p Prog temporarily to run the original and
+/// restored before returning, so \p P holds the rewritten body either
+/// way. Returns a description of the violation, or nullopt when clean.
+std::optional<std::string> postPassSanityCheck(Program &Prog, Procedure &P,
+                                               Procedure &Snapshot,
+                                               const TxPolicy &Tx) {
+  if (auto Err = validateProcedure(P))
+    return "ill-formed procedure after rewrite: " + *Err;
+  if (Tx.SpotCheckInputs == 0 || !Prog.findProc("main"))
+    return std::nullopt;
+
+  std::vector<int64_t> Inputs = spotCheckInputs(Tx.SpotCheckInputs);
+
+  // Rewritten program first (P currently holds the new body) ...
+  std::vector<RunResult> NewRuns;
+  {
+    Interpreter Interp(Prog);
+    for (int64_t In : Inputs)
+      NewRuns.push_back(Interp.run(In, Tx.SpotCheckFuel));
+  }
+
+  // ... then the snapshot, swapped in place so no program copy is made.
+  std::swap(P, Snapshot);
+  std::optional<std::string> Failure;
+  {
+    Interpreter Interp(Prog);
+    for (size_t I = 0; I < Inputs.size() && !Failure; ++I) {
+      RunResult Orig = Interp.run(Inputs[I], Tx.SpotCheckFuel);
+      if (!Orig.returned())
+        continue; // soundness only constrains returning runs
+      const RunResult &New = NewRuns[I];
+      std::string In = std::to_string(Inputs[I]);
+      if (!New.returned())
+        Failure = "spot-check: main(" + In + ") returned " +
+                  Orig.Result.str() + " before the pass but " +
+                  (New.stuck() ? "got stuck (" + New.StuckReason + ")"
+                               : "ran out of fuel") +
+                  " after";
+      else if (!(New.Result == Orig.Result))
+        Failure = "spot-check: main(" + In + ") returned " +
+                  Orig.Result.str() + " before the pass but " +
+                  New.Result.str() + " after";
+    }
+  }
+  std::swap(P, Snapshot); // restore the rewritten body
+  return Failure;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pipeline execution.
+//===----------------------------------------------------------------------===//
+
 std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
                                                Program &Prog) {
   std::vector<PassReport> Reports;
   LastLabelings.clear();
+  LastRunDegraded = false;
 
   for (Procedure &P : Prog.Procs) {
     Labeling &Labels = LastLabelings[P.Name];
     Labels.assign(P.size(), {});
     bool LabelsValid = true;
+
+    // Recomputes the labeling by replaying every analysis before \p Upto
+    // (§4.1 forbids reusing labels across a backward rewrite).
+    // Quarantined analyses are skipped and a throwing analysis
+    // contributes no labels — both degrade precision (fewer labels mean
+    // fewer matches), never soundness.
+    auto ReplayLabels = [&](const Pass &Upto) {
+      Labels.assign(P.size(), {});
+      for (const Pass &Prev : ToRun) {
+        if (&Prev == &Upto)
+          break;
+        if (!Prev.IsAnalysis)
+          continue;
+        const PureAnalysis &PA = Analyses[Prev.Index];
+        if (isQuarantined(PA.Name))
+          continue;
+        try {
+          runPureAnalysis(PA, P, Registry, Labels);
+        } catch (...) {
+          // Labels of the failing analysis are simply absent.
+        }
+      }
+      LabelsValid = true;
+    };
 
     for (const Pass &Ps : ToRun) {
       PassReport Report;
@@ -65,48 +215,109 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
       if (Ps.IsAnalysis) {
         const PureAnalysis &A = Analyses[Ps.Index];
         Report.PassName = A.Name;
-        if (!LabelsValid) {
-          // A backward optimization ran since the labels were computed;
-          // §4.1 forbids reusing them. Recompute from scratch by
-          // replaying all earlier analyses.
-          Labels.assign(P.size(), {});
-          for (const Pass &Prev : ToRun) {
-            if (&Prev == &Ps)
-              break;
-            if (Prev.IsAnalysis)
-              runPureAnalysis(Analyses[Prev.Index], P, Registry, Labels);
-          }
-          LabelsValid = true;
+        if (isQuarantined(A.Name)) {
+          Report.Quarantined = true;
+          Report.Error = ErrorKind::EK_Quarantined;
+          Report.ErrorDetail = "skipped: quarantined after " +
+                               std::to_string(failureCount(A.Name)) +
+                               " consecutive failures";
+          LastRunDegraded = true;
+          Reports.push_back(std::move(Report));
+          continue;
         }
-        RunStats Stats;
-        runPureAnalysis(A, P, Registry, Labels, &Stats);
-        Report.DeltaSize = Stats.DeltaSize;
-        Report.FixpointIters = Stats.FixpointIters;
+        if (!LabelsValid)
+          ReplayLabels(Ps);
+
+        Labeling LabelsSnapshot;
+        if (Tx.Transactional)
+          LabelsSnapshot = Labels;
+        auto HandleFailure = [&](ErrorKind Kind,
+                                 const std::string &Detail) {
+          if (Tx.Transactional) {
+            Labels = std::move(LabelsSnapshot);
+            Report.RolledBack = true;
+          }
+          Report.Error = Kind;
+          Report.ErrorDetail = Detail;
+          recordFailure(A.Name);
+          LastRunDegraded = true;
+        };
+        try {
+          RunStats Stats;
+          runPureAnalysis(A, P, Registry, Labels, &Stats);
+          Report.DeltaSize = Stats.DeltaSize;
+          Report.FixpointIters = Stats.FixpointIters;
+          recordSuccess(A.Name);
+        } catch (const support::PassError &E) {
+          HandleFailure(E.kind(), E.what());
+        } catch (const std::exception &E) {
+          HandleFailure(ErrorKind::EK_PassPanic, E.what());
+        } catch (...) {
+          HandleFailure(ErrorKind::EK_PassPanic,
+                        "unknown exception escaped the analysis");
+        }
       } else {
         const Optimization &O = Optimizations[Ps.Index];
         Report.PassName = O.Name;
-        if (!LabelsValid) {
-          Labels.assign(P.size(), {});
-          for (const Pass &Prev : ToRun) {
-            if (&Prev == &Ps)
-              break;
-            if (Prev.IsAnalysis)
-              runPureAnalysis(Analyses[Prev.Index], P, Registry, Labels);
-          }
-          LabelsValid = true;
+        if (isQuarantined(O.Name)) {
+          Report.Quarantined = true;
+          Report.Error = ErrorKind::EK_Quarantined;
+          Report.ErrorDetail = "skipped: quarantined after " +
+                               std::to_string(failureCount(O.Name)) +
+                               " consecutive failures";
+          LastRunDegraded = true;
+          Reports.push_back(std::move(Report));
+          continue;
         }
+        if (!LabelsValid)
+          ReplayLabels(Ps);
+
         // Forward analyses may feed forward optimizations (§4.1); a
         // backward optimization must not consume them, so it runs with
         // no labeling and invalidates it afterwards if it rewrote
         // anything.
         bool IsBackward = O.Pat.Dir == Direction::D_Backward;
-        RunStats Stats = runOptimization(
-            O, P, Registry, IsBackward ? nullptr : &Labels);
-        Report.DeltaSize = Stats.DeltaSize;
-        Report.AppliedCount = Stats.AppliedCount;
-        Report.FixpointIters = Stats.FixpointIters;
-        if (Stats.AppliedCount > 0)
-          LabelsValid = false; // statements changed: labels are stale
+
+        // Transactional application: snapshot, run, sanity-check, and
+        // roll back on any failure. The snapshot/rollback is what turns
+        // "a pass misbehaved" from a corrupted pipeline into a recorded,
+        // skippable failure.
+        Procedure Snapshot;
+        if (Tx.Transactional)
+          Snapshot = P;
+        auto HandleFailure = [&](ErrorKind Kind,
+                                 const std::string &Detail) {
+          if (Tx.Transactional) {
+            P = std::move(Snapshot);
+            Report.RolledBack = true;
+          }
+          Report.AppliedCount = 0;
+          Report.Error = Kind;
+          Report.ErrorDetail = Detail;
+          recordFailure(O.Name);
+          LastRunDegraded = true;
+        };
+        try {
+          RunStats Stats = runOptimization(
+              O, P, Registry, IsBackward ? nullptr : &Labels);
+          Report.DeltaSize = Stats.DeltaSize;
+          Report.FixpointIters = Stats.FixpointIters;
+          if (Tx.Transactional && Stats.AppliedCount > 0)
+            if (auto Violation = postPassSanityCheck(Prog, P, Snapshot, Tx))
+              throw support::PassError(ErrorKind::EK_RewriteConflict,
+                                       *Violation);
+          Report.AppliedCount = Stats.AppliedCount;
+          if (Stats.AppliedCount > 0)
+            LabelsValid = false; // statements changed: labels are stale
+          recordSuccess(O.Name);
+        } catch (const support::PassError &E) {
+          HandleFailure(E.kind(), E.what());
+        } catch (const std::exception &E) {
+          HandleFailure(ErrorKind::EK_PassPanic, E.what());
+        } catch (...) {
+          HandleFailure(ErrorKind::EK_PassPanic,
+                        "unknown exception escaped the pass");
+        }
       }
       Reports.push_back(std::move(Report));
     }
@@ -120,14 +331,20 @@ std::vector<PassReport> PassManager::run(Program &Prog) {
 
 unsigned PassManager::runToFixpoint(Program &Prog, unsigned MaxRounds) {
   unsigned ActiveRounds = 0;
+  bool Degraded = false;
   for (unsigned Round = 0; Round < MaxRounds; ++Round) {
     unsigned Applied = 0;
     for (const PassReport &R : run(Prog))
       Applied += R.AppliedCount;
+    Degraded = Degraded || LastRunDegraded;
     if (Applied == 0)
       break;
     ++ActiveRounds;
   }
+  // A rolled-back pass reports zero applications, so a persistently
+  // failing pass cannot keep the fixpoint loop spinning; still, surface
+  // that any round degraded.
+  LastRunDegraded = Degraded;
   return ActiveRounds;
 }
 

@@ -22,7 +22,9 @@
 #include "core/Optimization.h"
 #include "engine/Engine.h"
 #include "ir/Ast.h"
+#include "support/Errors.h"
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -30,13 +32,43 @@
 namespace cobalt {
 namespace engine {
 
-/// Per-pass, per-procedure record of what happened.
+/// Per-pass, per-procedure record of what happened. When Error is not
+/// EK_None the pass failed; a failed optimization pass was rolled back
+/// (the procedure is byte-identical to its pre-pass snapshot) and
+/// reports AppliedCount == 0, since its net effect is zero.
 struct PassReport {
   std::string PassName;
   std::string ProcName;
   unsigned DeltaSize = 0;
   unsigned AppliedCount = 0;
   unsigned FixpointIters = 0;
+  support::ErrorKind Error = support::ErrorKind::EK_None;
+  std::string ErrorDetail;
+  bool RolledBack = false;  ///< Snapshot restored after a failure.
+  bool Quarantined = false; ///< Pass skipped: quarantined by earlier
+                            ///< failures.
+
+  bool failed() const { return Error != support::ErrorKind::EK_None; }
+};
+
+/// Fault-tolerance policy of the pass manager. With Transactional set
+/// (the default), each optimization pass runs against a snapshot of the
+/// procedure: any exception, ill-formed result, or interpreter-observed
+/// semantic divergence rolls the procedure back and records the failure
+/// instead of corrupting the pipeline. A pass that fails
+/// QuarantineAfter consecutive times is quarantined (skipped, with a
+/// report entry) while the rest of the pipeline continues.
+struct TxPolicy {
+  bool Transactional = true;
+  unsigned QuarantineAfter = 3;
+  /// Post-pass interpreter spot-check: after a pass rewrites a
+  /// procedure, main() is run on this many generated inputs before and
+  /// after; an input on which the original returned must return the
+  /// same value in the rewritten program (the paper's soundness
+  /// direction). 0 disables the semantic check (the CFG well-formedness
+  /// check still runs).
+  unsigned SpotCheckInputs = 4;
+  uint64_t SpotCheckFuel = 1u << 16;
 };
 
 class PassManager {
@@ -71,6 +103,27 @@ public:
   /// none). Useful for inspecting analysis results.
   const Labeling *labelingFor(const std::string &ProcName) const;
 
+  /// Fault-tolerance policy (see TxPolicy).
+  void setTxPolicy(const TxPolicy &Policy) { Tx = Policy; }
+  const TxPolicy &txPolicy() const { return Tx; }
+
+  /// Passes currently quarantined (skipped until resetQuarantine).
+  /// Sorted by name.
+  std::vector<std::string> quarantined() const;
+
+  /// Consecutive-failure count of a pass (0 if it never failed or
+  /// succeeded since).
+  unsigned failureCount(const std::string &PassName) const;
+
+  /// Clears quarantine state and failure counters (e.g. after the fault
+  /// source is fixed).
+  void resetQuarantine();
+
+  /// True when the most recent run()/runOne()/runToFixpoint() recorded
+  /// at least one pass failure or quarantine-skip — the pipeline
+  /// completed, but degraded.
+  bool lastRunDegraded() const { return LastRunDegraded; }
+
 private:
   struct Pass {
     bool IsAnalysis;
@@ -80,12 +133,18 @@ private:
   void registerLabels(const std::vector<LabelDef> &Labels);
   std::vector<PassReport> runPasses(const std::vector<Pass> &ToRun,
                                     ir::Program &Prog);
+  void recordFailure(const std::string &PassName);
+  void recordSuccess(const std::string &PassName);
+  bool isQuarantined(const std::string &PassName) const;
 
   LabelRegistry Registry;
   std::vector<PureAnalysis> Analyses;
   std::vector<Optimization> Optimizations;
   std::vector<Pass> Pipeline;
   std::map<std::string, Labeling> LastLabelings;
+  TxPolicy Tx;
+  std::map<std::string, unsigned> ConsecutiveFailures;
+  bool LastRunDegraded = false;
 };
 
 } // namespace engine

@@ -7,6 +7,7 @@
 #include "ir/Interp.h"
 
 #include "ir/Printer.h"
+#include "support/FaultInjection.h"
 
 using namespace cobalt;
 using namespace cobalt::ir;
@@ -228,6 +229,13 @@ ExecState Interpreter::initialState(int64_t Input) const {
 }
 
 StepResult Interpreter::step(ExecState &St) {
+  // Fault-injection point: a forced stuck state, independent of the
+  // statement. Lets tests exercise the "optimized program diverged"
+  // branch of the pass manager's spot-check deterministically.
+  if (support::faultFires(support::faults::InterpForceStuck)) {
+    stuck("injected interpreter fault: forced stuck");
+    return StepResult::SR_Stuck;
+  }
   if (!St.Proc->isValidIndex(St.Index)) {
     stuck("control fell off the end of procedure '" + St.Proc->Name + "'");
     return StepResult::SR_Stuck;

@@ -1,0 +1,131 @@
+//===- FaultInjection.cpp -------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <cstdlib>
+
+using namespace cobalt;
+using namespace cobalt::support;
+
+namespace {
+
+/// splitmix64: a small, well-mixed hash used to make %P rules
+/// deterministic per (site, hit index, seed) without global RNG state.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+uint64_t hashSite(const std::string &Site) {
+  // FNV-1a; stable across runs and platforms.
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : Site) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+} // namespace
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector FI;
+  if (!FI.EnvLoaded) {
+    FI.EnvLoaded = true;
+    FI.configureFromEnv();
+  }
+  return FI;
+}
+
+void FaultInjector::configure(const std::string &Spec, uint64_t NewSeed) {
+  Rules.clear();
+  Stats.clear();
+  Seed = NewSeed;
+
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Clause = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    // Trim surrounding spaces.
+    while (!Clause.empty() && Clause.front() == ' ')
+      Clause.erase(Clause.begin());
+    while (!Clause.empty() && Clause.back() == ' ')
+      Clause.pop_back();
+    if (Clause.empty())
+      continue;
+
+    Rule R;
+    std::string Site = Clause;
+    if (size_t At = Clause.find('@'); At != std::string::npos) {
+      Site = Clause.substr(0, At);
+      R.Nth = static_cast<unsigned>(
+          std::strtoul(Clause.c_str() + At + 1, nullptr, 10));
+      if (R.Nth == 0)
+        R.Nth = 1;
+    } else if (size_t Pct = Clause.find('%'); Pct != std::string::npos) {
+      Site = Clause.substr(0, Pct);
+      long P = std::strtol(Clause.c_str() + Pct + 1, nullptr, 10);
+      R.Percent = static_cast<int>(P < 0 ? 0 : (P > 100 ? 100 : P));
+    } else {
+      R.Always = true;
+    }
+    if (!Site.empty())
+      Rules[Site] = R;
+  }
+}
+
+void FaultInjector::configureFromEnv() {
+  const char *Spec = std::getenv("COBALT_FAULTS");
+  if (!Spec || !*Spec)
+    return;
+  const char *SeedText = std::getenv("COBALT_FAULT_SEED");
+  uint64_t EnvSeed = SeedText ? std::strtoull(SeedText, nullptr, 10) : 0;
+  configure(Spec, EnvSeed);
+}
+
+void FaultInjector::reset() {
+  Rules.clear();
+  Stats.clear();
+  Seed = 0;
+}
+
+bool FaultInjector::shouldFire(const char *Site) {
+  auto It = Rules.find(Site);
+  if (It == Rules.end())
+    return false;
+  Counters &C = Stats[Site];
+  unsigned Hit = ++C.Hits; // 1-based hit index
+  const Rule &R = It->second;
+
+  bool Fire = false;
+  if (R.Always)
+    Fire = true;
+  else if (R.Nth != 0)
+    Fire = Hit == R.Nth;
+  else if (R.Percent >= 0)
+    Fire = static_cast<int>(mix64(hashSite(Site) ^ (Seed * 0x9e3779b9ull) ^
+                                  Hit) %
+                            100) < R.Percent;
+  if (Fire)
+    ++C.Fired;
+  return Fire;
+}
+
+unsigned FaultInjector::hits(const std::string &Site) const {
+  auto It = Stats.find(Site);
+  return It == Stats.end() ? 0 : It->second.Hits;
+}
+
+unsigned FaultInjector::fired(const std::string &Site) const {
+  auto It = Stats.find(Site);
+  return It == Stats.end() ? 0 : It->second.Fired;
+}

@@ -1,0 +1,133 @@
+//===- FaultInjection.h - Deterministic fault injection ---------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic fault-injection harness. Production code declares named
+/// *injection points* (prover about to run, rewrite in flight, interpreter
+/// about to step); a process-wide plan decides which hits of which points
+/// actually fire. Tests and benches use it to exercise every degradation
+/// path of the fault-tolerant pipeline — forced prover timeouts, exceptions
+/// thrown mid-rewrite, interpreters going stuck — without depending on
+/// real resource exhaustion.
+///
+/// The plan is configured programmatically (tests) or from the
+/// environment (CLI runs, CI):
+///
+/// \code
+///   COBALT_FAULTS="checker.force_timeout,engine.throw_mid_rewrite@2"
+///   COBALT_FAULT_SEED=7
+/// \endcode
+///
+/// Each comma-separated clause names a site with an optional trigger:
+///
+///   site        every hit fires
+///   site@N      only the Nth hit fires (1-based)
+///   site%P      each hit fires with probability P percent, decided by a
+///               counter-keyed hash of (site, hit index, seed) — fully
+///               deterministic for a fixed seed, no global RNG state.
+///
+/// Injection points are zero-cost when the plan is empty (one branch on a
+/// flag); the harness is not thread-safe (the pipeline is single-threaded).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_SUPPORT_FAULTINJECTION_H
+#define COBALT_SUPPORT_FAULTINJECTION_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cobalt {
+namespace support {
+
+/// The canonical injection-point names (single source of truth shared by
+/// production code, tests, and benches).
+namespace faults {
+/// SoundnessChecker: the next solver attempt reports unknown(timeout)
+/// without invoking Z3.
+inline constexpr const char *CheckerForceTimeout = "checker.force_timeout";
+/// SoundnessChecker: the next solver attempt reports a non-resource
+/// unknown without invoking Z3.
+inline constexpr const char *CheckerForceUnknown = "checker.force_unknown";
+/// Engine: applySites throws PassError(EK_PassPanic) right after a
+/// rewrite landed, leaving the procedure half-transformed.
+inline constexpr const char *EngineThrowMidRewrite =
+    "engine.throw_mid_rewrite";
+/// Interpreter: step() reports SR_Stuck regardless of the statement.
+inline constexpr const char *InterpForceStuck = "interp.force_stuck";
+} // namespace faults
+
+/// Process-wide fault plan. All state is per-site hit counters plus the
+/// configured rules; reset() restores the no-faults state.
+class FaultInjector {
+public:
+  /// The singleton. The first call loads COBALT_FAULTS / COBALT_FAULT_SEED
+  /// from the environment so CLI binaries need no extra wiring.
+  static FaultInjector &instance();
+
+  /// Replaces the plan with \p Spec (see file comment for the grammar).
+  /// Unknown site names are accepted (they simply never fire). Clears all
+  /// hit counters.
+  void configure(const std::string &Spec, uint64_t Seed = 0);
+
+  /// Loads the plan from COBALT_FAULTS / COBALT_FAULT_SEED (no-op when
+  /// unset).
+  void configureFromEnv();
+
+  /// Removes every rule and counter.
+  void reset();
+
+  /// True when no rules are configured (the fast path).
+  bool empty() const { return Rules.empty(); }
+
+  /// Called by an injection point: records the hit and decides whether
+  /// this hit fires.
+  bool shouldFire(const char *Site);
+
+  /// Observability for tests: how often a site was hit / actually fired.
+  unsigned hits(const std::string &Site) const;
+  unsigned fired(const std::string &Site) const;
+
+private:
+  struct Rule {
+    bool Always = false;
+    unsigned Nth = 0;     ///< 1-based; 0 = not an @N rule.
+    int Percent = -1;     ///< 0-100; -1 = not a %P rule.
+  };
+  struct Counters {
+    unsigned Hits = 0;
+    unsigned Fired = 0;
+  };
+
+  std::map<std::string, Rule> Rules;
+  std::map<std::string, Counters> Stats;
+  uint64_t Seed = 0;
+  bool EnvLoaded = false;
+};
+
+/// The one-line form used at injection points.
+inline bool faultFires(const char *Site) {
+  FaultInjector &FI = FaultInjector::instance();
+  return !FI.empty() && FI.shouldFire(Site);
+}
+
+/// RAII plan for tests: installs a plan on construction, restores the
+/// empty plan on destruction so no faults leak across test cases.
+class ScopedFaultPlan {
+public:
+  explicit ScopedFaultPlan(const std::string &Spec, uint64_t Seed = 0) {
+    FaultInjector::instance().configure(Spec, Seed);
+  }
+  ~ScopedFaultPlan() { FaultInjector::instance().reset(); }
+  ScopedFaultPlan(const ScopedFaultPlan &) = delete;
+  ScopedFaultPlan &operator=(const ScopedFaultPlan &) = delete;
+};
+
+} // namespace support
+} // namespace cobalt
+
+#endif // COBALT_SUPPORT_FAULTINJECTION_H

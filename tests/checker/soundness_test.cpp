@@ -14,8 +14,10 @@
 
 #include "checker/Soundness.h"
 
+#include "opts/Buggy.h"
 #include "opts/Labels.h"
 #include "opts/Optimizations.h"
+#include "support/FaultInjection.h"
 
 #include <gtest/gtest.h>
 
@@ -118,6 +120,142 @@ TEST_F(SoundnessTest, ReportStringMentionsVerdict) {
   CheckReport R = SC.checkOptimization(opts::constProp());
   EXPECT_NE(R.str().find("SOUND"), std::string::npos);
   EXPECT_NE(R.str().find("F3"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Prover resilience: timeouts and unknowns are degradation (Unproven),
+// never confused with a genuine counterexample (Unsound), and never a
+// crash. Faults are injected via support/FaultInjection.h.
+//===----------------------------------------------------------------------===//
+
+TEST_F(SoundnessTest, ForcedTimeoutYieldsUnprovenNotUnsound) {
+  support::ScopedFaultPlan Plan(support::faults::CheckerForceTimeout);
+  SoundnessChecker SC(Registry, opts::allAnalyses());
+  CheckReport R = SC.checkOptimization(opts::constProp());
+
+  EXPECT_FALSE(R.Sound);
+  EXPECT_EQ(R.V, CheckReport::Verdict::V_Unproven);
+  EXPECT_FALSE(R.unsound());
+  EXPECT_TRUE(R.degraded());
+  EXPECT_EQ(R.Degradation, support::ErrorKind::EK_ProverTimeout);
+  EXPECT_NE(R.str().find("NOT PROVEN"), std::string::npos) << R.str();
+
+  for (const ObligationResult &Ob : R.Obligations) {
+    // A timeout is not a counterexample: no obligation may claim the
+    // definition is wrong, and no counterexample text may be attached.
+    EXPECT_NE(Ob.St, ObligationResult::Status::OS_Failed) << Ob.Name;
+    ASSERT_TRUE(Ob.unknown()) << Ob.Name;
+    EXPECT_EQ(Ob.Err, support::ErrorKind::EK_ProverTimeout) << Ob.Name;
+    EXPECT_TRUE(Ob.Counterexample.empty()) << Ob.Counterexample;
+    EXPECT_FALSE(Ob.UnknownReason.empty()) << Ob.Name;
+    // Every configured attempt was made before giving up.
+    EXPECT_EQ(Ob.Attempts, SC.policy().Retries + 1) << Ob.Name;
+  }
+}
+
+TEST_F(SoundnessTest, RetryEscalationRecoversFromTransientTimeout) {
+  // Only the very first solver attempt faults; the escalating retry must
+  // recover and still prove the optimization sound.
+  support::ScopedFaultPlan Plan(
+      std::string(support::faults::CheckerForceTimeout) + "@1");
+  SoundnessChecker SC(Registry, opts::allAnalyses());
+  CheckReport R = SC.checkOptimization(opts::constProp());
+
+  EXPECT_TRUE(R.Sound) << R.str();
+  unsigned Retried = 0;
+  for (const ObligationResult &Ob : R.Obligations) {
+    EXPECT_TRUE(Ob.proven()) << Ob.Name;
+    if (Ob.Attempts > 1)
+      ++Retried;
+  }
+  EXPECT_EQ(Retried, 1u); // exactly the obligation that hit the fault
+}
+
+TEST_F(SoundnessTest, UnknownIsDistinctFromCounterexample) {
+  // The two non-proven outcomes must be distinguishable by callers: a
+  // prover unknown carries a degradation kind and no counterexample ...
+  {
+    support::ScopedFaultPlan Plan(support::faults::CheckerForceUnknown);
+    SoundnessChecker SC(Registry, opts::allAnalyses());
+    CheckReport R = SC.checkOptimization(opts::constProp());
+    EXPECT_EQ(R.V, CheckReport::Verdict::V_Unproven);
+    EXPECT_EQ(R.Degradation, support::ErrorKind::EK_ProverUnknown);
+    for (const ObligationResult &Ob : R.Obligations) {
+      ASSERT_TRUE(Ob.unknown()) << Ob.Name;
+      EXPECT_TRUE(Ob.Counterexample.empty());
+    }
+  }
+  // ... while a genuine unsoundness carries a counterexample model and
+  // no degradation kind.
+  {
+    SoundnessChecker SC(Registry, opts::allAnalyses());
+    CheckReport R = SC.checkOptimization(opts::constPropNoGuard().Opt);
+    EXPECT_EQ(R.V, CheckReport::Verdict::V_Unsound);
+    EXPECT_TRUE(R.unsound());
+    EXPECT_FALSE(R.degraded());
+    bool SawCounterexample = false;
+    for (const ObligationResult &Ob : R.Obligations)
+      if (Ob.St == ObligationResult::Status::OS_Failed) {
+        EXPECT_FALSE(Ob.Counterexample.empty()) << Ob.Name;
+        EXPECT_EQ(Ob.Err, support::ErrorKind::EK_None);
+        SawCounterexample = true;
+      }
+    EXPECT_TRUE(SawCounterexample) << R.str();
+  }
+}
+
+TEST_F(SoundnessTest, VerdictCacheServesRepeatChecks) {
+  SoundnessChecker SC(Registry, opts::allAnalyses());
+  CheckReport First = SC.checkOptimization(opts::constProp());
+  EXPECT_FALSE(First.CacheHit);
+  ASSERT_TRUE(First.Sound);
+
+  CheckReport Second = SC.checkOptimization(opts::constProp());
+  EXPECT_TRUE(Second.CacheHit);
+  EXPECT_EQ(Second.V, First.V);
+  EXPECT_EQ(Second.Obligations.size(), First.Obligations.size());
+  EXPECT_EQ(Second.TotalSeconds, 0.0);
+
+  SC.clearCache();
+  CheckReport Third = SC.checkOptimization(opts::constProp());
+  EXPECT_FALSE(Third.CacheHit);
+}
+
+TEST_F(SoundnessTest, UnprovenVerdictsAreNeverCached) {
+  // An Unproven verdict reflects transient resource limits; once the
+  // fault clears, re-checking must reach the prover again and succeed.
+  SoundnessChecker SC(Registry, opts::allAnalyses());
+  {
+    support::ScopedFaultPlan Plan(support::faults::CheckerForceTimeout);
+    CheckReport R = SC.checkOptimization(opts::constProp());
+    EXPECT_EQ(R.V, CheckReport::Verdict::V_Unproven);
+  }
+  CheckReport Retry = SC.checkOptimization(opts::constProp());
+  EXPECT_FALSE(Retry.CacheHit);
+  EXPECT_TRUE(Retry.Sound) << Retry.str();
+}
+
+TEST_F(SoundnessTest, ExhaustedBudgetReportsUnprovenWithoutCrashing) {
+  SoundnessChecker SC(Registry, opts::allAnalyses());
+  ProverPolicy Policy;
+  Policy.BudgetMs = 1; // far less than 30 obligations need
+  SC.setPolicy(Policy);
+  CheckReport R = SC.checkOptimization(opts::preDuplicate());
+
+  EXPECT_FALSE(R.Sound);
+  EXPECT_EQ(R.V, CheckReport::Verdict::V_Unproven);
+  // The first obligation runs under a 1 ms clamp and may classify as
+  // timeout or generic unknown depending on how Z3 gives up; either way
+  // the report must carry an infrastructure kind, not a counterexample.
+  EXPECT_TRUE(support::isInfraError(R.Degradation)) << R.str();
+  bool SawBudget = false;
+  for (const ObligationResult &Ob : R.Obligations) {
+    EXPECT_NE(Ob.St, ObligationResult::Status::OS_Failed) << Ob.Name;
+    if (Ob.unknown() &&
+        Ob.UnknownReason.find("budget") != std::string::npos)
+      SawBudget = true;
+  }
+  EXPECT_TRUE(SawBudget) << R.str();
 }
 
 } // namespace

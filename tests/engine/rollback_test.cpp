@@ -1,0 +1,244 @@
+//===- rollback_test.cpp - Transactional passes under injected faults -----===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault-tolerance contract of the pass manager: a pass that throws
+/// mid-rewrite, produces an ill-formed procedure, or miscompiles (caught
+/// by the interpreter spot-check) is rolled back to a byte-identical
+/// snapshot, recorded, and — after enough consecutive failures —
+/// quarantined, while the rest of the pipeline keeps running. Faults are
+/// injected deterministically via support/FaultInjection.h.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/PassManager.h"
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opts/Buggy.h"
+#include "opts/Optimizations.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+using namespace cobalt;
+using namespace cobalt::engine;
+using namespace cobalt::ir;
+using support::ErrorKind;
+using support::ScopedFaultPlan;
+namespace faults = support::faults;
+
+namespace {
+
+const char *SimplifiableText = R"(
+  proc main(x) {
+    decl a;
+    decl b;
+    a := x + 0;
+    b := a * 1;
+    return b;
+  }
+)";
+
+TEST(RollbackTest, MidRewriteFaultRollsBackToExactSnapshot) {
+  PassManager PM;
+  Optimization AddZero = opts::simplifyAddZero();
+  std::string PassName = AddZero.Name;
+  PM.addOptimization(std::move(AddZero));
+
+  Program Prog = parseProgramOrDie(SimplifiableText);
+  Program Before = Prog;
+
+  ScopedFaultPlan Plan(faults::EngineThrowMidRewrite);
+  auto Reports = PM.run(Prog);
+
+  ASSERT_EQ(Reports.size(), 1u);
+  EXPECT_TRUE(Reports[0].failed());
+  EXPECT_EQ(Reports[0].Error, ErrorKind::EK_PassPanic);
+  EXPECT_TRUE(Reports[0].RolledBack);
+  EXPECT_EQ(Reports[0].AppliedCount, 0u);
+
+  // The rollback restores the pre-pass AST exactly: structural equality
+  // and byte-identical printed form.
+  ASSERT_EQ(Prog.Procs.size(), Before.Procs.size());
+  EXPECT_TRUE(Prog.Procs[0] == Before.Procs[0]);
+  EXPECT_EQ(toString(Prog), toString(Before));
+
+  EXPECT_TRUE(PM.lastRunDegraded());
+  EXPECT_EQ(PM.failureCount(PassName), 1u);
+  EXPECT_TRUE(PM.quarantined().empty()); // one failure < QuarantineAfter
+}
+
+TEST(RollbackTest, LaterPassesStillRunAfterRollback) {
+  PassManager PM;
+  PM.addOptimization(opts::simplifyAddZero());
+  PM.addOptimization(opts::simplifyMulOne());
+
+  Program Prog = parseProgramOrDie(SimplifiableText);
+
+  // Only the first rewrite of the run (inside simplify_add_zero) faults;
+  // the pipeline must still reach simplify_mul_one afterwards.
+  ScopedFaultPlan Plan(std::string(faults::EngineThrowMidRewrite) + "@1");
+  auto Reports = PM.run(Prog);
+
+  ASSERT_EQ(Reports.size(), 2u);
+  EXPECT_TRUE(Reports[0].failed());
+  EXPECT_TRUE(Reports[0].RolledBack);
+  EXPECT_FALSE(Reports[1].failed());
+  EXPECT_EQ(Reports[1].AppliedCount, 1u);
+
+  std::string Out = toString(Prog);
+  EXPECT_EQ(Out.find("* 1"), std::string::npos) << Out;   // mul-one applied
+  EXPECT_NE(Out.find("x + 0"), std::string::npos) << Out; // add-zero rolled back
+  EXPECT_TRUE(PM.lastRunDegraded());
+}
+
+TEST(RollbackTest, SpotCheckRejectsMiscompilingPassAndRollsBack) {
+  // constPropNoGuard propagates a constant across a redefinition; on the
+  // program below it rewrites `b := a` to `b := 7` although a holds x by
+  // then. No exception is thrown — the bug is caught by the post-pass
+  // interpreter spot-check, and the procedure is rolled back instead of
+  // shipping a miscompile.
+  PassManager PM;
+  opts::BuggyCase Buggy = opts::constPropNoGuard();
+  PM.addOptimization(std::move(Buggy.Opt));
+
+  Program Prog = parseProgramOrDie(R"(
+    proc main(x) {
+      decl a;
+      decl b;
+      a := 7;
+      a := x;
+      b := a;
+      return b;
+    }
+  )");
+  Program Before = Prog;
+
+  auto Reports = PM.run(Prog);
+
+  ASSERT_EQ(Reports.size(), 1u);
+  EXPECT_TRUE(Reports[0].failed());
+  EXPECT_EQ(Reports[0].Error, ErrorKind::EK_RewriteConflict);
+  EXPECT_TRUE(Reports[0].RolledBack);
+  EXPECT_EQ(Reports[0].AppliedCount, 0u);
+  EXPECT_NE(Reports[0].ErrorDetail.find("spot-check"), std::string::npos)
+      << Reports[0].ErrorDetail;
+
+  EXPECT_TRUE(Prog.Procs[0] == Before.Procs[0]);
+  EXPECT_EQ(toString(Prog), toString(Before));
+  EXPECT_TRUE(PM.lastRunDegraded());
+}
+
+TEST(RollbackTest, InterpreterFaultDuringSpotCheckTriggersRollback) {
+  // The interpreter itself failing (forced stuck on the first post-pass
+  // run) makes the rewritten program look non-returning where the
+  // original returned — conservatively treated as a conflict and rolled
+  // back. A sound pass is sacrificed, never soundness.
+  PassManager PM;
+  PM.addOptimization(opts::simplifyAddZero());
+
+  Program Prog = parseProgramOrDie(SimplifiableText);
+  Program Before = Prog;
+
+  ScopedFaultPlan Plan(std::string(faults::InterpForceStuck) + "@1");
+  auto Reports = PM.run(Prog);
+
+  ASSERT_EQ(Reports.size(), 1u);
+  EXPECT_TRUE(Reports[0].failed());
+  EXPECT_EQ(Reports[0].Error, ErrorKind::EK_RewriteConflict);
+  EXPECT_TRUE(Reports[0].RolledBack);
+  EXPECT_NE(Reports[0].ErrorDetail.find("stuck"), std::string::npos)
+      << Reports[0].ErrorDetail;
+  EXPECT_TRUE(Prog.Procs[0] == Before.Procs[0]);
+}
+
+TEST(RollbackTest, PassIsQuarantinedAfterConsecutiveFailures) {
+  PassManager PM;
+  TxPolicy Tx;
+  Tx.QuarantineAfter = 2;
+  PM.setTxPolicy(Tx);
+  Optimization AddZero = opts::simplifyAddZero();
+  std::string PassName = AddZero.Name;
+  PM.addOptimization(std::move(AddZero));
+
+  Program Prog = parseProgramOrDie(SimplifiableText);
+
+  {
+    ScopedFaultPlan Plan(faults::EngineThrowMidRewrite);
+    support::FaultInjector &FI = support::FaultInjector::instance();
+
+    // Two consecutive failures → quarantine threshold reached.
+    EXPECT_TRUE(PM.run(Prog)[0].failed());
+    EXPECT_TRUE(PM.run(Prog)[0].failed());
+    EXPECT_EQ(PM.failureCount(PassName), 2u);
+    ASSERT_EQ(PM.quarantined().size(), 1u);
+    EXPECT_EQ(PM.quarantined()[0], PassName);
+
+    // Third run: the pass is skipped entirely (the engine's injection
+    // point is never even reached) but reported, and the run counts as
+    // degraded.
+    unsigned HitsBefore = FI.hits(faults::EngineThrowMidRewrite);
+    auto Reports = PM.run(Prog);
+    ASSERT_EQ(Reports.size(), 1u);
+    EXPECT_TRUE(Reports[0].Quarantined);
+    EXPECT_EQ(Reports[0].Error, ErrorKind::EK_Quarantined);
+    EXPECT_EQ(FI.hits(faults::EngineThrowMidRewrite), HitsBefore);
+    EXPECT_TRUE(PM.lastRunDegraded());
+  }
+
+  // Fault source fixed + quarantine lifted: the pass works again.
+  PM.resetQuarantine();
+  auto Reports = PM.run(Prog);
+  ASSERT_EQ(Reports.size(), 1u);
+  EXPECT_FALSE(Reports[0].failed());
+  EXPECT_EQ(Reports[0].AppliedCount, 1u);
+  EXPECT_FALSE(PM.lastRunDegraded());
+}
+
+TEST(RollbackTest, FixpointConvergesUnderPersistentFault) {
+  // A rolled-back pass reports zero applications, so a persistently
+  // faulting pass cannot keep runToFixpoint spinning until MaxRounds.
+  PassManager PM;
+  TxPolicy Tx;
+  Tx.QuarantineAfter = 0; // never quarantine: the pass fails every round
+  PM.setTxPolicy(Tx);
+  PM.addOptimization(opts::simplifyAddZero());
+
+  Program Prog = parseProgramOrDie(SimplifiableText);
+  Program Before = Prog;
+
+  ScopedFaultPlan Plan(faults::EngineThrowMidRewrite);
+  unsigned ActiveRounds = PM.runToFixpoint(Prog);
+
+  EXPECT_EQ(ActiveRounds, 0u);
+  EXPECT_TRUE(PM.lastRunDegraded());
+  EXPECT_EQ(toString(Prog), toString(Before));
+}
+
+TEST(RollbackTest, NonTransactionalModeStillContainsTheException) {
+  // With Transactional off there is no snapshot to restore — the failure
+  // is still caught and recorded (the pipeline never crashes), but the
+  // procedure keeps whatever the pass left behind.
+  PassManager PM;
+  TxPolicy Tx;
+  Tx.Transactional = false;
+  PM.setTxPolicy(Tx);
+  PM.addOptimization(opts::simplifyAddZero());
+
+  Program Prog = parseProgramOrDie(SimplifiableText);
+  Program Before = Prog;
+
+  ScopedFaultPlan Plan(faults::EngineThrowMidRewrite);
+  auto Reports = PM.run(Prog);
+
+  ASSERT_EQ(Reports.size(), 1u);
+  EXPECT_TRUE(Reports[0].failed());
+  EXPECT_FALSE(Reports[0].RolledBack);
+  EXPECT_NE(toString(Prog), toString(Before)); // half-applied, by design
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+//===- faultinjection_test.cpp - Deterministic fault plans ----------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+using namespace cobalt::support;
+
+namespace {
+
+TEST(FaultInjectionTest, EmptyPlanNeverFires) {
+  FaultInjector &FI = FaultInjector::instance();
+  FI.reset();
+  EXPECT_TRUE(FI.empty());
+  EXPECT_FALSE(faultFires("some.site"));
+}
+
+TEST(FaultInjectionTest, AlwaysRuleFiresEveryHit) {
+  ScopedFaultPlan Plan("a.site");
+  for (int I = 0; I < 5; ++I)
+    EXPECT_TRUE(faultFires("a.site"));
+  EXPECT_FALSE(faultFires("other.site"));
+  FaultInjector &FI = FaultInjector::instance();
+  EXPECT_EQ(FI.hits("a.site"), 5u);
+  EXPECT_EQ(FI.fired("a.site"), 5u);
+}
+
+TEST(FaultInjectionTest, NthRuleFiresExactlyOnce) {
+  ScopedFaultPlan Plan("a.site@3");
+  EXPECT_FALSE(faultFires("a.site"));
+  EXPECT_FALSE(faultFires("a.site"));
+  EXPECT_TRUE(faultFires("a.site"));
+  EXPECT_FALSE(faultFires("a.site"));
+  EXPECT_EQ(FaultInjector::instance().fired("a.site"), 1u);
+}
+
+TEST(FaultInjectionTest, PercentRuleIsDeterministicPerSeed) {
+  auto Sample = [](uint64_t Seed) {
+    ScopedFaultPlan Plan("a.site%50", Seed);
+    std::vector<bool> Decisions;
+    for (int I = 0; I < 64; ++I)
+      Decisions.push_back(faultFires("a.site"));
+    return Decisions;
+  };
+  // Same seed → identical decisions; the rate is in the right ballpark.
+  std::vector<bool> A = Sample(7), B = Sample(7);
+  EXPECT_EQ(A, B);
+  unsigned Fired = 0;
+  for (bool D : A)
+    Fired += D;
+  EXPECT_GT(Fired, 16u);
+  EXPECT_LT(Fired, 48u);
+  // Extreme rates behave as expected.
+  {
+    ScopedFaultPlan Plan("a.site%0");
+    for (int I = 0; I < 16; ++I)
+      EXPECT_FALSE(faultFires("a.site"));
+  }
+  {
+    ScopedFaultPlan Plan("a.site%100");
+    for (int I = 0; I < 16; ++I)
+      EXPECT_TRUE(faultFires("a.site"));
+  }
+}
+
+TEST(FaultInjectionTest, MultiClausePlansAreIndependent) {
+  ScopedFaultPlan Plan(" a.site@1 , b.site ");
+  EXPECT_TRUE(faultFires("b.site"));
+  EXPECT_TRUE(faultFires("a.site"));
+  EXPECT_FALSE(faultFires("a.site"));
+  EXPECT_TRUE(faultFires("b.site"));
+}
+
+TEST(FaultInjectionTest, ScopedPlanRestoresEmptyState) {
+  {
+    ScopedFaultPlan Plan("a.site");
+    EXPECT_TRUE(faultFires("a.site"));
+  }
+  EXPECT_TRUE(FaultInjector::instance().empty());
+  EXPECT_FALSE(faultFires("a.site"));
+}
+
+} // namespace

@@ -11,10 +11,31 @@
 ///                                               run main(N) before/after
 ///   cobaltc stdlib                              print the bundled module
 ///
-/// `check` exits nonzero if any definition fails its soundness proof,
-/// printing the failing obligations and counterexample contexts. `run`
-/// refuses to apply unproven optimizations — the extensible-compiler
-/// discipline of paper §1/§6.
+/// Flags (accepted anywhere after the subcommand):
+///
+///   --prover-timeout <ms>   full per-obligation Z3 timeout (default 8000)
+///   --prover-retries <n>    escalating retries before the full timeout
+///   --prover-budget <ms>    total wall-clock budget per definition
+///   --fail-fast             stop checking at the first unproven definition
+///   --keep-going            run: apply the proven subset instead of
+///                           refusing the whole module
+///
+/// Exit codes separate the three fundamentally different outcomes:
+///
+///   0  all definitions proven sound (and, for run, pipeline clean)
+///   1  at least one definition REJECTED (genuine counterexample)
+///   2  usage / cannot read or parse inputs
+///   3  infrastructure degraded: no counterexample anywhere, but some
+///      obligation timed out / came back unknown, or a pass was rolled
+///      back or quarantined at run time
+///
+/// `run` refuses to apply unproven optimizations — the extensible-compiler
+/// discipline of paper §1/§6. Under --keep-going the proven subset still
+/// runs; unproven definitions are skipped and reported.
+///
+/// Fault injection (COBALT_FAULTS / COBALT_FAULT_SEED, see
+/// support/FaultInjection.h) is honored, so every degradation path can be
+/// exercised from the command line.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,23 +46,90 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "opts/StdlibCobalt.h"
+#include "support/FaultInjection.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace cobalt;
 
 namespace {
 
+enum ExitCode {
+  ExitAllSound = 0,
+  ExitRejected = 1,
+  ExitUsage = 2,
+  ExitDegraded = 3,
+};
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: cobaltc check <module.cob>\n"
-               "       cobaltc run <module.cob> <program.il> [input]\n"
-               "       cobaltc stdlib\n");
-  return 2;
+  std::fprintf(
+      stderr,
+      "usage: cobaltc check <module.cob> [flags]\n"
+      "       cobaltc run <module.cob> <program.il> [input] [flags]\n"
+      "       cobaltc stdlib\n"
+      "flags: --prover-timeout <ms>  --prover-retries <n>\n"
+      "       --prover-budget <ms>   --fail-fast  --keep-going\n"
+      "exit:  0 all sound; 1 rejected definitions; 2 usage/input error;\n"
+      "       3 infrastructure degraded (timeouts/rollbacks, no "
+      "counterexample)\n");
+  return ExitUsage;
+}
+
+struct DriverOptions {
+  checker::ProverPolicy Prover;
+  bool FailFast = false;
+  bool KeepGoing = false;
+};
+
+/// Strips and parses the shared flags; leaves positional arguments in
+/// \p Positional. Returns false on a malformed flag.
+bool parseFlags(int Argc, char **Argv, DriverOptions &Opts,
+                std::vector<const char *> &Positional) {
+  Opts.Prover.TimeoutMs = 8000;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto TakesValue = [&](const char *Flag, unsigned long long &Out) {
+      if (std::strcmp(Arg, Flag) != 0)
+        return false;
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "cobaltc: %s requires a value\n", Flag);
+        Out = ~0ull;
+        return true;
+      }
+      Out = std::strtoull(Argv[++I], nullptr, 10);
+      return true;
+    };
+    unsigned long long Value = 0;
+    if (TakesValue("--prover-timeout", Value)) {
+      if (Value == ~0ull || Value == 0)
+        return false;
+      Opts.Prover.TimeoutMs = static_cast<unsigned>(Value);
+    } else if (TakesValue("--prover-retries", Value)) {
+      if (Value == ~0ull)
+        return false;
+      Opts.Prover.Retries = static_cast<unsigned>(Value);
+    } else if (TakesValue("--prover-budget", Value)) {
+      if (Value == ~0ull)
+        return false;
+      Opts.Prover.BudgetMs = Value;
+    } else if (std::strcmp(Arg, "--fail-fast") == 0) {
+      Opts.FailFast = true;
+    } else if (std::strcmp(Arg, "--keep-going") == 0) {
+      Opts.KeepGoing = true;
+    } else if (Arg[0] == '-' && Arg[1] == '-') {
+      std::fprintf(stderr, "cobaltc: unknown flag '%s'\n", Arg);
+      return false;
+    } else {
+      Positional.push_back(Arg);
+    }
+  }
+  return true;
 }
 
 std::optional<std::string> readFile(const char *Path) {
@@ -67,9 +155,20 @@ std::optional<CobaltModule> loadModule(const char *Path,
   return parseCobalt(*Text, Diags);
 }
 
-/// Proves every definition in the module; returns the number of
-/// failures and prints a per-definition verdict table.
-unsigned checkModule(const CobaltModule &Module) {
+/// The outcome of proving one whole module.
+struct CheckSummary {
+  unsigned Unsound = 0;   ///< Genuine counterexamples.
+  unsigned Unproven = 0;  ///< Prover gave up (infra degradation).
+  std::vector<checker::CheckReport> Reports;
+  std::set<std::string> ProvenAnalyses;      ///< By analysis name.
+  std::set<std::string> ProvenOptimizations; ///< By optimization name.
+};
+
+/// Proves every definition in the module, printing a per-definition
+/// verdict table that distinguishes REJECTED (unsound) from UNPROVEN
+/// (prover timeout/unknown).
+CheckSummary checkModule(const CobaltModule &Module,
+                         const DriverOptions &Opts) {
   LabelRegistry Registry;
   for (const LabelDef &Def : Module.Labels)
     Registry.define(Def);
@@ -77,84 +176,148 @@ unsigned checkModule(const CobaltModule &Module) {
     Registry.declareAnalysisLabel(A.LabelName);
 
   checker::SoundnessChecker Checker(Registry, Module.Analyses);
-  Checker.setTimeoutMs(8000);
+  Checker.setPolicy(Opts.Prover);
 
-  unsigned Failures = 0;
+  CheckSummary Summary;
   auto Report = [&](const checker::CheckReport &R) {
-    std::printf("  %-24s %-10s %zu obligations, %.2f s\n", R.Name.c_str(),
-                R.Sound ? "SOUND" : "REJECTED", R.Obligations.size(),
-                R.TotalSeconds);
-    if (!R.Sound) {
-      ++Failures;
-      for (const auto &Ob : R.Obligations)
-        if (!Ob.proven())
-          std::printf("      %s failed%s%s\n", Ob.Name.c_str(),
-                      Ob.Counterexample.empty() ? "" : ": ",
-                      Ob.Counterexample.substr(0, 120).c_str());
+    const char *VerdictText = "SOUND";
+    if (R.V == checker::CheckReport::Verdict::V_Unsound) {
+      VerdictText = "REJECTED";
+      ++Summary.Unsound;
+    } else if (R.V == checker::CheckReport::Verdict::V_Unproven) {
+      VerdictText = "UNPROVEN";
+      ++Summary.Unproven;
     }
+    std::printf("  %-24s %-10s %zu obligations, %.2f s%s\n", R.Name.c_str(),
+                VerdictText, R.Obligations.size(), R.TotalSeconds,
+                R.CacheHit ? " (cached)" : "");
+    for (const auto &Ob : R.Obligations) {
+      if (Ob.St == checker::ObligationResult::Status::OS_Failed)
+        std::printf("      %s failed%s%s\n", Ob.Name.c_str(),
+                    Ob.Counterexample.empty() ? "" : ": ",
+                    Ob.Counterexample.substr(0, 120).c_str());
+      else if (Ob.unknown())
+        std::printf("      %s undecided [%s]: %s\n", Ob.Name.c_str(),
+                    support::errorKindName(Ob.Err),
+                    Ob.UnknownReason.c_str());
+    }
+    Summary.Reports.push_back(R);
   };
 
-  for (const PureAnalysis &A : Module.Analyses)
-    Report(Checker.checkAnalysis(A));
-  for (const Optimization &O : Module.Optimizations)
-    Report(Checker.checkOptimization(O));
-  return Failures;
+  for (const PureAnalysis &A : Module.Analyses) {
+    checker::CheckReport R = Checker.checkAnalysis(A);
+    if (R.Sound)
+      Summary.ProvenAnalyses.insert(A.Name);
+    Report(R);
+    if (Opts.FailFast && !R.Sound)
+      return Summary;
+  }
+  for (const Optimization &O : Module.Optimizations) {
+    checker::CheckReport R = Checker.checkOptimization(O);
+    // The optimization's guarantee is conditional on its assumed
+    // analyses being proven themselves.
+    bool AnalysesOk = true;
+    for (const std::string &Dep : R.AssumedAnalyses)
+      AnalysesOk = AnalysesOk && Summary.ProvenAnalyses.count(Dep) != 0;
+    if (R.Sound && AnalysesOk)
+      Summary.ProvenOptimizations.insert(O.Name);
+    else if (R.Sound && !AnalysesOk)
+      std::printf("  %-24s note: proven, but an assumed analysis is "
+                  "not — treated as unproven\n",
+                  O.Name.c_str());
+    Report(R);
+    if (Opts.FailFast && !R.Sound)
+      return Summary;
+  }
+  return Summary;
 }
 
-int cmdCheck(const char *ModulePath) {
+int exitCodeFor(const CheckSummary &Summary, bool PipelineDegraded) {
+  if (Summary.Unsound > 0)
+    return ExitRejected;
+  if (Summary.Unproven > 0 || PipelineDegraded)
+    return ExitDegraded;
+  return ExitAllSound;
+}
+
+int cmdCheck(const char *ModulePath, const DriverOptions &Opts) {
   DiagnosticEngine Diags;
   auto Module = loadModule(ModulePath, Diags);
   if (!Module) {
     std::fprintf(stderr, "%s\n", Diags.str().c_str());
-    return 1;
+    return ExitUsage;
   }
   std::printf("checking %zu label(s), %zu analysis(es), %zu "
               "optimization(s) from %s:\n",
               Module->Labels.size(), Module->Analyses.size(),
               Module->Optimizations.size(), ModulePath);
-  unsigned Failures = checkModule(*Module);
-  std::printf("%s\n", Failures == 0 ? "all definitions proven sound"
-                                    : "REJECTED definitions present");
-  return Failures == 0 ? 0 : 1;
+  CheckSummary Summary = checkModule(*Module, Opts);
+  if (Summary.Unsound > 0)
+    std::printf("REJECTED definitions present\n");
+  else if (Summary.Unproven > 0)
+    std::printf("infrastructure degraded: %u definition(s) unproven "
+                "(no counterexample found)\n",
+                Summary.Unproven);
+  else
+    std::printf("all definitions proven sound\n");
+  return exitCodeFor(Summary, /*PipelineDegraded=*/false);
 }
 
 int cmdRun(const char *ModulePath, const char *ProgramPath,
-           const char *InputText) {
+           const char *InputText, const DriverOptions &Opts) {
   DiagnosticEngine Diags;
   auto Module = loadModule(ModulePath, Diags);
   if (!Module) {
     std::fprintf(stderr, "%s\n", Diags.str().c_str());
-    return 1;
+    return ExitUsage;
   }
   auto ProgramText = readFile(ProgramPath);
   if (!ProgramText) {
     std::fprintf(stderr, "cannot read '%s'\n", ProgramPath);
-    return 1;
+    return ExitUsage;
   }
   DiagnosticEngine ProgDiags;
   auto Prog = ir::parseProgram(*ProgramText, ProgDiags);
   if (!Prog) {
     std::fprintf(stderr, "%s: %s\n", ProgramPath,
                  ProgDiags.str().c_str());
-    return 1;
+    return ExitUsage;
   }
 
   std::printf("== soundness gate ==\n");
-  if (checkModule(*Module) != 0) {
+  CheckSummary Summary = checkModule(*Module, Opts);
+  bool AllProven =
+      Summary.Unsound == 0 && Summary.Unproven == 0 &&
+      Summary.ProvenOptimizations.size() == Module->Optimizations.size();
+  if (!AllProven && !Opts.KeepGoing) {
     std::fprintf(stderr,
-                 "refusing to run: module contains unproven "
-                 "optimizations\n");
-    return 1;
+                 "refusing to run: module contains %s definitions "
+                 "(use --keep-going to apply the proven subset)\n",
+                 Summary.Unsound > 0 ? "rejected" : "unproven");
+    return exitCodeFor(Summary, /*PipelineDegraded=*/false);
   }
+  if (!AllProven)
+    std::printf("\n== keep-going: applying the proven subset only ==\n");
 
   int64_t Input = InputText ? std::atoll(InputText) : 0;
   ir::Program Original = *Prog;
 
   engine::PassManager PM;
-  for (PureAnalysis &A : Module->Analyses)
-    PM.addAnalysis(std::move(A));
-  for (Optimization &O : Module->Optimizations)
-    PM.addOptimization(std::move(O));
+  unsigned Skipped = 0;
+  for (PureAnalysis &A : Module->Analyses) {
+    if (Summary.ProvenAnalyses.count(A.Name))
+      PM.addAnalysis(std::move(A));
+    else
+      ++Skipped;
+  }
+  for (Optimization &O : Module->Optimizations) {
+    if (Summary.ProvenOptimizations.count(O.Name))
+      PM.addOptimization(std::move(O));
+    else
+      ++Skipped;
+  }
+  if (Skipped)
+    std::printf("  skipped %u unproven definition(s)\n", Skipped);
 
   std::printf("\n== optimizing ==\n");
   unsigned Applied = 0;
@@ -162,6 +325,14 @@ int cmdRun(const char *ModulePath, const char *ProgramPath,
     if (R.AppliedCount)
       std::printf("  %-24s %-10s rewrote %u site(s)\n", R.PassName.c_str(),
                   R.ProcName.c_str(), R.AppliedCount);
+    if (R.failed())
+      std::printf("  %-24s %-10s %s [%s]%s%s\n", R.PassName.c_str(),
+                  R.ProcName.c_str(),
+                  R.Quarantined ? "quarantined" : "FAILED",
+                  support::errorKindName(R.Error),
+                  R.RolledBack ? ", rolled back" : "",
+                  R.ErrorDetail.empty() ? ""
+                                        : (": " + R.ErrorDetail).c_str());
     Applied += R.AppliedCount;
   }
   std::printf("  total rewrites: %u\n\n%s\n", Applied,
@@ -172,21 +343,37 @@ int cmdRun(const char *ModulePath, const char *ProgramPath,
   std::printf("main(%lld): original %s, optimized %s\n",
               static_cast<long long>(Input), RO.str().c_str(),
               RT.str().c_str());
-  return 0;
+  return exitCodeFor(Summary, PM.lastRunDegraded());
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // Load any COBALT_FAULTS plan up front and surface it: silent fault
+  // injection in a soundness tool would be a debugging nightmare.
+  support::FaultInjector &FI = support::FaultInjector::instance();
+  if (!FI.empty())
+    std::fprintf(stderr,
+                 "cobaltc: fault injection active (COBALT_FAULTS)\n");
+
   if (Argc < 2)
     return usage();
   if (std::strcmp(Argv[1], "stdlib") == 0) {
     std::printf("%s", opts::StdlibCobaltSource);
     return 0;
   }
-  if (std::strcmp(Argv[1], "check") == 0 && Argc == 3)
-    return cmdCheck(Argv[2]);
-  if (std::strcmp(Argv[1], "run") == 0 && (Argc == 4 || Argc == 5))
-    return cmdRun(Argv[2], Argv[3], Argc == 5 ? Argv[4] : nullptr);
+
+  DriverOptions Opts;
+  std::vector<const char *> Positional;
+  if (!parseFlags(Argc, Argv, Opts, Positional))
+    return usage();
+
+  if (!Positional.empty() && std::strcmp(Positional[0], "check") == 0 &&
+      Positional.size() == 2)
+    return cmdCheck(Positional[1], Opts);
+  if (!Positional.empty() && std::strcmp(Positional[0], "run") == 0 &&
+      (Positional.size() == 3 || Positional.size() == 4))
+    return cmdRun(Positional[1], Positional[2],
+                  Positional.size() == 4 ? Positional[3] : nullptr, Opts);
   return usage();
 }
