@@ -13,7 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "checker/Soundness.h"
+#include "api/Cobalt.h"
 #include "engine/Engine.h"
 #include "ir/Interp.h"
 #include "ir/Parser.h"
@@ -28,13 +28,16 @@ using namespace cobalt;
 using namespace cobalt::engine;
 
 int main() {
-  LabelRegistry Registry;
+  api::CobaltConfig Config;
+  Config.Prover.TimeoutMs = 4000;
+  api::CobaltContext Ctx(Config);
   for (const LabelDef &Def : opts::standardLabels())
-    Registry.define(Def);
-  Registry.declareAnalysisLabel("notTainted");
+    Ctx.defineLabel(Def);
+  Ctx.addAnalysis(opts::taintAnalysis()); // declares notTainted
   opts::BuggyCase Buggy = opts::loadCseNoTaint();
   for (const LabelDef &Def : Buggy.Opt.Labels)
-    Registry.define(Def);
+    Ctx.defineLabel(Def);
+  const LabelRegistry &Registry = Ctx.registry();
 
   // ------------------------------------------------------------------
   // The program that exposes the bug: p points to y, so `y := 7`
@@ -76,9 +79,7 @@ int main() {
   // 2. What the checker SAYS, before any program is ever compiled: the
   //    preservation obligation fails, with a counterexample context.
   // ------------------------------------------------------------------
-  checker::SoundnessChecker Checker(Registry, opts::allAnalyses());
-  Checker.setTimeoutMs(4000);
-  checker::CheckReport Bad = Checker.checkOptimization(Buggy.Opt);
+  checker::CheckReport Bad = Ctx.check(Buggy.Opt);
   std::printf("checking the buggy version: %s\n",
               Bad.Sound ? "SOUND (?!)" : "rejected");
   for (const auto &Ob : Bad.Obligations)
@@ -98,8 +99,7 @@ int main() {
   //    fixed version is proven sound, and on this program it simply
   //    fires nowhere (y is tainted).
   // ------------------------------------------------------------------
-  checker::CheckReport Good =
-      Checker.checkOptimization(opts::loadCse());
+  checker::CheckReport Good = Ctx.check(opts::loadCse());
   std::printf("\nchecking the fixed version: %s (%.2f s)\n",
               Good.Sound ? "SOUND" : "rejected", Good.TotalSeconds);
 

@@ -10,11 +10,12 @@
 /// submission is rejected with the failing obligation and a
 /// counterexample context; the trusted computing base never grows (§6).
 ///
+/// The whole compiler is a thin shell around one `api::CobaltContext`:
+/// parsing, proving, and the pass pipeline all live behind the facade.
+///
 //===----------------------------------------------------------------------===//
 
-#include "checker/Soundness.h"
-#include "core/CobaltParser.h"
-#include "engine/PassManager.h"
+#include "api/Cobalt.h"
 #include "ir/Interp.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
@@ -28,20 +29,21 @@ namespace {
 /// The "compiler": admits an optimization only if the checker proves it.
 class ExtensibleCompiler {
 public:
+  ExtensibleCompiler() : Ctx(makeConfig()) {}
+
   bool submit(const std::string &CobaltSource) {
-    DiagnosticEngine Diags;
-    auto Module = parseCobalt(CobaltSource, Diags);
+    auto Module = Ctx.parseModule(CobaltSource);
     if (!Module) {
-      std::printf("  parse error:\n%s\n", Diags.str().c_str());
+      std::printf("  parse error:\n%s\n", Module.error().Message.c_str());
       return false;
     }
     for (Optimization &O : Module->Optimizations) {
-      LabelRegistry Registry;
+      // The rule's labels must be in the registry before the checker can
+      // interpret its guards; registration of the rule itself waits
+      // until the proof succeeds.
       for (const LabelDef &Def : O.Labels)
-        Registry.define(Def);
-      checker::SoundnessChecker Checker(Registry);
-      Checker.setTimeoutMs(4000);
-      checker::CheckReport Report = Checker.checkOptimization(O);
+        Ctx.defineLabel(Def);
+      checker::CheckReport Report = Ctx.check(O);
       if (!Report.Sound) {
         std::printf("  REJECTED %s:\n", O.Name.c_str());
         for (const auto &Ob : Report.Obligations)
@@ -54,15 +56,21 @@ public:
       std::printf("  ADMITTED %s (%zu obligations, %.2f s)\n",
                   O.Name.c_str(), Report.Obligations.size(),
                   Report.TotalSeconds);
-      PM.addOptimization(std::move(O));
+      Ctx.addOptimization(std::move(O));
     }
     return true;
   }
 
-  void compile(ir::Program &Prog) { PM.run(Prog); }
+  void compile(ir::Program &Prog) { Ctx.runPipeline(Prog); }
 
 private:
-  engine::PassManager PM;
+  static api::CobaltConfig makeConfig() {
+    api::CobaltConfig Config;
+    Config.Prover.TimeoutMs = 4000;
+    return Config;
+  }
+
+  api::CobaltContext Ctx;
 };
 
 } // namespace

@@ -21,7 +21,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "engine/PassManager.h"
+#include "api/Cobalt.h"
 #include "ir/Interp.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
@@ -67,11 +67,11 @@ int main() {
   std::printf("input (t := a * b recomputed in the loop):\n%s\n",
               ir::toString(Prog).c_str());
 
-  engine::PassManager PM;
-  PM.addOptimization(opts::preDuplicate());
-  PM.addOptimization(opts::cse());
-  PM.addOptimization(opts::selfAssignRemoval());
-  for (const engine::PassReport &R : PM.run(Prog))
+  api::CobaltContext Ctx;
+  Ctx.addOptimization(opts::preDuplicate());
+  Ctx.addOptimization(opts::cse());
+  Ctx.addOptimization(opts::selfAssignRemoval());
+  for (const engine::PassReport &R : Ctx.runPipeline(Prog).Reports)
     std::printf("pass %-22s legal=%u applied=%u\n", R.PassName.c_str(),
                 R.DeltaSize, R.AppliedCount);
 

@@ -10,8 +10,14 @@
 /// notTainted labels and contrast plain constant propagation (killed by
 /// the pointer store) with the precise variant (survives it).
 ///
+/// The registration and the analysis run go through `api::CobaltContext`;
+/// the contrast at the end drives the engine's free functions directly
+/// through the context's component accessors (the incremental-migration
+/// path for embedders that still need the low-level API).
+///
 //===----------------------------------------------------------------------===//
 
+#include "api/Cobalt.h"
 #include "engine/Engine.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
@@ -24,10 +30,10 @@ using namespace cobalt;
 using namespace cobalt::engine;
 
 int main() {
-  LabelRegistry Registry;
+  api::CobaltContext Ctx;
   for (const LabelDef &Def : opts::standardLabels())
-    Registry.define(Def);
-  Registry.declareAnalysisLabel("notTainted");
+    Ctx.defineLabel(Def);
+  Ctx.addAnalysis(opts::taintAnalysis()); // declares the notTainted label
 
   ir::Program Prog = ir::parseProgramOrDie(R"(
     proc main(x) {
@@ -47,10 +53,10 @@ int main() {
               ir::toString(Prog).c_str());
 
   // Run the pure analysis and show its labeling of the CFG (§3.2.3).
-  Labeling Labels;
-  RunStats AStats;
-  runPureAnalysis(opts::taintAnalysis(), Main, Registry, Labels, &AStats);
-  std::printf("taint analysis added %u labels:\n", AStats.DeltaSize);
+  api::PipelineResult Run = Ctx.runPipeline(Prog);
+  const Labeling &Labels = *Ctx.passes().labelingFor("main");
+  std::printf("taint analysis added %u labels:\n",
+              Run.Reports.front().DeltaSize);
   for (int I = 0; I < Main.size(); ++I) {
     std::printf("  %2d: %-18s", I,
                 ir::toString(Main.stmtAt(I)).c_str());
@@ -64,7 +70,7 @@ int main() {
   {
     ir::Program P1 = Prog;
     RunStats S1 = runOptimization(opts::constProp(), *P1.findProc("main"),
-                                  Registry, nullptr);
+                                  Ctx.registry(), nullptr);
     std::printf("\nconservative const_prop: %u rewrite(s) "
                 "(*p := x may define a)\n",
                 S1.AppliedCount);
@@ -72,7 +78,7 @@ int main() {
     ir::Program P2 = Prog;
     RunStats S2 =
         runOptimization(opts::constPropPrecise(), *P2.findProc("main"),
-                        Registry, &Labels);
+                        Ctx.registry(), &Labels);
     std::printf("precise const_prop_precise: %u rewrite(s):\n%s",
                 S2.AppliedCount, ir::toString(P2).c_str());
   }

@@ -18,7 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "engine/PassManager.h"
+#include "api/Cobalt.h"
 #include "ir/Interp.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
@@ -53,12 +53,12 @@ int main() {
   std::printf("input (x := a + b at the join is PARTIALLY redundant):\n%s\n",
               ir::toString(Prog).c_str());
 
-  engine::PassManager PM;
-  PM.addOptimization(opts::preDuplicate());
-  PM.addOptimization(opts::cse());
-  PM.addOptimization(opts::selfAssignRemoval());
+  api::CobaltContext Ctx;
+  Ctx.addOptimization(opts::preDuplicate());
+  Ctx.addOptimization(opts::cse());
+  Ctx.addOptimization(opts::selfAssignRemoval());
 
-  for (const engine::PassReport &R : PM.run(Prog))
+  for (const engine::PassReport &R : Ctx.runPipeline(Prog).Reports)
     std::printf("pass %-22s legal=%u applied=%u\n", R.PassName.c_str(),
                 R.DeltaSize, R.AppliedCount);
 

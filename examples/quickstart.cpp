@@ -12,15 +12,17 @@
 ///      input program;
 ///   3. run it through the execution engine on a program.
 ///
+/// Everything goes through one `api::CobaltContext`: it owns the label
+/// registry, the prover, the pass manager, and (when configured) the
+/// thread pool and the persistent verdict cache.
+///
 /// Build and run:  ./build/examples/quickstart
 ///
 //===----------------------------------------------------------------------===//
 
-#include "checker/Soundness.h"
+#include "api/Cobalt.h"
 #include "core/Builder.h"
-#include "engine/PassManager.h"
 #include "ir/Interp.h"
-#include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "opts/Labels.h"
 
@@ -52,12 +54,13 @@ int main() {
   //    optimization-specific obligations F1-F3 with Z3. No testing, no
   //    trust: if this succeeds, every transformation the pattern ever
   //    suggests is semantics-preserving.
+  //
+  //    With Config.Jobs > 1 the obligations fan out over a thread pool;
+  //    the report is bit-identical either way.
   // ------------------------------------------------------------------
-  LabelRegistry Registry;
-  for (const LabelDef &Def : ConstProp.Labels)
-    Registry.define(Def);
-  checker::SoundnessChecker Checker(Registry);
-  checker::CheckReport Report = Checker.checkOptimization(ConstProp);
+  api::CobaltContext Ctx;
+  Ctx.addOptimization(ConstProp);
+  checker::CheckReport Report = Ctx.check(ConstProp);
   std::printf("soundness check: %s\n\n", Report.str().c_str());
   if (!Report.Sound)
     return 1;
@@ -66,7 +69,7 @@ int main() {
   // 3. Run it (paper §5.2). The engine evaluates all instances of the
   //    pattern simultaneously with a substitution-set dataflow analysis.
   // ------------------------------------------------------------------
-  ir::Program Prog = ir::parseProgramOrDie(R"(
+  auto Prog = Ctx.parseProgram(R"(
     proc main(x) {
       decl a;
       decl b;
@@ -77,16 +80,18 @@ int main() {
       return c;
     }
   )");
-  std::printf("before:\n%s\n", ir::toString(Prog).c_str());
+  if (!Prog) {
+    std::fprintf(stderr, "%s\n", Prog.error().str().c_str());
+    return 1;
+  }
+  std::printf("before:\n%s\n", ir::toString(*Prog).c_str());
 
-  engine::PassManager PM;
-  PM.addOptimization(ConstProp);
-  auto Reports = PM.run(Prog);
-  std::printf("after %u rewrite(s):\n%s\n", Reports[0].AppliedCount,
-              ir::toString(Prog).c_str());
+  api::PipelineResult Run = Ctx.runPipeline(*Prog);
+  std::printf("after %u rewrite(s):\n%s\n", Run.Applied,
+              ir::toString(*Prog).c_str());
 
   // The program still computes the same thing.
-  ir::Interpreter Interp(Prog);
+  ir::Interpreter Interp(*Prog);
   ir::RunResult R = Interp.run(0);
   std::printf("main(0) = %s\n", R.str().c_str());
   return 0;

@@ -1,0 +1,204 @@
+//===- Cobalt.cpp ---------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Cobalt.h"
+
+#include "ir/Parser.h"
+#include "opts/StdlibCobalt.h"
+#include "support/ThreadPool.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace cobalt;
+using namespace cobalt::api;
+using support::ErrorKind;
+
+CobaltContext::CobaltContext(CobaltConfig Config)
+    : Config(std::move(Config)),
+      Pool(std::make_unique<support::ThreadPool>(this->Config.Jobs)) {
+  PM.setTxPolicy(this->Config.Tx);
+  PM.setThreadPool(Pool.get());
+}
+
+CobaltContext::~CobaltContext() = default;
+
+//===----------------------------------------------------------------------===//
+// Front end.
+//===----------------------------------------------------------------------===//
+
+support::Expected<std::string>
+CobaltContext::readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return support::Error(ErrorKind::EK_IoError,
+                          "cannot read '" + Path + "'");
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+support::Expected<CobaltModule>
+CobaltContext::parseModule(std::string_view Text) {
+  DiagnosticEngine Diags;
+  if (std::optional<CobaltModule> M = parseCobalt(Text, Diags))
+    return std::move(*M);
+  return support::Error(ErrorKind::EK_ParseError, Diags.str());
+}
+
+support::Expected<CobaltModule>
+CobaltContext::loadModuleFile(const std::string &Path) {
+  if (Path == "stdlib")
+    return parseModule(opts::StdlibCobaltSource);
+  support::Expected<std::string> Text = readFile(Path);
+  if (!Text)
+    return Text.error();
+  return parseModule(*Text);
+}
+
+support::Expected<ir::Program>
+CobaltContext::parseProgram(std::string_view Text) {
+  DiagnosticEngine Diags;
+  if (std::optional<ir::Program> P = ir::parseProgram(Text, Diags))
+    return std::move(*P);
+  return support::Error(ErrorKind::EK_ParseError, Diags.str());
+}
+
+support::Expected<ir::Program>
+CobaltContext::loadProgramFile(const std::string &Path) {
+  support::Expected<std::string> Text = readFile(Path);
+  if (!Text)
+    return Text.error();
+  return parseProgram(*Text);
+}
+
+//===----------------------------------------------------------------------===//
+// Registration.
+//===----------------------------------------------------------------------===//
+
+void CobaltContext::defineLabel(const LabelDef &Def) {
+  PM.defineLabel(Def);
+  CheckerDirty = true;
+}
+
+void CobaltContext::addAnalysis(PureAnalysis A) {
+  Analyses.push_back(A);
+  PM.addAnalysis(std::move(A));
+  CheckerDirty = true;
+}
+
+void CobaltContext::addOptimization(Optimization O) {
+  Optimizations.push_back(O);
+  PM.addOptimization(std::move(O));
+  CheckerDirty = true;
+}
+
+void CobaltContext::addModule(CobaltModule Module) {
+  for (const LabelDef &Def : Module.Labels)
+    defineLabel(Def);
+  for (PureAnalysis &A : Module.Analyses)
+    addAnalysis(std::move(A));
+  for (Optimization &O : Module.Optimizations)
+    addOptimization(std::move(O));
+}
+
+//===----------------------------------------------------------------------===//
+// Checking.
+//===----------------------------------------------------------------------===//
+
+void CobaltContext::ensureChecker() {
+  if (Checker && !CheckerDirty)
+    return;
+  if (Checker)
+    PriorCacheHits += Checker->cacheHits();
+  Checker = std::make_unique<checker::SoundnessChecker>(PM.registry(),
+                                                        Analyses);
+  Checker->setPolicy(Config.Prover);
+  Checker->setThreadPool(Pool.get());
+  if (!Config.CacheDir.empty())
+    Checker->setCacheDir(Config.CacheDir);
+  CheckerDirty = false;
+}
+
+checker::SoundnessChecker &CobaltContext::prover() {
+  ensureChecker();
+  return *Checker;
+}
+
+unsigned CobaltContext::cacheHits() const {
+  return PriorCacheHits + (Checker ? Checker->cacheHits() : 0);
+}
+
+checker::CheckReport CobaltContext::check(const Optimization &O) {
+  ensureChecker();
+  return Checker->checkOptimization(O);
+}
+
+checker::CheckReport CobaltContext::check(const PureAnalysis &A) {
+  ensureChecker();
+  return Checker->checkAnalysis(A);
+}
+
+SuiteResult CobaltContext::checkRegistered() {
+  ensureChecker();
+  SuiteResult S;
+  S.Reports = Checker->checkSuite(Analyses, Optimizations);
+  for (size_t I = 0; I < S.Reports.size(); ++I) {
+    const checker::CheckReport &R = S.Reports[I];
+    if (R.V == checker::CheckReport::Verdict::V_Unsound)
+      ++S.Unsound;
+    else if (R.V == checker::CheckReport::Verdict::V_Unproven)
+      ++S.Unproven;
+    if (I < Analyses.size()) {
+      if (R.Sound)
+        S.ProvenAnalyses.insert(Analyses[I].Name);
+      continue;
+    }
+    // The optimization's guarantee is conditional on its assumed
+    // analyses being proven themselves (§6).
+    bool AnalysesOk = true;
+    for (const std::string &Dep : R.AssumedAnalyses)
+      AnalysesOk = AnalysesOk && S.ProvenAnalyses.count(Dep) != 0;
+    const std::string &Name = Optimizations[I - Analyses.size()].Name;
+    if (R.Sound && AnalysesOk)
+      S.ProvenOptimizations.insert(Name);
+    else if (R.Sound)
+      S.Conditional.push_back(Name);
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+PipelineResult summarize(std::vector<engine::PassReport> Reports,
+                         bool Degraded) {
+  PipelineResult R;
+  R.Reports = std::move(Reports);
+  for (const engine::PassReport &Report : R.Reports)
+    R.Applied += Report.AppliedCount;
+  R.Degraded = Degraded;
+  return R;
+}
+
+} // namespace
+
+PipelineResult CobaltContext::runPipeline(ir::Program &Prog) {
+  // The run must happen before lastRunDegraded() is read; argument
+  // evaluation order would not guarantee that inline.
+  std::vector<engine::PassReport> Reports = PM.run(Prog);
+  return summarize(std::move(Reports), PM.lastRunDegraded());
+}
+
+PipelineResult
+CobaltContext::runPipeline(ir::Program &Prog,
+                           const std::vector<std::string> &PassNames) {
+  std::vector<engine::PassReport> Reports = PM.runSelected(PassNames, Prog);
+  return summarize(std::move(Reports), PM.lastRunDegraded());
+}

@@ -1,0 +1,199 @@
+//===- Cobalt.h - The unified CobaltContext facade --------------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one entry point tying the whole system together. Before this
+/// header, every embedder hand-wired the same five objects (registry,
+/// checker, pass manager, prover policy, fault plan) in slightly
+/// different ways; `CobaltContext` owns them all, plus the resources the
+/// parallel pipeline introduced (the thread pool, the persistent verdict
+/// cache), behind a small surface:
+///
+/// \code
+///   api::CobaltConfig Config;
+///   Config.Jobs = 4;                    // obligations + procedures fan out
+///   Config.CacheDir = ".cobalt-cache";  // verdicts persist across runs
+///   api::CobaltContext Ctx(Config);
+///
+///   auto Module = Ctx.loadModuleFile("opts.cob");   // Expected<CobaltModule>
+///   if (!Module)
+///     die(Module.error().str());
+///   Ctx.addModule(std::move(*Module));
+///
+///   api::SuiteResult Gate = Ctx.checkRegistered(); // prove everything
+///   auto Prog = Ctx.loadProgramFile("prog.il");
+///   api::PipelineResult Run = Ctx.runPipeline(
+///       *Prog, Gate.provenPassNames());            // apply the proven subset
+/// \endcode
+///
+/// Every fallible operation returns the unified `support::Expected` /
+/// `support::Error` carriers; results are bit-identical whatever
+/// `Config.Jobs` is (see DESIGN.md's concurrency model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_API_COBALT_H
+#define COBALT_API_COBALT_H
+
+#include "checker/Soundness.h"
+#include "core/CobaltParser.h"
+#include "engine/PassManager.h"
+#include "ir/Ast.h"
+#include "support/Expected.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cobalt {
+
+namespace support {
+class ThreadPool;
+}
+
+namespace api {
+
+/// Everything a context owns, fixed at construction.
+struct CobaltConfig {
+  checker::ProverPolicy Prover; ///< Obligation resource policy.
+  engine::TxPolicy Tx;          ///< Transactional pass policy.
+  /// Thread-pool width shared by the checker (obligations) and the pass
+  /// manager (procedures). 1 = sequential (no worker threads at all);
+  /// 0 = one worker per hardware thread. Results are bit-identical for
+  /// every value.
+  unsigned Jobs = 1;
+  /// When nonempty, proved verdicts persist here across processes
+  /// (see support::PersistentCache). Unusable directories degrade to the
+  /// in-memory cache, they are never an error.
+  std::string CacheDir;
+};
+
+/// Outcome of proving every registered definition.
+struct SuiteResult {
+  std::vector<checker::CheckReport> Reports; ///< Analyses, then opts.
+  unsigned Unsound = 0;  ///< Genuine counterexamples.
+  unsigned Unproven = 0; ///< Prover gave up (infra degradation).
+  std::set<std::string> ProvenAnalyses;
+  std::set<std::string> ProvenOptimizations;
+  /// Optimizations whose own obligations were proven but which assume an
+  /// analysis that was not — sound conditionally, treated as unproven.
+  std::vector<std::string> Conditional;
+
+  bool allSound() const { return Unsound == 0 && Unproven == 0; }
+
+  /// The proven pass names in one list (for runPipeline's subset form).
+  std::vector<std::string> provenPassNames() const {
+    std::vector<std::string> Names(ProvenAnalyses.begin(),
+                                   ProvenAnalyses.end());
+    Names.insert(Names.end(), ProvenOptimizations.begin(),
+                 ProvenOptimizations.end());
+    return Names;
+  }
+};
+
+/// Outcome of one pipeline run over a program.
+struct PipelineResult {
+  std::vector<engine::PassReport> Reports; ///< (pass, procedure) order.
+  unsigned Applied = 0; ///< Total rewrites across all reports.
+  bool Degraded = false; ///< Any failure / rollback / quarantine skip.
+};
+
+/// Owns the registry, prover, pass manager, thread pool, and verdict
+/// cache; the single facade the CLI, the examples, and embedders drive.
+/// Not thread-safe itself (one context per driving thread) — the
+/// parallelism lives *inside* check/runPipeline calls.
+class CobaltContext {
+public:
+  explicit CobaltContext(CobaltConfig Config = {});
+  ~CobaltContext();
+  CobaltContext(const CobaltContext &) = delete;
+  CobaltContext &operator=(const CobaltContext &) = delete;
+
+  const CobaltConfig &config() const { return Config; }
+
+  /// \name Front end — unified Expected carriers.
+  /// @{
+
+  /// Parses a .cob module buffer (EK_ParseError with the diagnostics on
+  /// failure).
+  support::Expected<CobaltModule> parseModule(std::string_view Text);
+  /// Reads and parses a module file; the special path "stdlib" loads the
+  /// bundled standard module (EK_IoError / EK_ParseError on failure).
+  support::Expected<CobaltModule> loadModuleFile(const std::string &Path);
+  /// Parses an IL program buffer.
+  support::Expected<ir::Program> parseProgram(std::string_view Text);
+  /// Reads and parses an IL program file.
+  support::Expected<ir::Program> loadProgramFile(const std::string &Path);
+  /// @}
+
+  /// \name Registration.
+  /// @{
+  void defineLabel(const LabelDef &Def);
+  void addAnalysis(PureAnalysis A);
+  void addOptimization(Optimization O);
+  /// Registers everything a parsed module defines (labels, analyses,
+  /// optimizations, in that order).
+  void addModule(CobaltModule Module);
+  /// @}
+
+  /// \name Checking. Obligations fan out over the context's thread pool;
+  /// verdicts hit the (persistent) cache when the definition, its
+  /// labels, and the visible analyses are unchanged.
+  /// @{
+  checker::CheckReport check(const Optimization &O);
+  checker::CheckReport check(const PureAnalysis &A);
+  /// Proves every registered definition (analyses first), fanning *all*
+  /// obligations out at once. Optimizations whose AssumedAnalyses are
+  /// not proven are excluded from ProvenOptimizations (and listed in
+  /// Conditional) — the §6 extensible-compiler gate.
+  SuiteResult checkRegistered();
+  /// @}
+
+  /// \name Pipeline.
+  /// @{
+  /// Runs every registered pass over \p Prog (procedures fan out over
+  /// the pool; reports and bodies merge deterministically).
+  PipelineResult runPipeline(ir::Program &Prog);
+  /// Runs only the passes named in \p PassNames, in registration order —
+  /// pair with SuiteResult::provenPassNames() to apply the proven subset.
+  PipelineResult runPipeline(ir::Program &Prog,
+                             const std::vector<std::string> &PassNames);
+  /// @}
+
+  /// \name Component access (for tests, benches, and incremental
+  /// migration from the pre-facade API).
+  /// @{
+  const LabelRegistry &registry() const { return PM.registry(); }
+  engine::PassManager &passes() { return PM; }
+  checker::SoundnessChecker &prover();
+  support::ThreadPool &pool() { return *Pool; }
+  /// Verdict-cache hits across the context's lifetime (memory + disk).
+  unsigned cacheHits() const;
+  /// @}
+
+private:
+  void ensureChecker();
+  support::Expected<std::string> readFile(const std::string &Path);
+
+  CobaltConfig Config;
+  std::unique_ptr<support::ThreadPool> Pool;
+  engine::PassManager PM;
+  /// Registered definitions, kept here because the checker fingerprints
+  /// every definition against the full analysis context.
+  std::vector<PureAnalysis> Analyses;
+  std::vector<Optimization> Optimizations;
+  /// Rebuilt (lazily) whenever registrations change; the disk cache
+  /// carries verdicts across rebuilds, the in-memory one does not.
+  std::unique_ptr<checker::SoundnessChecker> Checker;
+  bool CheckerDirty = true;
+  unsigned PriorCacheHits = 0;
+};
+
+} // namespace api
+} // namespace cobalt
+
+#endif // COBALT_API_COBALT_H

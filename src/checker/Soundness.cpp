@@ -10,10 +10,14 @@
 #include "checker/PatternEncoder.h"
 #include "ir/Printer.h"
 #include "support/FaultInjection.h"
+#include "support/ThreadPool.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <functional>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 using namespace cobalt;
 using namespace cobalt::checker;
@@ -50,9 +54,10 @@ std::string CheckReport::str() const {
       Out << "FAIL";
       break;
     case ObligationResult::Status::OS_Unknown:
-      Out << (R.Err == ErrorKind::EK_ProverTimeout ? "TIMEOUT"
-              : R.Err == ErrorKind::EK_ProverResourceOut ? "RESOURCE"
-                                                         : "UNKNOWN");
+      Out << (R.Err.Kind == ErrorKind::EK_ProverTimeout ? "TIMEOUT"
+              : R.Err.Kind == ErrorKind::EK_ProverResourceOut
+                  ? "RESOURCE"
+                  : "UNKNOWN");
       break;
     }
   }
@@ -68,7 +73,9 @@ std::string CheckReport::str() const {
 namespace {
 
 /// One obligation under construction: a fresh Z3 context + encoders +
-/// collected hypotheses.
+/// collected hypotheses. The fresh-context-per-obligation design is what
+/// makes obligations independently schedulable: builders share nothing,
+/// so each one can run on any thread of the pool.
 struct ObligationBuilder {
   z3::context C;
   Encoder Enc;
@@ -174,6 +181,14 @@ struct ObligationBuilder {
       }
       ++R.Attempts;
 
+      // Latency model for scheduler benches: a `checker.prover_stall_ms=V`
+      // payload makes each attempt cost V ms of wall clock before the
+      // solver runs, the way a remote or batch prover would.
+      if (long StallMs =
+              support::faultPayload(support::faults::CheckerProverStallMs);
+          StallMs > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(StallMs));
+
       // Fault-injection points: simulate a prover giving up without
       // spending real solver time. Checked per attempt so @N rules can
       // exercise the retry path deterministically.
@@ -209,8 +224,10 @@ struct ObligationBuilder {
       // machine-dispatchable kind and the prover's reason.
       R.St = ObligationResult::Status::OS_Unknown;
       R.Counterexample.clear();
-      R.UnknownReason = Reason.empty() ? "solver returned unknown" : Reason;
-      R.Err = classifyUnknown(R.UnknownReason);
+      std::string Why =
+          Reason.empty() ? "solver returned unknown" : Reason;
+      ErrorKind Kind = classifyUnknown(Why); // before Why is moved from
+      R.Err = support::Error(Kind, std::move(Why));
     }
     return R;
   }
@@ -296,8 +313,8 @@ ObligationResult budgetExhausted(const std::string &Name) {
   ObligationResult R;
   R.Name = Name;
   R.St = ObligationResult::Status::OS_Unknown;
-  R.Err = ErrorKind::EK_ProverTimeout;
-  R.UnknownReason = "total budget exhausted before this obligation";
+  R.Err = support::Error(ErrorKind::EK_ProverTimeout,
+                         "total budget exhausted before this obligation");
   return R;
 }
 
@@ -311,8 +328,8 @@ void finalizeVerdict(CheckReport &Report) {
       AnyFailed = true;
     else if (R.St == ObligationResult::Status::OS_Unknown &&
              Deg == ErrorKind::EK_None)
-      Deg = R.Err == ErrorKind::EK_None ? ErrorKind::EK_ProverUnknown
-                                        : R.Err;
+      Deg = R.Err.Kind == ErrorKind::EK_None ? ErrorKind::EK_ProverUnknown
+                                             : R.Err.Kind;
   }
   Report.Degradation = Deg;
   if (AnyFailed)
@@ -388,7 +405,172 @@ z3::expr makeStmtOfKind(Encoder &Enc, const std::string &Tag) {
   return Enc.SReturn(Enc.freshVar("kv"));
 }
 
+//===----------------------------------------------------------------------===//
+// Cached-verdict serialization helpers.
+//===----------------------------------------------------------------------===//
+
+std::string escapeLine(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '\n')
+      Out += "\\n";
+    else if (C == '\r')
+      Out += "\\r";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+std::string unescapeLine(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] != '\\' || I + 1 == S.size()) {
+      Out += S[I];
+      continue;
+    }
+    char N = S[++I];
+    Out += N == 'n' ? '\n' : N == 'r' ? '\r' : N;
+  }
+  return Out;
+}
+
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Cached-verdict serialization (the persistent cache's value format).
+//===----------------------------------------------------------------------===//
+
+std::string checker::serializeCheckReport(const CheckReport &R) {
+  std::ostringstream Out;
+  Out << "report 1\n";
+  Out << "name " << escapeLine(R.Name) << "\n";
+  Out << "verdict "
+      << (R.V == CheckReport::Verdict::V_Sound     ? "sound"
+          : R.V == CheckReport::Verdict::V_Unsound ? "unsound"
+                                                   : "unproven")
+      << "\n";
+  Out << "degradation " << support::errorKindName(R.Degradation) << "\n";
+  for (const std::string &A : R.AssumedAnalyses)
+    Out << "assumed " << escapeLine(A) << "\n";
+  for (const ObligationResult &Ob : R.Obligations) {
+    Out << "obligation " << escapeLine(Ob.Name) << "\n";
+    Out << " status "
+        << (Ob.St == ObligationResult::Status::OS_Proven   ? "proven"
+            : Ob.St == ObligationResult::Status::OS_Failed ? "failed"
+                                                           : "unknown")
+        << "\n";
+    Out << " errkind " << support::errorKindName(Ob.Err.Kind) << "\n";
+    if (!Ob.Err.Message.empty())
+      Out << " errmsg " << escapeLine(Ob.Err.Message) << "\n";
+    Out << " attempts " << Ob.Attempts << "\n";
+    if (!Ob.Counterexample.empty())
+      Out << " cex " << escapeLine(Ob.Counterexample) << "\n";
+  }
+  return Out.str();
+}
+
+std::optional<CheckReport>
+checker::deserializeCheckReport(const std::string &Text) {
+  std::istringstream In(Text);
+  std::string Line;
+  if (!std::getline(In, Line) || Line != "report 1")
+    return std::nullopt;
+
+  CheckReport R;
+  ObligationResult *Cur = nullptr;
+  bool SawName = false, SawVerdict = false;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    if (Line.front() == ' ')
+      Line.erase(Line.begin());
+    size_t Sp = Line.find(' ');
+    std::string Key = Line.substr(0, Sp);
+    std::string Val = Sp == std::string::npos ? "" : Line.substr(Sp + 1);
+
+    if (Key == "name") {
+      R.Name = unescapeLine(Val);
+      SawName = true;
+    } else if (Key == "verdict") {
+      if (Val == "sound")
+        R.V = CheckReport::Verdict::V_Sound;
+      else if (Val == "unsound")
+        R.V = CheckReport::Verdict::V_Unsound;
+      else if (Val == "unproven")
+        R.V = CheckReport::Verdict::V_Unproven;
+      else
+        return std::nullopt;
+      SawVerdict = true;
+    } else if (Key == "degradation") {
+      R.Degradation = support::errorKindFromName(Val);
+    } else if (Key == "assumed") {
+      R.AssumedAnalyses.push_back(unescapeLine(Val));
+    } else if (Key == "obligation") {
+      R.Obligations.emplace_back();
+      Cur = &R.Obligations.back();
+      Cur->Name = unescapeLine(Val);
+      Cur->St = ObligationResult::Status::OS_Unknown;
+    } else if (!Cur) {
+      return std::nullopt; // sub-field outside any obligation
+    } else if (Key == "status") {
+      if (Val == "proven")
+        Cur->St = ObligationResult::Status::OS_Proven;
+      else if (Val == "failed")
+        Cur->St = ObligationResult::Status::OS_Failed;
+      else if (Val == "unknown")
+        Cur->St = ObligationResult::Status::OS_Unknown;
+      else
+        return std::nullopt;
+    } else if (Key == "errkind") {
+      Cur->Err.Kind = support::errorKindFromName(Val);
+    } else if (Key == "errmsg") {
+      Cur->Err.Message = unescapeLine(Val);
+    } else if (Key == "attempts") {
+      Cur->Attempts =
+          static_cast<unsigned>(std::strtoul(Val.c_str(), nullptr, 10));
+    } else if (Key == "cex") {
+      Cur->Counterexample = unescapeLine(Val);
+    } else {
+      return std::nullopt; // unknown field: treat the entry as a miss
+    }
+  }
+  if (!SawName || !SawVerdict)
+    return std::nullopt;
+  R.Sound = R.V == CheckReport::Verdict::V_Sound;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// SoundnessChecker: prepared checks and their execution.
+//===----------------------------------------------------------------------===//
+
+/// One independent prover job: a named obligation whose Z3 query is built
+/// lazily (on whichever thread executes it) from a fresh ObligationBuilder.
+struct SoundnessChecker::ObligationTask {
+  std::string Name;
+  /// Stable job fingerprint (definition key ⊕ obligation name) used to
+  /// key fault-injection decisions; see ScopedFaultKey.
+  uint64_t FaultKey = 0;
+  std::function<z3::expr(ObligationBuilder &)> Build;
+  ObligationResult Result;
+};
+
+/// One definition's obligations plus its report skeleton. The closures in
+/// Tasks capture pointers into the caller's definition (which outlives
+/// the check call) and read the shared analysis table through ByLabel.
+struct SoundnessChecker::PreparedCheck {
+  uint64_t Key = 0;
+  bool CacheHit = false;
+  CheckReport Report;
+  std::shared_ptr<std::map<std::string, const PureAnalysis *>> ByLabel;
+  std::vector<ObligationTask> Tasks;
+  std::chrono::steady_clock::time_point Start;
+};
 
 SoundnessChecker::SoundnessChecker(const LabelRegistry &Registry,
                                    std::vector<PureAnalysis> Analyses)
@@ -422,58 +604,92 @@ uint64_t SoundnessChecker::fingerprintAnalysis(const PureAnalysis &A) const {
   return H;
 }
 
-const CheckReport *SoundnessChecker::cacheLookup(uint64_t Key) const {
-  auto It = Cache.find(Key);
-  return It == Cache.end() ? nullptr : &It->second;
+bool SoundnessChecker::setCacheDir(const std::string &Dir) {
+  // Version bumps orphan (rather than misread) old entries; bump it when
+  // serializeCheckReport's format or the fingerprint recipe changes.
+  return Disk.open(Dir, "verdict", /*Version=*/1);
+}
+
+void SoundnessChecker::clearCache() {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  Cache.clear();
+}
+
+bool SoundnessChecker::cacheLookup(uint64_t Key, CheckReport &Out) {
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = Cache.find(Key);
+    if (It != Cache.end()) {
+      Out = It->second;
+      ++CacheHits;
+      return true;
+    }
+  }
+  if (Disk.enabled()) {
+    if (std::optional<std::string> Blob = Disk.load(Key)) {
+      if (std::optional<CheckReport> R = deserializeCheckReport(*Blob)) {
+        std::lock_guard<std::mutex> Lock(CacheMutex);
+        Cache[Key] = *R;
+        ++CacheHits;
+        Out = std::move(*R);
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 void SoundnessChecker::cacheStore(uint64_t Key, const CheckReport &R) {
   // Only definitive verdicts are cacheable: an unproven verdict reflects
   // transient prover limits, and a rerun (possibly with a larger budget)
   // may well decide it.
-  if (R.V != CheckReport::Verdict::V_Unproven)
+  if (R.V == CheckReport::Verdict::V_Unproven)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
     Cache[Key] = R;
+  }
+  if (Disk.enabled())
+    Disk.store(Key, serializeCheckReport(R));
 }
 
 //===----------------------------------------------------------------------===//
 // Optimization obligations.
 //===----------------------------------------------------------------------===//
 
-CheckReport SoundnessChecker::checkOptimization(const Optimization &O) {
-  uint64_t Key = 0;
-  if (Policy.CacheVerdicts) {
-    Key = fingerprintOptimization(O);
-    if (const CheckReport *Hit = cacheLookup(Key)) {
-      CheckReport R = *Hit;
-      R.CacheHit = true;
-      R.TotalSeconds = 0.0;
-      return R;
-    }
+SoundnessChecker::PreparedCheck
+SoundnessChecker::prepareOptimization(const Optimization &O) {
+  PreparedCheck PC;
+  PC.Key = fingerprintOptimization(O);
+  PC.Report.Name = O.Name;
+  if (Policy.CacheVerdicts && cacheLookup(PC.Key, PC.Report)) {
+    PC.Report.CacheHit = true;
+    PC.Report.TotalSeconds = 0.0;
+    PC.CacheHit = true;
+    return PC;
   }
 
-  CheckReport Report;
-  Report.Name = O.Name;
-
-  std::map<std::string, const PureAnalysis *> ByLabel;
+  PC.ByLabel =
+      std::make_shared<std::map<std::string, const PureAnalysis *>>();
   for (const PureAnalysis &A : Analyses)
-    ByLabel[A.LabelName] = &A;
+    (*PC.ByLabel)[A.LabelName] = &A;
 
   // Record the analysis labels the guard mentions: the soundness
   // guarantee is conditional on those analyses (checked separately).
   {
-    std::vector<std::pair<std::string, MetaKind>> Ignore;
     auto Scan = [&](const FormulaPtr &F, auto &&ScanRef) -> void {
       if (!F)
         return;
       if (F->K == Formula::Kind::FK_Label &&
           Registry.isAnalysisLabel(F->LabelName)) {
-        auto It = ByLabel.find(F->LabelName);
-        std::string Dep = It != ByLabel.end() ? It->second->Name
-                                              : F->LabelName + " (unknown)";
-        if (std::find(Report.AssumedAnalyses.begin(),
-                      Report.AssumedAnalyses.end(),
-                      Dep) == Report.AssumedAnalyses.end())
-          Report.AssumedAnalyses.push_back(Dep);
+        auto It = PC.ByLabel->find(F->LabelName);
+        std::string Dep = It != PC.ByLabel->end()
+                              ? It->second->Name
+                              : F->LabelName + " (unknown)";
+        if (std::find(PC.Report.AssumedAnalyses.begin(),
+                      PC.Report.AssumedAnalyses.end(),
+                      Dep) == PC.Report.AssumedAnalyses.end())
+          PC.Report.AssumedAnalyses.push_back(Dep);
       }
       for (const FormulaPtr &Kid : F->Kids)
         ScanRef(Kid, ScanRef);
@@ -488,92 +704,71 @@ CheckReport SoundnessChecker::checkOptimization(const Optimization &O) {
     };
     Scan(O.Pat.G.Psi1, Scan);
     Scan(O.Pat.G.Psi2, Scan);
-    (void)Ignore;
   }
 
-  const TransformationPattern &Pat = O.Pat;
-  bool Forward = Pat.Dir == Direction::D_Forward;
-  bool Insertion = Pat.From.is<SkipStmt>() && !Pat.To.is<SkipStmt>();
+  // The task closures capture this pointer: the definition lives in the
+  // caller and must outlive runPrepared (checkOptimization/checkSuite
+  // take it by reference for exactly this duration).
+  const TransformationPattern *Pat = &O.Pat;
+  bool Forward = Pat->Dir == Direction::D_Forward;
+  bool Insertion = Pat->From.is<SkipStmt>() && !Pat->To.is<SkipStmt>();
 
-  // Total wall-clock budget across all obligations of this check.
-  auto CheckStart = std::chrono::steady_clock::now();
-  auto RemainingMs = [&]() -> int64_t {
-    if (Policy.BudgetMs == 0)
-      return -1; // unlimited
-    int64_t Elapsed =
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            std::chrono::steady_clock::now() - CheckStart)
-            .count();
-    return std::max<int64_t>(0, static_cast<int64_t>(Policy.BudgetMs) -
-                                    Elapsed);
+  auto AddTask = [&](const std::string &Name,
+                     std::function<z3::expr(ObligationBuilder &)> Build) {
+    ObligationTask T;
+    T.Name = Name;
+    T.FaultKey = PC.Key;
+    hashStr(T.FaultKey, Name);
+    T.Build = std::move(Build);
+    PC.Tasks.push_back(std::move(T));
   };
-
-  auto RunObligation =
-      [&](const std::string &Name,
-          const std::function<z3::expr(ObligationBuilder &)> &Build) {
-        int64_t Left = RemainingMs();
-        if (Left == 0) {
-          Report.Obligations.push_back(budgetExhausted(Name));
-          return;
-        }
-        ObligationBuilder B(Registry, ByLabel);
-        z3::expr Goal = Build(B);
-        Report.Obligations.push_back(B.check(Name, Goal, Policy, Left));
-        Report.TotalSeconds += Report.Obligations.back().Seconds;
-      };
 
   // Obligations quantifying over an arbitrary region statement run once
   // per statement kind (see makeStmtOfKind).
-  auto RunSplitObligation =
+  auto AddSplitTask =
       [&](const std::string &Name,
           const std::function<z3::expr(ObligationBuilder &,
                                        const z3::expr &)> &Build) {
         for (const char *Tag : StmtKindTags) {
-          int64_t Left = RemainingMs();
-          if (Left == 0) {
-            Report.Obligations.push_back(
-                budgetExhausted(Name + "[" + Tag + "]"));
-            continue;
-          }
-          ObligationBuilder B(Registry, ByLabel);
-          z3::expr St = makeStmtOfKind(B.Enc, Tag);
-          z3::expr Goal = Build(B, St);
-          Report.Obligations.push_back(
-              B.check(Name + "[" + Tag + "]", Goal, Policy, Left));
-          Report.TotalSeconds += Report.Obligations.back().Seconds;
+          std::string TagStr = Tag;
+          AddTask(Name + "[" + Tag + "]",
+                  [Build, TagStr](ObligationBuilder &B) {
+                    z3::expr St = makeStmtOfKind(B.Enc, TagStr);
+                    return Build(B, St);
+                  });
         }
       };
 
   if (Forward) {
     // F1: the enabling statement establishes the witness.
-    RunSplitObligation("F1", [&](ObligationBuilder &B, const z3::expr &St) {
+    AddSplitTask("F1", [Pat](ObligationBuilder &B, const z3::expr &St) {
       ZState Eta = B.Enc.freshState("eta");
       B.wfHyp(Eta);
-      B.hyp(B.PE.formula(*Pat.G.Psi1, St, Eta, B.Env, B.Hyps));
+      B.hyp(B.PE.formula(*Pat->G.Psi1, St, Eta, B.Env, B.Hyps));
       ZState Post = B.stepHyp(Eta, St, "p1");
       B.wfHyp(Post);
-      return B.PE.witness(*Pat.W, &Post, nullptr, nullptr, B.Env);
+      return B.PE.witness(*Pat->W, &Post, nullptr, nullptr, B.Env);
     });
 
     // F2: innocuous statements preserve the witness.
-    RunSplitObligation("F2", [&](ObligationBuilder &B, const z3::expr &St) {
+    AddSplitTask("F2", [Pat](ObligationBuilder &B, const z3::expr &St) {
       ZState Eta = B.Enc.freshState("eta");
       B.wfHyp(Eta);
-      B.hyp(B.PE.witness(*Pat.W, &Eta, nullptr, nullptr, B.Env));
-      B.hyp(B.PE.formula(*Pat.G.Psi2, St, Eta, B.Env, B.Hyps));
+      B.hyp(B.PE.witness(*Pat->W, &Eta, nullptr, nullptr, B.Env));
+      B.hyp(B.PE.formula(*Pat->G.Psi2, St, Eta, B.Env, B.Hyps));
       ZState Post = B.stepHyp(Eta, St, "p2");
       B.wfHyp(Post);
-      return B.PE.witness(*Pat.W, &Post, nullptr, nullptr, B.Env);
+      return B.PE.witness(*Pat->W, &Post, nullptr, nullptr, B.Env);
     });
 
     // F3: under the witness, s' steps exactly like s (and cannot be
     // stuck when s is not — the footnote-6 progress side).
-    RunObligation("F3", [&](ObligationBuilder &B) {
+    AddTask("F3", [Pat](ObligationBuilder &B) {
       ZState Eta = B.Enc.freshState("eta");
-      z3::expr StS = B.Enc.buildStmt(Pat.From, B.Env);
-      z3::expr StT = B.Enc.buildStmt(Pat.To, B.Env);
+      z3::expr StS = B.Enc.buildStmt(Pat->From, B.Env);
+      z3::expr StT = B.Enc.buildStmt(Pat->To, B.Env);
       B.wfHyp(Eta);
-      B.hyp(B.PE.witness(*Pat.W, &Eta, nullptr, nullptr, B.Env));
+      B.hyp(B.PE.witness(*Pat->W, &Eta, nullptr, nullptr, B.Env));
       ZState Post = B.stepHyp(Eta, StS, "ps");
       ZStep StepT = B.Enc.encodeStep(Eta, StT, "pt");
       B.hypAll(StepT.Constraints);
@@ -581,41 +776,42 @@ CheckReport SoundnessChecker::checkOptimization(const Optimization &O) {
     });
   } else {
     // B1: executing s and s' from a common state establishes the witness.
-    RunObligation("B1", [&](ObligationBuilder &B) {
+    AddTask("B1", [Pat](ObligationBuilder &B) {
       ZState Eta = B.Enc.freshState("eta");
-      z3::expr StS = B.Enc.buildStmt(Pat.From, B.Env);
-      z3::expr StT = B.Enc.buildStmt(Pat.To, B.Env);
+      z3::expr StS = B.Enc.buildStmt(Pat->From, B.Env);
+      z3::expr StT = B.Enc.buildStmt(Pat->To, B.Env);
       B.wfHyp(Eta);
       ZState Old = B.stepHyp(Eta, StS, "old");
       ZState New = B.stepHyp(Eta, StT, "new");
-      return B.PE.witness(*Pat.W, nullptr, &Old, &New, B.Env);
+      return B.PE.witness(*Pat->W, nullptr, &Old, &New, B.Env);
     });
 
     // B2: innocuous statements preserve the witness, and the transformed
     // trace can always step along (progress of the simulation).
-    RunSplitObligation("B2", [&](ObligationBuilder &B, const z3::expr &St) {
+    AddSplitTask("B2", [Pat](ObligationBuilder &B, const z3::expr &St) {
       ZState Old = B.Enc.freshState("old");
       ZState New = B.Enc.freshState("new");
       B.wfHyp(Old);
       B.wfHyp(New);
-      B.hyp(B.PE.witness(*Pat.W, nullptr, &Old, &New, B.Env));
-      B.hyp(B.PE.formula(*Pat.G.Psi2, St, Old, B.Env, B.Hyps));
+      B.hyp(B.PE.witness(*Pat->W, nullptr, &Old, &New, B.Env));
+      B.hyp(B.PE.formula(*Pat->G.Psi2, St, Old, B.Env, B.Hyps));
       ZState OldPost = B.stepHyp(Old, St, "oldp");
       B.wfHyp(OldPost);
       ZStep NewStep = B.Enc.encodeStep(New, St, "newp");
       B.hypAll(NewStep.Constraints);
       return NewStep.Defined &&
-             B.PE.witness(*Pat.W, nullptr, &OldPost, &NewStep.Post, B.Env);
+             B.PE.witness(*Pat->W, nullptr, &OldPost, &NewStep.Post,
+                          B.Env);
     });
 
     // B3: the enabling statement re-unifies the traces.
-    RunSplitObligation("B3", [&](ObligationBuilder &B, const z3::expr &St) {
+    AddSplitTask("B3", [Pat](ObligationBuilder &B, const z3::expr &St) {
       ZState Old = B.Enc.freshState("old");
       ZState New = B.Enc.freshState("new");
       B.wfHyp(Old);
       B.wfHyp(New);
-      B.hyp(B.PE.witness(*Pat.W, nullptr, &Old, &New, B.Env));
-      B.hyp(B.PE.formula(*Pat.G.Psi1, St, Old, B.Env, B.Hyps));
+      B.hyp(B.PE.witness(*Pat->W, nullptr, &Old, &New, B.Env));
+      B.hyp(B.PE.formula(*Pat->G.Psi1, St, Old, B.Env, B.Hyps));
       ZState OldPost = B.stepHyp(Old, St, "oldp");
       ZStep NewStep = B.Enc.encodeStep(New, St, "newp");
       B.hypAll(NewStep.Constraints);
@@ -624,10 +820,10 @@ CheckReport SoundnessChecker::checkOptimization(const Optimization &O) {
 
     if (!Insertion) {
       // B4: s' cannot get stuck when s steps.
-      RunObligation("B4", [&](ObligationBuilder &B) {
+      AddTask("B4", [Pat](ObligationBuilder &B) {
         ZState Eta = B.Enc.freshState("eta");
-        z3::expr StS = B.Enc.buildStmt(Pat.From, B.Env);
-        z3::expr StT = B.Enc.buildStmt(Pat.To, B.Env);
+        z3::expr StS = B.Enc.buildStmt(Pat->From, B.Env);
+        z3::expr StT = B.Enc.buildStmt(Pat->To, B.Env);
         B.wfHyp(Eta);
         B.hyp(stepDefinedOnly(B.Enc, Eta, StS, "ps"));
         return stepDefinedOnly(B.Enc, Eta, StT, "pt");
@@ -637,23 +833,21 @@ CheckReport SoundnessChecker::checkOptimization(const Optimization &O) {
       // the hand-proven meta-theorem walks the complete original trace:
       // on a returning run the enabler executes, so (I2) s' can step
       // there, and (I1) pushes that fact backwards through the region.
-      RunSplitObligation("I1", [&](ObligationBuilder &B,
-                                   const z3::expr &St) {
+      AddSplitTask("I1", [Pat](ObligationBuilder &B, const z3::expr &St) {
         ZState Eta = B.Enc.freshState("eta");
-        z3::expr StT = B.Enc.buildStmt(Pat.To, B.Env);
+        z3::expr StT = B.Enc.buildStmt(Pat->To, B.Env);
         B.wfHyp(Eta);
-        B.hyp(B.PE.formula(*Pat.G.Psi2, St, Eta, B.Env, B.Hyps));
+        B.hyp(B.PE.formula(*Pat->G.Psi2, St, Eta, B.Env, B.Hyps));
         ZState Post = B.stepHyp(Eta, St, "p");
         B.wfHyp(Post);
         B.hyp(stepDefinedOnly(B.Enc, Post, StT, "pa"));
         return stepDefinedOnly(B.Enc, Eta, StT, "pb");
       });
-      RunSplitObligation("I2", [&](ObligationBuilder &B,
-                                   const z3::expr &St) {
+      AddSplitTask("I2", [Pat](ObligationBuilder &B, const z3::expr &St) {
         ZState Eta = B.Enc.freshState("eta");
-        z3::expr StT = B.Enc.buildStmt(Pat.To, B.Env);
+        z3::expr StT = B.Enc.buildStmt(Pat->To, B.Env);
         B.wfHyp(Eta);
-        B.hyp(B.PE.formula(*Pat.G.Psi1, St, Eta, B.Env, B.Hyps));
+        B.hyp(B.PE.formula(*Pat->G.Psi1, St, Eta, B.Env, B.Hyps));
         B.hyp(stepDefinedOnly(B.Enc, Eta, St, "p"));
         return stepDefinedOnly(B.Enc, Eta, StT, "pt");
       });
@@ -663,14 +857,14 @@ CheckReport SoundnessChecker::checkOptimization(const Optimization &O) {
     // traces agreeing on the return value and on every location the
     // caller could observe (cells differing between the traces must be
     // unreachable). Catches escaped-local bugs.
-    RunObligation("B5", [&](ObligationBuilder &B) {
+    AddTask("B5", [Pat](ObligationBuilder &B) {
       ZState Old = B.Enc.freshState("old");
       ZState New = B.Enc.freshState("new");
       z3::expr St = B.Enc.SReturn(B.Enc.freshVar("rv"));
       B.wfHyp(Old);
       B.wfHyp(New);
-      B.hyp(B.PE.witness(*Pat.W, nullptr, &Old, &New, B.Env));
-      B.hyp(B.PE.formula(*Pat.G.Psi1, St, Old, B.Env, B.Hyps));
+      B.hyp(B.PE.witness(*Pat->W, nullptr, &Old, &New, B.Env));
+      B.hyp(B.PE.formula(*Pat->G.Psi1, St, Old, B.Env, B.Hyps));
 
       z3::expr RetVar = B.Enc.SReturnVar(St);
       z3::expr OldDef = z3::select(Old.Scope, RetVar);
@@ -692,89 +886,165 @@ CheckReport SoundnessChecker::checkOptimization(const Optimization &O) {
     });
   }
 
-  finalizeVerdict(Report);
-  if (Policy.CacheVerdicts)
-    cacheStore(Key, Report);
-  return Report;
+  return PC;
+}
+
+CheckReport SoundnessChecker::checkOptimization(const Optimization &O) {
+  std::vector<PreparedCheck> Checks;
+  Checks.push_back(prepareOptimization(O));
+  return std::move(runPrepared(std::move(Checks)).front());
 }
 
 //===----------------------------------------------------------------------===//
 // Pure-analysis obligations.
 //===----------------------------------------------------------------------===//
 
-CheckReport SoundnessChecker::checkAnalysis(const PureAnalysis &A) {
-  uint64_t Key = 0;
-  if (Policy.CacheVerdicts) {
-    Key = fingerprintAnalysis(A);
-    if (const CheckReport *Hit = cacheLookup(Key)) {
-      CheckReport R = *Hit;
-      R.CacheHit = true;
-      R.TotalSeconds = 0.0;
-      return R;
-    }
+SoundnessChecker::PreparedCheck
+SoundnessChecker::prepareAnalysis(const PureAnalysis &A) {
+  PreparedCheck PC;
+  PC.Key = fingerprintAnalysis(A);
+  PC.Report.Name = A.Name;
+  if (Policy.CacheVerdicts && cacheLookup(PC.Key, PC.Report)) {
+    PC.Report.CacheHit = true;
+    PC.Report.TotalSeconds = 0.0;
+    PC.CacheHit = true;
+    return PC;
   }
 
-  CheckReport Report;
-  Report.Name = A.Name;
-
-  std::map<std::string, const PureAnalysis *> ByLabel;
+  PC.ByLabel =
+      std::make_shared<std::map<std::string, const PureAnalysis *>>();
   for (const PureAnalysis &Other : Analyses)
     if (Other.Name != A.Name)
-      ByLabel[Other.LabelName] = &Other;
+      (*PC.ByLabel)[Other.LabelName] = &Other;
 
-  auto CheckStart = std::chrono::steady_clock::now();
-  auto RemainingMs = [&]() -> int64_t {
-    if (Policy.BudgetMs == 0)
-      return -1; // unlimited
-    int64_t Elapsed =
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            std::chrono::steady_clock::now() - CheckStart)
-            .count();
-    return std::max<int64_t>(0, static_cast<int64_t>(Policy.BudgetMs) -
-                                    Elapsed);
-  };
+  const PureAnalysis *AP = &A;
 
-  auto RunSplitObligation =
+  auto AddSplitTask =
       [&](const std::string &Name,
           const std::function<z3::expr(ObligationBuilder &,
                                        const z3::expr &)> &Build) {
         for (const char *Tag : StmtKindTags) {
-          int64_t Left = RemainingMs();
-          if (Left == 0) {
-            Report.Obligations.push_back(
-                budgetExhausted(Name + "[" + Tag + "]"));
-            continue;
-          }
-          ObligationBuilder B(Registry, ByLabel);
-          z3::expr St = makeStmtOfKind(B.Enc, Tag);
-          z3::expr Goal = Build(B, St);
-          Report.Obligations.push_back(
-              B.check(Name + "[" + Tag + "]", Goal, Policy, Left));
-          Report.TotalSeconds += Report.Obligations.back().Seconds;
+          std::string TagStr = Tag;
+          ObligationTask T;
+          T.Name = Name + "[" + Tag + "]";
+          T.FaultKey = PC.Key;
+          hashStr(T.FaultKey, T.Name);
+          T.Build = [Build, TagStr](ObligationBuilder &B) {
+            z3::expr St = makeStmtOfKind(B.Enc, TagStr);
+            return Build(B, St);
+          };
+          PC.Tasks.push_back(std::move(T));
         }
       };
 
-  RunSplitObligation("F1", [&](ObligationBuilder &B, const z3::expr &St) {
+  AddSplitTask("F1", [AP](ObligationBuilder &B, const z3::expr &St) {
     ZState Eta = B.Enc.freshState("eta");
     B.wfHyp(Eta);
-    B.hyp(B.PE.formula(*A.G.Psi1, St, Eta, B.Env, B.Hyps));
+    B.hyp(B.PE.formula(*AP->G.Psi1, St, Eta, B.Env, B.Hyps));
     ZState Post = B.stepHyp(Eta, St, "p1");
     B.wfHyp(Post);
-    return B.PE.witness(*A.W, &Post, nullptr, nullptr, B.Env);
+    return B.PE.witness(*AP->W, &Post, nullptr, nullptr, B.Env);
   });
 
-  RunSplitObligation("F2", [&](ObligationBuilder &B, const z3::expr &St) {
+  AddSplitTask("F2", [AP](ObligationBuilder &B, const z3::expr &St) {
     ZState Eta = B.Enc.freshState("eta");
     B.wfHyp(Eta);
-    B.hyp(B.PE.witness(*A.W, &Eta, nullptr, nullptr, B.Env));
-    B.hyp(B.PE.formula(*A.G.Psi2, St, Eta, B.Env, B.Hyps));
+    B.hyp(B.PE.witness(*AP->W, &Eta, nullptr, nullptr, B.Env));
+    B.hyp(B.PE.formula(*AP->G.Psi2, St, Eta, B.Env, B.Hyps));
     ZState Post = B.stepHyp(Eta, St, "p2");
     B.wfHyp(Post);
-    return B.PE.witness(*A.W, &Post, nullptr, nullptr, B.Env);
+    return B.PE.witness(*AP->W, &Post, nullptr, nullptr, B.Env);
   });
 
-  finalizeVerdict(Report);
-  if (Policy.CacheVerdicts)
-    cacheStore(Key, Report);
-  return Report;
+  return PC;
+}
+
+CheckReport SoundnessChecker::checkAnalysis(const PureAnalysis &A) {
+  std::vector<PreparedCheck> Checks;
+  Checks.push_back(prepareAnalysis(A));
+  return std::move(runPrepared(std::move(Checks)).front());
+}
+
+//===----------------------------------------------------------------------===//
+// Execution: sequential or fanned into the thread pool.
+//===----------------------------------------------------------------------===//
+
+std::vector<CheckReport>
+SoundnessChecker::runPrepared(std::vector<PreparedCheck> Checks) {
+  // Flatten every definition's tasks into one job list so one slow
+  // obligation does not serialize the definitions behind it.
+  std::vector<std::pair<size_t, size_t>> Flat;
+  auto Now = std::chrono::steady_clock::now();
+  for (size_t CI = 0; CI < Checks.size(); ++CI) {
+    Checks[CI].Start = Now;
+    if (Checks[CI].CacheHit)
+      continue;
+    for (size_t TI = 0; TI < Checks[CI].Tasks.size(); ++TI)
+      Flat.emplace_back(CI, TI);
+  }
+
+  auto RunTask = [&](size_t Idx) {
+    auto [CI, TI] = Flat[Idx];
+    PreparedCheck &PC = Checks[CI];
+    ObligationTask &T = PC.Tasks[TI];
+    // Fault decisions inside this job are keyed on its stable
+    // fingerprint, so `--jobs 8` fires exactly the faults `--jobs 1`
+    // does regardless of scheduling.
+    support::ScopedFaultKey JobKey(T.FaultKey);
+    int64_t Left = -1;
+    if (Policy.BudgetMs != 0) {
+      int64_t Elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - PC.Start)
+              .count();
+      Left = std::max<int64_t>(
+          0, static_cast<int64_t>(Policy.BudgetMs) - Elapsed);
+      if (Left == 0) {
+        T.Result = budgetExhausted(T.Name);
+        return;
+      }
+    }
+    ObligationBuilder B(Registry, *PC.ByLabel);
+    z3::expr Goal = T.Build(B);
+    T.Result = B.check(T.Name, Goal, Policy, Left);
+  };
+
+  // Inline-mode pools and the no-pool case both run the flat list in
+  // index order on this thread — exactly the pre-parallel sequential
+  // checker.
+  if (Pool && !Pool->inlineMode())
+    Pool->parallelFor(Flat.size(), RunTask);
+  else
+    for (size_t I = 0; I < Flat.size(); ++I)
+      RunTask(I);
+
+  // Reassemble reports in input order: collection order never depends on
+  // which thread finished first.
+  std::vector<CheckReport> Out;
+  Out.reserve(Checks.size());
+  for (PreparedCheck &PC : Checks) {
+    if (!PC.CacheHit) {
+      for (ObligationTask &T : PC.Tasks) {
+        PC.Report.TotalSeconds += T.Result.Seconds;
+        PC.Report.Obligations.push_back(std::move(T.Result));
+      }
+      finalizeVerdict(PC.Report);
+      if (Policy.CacheVerdicts)
+        cacheStore(PC.Key, PC.Report);
+    }
+    Out.push_back(std::move(PC.Report));
+  }
+  return Out;
+}
+
+std::vector<CheckReport> SoundnessChecker::checkSuite(
+    const std::vector<PureAnalysis> &SuiteAnalyses,
+    const std::vector<Optimization> &SuiteOptimizations) {
+  std::vector<PreparedCheck> Checks;
+  Checks.reserve(SuiteAnalyses.size() + SuiteOptimizations.size());
+  for (const PureAnalysis &A : SuiteAnalyses)
+    Checks.push_back(prepareAnalysis(A));
+  for (const Optimization &O : SuiteOptimizations)
+    Checks.push_back(prepareOptimization(O));
+  return runPrepared(std::move(Checks));
 }

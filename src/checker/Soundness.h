@@ -45,13 +45,22 @@
 #include "core/Formula.h"
 #include "core/Optimization.h"
 #include "support/Errors.h"
+#include "support/Expected.h"
+#include "support/PersistentCache.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace cobalt {
+
+namespace support {
+class ThreadPool;
+}
+
 namespace checker {
 
 /// Outcome of one obligation. Three-valued: *proven* (unsat), *failed*
@@ -59,23 +68,30 @@ namespace checker {
 /// unsound), or *unknown* (the prover gave up; the definition is merely
 /// unproven). Failed and unknown are distinct outcomes with distinct
 /// payloads: only a failed obligation carries a counterexample, and only
-/// an unknown one carries a degradation kind callers can dispatch on.
+/// an unknown one carries an error callers can dispatch on.
 struct ObligationResult {
   enum class Status { OS_Proven, OS_Failed, OS_Unknown };
   std::string Name; ///< "F1", "B3", ...
   Status St;
-  /// Why the prover gave up; set exactly when St == OS_Unknown
-  /// (EK_ProverTimeout / EK_ProverUnknown / EK_ProverResourceOut).
-  support::ErrorKind Err = support::ErrorKind::EK_None;
+  /// Why the prover gave up; failed() exactly when St == OS_Unknown.
+  /// Kind is EK_ProverTimeout / EK_ProverUnknown / EK_ProverResourceOut;
+  /// Message is the solver's reason_unknown. (The unified support::Error
+  /// carrier — PassReport and the parsers use the same shape.)
+  support::Error Err;
   double Seconds = 0.0;
   unsigned Attempts = 0; ///< Solver attempts made (retry escalation).
   /// Model summary; nonempty only when St == OS_Failed.
   std::string Counterexample;
-  /// The solver's reason for giving up; set only when St == OS_Unknown.
-  std::string UnknownReason;
 
   bool proven() const { return St == Status::OS_Proven; }
   bool unknown() const { return St == Status::OS_Unknown; }
+
+  /// Pre-unification spelling of Err.Message (the old UnknownReason
+  /// field). Thin shim for out-of-tree callers; new code reads Err.
+  [[deprecated("use Err.Message")]] const std::string &
+  unknownReason() const {
+    return Err.Message;
+  }
 };
 
 /// Outcome of checking one optimization or analysis.
@@ -127,12 +143,26 @@ struct ProverPolicy {
 };
 
 /// Checks optimizations and pure analyses against the IL semantics.
-/// Construct once and reuse (each obligation runs in a fresh Z3 context).
+/// Construct once and reuse (each obligation runs in a fresh Z3 context,
+/// which is also what makes obligations independently schedulable).
+///
+/// ## Caching
 /// Holds a verdict cache keyed by a structural fingerprint of the
 /// definition plus the label registry: re-checking an unchanged
 /// optimization is free. Only definitive verdicts (sound/unsound) are
 /// cached — an unproven verdict reflects transient resource limits and
-/// is always recomputed.
+/// is always recomputed. With setCacheDir() the cache additionally
+/// persists across processes (write-then-rename entries; see
+/// support::PersistentCache), so repeated `cobaltc check` runs are
+/// near-instant.
+///
+/// ## Parallelism
+/// checkSuite() fans the obligations of *all* definitions into a
+/// ThreadPool as independent jobs and reassembles reports in input
+/// order. Reports are bit-identical to a sequential run: obligations are
+/// deterministic Z3 queries, collection order is by (definition,
+/// obligation) index, and fault-injection decisions are keyed on stable
+/// obligation fingerprints rather than arrival order.
 class SoundnessChecker {
 public:
   /// \p Registry supplies user label definitions; \p Analyses supplies
@@ -147,22 +177,64 @@ public:
   void setPolicy(const ProverPolicy &P) { Policy = P; }
   const ProverPolicy &policy() const { return Policy; }
 
-  void clearCache() { Cache.clear(); }
+  /// Obligations run on \p Pool (nullptr = sequential on the calling
+  /// thread). Non-owning; the pool must outlive the checker's checks.
+  void setThreadPool(support::ThreadPool *Pool) { this->Pool = Pool; }
+
+  /// Enables the persistent on-disk verdict cache under \p Dir (created
+  /// if absent). Returns false and stays memory-only when the directory
+  /// is unusable. Entries are invalidated structurally: any edit to a
+  /// rule, its labels, or the analyses it can see changes the
+  /// fingerprint, so stale verdicts are unreachable rather than deleted.
+  bool setCacheDir(const std::string &Dir);
+
+  /// Drops the in-memory verdict cache (the on-disk cache, if any, is
+  /// left intact — it is invalidated by fingerprint, not by lifetime).
+  void clearCache();
 
   CheckReport checkOptimization(const Optimization &O);
   CheckReport checkAnalysis(const PureAnalysis &A);
 
+  /// Checks every definition, fanning all obligations of all definitions
+  /// into the thread pool at once (maximal overlap: one slow obligation
+  /// does not serialize the definitions behind it). Returns reports in
+  /// input order, analyses first — byte-identical to calling
+  /// checkAnalysis/checkOptimization in that order sequentially.
+  std::vector<CheckReport>
+  checkSuite(const std::vector<PureAnalysis> &SuiteAnalyses,
+             const std::vector<Optimization> &SuiteOptimizations);
+
+  /// Cache observability (in-memory + persistent combined lookups).
+  unsigned cacheHits() const { return CacheHits; }
+  const support::PersistentCache &diskCache() const { return Disk; }
+
 private:
+  struct ObligationTask; ///< One independent prover job (internal).
+  struct PreparedCheck;  ///< One definition's tasks + report skeleton.
+
   uint64_t fingerprintOptimization(const Optimization &O) const;
   uint64_t fingerprintAnalysis(const PureAnalysis &A) const;
-  const CheckReport *cacheLookup(uint64_t Key) const;
+  bool cacheLookup(uint64_t Key, CheckReport &Out);
   void cacheStore(uint64_t Key, const CheckReport &R);
+
+  PreparedCheck prepareOptimization(const Optimization &O);
+  PreparedCheck prepareAnalysis(const PureAnalysis &A);
+  std::vector<CheckReport> runPrepared(std::vector<PreparedCheck> Checks);
 
   const LabelRegistry &Registry;
   std::vector<PureAnalysis> Analyses;
   ProverPolicy Policy;
+  support::ThreadPool *Pool = nullptr;
+  std::mutex CacheMutex; ///< Guards Cache + CacheHits.
   std::map<uint64_t, CheckReport> Cache;
+  support::PersistentCache Disk;
+  unsigned CacheHits = 0;
 };
+
+/// Serialization of cached verdicts (exposed for the cache tests; the
+/// format is versioned via PersistentCache entry names).
+std::string serializeCheckReport(const CheckReport &R);
+std::optional<CheckReport> deserializeCheckReport(const std::string &Text);
 
 } // namespace checker
 } // namespace cobalt

@@ -7,6 +7,8 @@
 #include "engine/PassManager.h"
 
 #include "ir/Interp.h"
+#include "support/FaultInjection.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -167,6 +169,17 @@ std::optional<std::string> postPassSanityCheck(Program &Prog, Procedure &P,
   return Failure;
 }
 
+/// FNV-1a of the procedure name: the stable per-procedure job
+/// fingerprint keying fault-injection decisions (see ScopedFaultKey).
+uint64_t hashProcName(const std::string &Name) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : Name) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -175,12 +188,48 @@ std::optional<std::string> postPassSanityCheck(Program &Prog, Procedure &P,
 
 std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
                                                Program &Prog) {
-  std::vector<PassReport> Reports;
   LastLabelings.clear();
   LastRunDegraded = false;
 
-  for (Procedure &P : Prog.Procs) {
-    Labeling &Labels = LastLabelings[P.Name];
+  // Run-start quarantine snapshot: every (procedure, pass) job reads the
+  // same state regardless of scheduling. Failures recorded during this
+  // run take effect on the *next* run — mid-run quarantine coupling
+  // across procedures was inherently schedule-dependent, so it is gone
+  // in both the sequential and the parallel mode.
+  const std::map<std::string, unsigned> StartFailures = ConsecutiveFailures;
+  auto StartFailureCount = [&](const std::string &Name) -> unsigned {
+    auto It = StartFailures.find(Name);
+    return It == StartFailures.end() ? 0 : It->second;
+  };
+  auto StartQuarantined = [&](const std::string &Name) {
+    return Tx.QuarantineAfter != 0 &&
+           StartFailureCount(Name) >= Tx.QuarantineAfter;
+  };
+
+  /// One procedure's pipeline run, isolated on a private copy of the
+  /// run-start program (so the interpreter spot-check never observes
+  /// another job's half-applied rewrites) and merged back in procedure
+  /// order below.
+  struct ProcJob {
+    Program Snapshot;
+    Labeling Labels;
+    std::vector<PassReport> Reports;
+    /// (pass name, failed) in pipeline order; replayed into the shared
+    /// failure counters during the deterministic merge.
+    std::vector<std::pair<std::string, bool>> Events;
+    bool Degraded = false;
+  };
+  std::vector<ProcJob> Jobs(Prog.Procs.size());
+
+  auto RunProc = [&](size_t PI) {
+    ProcJob &Job = Jobs[PI];
+    Job.Snapshot = Prog;
+    Procedure &P = Job.Snapshot.Procs[PI];
+    // Fault decisions inside this job are keyed on the procedure name,
+    // so `--jobs 8` fires exactly the faults `--jobs 1` does.
+    support::ScopedFaultKey JobKey(hashProcName(P.Name));
+    std::vector<PassReport> &Reports = Job.Reports;
+    Labeling &Labels = Job.Labels;
     Labels.assign(P.size(), {});
     bool LabelsValid = true;
 
@@ -197,7 +246,7 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
         if (!Prev.IsAnalysis)
           continue;
         const PureAnalysis &PA = Analyses[Prev.Index];
-        if (isQuarantined(PA.Name))
+        if (StartQuarantined(PA.Name))
           continue;
         try {
           runPureAnalysis(PA, P, Registry, Labels);
@@ -215,13 +264,14 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
       if (Ps.IsAnalysis) {
         const PureAnalysis &A = Analyses[Ps.Index];
         Report.PassName = A.Name;
-        if (isQuarantined(A.Name)) {
+        if (StartQuarantined(A.Name)) {
           Report.Quarantined = true;
-          Report.Error = ErrorKind::EK_Quarantined;
-          Report.ErrorDetail = "skipped: quarantined after " +
-                               std::to_string(failureCount(A.Name)) +
-                               " consecutive failures";
-          LastRunDegraded = true;
+          Report.Err = support::Error(
+              ErrorKind::EK_Quarantined,
+              "skipped: quarantined after " +
+                  std::to_string(StartFailureCount(A.Name)) +
+                  " consecutive failures");
+          Job.Degraded = true;
           Reports.push_back(std::move(Report));
           continue;
         }
@@ -237,17 +287,16 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
             Labels = std::move(LabelsSnapshot);
             Report.RolledBack = true;
           }
-          Report.Error = Kind;
-          Report.ErrorDetail = Detail;
-          recordFailure(A.Name);
-          LastRunDegraded = true;
+          Report.Err = support::Error(Kind, Detail);
+          Job.Events.emplace_back(A.Name, /*Failed=*/true);
+          Job.Degraded = true;
         };
         try {
           RunStats Stats;
           runPureAnalysis(A, P, Registry, Labels, &Stats);
           Report.DeltaSize = Stats.DeltaSize;
           Report.FixpointIters = Stats.FixpointIters;
-          recordSuccess(A.Name);
+          Job.Events.emplace_back(A.Name, /*Failed=*/false);
         } catch (const support::PassError &E) {
           HandleFailure(E.kind(), E.what());
         } catch (const std::exception &E) {
@@ -259,13 +308,14 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
       } else {
         const Optimization &O = Optimizations[Ps.Index];
         Report.PassName = O.Name;
-        if (isQuarantined(O.Name)) {
+        if (StartQuarantined(O.Name)) {
           Report.Quarantined = true;
-          Report.Error = ErrorKind::EK_Quarantined;
-          Report.ErrorDetail = "skipped: quarantined after " +
-                               std::to_string(failureCount(O.Name)) +
-                               " consecutive failures";
-          LastRunDegraded = true;
+          Report.Err = support::Error(
+              ErrorKind::EK_Quarantined,
+              "skipped: quarantined after " +
+                  std::to_string(StartFailureCount(O.Name)) +
+                  " consecutive failures");
+          Job.Degraded = true;
           Reports.push_back(std::move(Report));
           continue;
         }
@@ -292,10 +342,9 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
             Report.RolledBack = true;
           }
           Report.AppliedCount = 0;
-          Report.Error = Kind;
-          Report.ErrorDetail = Detail;
-          recordFailure(O.Name);
-          LastRunDegraded = true;
+          Report.Err = support::Error(Kind, Detail);
+          Job.Events.emplace_back(O.Name, /*Failed=*/true);
+          Job.Degraded = true;
         };
         try {
           RunStats Stats = runOptimization(
@@ -303,13 +352,14 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
           Report.DeltaSize = Stats.DeltaSize;
           Report.FixpointIters = Stats.FixpointIters;
           if (Tx.Transactional && Stats.AppliedCount > 0)
-            if (auto Violation = postPassSanityCheck(Prog, P, Snapshot, Tx))
+            if (auto Violation =
+                    postPassSanityCheck(Job.Snapshot, P, Snapshot, Tx))
               throw support::PassError(ErrorKind::EK_RewriteConflict,
                                        *Violation);
           Report.AppliedCount = Stats.AppliedCount;
           if (Stats.AppliedCount > 0)
             LabelsValid = false; // statements changed: labels are stale
-          recordSuccess(O.Name);
+          Job.Events.emplace_back(O.Name, /*Failed=*/false);
         } catch (const support::PassError &E) {
           HandleFailure(E.kind(), E.what());
         } catch (const std::exception &E) {
@@ -321,6 +371,33 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
       }
       Reports.push_back(std::move(Report));
     }
+  };
+
+  // Inline-mode pools and the no-pool case both run procedures in index
+  // order on this thread; worker pools fan them out. Either way the
+  // merge below is the only writer of shared state.
+  if (Pool && !Pool->inlineMode())
+    Pool->parallelFor(Jobs.size(), RunProc);
+  else
+    for (size_t PI = 0; PI < Jobs.size(); ++PI)
+      RunProc(PI);
+
+  // Deterministic merge in procedure order: bodies, labelings, failure
+  // counters, and reports never depend on which job finished first.
+  std::vector<PassReport> Reports;
+  for (size_t PI = 0; PI < Prog.Procs.size(); ++PI) {
+    ProcJob &Job = Jobs[PI];
+    Prog.Procs[PI] = std::move(Job.Snapshot.Procs[PI]);
+    LastLabelings[Prog.Procs[PI].Name] = std::move(Job.Labels);
+    for (const auto &[PassName, Failed] : Job.Events) {
+      if (Failed)
+        recordFailure(PassName);
+      else
+        recordSuccess(PassName);
+    }
+    LastRunDegraded = LastRunDegraded || Job.Degraded;
+    for (PassReport &R : Job.Reports)
+      Reports.push_back(std::move(R));
   }
   return Reports;
 }
@@ -350,11 +427,17 @@ unsigned PassManager::runToFixpoint(Program &Prog, unsigned MaxRounds) {
 
 std::vector<PassReport> PassManager::runOne(const std::string &Name,
                                             Program &Prog) {
+  return runSelected({Name}, Prog);
+}
+
+std::vector<PassReport>
+PassManager::runSelected(const std::vector<std::string> &Names,
+                         Program &Prog) {
   std::vector<Pass> ToRun;
   for (const Pass &Ps : Pipeline) {
     const std::string &PName =
         Ps.IsAnalysis ? Analyses[Ps.Index].Name : Optimizations[Ps.Index].Name;
-    if (PName == Name)
+    if (std::find(Names.begin(), Names.end(), PName) != Names.end())
       ToRun.push_back(Ps);
   }
   return runPasses(ToRun, Prog);

@@ -23,6 +23,7 @@
 #include "engine/Engine.h"
 #include "ir/Ast.h"
 #include "support/Errors.h"
+#include "support/Expected.h"
 
 #include <cstdint>
 #include <map>
@@ -30,10 +31,15 @@
 #include <vector>
 
 namespace cobalt {
+
+namespace support {
+class ThreadPool;
+}
+
 namespace engine {
 
-/// Per-pass, per-procedure record of what happened. When Error is not
-/// EK_None the pass failed; a failed optimization pass was rolled back
+/// Per-pass, per-procedure record of what happened. When Err carries a
+/// failure the pass failed; a failed optimization pass was rolled back
 /// (the procedure is byte-identical to its pre-pass snapshot) and
 /// reports AppliedCount == 0, since its net effect is zero.
 struct PassReport {
@@ -42,13 +48,23 @@ struct PassReport {
   unsigned DeltaSize = 0;
   unsigned AppliedCount = 0;
   unsigned FixpointIters = 0;
-  support::ErrorKind Error = support::ErrorKind::EK_None;
-  std::string ErrorDetail;
+  /// What failed and why (the unified support::Error carrier — the
+  /// checker's ObligationResult and the parsers use the same shape).
+  support::Error Err;
   bool RolledBack = false;  ///< Snapshot restored after a failure.
   bool Quarantined = false; ///< Pass skipped: quarantined by earlier
                             ///< failures.
 
-  bool failed() const { return Error != support::ErrorKind::EK_None; }
+  bool failed() const { return Err.failed(); }
+
+  /// Pre-unification spellings of the split Error/ErrorDetail fields.
+  /// Thin shims for out-of-tree callers; new code reads Err.
+  [[deprecated("use Err.Kind")]] support::ErrorKind errorKind() const {
+    return Err.Kind;
+  }
+  [[deprecated("use Err.Message")]] const std::string &errorDetail() const {
+    return Err.Message;
+  }
 };
 
 /// Fault-tolerance policy of the pass manager. With Transactional set
@@ -58,6 +74,17 @@ struct PassReport {
 /// instead of corrupting the pipeline. A pass that fails
 /// QuarantineAfter consecutive times is quarantined (skipped, with a
 /// report entry) while the rest of the pipeline continues.
+///
+/// ## Concurrency model (see DESIGN.md)
+/// Each run() executes one job per procedure, each against a private
+/// copy of the run-start program, and merges bodies, labelings, reports,
+/// and failure/success events back in procedure order. The same model is
+/// used with and without a thread pool, so `--jobs N` is bit-identical
+/// to `--jobs 1`: quarantine decisions read the run-start state (a
+/// failure recorded during a run takes effect the next run), and the
+/// interpreter spot-check sees the run-start bodies of *other*
+/// procedures (snapshot isolation) rather than whatever the schedule
+/// happened to finish first.
 struct TxPolicy {
   bool Transactional = true;
   unsigned QuarantineAfter = 3;
@@ -98,6 +125,16 @@ public:
   /// Runs a single registered optimization by name over the program.
   std::vector<PassReport> runOne(const std::string &Name,
                                  ir::Program &Prog);
+
+  /// Runs the subset of registered passes whose names appear in \p Names,
+  /// preserving registration order (the CobaltContext pipeline API).
+  std::vector<PassReport> runSelected(const std::vector<std::string> &Names,
+                                      ir::Program &Prog);
+
+  /// Per-procedure jobs run on \p Pool (nullptr = sequential on the
+  /// calling thread, same merge model). Non-owning; the pool must
+  /// outlive the manager's runs.
+  void setThreadPool(support::ThreadPool *Pool) { this->Pool = Pool; }
 
   /// The labeling computed for a procedure during the last run (empty if
   /// none). Useful for inspecting analysis results.
@@ -145,6 +182,7 @@ private:
   TxPolicy Tx;
   std::map<std::string, unsigned> ConsecutiveFailures;
   bool LastRunDegraded = false;
+  support::ThreadPool *Pool = nullptr;
 };
 
 } // namespace engine

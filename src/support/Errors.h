@@ -47,6 +47,12 @@ enum class ErrorKind {
                       ///< the rewrite was rolled back.
   EK_Quarantined,     ///< The pass was skipped: it failed too many
                       ///< consecutive times and is quarantined.
+
+  // Front-end / environment failures surfaced through the CobaltContext
+  // facade (Expected<T> carriers). These map to the CLI's usage exit
+  // code, not to the degraded exit code.
+  EK_ParseError, ///< A .cob module or .il program failed to parse.
+  EK_IoError,    ///< A file could not be read or written.
 };
 
 /// Stable short name, for reports and JSON.
@@ -66,8 +72,25 @@ inline const char *errorKindName(ErrorKind K) {
     return "rewrite_conflict";
   case ErrorKind::EK_Quarantined:
     return "quarantined";
+  case ErrorKind::EK_ParseError:
+    return "parse_error";
+  case ErrorKind::EK_IoError:
+    return "io_error";
   }
   return "unknown";
+}
+
+/// Inverse of errorKindName (for deserializing cached verdicts).
+/// Unrecognized names map to EK_None.
+inline ErrorKind errorKindFromName(const std::string &Name) {
+  for (ErrorKind K :
+       {ErrorKind::EK_ProverTimeout, ErrorKind::EK_ProverUnknown,
+        ErrorKind::EK_ProverResourceOut, ErrorKind::EK_PassPanic,
+        ErrorKind::EK_RewriteConflict, ErrorKind::EK_Quarantined,
+        ErrorKind::EK_ParseError, ErrorKind::EK_IoError})
+    if (Name == errorKindName(K))
+      return K;
+  return ErrorKind::EK_None;
 }
 
 /// True for failures of the *infrastructure* (prover gave up, pass

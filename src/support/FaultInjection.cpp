@@ -34,6 +34,34 @@ uint64_t hashSite(const std::string &Site) {
 
 } // namespace
 
+//===----------------------------------------------------------------------===//
+// Keyed scopes (thread-local job identity).
+//===----------------------------------------------------------------------===//
+
+struct ScopedFaultKey::State {
+  uint64_t Key;
+  /// Per-scope, per-site hit ordinals — deterministic because each job's
+  /// internal control flow is sequential even when jobs run in parallel.
+  std::map<std::string, unsigned> SiteHits;
+};
+
+namespace {
+thread_local ScopedFaultKey::State *ActiveFaultKey = nullptr;
+} // namespace
+
+ScopedFaultKey::ScopedFaultKey(uint64_t Key) : Prev(ActiveFaultKey) {
+  ActiveFaultKey = new State{Key, {}};
+}
+
+ScopedFaultKey::~ScopedFaultKey() {
+  delete ActiveFaultKey;
+  ActiveFaultKey = Prev;
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjector.
+//===----------------------------------------------------------------------===//
+
 FaultInjector &FaultInjector::instance() {
   static FaultInjector FI;
   if (!FI.EnvLoaded) {
@@ -44,6 +72,7 @@ FaultInjector &FaultInjector::instance() {
 }
 
 void FaultInjector::configure(const std::string &Spec, uint64_t NewSeed) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   Rules.clear();
   Stats.clear();
   Seed = NewSeed;
@@ -75,12 +104,17 @@ void FaultInjector::configure(const std::string &Spec, uint64_t NewSeed) {
       Site = Clause.substr(0, Pct);
       long P = std::strtol(Clause.c_str() + Pct + 1, nullptr, 10);
       R.Percent = static_cast<int>(P < 0 ? 0 : (P > 100 ? 100 : P));
+    } else if (size_t Eq = Clause.find('='); Eq != std::string::npos) {
+      Site = Clause.substr(0, Eq);
+      R.Payload = std::strtol(Clause.c_str() + Eq + 1, nullptr, 10);
+      R.HasPayload = true;
     } else {
       R.Always = true;
     }
     if (!Site.empty())
       Rules[Site] = R;
   }
+  HasRules.store(!Rules.empty(), std::memory_order_relaxed);
 }
 
 void FaultInjector::configureFromEnv() {
@@ -93,18 +127,34 @@ void FaultInjector::configureFromEnv() {
 }
 
 void FaultInjector::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
   Rules.clear();
   Stats.clear();
   Seed = 0;
+  HasRules.store(false, std::memory_order_relaxed);
 }
 
 bool FaultInjector::shouldFire(const char *Site) {
+  std::unique_lock<std::mutex> Lock(Mutex);
   auto It = Rules.find(Site);
   if (It == Rules.end())
     return false;
+  const Rule R = It->second;
+  if (R.HasPayload)
+    return false; // payload rules never fire as faults
   Counters &C = Stats[Site];
-  unsigned Hit = ++C.Hits; // 1-based hit index
-  const Rule &R = It->second;
+  unsigned GlobalHit = ++C.Hits; // 1-based arrival index
+  uint64_t LocalSeed = Seed;
+
+  // The trigger index: keyed (per-job ordinal) when a scope is active,
+  // arrival-ordered otherwise.
+  unsigned Hit = GlobalHit;
+  uint64_t KeyMix = 0;
+  if (ScopedFaultKey::State *S = ActiveFaultKey) {
+    Lock.unlock(); // per-thread state: no lock needed for the ordinal
+    Hit = ++S->SiteHits[Site];
+    KeyMix = mix64(S->Key);
+  }
 
   bool Fire = false;
   if (R.Always)
@@ -112,20 +162,34 @@ bool FaultInjector::shouldFire(const char *Site) {
   else if (R.Nth != 0)
     Fire = Hit == R.Nth;
   else if (R.Percent >= 0)
-    Fire = static_cast<int>(mix64(hashSite(Site) ^ (Seed * 0x9e3779b9ull) ^
-                                  Hit) %
+    Fire = static_cast<int>(mix64(hashSite(Site) ^ KeyMix ^
+                                  (LocalSeed * 0x9e3779b9ull) ^ Hit) %
                             100) < R.Percent;
-  if (Fire)
-    ++C.Fired;
+  if (Fire) {
+    if (!Lock.owns_lock())
+      Lock.lock();
+    ++Stats[Site].Fired;
+  }
   return Fire;
 }
 
+long FaultInjector::payload(const char *Site) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Rules.find(Site);
+  if (It == Rules.end() || !It->second.HasPayload)
+    return 0;
+  ++Stats[Site].Hits;
+  return It->second.Payload;
+}
+
 unsigned FaultInjector::hits(const std::string &Site) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Stats.find(Site);
   return It == Stats.end() ? 0 : It->second.Hits;
 }
 
 unsigned FaultInjector::fired(const std::string &Site) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Stats.find(Site);
   return It == Stats.end() ? 0 : It->second.Fired;
 }

@@ -28,17 +28,39 @@
 ///   site%P      each hit fires with probability P percent, decided by a
 ///               counter-keyed hash of (site, hit index, seed) — fully
 ///               deterministic for a fixed seed, no global RNG state.
+///   site=V      a *payload* rule: the site never "fires" as a fault, but
+///               faultPayload() returns V there (e.g. a simulated prover
+///               latency in milliseconds for scheduler benches).
 ///
-/// Injection points are zero-cost when the plan is empty (one branch on a
-/// flag); the harness is not thread-safe (the pipeline is single-threaded).
+/// ## Concurrency and determinism
+///
+/// Injection points are zero-cost when the plan is empty (one relaxed
+/// atomic load); the harness itself is thread-safe. But raw hit counters
+/// are *arrival-ordered*, which is meaningless once jobs run on a thread
+/// pool. Parallel drivers therefore wrap each independent job in a
+/// ScopedFaultKey carrying a stable 64-bit job fingerprint (a procedure
+/// name hash, an obligation fingerprint). Within a scope, trigger
+/// decisions are keyed on (site, job key, per-scope ordinal, seed)
+/// instead of the global arrival counter:
+///
+///   site        fires every hit (unchanged)
+///   site@N      fires on the Nth hit *within each job* (e.g. the Nth
+///               solver attempt of every obligation)
+///   site%P      fires per hit with probability P, hashed from the job
+///               key + ordinal — the same hits fire at --jobs 1 and
+///               --jobs 8, regardless of scheduling.
+///
+/// Global hit/fired counters are still maintained for observability.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef COBALT_SUPPORT_FAULTINJECTION_H
 #define COBALT_SUPPORT_FAULTINJECTION_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace cobalt {
@@ -53,6 +75,12 @@ inline constexpr const char *CheckerForceTimeout = "checker.force_timeout";
 /// SoundnessChecker: the next solver attempt reports a non-resource
 /// unknown without invoking Z3.
 inline constexpr const char *CheckerForceUnknown = "checker.force_unknown";
+/// SoundnessChecker: payload site — each solver attempt sleeps this many
+/// milliseconds first, modeling a slow / remote prover (the paper's
+/// minutes-per-pass Simplify latencies). Used by bench_parallel to
+/// measure dispatch overlap independently of single-core Z3 throughput.
+inline constexpr const char *CheckerProverStallMs =
+    "checker.prover_stall_ms";
 /// Engine: applySites throws PassError(EK_PassPanic) right after a
 /// rewrite landed, leaving the procedure half-transformed.
 inline constexpr const char *EngineThrowMidRewrite =
@@ -62,7 +90,8 @@ inline constexpr const char *InterpForceStuck = "interp.force_stuck";
 } // namespace faults
 
 /// Process-wide fault plan. All state is per-site hit counters plus the
-/// configured rules; reset() restores the no-faults state.
+/// configured rules; reset() restores the no-faults state. Thread-safe;
+/// see the file comment for how parallel drivers get determinism.
 class FaultInjector {
 public:
   /// The singleton. The first call loads COBALT_FAULTS / COBALT_FAULT_SEED
@@ -71,7 +100,7 @@ public:
 
   /// Replaces the plan with \p Spec (see file comment for the grammar).
   /// Unknown site names are accepted (they simply never fire). Clears all
-  /// hit counters.
+  /// hit counters. Not safe to call while jobs are in flight.
   void configure(const std::string &Spec, uint64_t Seed = 0);
 
   /// Loads the plan from COBALT_FAULTS / COBALT_FAULT_SEED (no-op when
@@ -82,11 +111,19 @@ public:
   void reset();
 
   /// True when no rules are configured (the fast path).
-  bool empty() const { return Rules.empty(); }
+  bool empty() const {
+    return !HasRules.load(std::memory_order_relaxed);
+  }
 
   /// Called by an injection point: records the hit and decides whether
-  /// this hit fires.
+  /// this hit fires. Under an active ScopedFaultKey the decision is
+  /// keyed (stable across job schedules); otherwise it is the legacy
+  /// arrival-ordered one.
   bool shouldFire(const char *Site);
+
+  /// Payload rules (`site=V`): the configured value, or 0 when the site
+  /// has no payload rule. Records a hit when a payload is configured.
+  long payload(const char *Site);
 
   /// Observability for tests: how often a site was hit / actually fired.
   unsigned hits(const std::string &Site) const;
@@ -95,8 +132,10 @@ public:
 private:
   struct Rule {
     bool Always = false;
-    unsigned Nth = 0;     ///< 1-based; 0 = not an @N rule.
-    int Percent = -1;     ///< 0-100; -1 = not a %P rule.
+    unsigned Nth = 0;       ///< 1-based; 0 = not an @N rule.
+    int Percent = -1;       ///< 0-100; -1 = not a %P rule.
+    long Payload = 0;       ///< Meaningful iff HasPayload.
+    bool HasPayload = false;
   };
   struct Counters {
     unsigned Hits = 0;
@@ -104,9 +143,13 @@ private:
   };
 
   std::map<std::string, Rule> Rules;
+  mutable std::mutex Mutex; ///< Guards Rules + Stats.
+  std::atomic<bool> HasRules{false};
   std::map<std::string, Counters> Stats;
   uint64_t Seed = 0;
   bool EnvLoaded = false;
+
+  friend class ScopedFaultKey;
 };
 
 /// The one-line form used at injection points.
@@ -114,6 +157,31 @@ inline bool faultFires(const char *Site) {
   FaultInjector &FI = FaultInjector::instance();
   return !FI.empty() && FI.shouldFire(Site);
 }
+
+/// The one-line payload form (0 = no payload configured).
+inline long faultPayload(const char *Site) {
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.empty() ? 0 : FI.payload(Site);
+}
+
+/// Marks the current thread as executing the job identified by \p Key
+/// (a stable fingerprint: procedure-name hash, obligation fingerprint).
+/// While active, fault decisions on this thread are keyed on
+/// (site, Key, per-scope hit ordinal, seed) — independent of how jobs
+/// interleave across threads, so `--jobs 8` fires exactly the faults
+/// `--jobs 1` does. Scopes nest; the innermost wins.
+class ScopedFaultKey {
+public:
+  explicit ScopedFaultKey(uint64_t Key);
+  ~ScopedFaultKey();
+  ScopedFaultKey(const ScopedFaultKey &) = delete;
+  ScopedFaultKey &operator=(const ScopedFaultKey &) = delete;
+
+  struct State; ///< Definition local to FaultInjection.cpp.
+
+private:
+  State *Prev; ///< Restored on destruction.
+};
 
 /// RAII plan for tests: installs a plan on construction, restores the
 /// empty plan on destruction so no faults leak across test cases.

@@ -1,0 +1,95 @@
+//===- PersistentCache.cpp ------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/PersistentCache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace cobalt;
+using namespace cobalt::support;
+namespace fs = std::filesystem;
+
+bool PersistentCache::open(const std::string &Directory,
+                           const std::string &Ns, unsigned Ver) {
+  std::error_code EC;
+  fs::create_directories(Directory, EC);
+  if (EC || !fs::is_directory(Directory, EC))
+    return false;
+  Dir = Directory;
+  Namespace = Ns;
+  Version = Ver;
+  Hits = Misses = Stores = 0;
+  return true;
+}
+
+std::string PersistentCache::entryPath(uint64_t Key) const {
+  char Hex[17];
+  std::snprintf(Hex, sizeof(Hex), "%016llx",
+                static_cast<unsigned long long>(Key));
+  return Dir + "/" + Namespace + "-" + Hex + ".v" +
+         std::to_string(Version);
+}
+
+std::optional<std::string> PersistentCache::load(uint64_t Key) const {
+  if (!enabled())
+    return std::nullopt;
+  std::ifstream In(entryPath(Key), std::ios::binary);
+  if (!In) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Misses;
+    return std::nullopt;
+  }
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Hits;
+  return Out.str();
+}
+
+void PersistentCache::store(uint64_t Key, const std::string &Value) const {
+  if (!enabled())
+    return;
+  // Write-then-rename: the entry appears atomically under its final
+  // name. A per-thread temp suffix keeps concurrent writers of the same
+  // key from clobbering each other's half-written temp.
+  std::string Final = entryPath(Key);
+  std::ostringstream Suffix;
+  Suffix << ".tmp." << std::this_thread::get_id();
+  std::string Temp = Final + Suffix.str();
+  {
+    std::ofstream Out(Temp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return; // cache is best-effort; never an error
+    Out << Value;
+    if (!Out.good())
+      return;
+  }
+  std::error_code EC;
+  fs::rename(Temp, Final, EC);
+  if (EC) {
+    fs::remove(Temp, EC);
+    return;
+  }
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Stores;
+}
+
+unsigned PersistentCache::hits() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Hits;
+}
+unsigned PersistentCache::misses() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Misses;
+}
+unsigned PersistentCache::stores() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stores;
+}

@@ -1,0 +1,75 @@
+//===- PersistentCache.h - On-disk fingerprint-keyed KV store ---*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, thread-safe, crash-tolerant key→blob store backing the
+/// checker's verdict cache across process runs (`cobaltc --cache-dir`).
+/// The design follows the standard prover-cache recipe (cf. Souper's
+/// persistent solver-result cache): the key is a 64-bit structural
+/// fingerprint of the query, the value an opaque serialized blob the
+/// *caller* versions and validates.
+///
+/// Invariants:
+///
+///  * One entry = one file `<ns>-<16 hex digits>.v<version>` in the cache
+///    directory. Writes go to a temp file in the same directory and are
+///    renamed into place, so readers never observe a torn entry and
+///    concurrent writers of the same key settle on one complete value.
+///  * The namespace + version are part of the file name: bumping the
+///    serialization version orphans old entries instead of misreading
+///    them.
+///  * Unreadable / missing entries are misses, never errors — the cache
+///    is an accelerator, the prover remains the source of truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_SUPPORT_PERSISTENTCACHE_H
+#define COBALT_SUPPORT_PERSISTENTCACHE_H
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace cobalt {
+namespace support {
+
+class PersistentCache {
+public:
+  /// A disabled cache: every load misses, every store is dropped.
+  PersistentCache() = default;
+
+  /// Binds the cache to \p Dir (created if absent) with entries named
+  /// `<Namespace>-<key>.v<Version>`. Returns false (and stays disabled)
+  /// when the directory cannot be created or is not writable.
+  bool open(const std::string &Dir, const std::string &Namespace,
+            unsigned Version);
+
+  bool enabled() const { return !Dir.empty(); }
+  const std::string &directory() const { return Dir; }
+
+  std::optional<std::string> load(uint64_t Key) const;
+  void store(uint64_t Key, const std::string &Value) const;
+
+  /// Observability: entries served / missed / written since open().
+  unsigned hits() const;
+  unsigned misses() const;
+  unsigned stores() const;
+
+private:
+  std::string entryPath(uint64_t Key) const;
+
+  std::string Dir; ///< Empty = disabled.
+  std::string Namespace;
+  unsigned Version = 0;
+  mutable std::mutex Mutex; ///< Guards counters; file ops are atomic.
+  mutable unsigned Hits = 0, Misses = 0, Stores = 0;
+};
+
+} // namespace support
+} // namespace cobalt
+
+#endif // COBALT_SUPPORT_PERSISTENTCACHE_H

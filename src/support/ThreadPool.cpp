@@ -1,0 +1,120 @@
+//===- ThreadPool.cpp -----------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+
+using namespace cobalt;
+using namespace cobalt::support;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0) {
+    Threads = std::thread::hardware_concurrency();
+    if (Threads == 0)
+      Threads = 1;
+  }
+  if (Threads <= 1)
+    return; // inline mode
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    ShuttingDown = true;
+  }
+  QueueReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueReady.wait(Lock,
+                      [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // shutting down and drained
+      Job = std::move(Queue.front());
+      Queue.pop();
+    }
+    Job(); // jobs handle their own exceptions (see parallelFor)
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+
+  if (inlineMode()) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+
+  // Per-batch completion tracking, so parallelFor calls are independent
+  // (no pool-global wait that a concurrent batch could confuse).
+  struct Batch {
+    std::mutex M;
+    std::condition_variable Done;
+    size_t Remaining;
+    std::vector<std::exception_ptr> Errors;
+  };
+  auto B = std::make_shared<Batch>();
+  B->Remaining = N;
+  B->Errors.assign(N, nullptr);
+
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    for (size_t I = 0; I < N; ++I) {
+      Queue.push([B, I, &Body] {
+        try {
+          Body(I);
+        } catch (...) {
+          B->Errors[I] = std::current_exception(); // slot owned by this job
+        }
+        std::lock_guard<std::mutex> BatchLock(B->M);
+        if (--B->Remaining == 0)
+          B->Done.notify_all();
+      });
+    }
+  }
+  QueueReady.notify_all();
+
+  // The submitting thread helps drain the queue instead of idling: with
+  // more batches than workers this avoids deadlock-free but wasteful
+  // blocking, and on a loaded machine it shortens the critical path.
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      if (!Queue.empty()) {
+        Job = std::move(Queue.front());
+        Queue.pop();
+      }
+    }
+    if (!Job)
+      break;
+    Job();
+  }
+
+  {
+    std::unique_lock<std::mutex> Lock(B->M);
+    B->Done.wait(Lock, [&B] { return B->Remaining == 0; });
+  }
+
+  // Deterministic rethrow: the lowest failing index, exactly what a
+  // sequential for-loop would have surfaced first.
+  for (size_t I = 0; I < N; ++I)
+    if (B->Errors[I])
+      std::rethrow_exception(B->Errors[I]);
+}

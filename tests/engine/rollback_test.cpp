@@ -57,7 +57,7 @@ TEST(RollbackTest, MidRewriteFaultRollsBackToExactSnapshot) {
 
   ASSERT_EQ(Reports.size(), 1u);
   EXPECT_TRUE(Reports[0].failed());
-  EXPECT_EQ(Reports[0].Error, ErrorKind::EK_PassPanic);
+  EXPECT_EQ(Reports[0].Err.Kind, ErrorKind::EK_PassPanic);
   EXPECT_TRUE(Reports[0].RolledBack);
   EXPECT_EQ(Reports[0].AppliedCount, 0u);
 
@@ -122,11 +122,11 @@ TEST(RollbackTest, SpotCheckRejectsMiscompilingPassAndRollsBack) {
 
   ASSERT_EQ(Reports.size(), 1u);
   EXPECT_TRUE(Reports[0].failed());
-  EXPECT_EQ(Reports[0].Error, ErrorKind::EK_RewriteConflict);
+  EXPECT_EQ(Reports[0].Err.Kind, ErrorKind::EK_RewriteConflict);
   EXPECT_TRUE(Reports[0].RolledBack);
   EXPECT_EQ(Reports[0].AppliedCount, 0u);
-  EXPECT_NE(Reports[0].ErrorDetail.find("spot-check"), std::string::npos)
-      << Reports[0].ErrorDetail;
+  EXPECT_NE(Reports[0].Err.Message.find("spot-check"), std::string::npos)
+      << Reports[0].Err.Message;
 
   EXPECT_TRUE(Prog.Procs[0] == Before.Procs[0]);
   EXPECT_EQ(toString(Prog), toString(Before));
@@ -149,10 +149,10 @@ TEST(RollbackTest, InterpreterFaultDuringSpotCheckTriggersRollback) {
 
   ASSERT_EQ(Reports.size(), 1u);
   EXPECT_TRUE(Reports[0].failed());
-  EXPECT_EQ(Reports[0].Error, ErrorKind::EK_RewriteConflict);
+  EXPECT_EQ(Reports[0].Err.Kind, ErrorKind::EK_RewriteConflict);
   EXPECT_TRUE(Reports[0].RolledBack);
-  EXPECT_NE(Reports[0].ErrorDetail.find("stuck"), std::string::npos)
-      << Reports[0].ErrorDetail;
+  EXPECT_NE(Reports[0].Err.Message.find("stuck"), std::string::npos)
+      << Reports[0].Err.Message;
   EXPECT_TRUE(Prog.Procs[0] == Before.Procs[0]);
 }
 
@@ -185,7 +185,7 @@ TEST(RollbackTest, PassIsQuarantinedAfterConsecutiveFailures) {
     auto Reports = PM.run(Prog);
     ASSERT_EQ(Reports.size(), 1u);
     EXPECT_TRUE(Reports[0].Quarantined);
-    EXPECT_EQ(Reports[0].Error, ErrorKind::EK_Quarantined);
+    EXPECT_EQ(Reports[0].Err.Kind, ErrorKind::EK_Quarantined);
     EXPECT_EQ(FI.hits(faults::EngineThrowMidRewrite), HitsBefore);
     EXPECT_TRUE(PM.lastRunDegraded());
   }

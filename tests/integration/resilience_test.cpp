@@ -86,10 +86,12 @@ TEST(ResilienceTest, FullPipelineSurvivesMixedFaultStorm) {
   std::vector<PassReport> Reports;
   {
     // 40% of rewrites explode mid-flight, 10% of interpreter runs go
-    // stuck (spurious spot-check failures). Deterministic for the seed.
+    // stuck (spurious spot-check failures). Deterministic for the seed:
+    // %P decisions are keyed on the per-procedure job fingerprint, so
+    // the same faults fire at every --jobs width.
     ScopedFaultPlan Plan(std::string(faults::EngineThrowMidRewrite) +
                              "%40," + faults::InterpForceStuck + "%10",
-                         /*Seed=*/7);
+                         /*Seed=*/3);
     Reports = PM.run(Prog); // must not throw
   }
 
@@ -178,9 +180,9 @@ TEST(ResilienceTest, UnsoundRuleIsContainedWhileProvenRulesApply) {
 
   auto Reports = PM.run(Prog);
   ASSERT_EQ(Reports.size(), 2u);
-  EXPECT_EQ(Reports[0].Error, ErrorKind::EK_RewriteConflict);
+  EXPECT_EQ(Reports[0].Err.Kind, ErrorKind::EK_RewriteConflict);
   EXPECT_TRUE(Reports[0].RolledBack);
-  EXPECT_EQ(Reports[1].Error, ErrorKind::EK_None);
+  EXPECT_EQ(Reports[1].Err.Kind, ErrorKind::EK_None);
   EXPECT_EQ(Reports[1].AppliedCount, 1u);
   EXPECT_TRUE(PM.lastRunDegraded());
   expectSameSemantics(Original, Prog);

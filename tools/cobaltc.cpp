@@ -4,34 +4,44 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Command-line driver tying the whole system together:
+/// Command-line driver over the CobaltContext facade:
 ///
-///   cobaltc check  <module.cob>                 prove every definition
-///   cobaltc run    <module.cob> <program.il> N  check, then optimize and
+///   cobaltc check <module.cob>                  prove every definition
+///   cobaltc opt   <module.cob> <program.il>     check, then print the
+///                                               optimized program
+///   cobaltc run   <module.cob> <program.il> N   check, then optimize and
 ///                                               run main(N) before/after
 ///   cobaltc stdlib                              print the bundled module
 ///
 /// Flags (accepted anywhere after the subcommand):
 ///
+///   --jobs <n>              parallel obligation/procedure jobs
+///                           (default 1 = sequential; results are
+///                           bit-identical for every value; 0 = one per
+///                           hardware thread)
+///   --cache-dir <dir>       persist proved verdicts across runs
+///   --report=json           machine-readable report on stdout
 ///   --prover-timeout <ms>   full per-obligation Z3 timeout (default 8000)
 ///   --prover-retries <n>    escalating retries before the full timeout
 ///   --prover-budget <ms>    total wall-clock budget per definition
-///   --fail-fast             stop checking at the first unproven definition
-///   --keep-going            run: apply the proven subset instead of
+///   --fail-fast             stop checking at the first unproven
+///                           definition (definitions run sequentially)
+///   --keep-going            opt/run: apply the proven subset instead of
 ///                           refusing the whole module
 ///
 /// Exit codes separate the three fundamentally different outcomes:
 ///
-///   0  all definitions proven sound (and, for run, pipeline clean)
+///   0  all definitions proven sound (and, for opt/run, pipeline clean)
 ///   1  at least one definition REJECTED (genuine counterexample)
 ///   2  usage / cannot read or parse inputs
 ///   3  infrastructure degraded: no counterexample anywhere, but some
 ///      obligation timed out / came back unknown, or a pass was rolled
 ///      back or quarantined at run time
 ///
-/// `run` refuses to apply unproven optimizations — the extensible-compiler
-/// discipline of paper §1/§6. Under --keep-going the proven subset still
-/// runs; unproven definitions are skipped and reported.
+/// `opt`/`run` refuse to apply unproven optimizations — the
+/// extensible-compiler discipline of paper §1/§6. Under --keep-going the
+/// proven subset still runs; unproven definitions are skipped and
+/// reported.
 ///
 /// Fault injection (COBALT_FAULTS / COBALT_FAULT_SEED, see
 /// support/FaultInjection.h) is honored, so every degradation path can be
@@ -39,20 +49,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "checker/Soundness.h"
-#include "core/CobaltParser.h"
-#include "engine/PassManager.h"
+#include "api/Cobalt.h"
 #include "ir/Interp.h"
-#include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "opts/StdlibCobalt.h"
 #include "support/FaultInjection.h"
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -71,9 +75,11 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: cobaltc check <module.cob> [flags]\n"
+      "       cobaltc opt <module.cob> <program.il> [flags]\n"
       "       cobaltc run <module.cob> <program.il> [input] [flags]\n"
       "       cobaltc stdlib\n"
-      "flags: --prover-timeout <ms>  --prover-retries <n>\n"
+      "flags: --jobs <n>  --cache-dir <dir>  --report=json\n"
+      "       --prover-timeout <ms>  --prover-retries <n>\n"
       "       --prover-budget <ms>   --fail-fast  --keep-going\n"
       "exit:  0 all sound; 1 rejected definitions; 2 usage/input error;\n"
       "       3 infrastructure degraded (timeouts/rollbacks, no "
@@ -82,16 +88,17 @@ int usage() {
 }
 
 struct DriverOptions {
-  checker::ProverPolicy Prover;
+  api::CobaltConfig Config;
   bool FailFast = false;
   bool KeepGoing = false;
+  bool ReportJson = false;
 };
 
 /// Strips and parses the shared flags; leaves positional arguments in
 /// \p Positional. Returns false on a malformed flag.
 bool parseFlags(int Argc, char **Argv, DriverOptions &Opts,
                 std::vector<const char *> &Positional) {
-  Opts.Prover.TimeoutMs = 8000;
+  Opts.Config.Prover.TimeoutMs = 8000;
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     auto TakesValue = [&](const char *Flag, unsigned long long &Out) {
@@ -109,15 +116,27 @@ bool parseFlags(int Argc, char **Argv, DriverOptions &Opts,
     if (TakesValue("--prover-timeout", Value)) {
       if (Value == ~0ull || Value == 0)
         return false;
-      Opts.Prover.TimeoutMs = static_cast<unsigned>(Value);
+      Opts.Config.Prover.TimeoutMs = static_cast<unsigned>(Value);
     } else if (TakesValue("--prover-retries", Value)) {
       if (Value == ~0ull)
         return false;
-      Opts.Prover.Retries = static_cast<unsigned>(Value);
+      Opts.Config.Prover.Retries = static_cast<unsigned>(Value);
     } else if (TakesValue("--prover-budget", Value)) {
       if (Value == ~0ull)
         return false;
-      Opts.Prover.BudgetMs = Value;
+      Opts.Config.Prover.BudgetMs = Value;
+    } else if (TakesValue("--jobs", Value)) {
+      if (Value == ~0ull)
+        return false;
+      Opts.Config.Jobs = static_cast<unsigned>(Value);
+    } else if (std::strcmp(Arg, "--cache-dir") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "cobaltc: --cache-dir requires a value\n");
+        return false;
+      }
+      Opts.Config.CacheDir = Argv[++I];
+    } else if (std::strcmp(Arg, "--report=json") == 0) {
+      Opts.ReportJson = true;
     } else if (std::strcmp(Arg, "--fail-fast") == 0) {
       Opts.FailFast = true;
     } else if (std::strcmp(Arg, "--keep-going") == 0) {
@@ -132,107 +151,211 @@ bool parseFlags(int Argc, char **Argv, DriverOptions &Opts,
   return true;
 }
 
-std::optional<std::string> readFile(const char *Path) {
-  std::ifstream In(Path);
-  if (!In)
-    return std::nullopt;
-  std::ostringstream Out;
-  Out << In.rdbuf();
-  return Out.str();
+//===----------------------------------------------------------------------===//
+// JSON emission (--report=json).
+//===----------------------------------------------------------------------===//
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
 }
 
-/// Parses a module, falling back to the bundled stdlib for the special
-/// path "stdlib".
-std::optional<CobaltModule> loadModule(const char *Path,
-                                       DiagnosticEngine &Diags) {
-  if (std::strcmp(Path, "stdlib") == 0)
-    return parseCobalt(opts::StdlibCobaltSource, Diags);
-  auto Text = readFile(Path);
-  if (!Text) {
-    Diags.error(std::string("cannot read '") + Path + "'");
-    return std::nullopt;
+const char *verdictName(const checker::CheckReport &R) {
+  switch (R.V) {
+  case checker::CheckReport::Verdict::V_Sound:
+    return "sound";
+  case checker::CheckReport::Verdict::V_Unsound:
+    return "unsound";
+  case checker::CheckReport::Verdict::V_Unproven:
+    return "unproven";
   }
-  return parseCobalt(*Text, Diags);
+  return "unproven";
 }
 
-/// The outcome of proving one whole module.
-struct CheckSummary {
-  unsigned Unsound = 0;   ///< Genuine counterexamples.
-  unsigned Unproven = 0;  ///< Prover gave up (infra degradation).
-  std::vector<checker::CheckReport> Reports;
-  std::set<std::string> ProvenAnalyses;      ///< By analysis name.
-  std::set<std::string> ProvenOptimizations; ///< By optimization name.
-};
-
-/// Proves every definition in the module, printing a per-definition
-/// verdict table that distinguishes REJECTED (unsound) from UNPROVEN
-/// (prover timeout/unknown).
-CheckSummary checkModule(const CobaltModule &Module,
-                         const DriverOptions &Opts) {
-  LabelRegistry Registry;
-  for (const LabelDef &Def : Module.Labels)
-    Registry.define(Def);
-  for (const PureAnalysis &A : Module.Analyses)
-    Registry.declareAnalysisLabel(A.LabelName);
-
-  checker::SoundnessChecker Checker(Registry, Module.Analyses);
-  Checker.setPolicy(Opts.Prover);
-
-  CheckSummary Summary;
-  auto Report = [&](const checker::CheckReport &R) {
-    const char *VerdictText = "SOUND";
-    if (R.V == checker::CheckReport::Verdict::V_Unsound) {
-      VerdictText = "REJECTED";
-      ++Summary.Unsound;
-    } else if (R.V == checker::CheckReport::Verdict::V_Unproven) {
-      VerdictText = "UNPROVEN";
-      ++Summary.Unproven;
-    }
-    std::printf("  %-24s %-10s %zu obligations, %.2f s%s\n", R.Name.c_str(),
-                VerdictText, R.Obligations.size(), R.TotalSeconds,
-                R.CacheHit ? " (cached)" : "");
-    for (const auto &Ob : R.Obligations) {
-      if (Ob.St == checker::ObligationResult::Status::OS_Failed)
-        std::printf("      %s failed%s%s\n", Ob.Name.c_str(),
-                    Ob.Counterexample.empty() ? "" : ": ",
-                    Ob.Counterexample.substr(0, 120).c_str());
-      else if (Ob.unknown())
-        std::printf("      %s undecided [%s]: %s\n", Ob.Name.c_str(),
-                    support::errorKindName(Ob.Err),
-                    Ob.UnknownReason.c_str());
-    }
-    Summary.Reports.push_back(R);
-  };
-
-  for (const PureAnalysis &A : Module.Analyses) {
-    checker::CheckReport R = Checker.checkAnalysis(A);
-    if (R.Sound)
-      Summary.ProvenAnalyses.insert(A.Name);
-    Report(R);
-    if (Opts.FailFast && !R.Sound)
-      return Summary;
+const char *statusName(const checker::ObligationResult &Ob) {
+  switch (Ob.St) {
+  case checker::ObligationResult::Status::OS_Proven:
+    return "proven";
+  case checker::ObligationResult::Status::OS_Failed:
+    return "failed";
+  case checker::ObligationResult::Status::OS_Unknown:
+    return "unknown";
   }
-  for (const Optimization &O : Module.Optimizations) {
-    checker::CheckReport R = Checker.checkOptimization(O);
-    // The optimization's guarantee is conditional on its assumed
-    // analyses being proven themselves.
-    bool AnalysesOk = true;
-    for (const std::string &Dep : R.AssumedAnalyses)
-      AnalysesOk = AnalysesOk && Summary.ProvenAnalyses.count(Dep) != 0;
-    if (R.Sound && AnalysesOk)
-      Summary.ProvenOptimizations.insert(O.Name);
-    else if (R.Sound && !AnalysesOk)
+  return "unknown";
+}
+
+void emitDefinitionsJson(std::string &Out,
+                         const std::vector<checker::CheckReport> &Reports) {
+  Out += "  \"definitions\": [";
+  for (size_t I = 0; I < Reports.size(); ++I) {
+    const checker::CheckReport &R = Reports[I];
+    Out += I ? ",\n    {" : "\n    {";
+    Out += "\"name\": \"" + jsonEscape(R.Name) + "\"";
+    Out += ", \"verdict\": \"" + std::string(verdictName(R)) + "\"";
+    Out += ", \"cached\": ";
+    Out += R.CacheHit ? "true" : "false";
+    Out += ", \"degradation\": \"" +
+           std::string(support::errorKindName(R.Degradation)) + "\"";
+    Out += ", \"assumed_analyses\": [";
+    for (size_t J = 0; J < R.AssumedAnalyses.size(); ++J) {
+      if (J)
+        Out += ", ";
+      Out += "\"" + jsonEscape(R.AssumedAnalyses[J]) + "\"";
+    }
+    Out += "], \"obligations\": [";
+    for (size_t J = 0; J < R.Obligations.size(); ++J) {
+      const checker::ObligationResult &Ob = R.Obligations[J];
+      if (J)
+        Out += ", ";
+      Out += "{\"name\": \"" + jsonEscape(Ob.Name) + "\"";
+      Out += ", \"status\": \"" + std::string(statusName(Ob)) + "\"";
+      Out += ", \"error\": \"" + std::string(Ob.Err.kindName()) + "\"";
+      if (!Ob.Err.Message.empty())
+        Out += ", \"reason\": \"" + jsonEscape(Ob.Err.Message) + "\"";
+      if (!Ob.Counterexample.empty())
+        Out += ", \"counterexample\": \"" + jsonEscape(Ob.Counterexample) +
+               "\"";
+      Out += "}";
+    }
+    Out += "]}";
+  }
+  Out += "\n  ]";
+}
+
+void emitPipelineJson(std::string &Out,
+                      const std::vector<engine::PassReport> &Reports) {
+  Out += "  \"pipeline\": [";
+  for (size_t I = 0; I < Reports.size(); ++I) {
+    const engine::PassReport &R = Reports[I];
+    Out += I ? ",\n    {" : "\n    {";
+    Out += "\"pass\": \"" + jsonEscape(R.PassName) + "\"";
+    Out += ", \"proc\": \"" + jsonEscape(R.ProcName) + "\"";
+    Out += ", \"applied\": " + std::to_string(R.AppliedCount);
+    Out += ", \"error\": \"" + std::string(R.Err.kindName()) + "\"";
+    if (!R.Err.Message.empty())
+      Out += ", \"detail\": \"" + jsonEscape(R.Err.Message) + "\"";
+    Out += ", \"rolled_back\": ";
+    Out += R.RolledBack ? "true" : "false";
+    Out += ", \"quarantined\": ";
+    Out += R.Quarantined ? "true" : "false";
+    Out += "}";
+  }
+  Out += "\n  ]";
+}
+
+//===----------------------------------------------------------------------===//
+// Checking.
+//===----------------------------------------------------------------------===//
+
+/// Prints the human-readable per-definition verdict line(s).
+void printReport(const checker::CheckReport &R) {
+  const char *VerdictText = "SOUND";
+  if (R.V == checker::CheckReport::Verdict::V_Unsound)
+    VerdictText = "REJECTED";
+  else if (R.V == checker::CheckReport::Verdict::V_Unproven)
+    VerdictText = "UNPROVEN";
+  std::printf("  %-24s %-10s %zu obligations, %.2f s%s\n", R.Name.c_str(),
+              VerdictText, R.Obligations.size(), R.TotalSeconds,
+              R.CacheHit ? " (cached)" : "");
+  for (const auto &Ob : R.Obligations) {
+    if (Ob.St == checker::ObligationResult::Status::OS_Failed)
+      std::printf("      %s failed%s%s\n", Ob.Name.c_str(),
+                  Ob.Counterexample.empty() ? "" : ": ",
+                  Ob.Counterexample.substr(0, 120).c_str());
+    else if (Ob.unknown())
+      std::printf("      %s undecided [%s]: %s\n", Ob.Name.c_str(),
+                  Ob.Err.kindName(), Ob.Err.Message.c_str());
+  }
+}
+
+/// Proves every registered definition. The default path batches all
+/// definitions through checkRegistered() (all obligations fan out over
+/// the pool at once); --fail-fast instead checks definitions one by one
+/// so it can stop at the first unproven one.
+api::SuiteResult checkModule(api::CobaltContext &Ctx,
+                             const CobaltModule &Module,
+                             const DriverOptions &Opts, bool Quiet) {
+  api::SuiteResult Summary;
+  if (!Opts.FailFast) {
+    Summary = Ctx.checkRegistered();
+    if (!Quiet)
+      for (const checker::CheckReport &R : Summary.Reports)
+        printReport(R);
+  } else {
+    for (const PureAnalysis &A : Module.Analyses) {
+      checker::CheckReport R = Ctx.check(A);
+      if (R.Sound)
+        Summary.ProvenAnalyses.insert(A.Name);
+      else if (R.unsound())
+        ++Summary.Unsound;
+      else
+        ++Summary.Unproven;
+      if (!Quiet)
+        printReport(R);
+      bool Stop = !R.Sound;
+      Summary.Reports.push_back(std::move(R));
+      if (Stop)
+        return Summary;
+    }
+    for (const Optimization &O : Module.Optimizations) {
+      checker::CheckReport R = Ctx.check(O);
+      bool AnalysesOk = true;
+      for (const std::string &Dep : R.AssumedAnalyses)
+        AnalysesOk =
+            AnalysesOk && Summary.ProvenAnalyses.count(Dep) != 0;
+      if (R.Sound && AnalysesOk)
+        Summary.ProvenOptimizations.insert(O.Name);
+      else if (R.Sound)
+        Summary.Conditional.push_back(O.Name);
+      if (R.unsound())
+        ++Summary.Unsound;
+      else if (!R.Sound)
+        ++Summary.Unproven;
+      if (!Quiet)
+        printReport(R);
+      bool Stop = !R.Sound;
+      Summary.Reports.push_back(std::move(R));
+      if (Stop)
+        return Summary;
+    }
+  }
+  if (!Quiet)
+    for (const std::string &Name : Summary.Conditional)
       std::printf("  %-24s note: proven, but an assumed analysis is "
                   "not — treated as unproven\n",
-                  O.Name.c_str());
-    Report(R);
-    if (Opts.FailFast && !R.Sound)
-      return Summary;
-  }
+                  Name.c_str());
   return Summary;
 }
 
-int exitCodeFor(const CheckSummary &Summary, bool PipelineDegraded) {
+int exitCodeFor(const api::SuiteResult &Summary, bool PipelineDegraded) {
   if (Summary.Unsound > 0)
     return ExitRejected;
   if (Summary.Unproven > 0 || PipelineDegraded)
@@ -240,18 +363,37 @@ int exitCodeFor(const CheckSummary &Summary, bool PipelineDegraded) {
   return ExitAllSound;
 }
 
+//===----------------------------------------------------------------------===//
+// Subcommands.
+//===----------------------------------------------------------------------===//
+
 int cmdCheck(const char *ModulePath, const DriverOptions &Opts) {
-  DiagnosticEngine Diags;
-  auto Module = loadModule(ModulePath, Diags);
+  api::CobaltContext Ctx(Opts.Config);
+  auto Module = Ctx.loadModuleFile(ModulePath);
   if (!Module) {
-    std::fprintf(stderr, "%s\n", Diags.str().c_str());
+    std::fprintf(stderr, "%s\n", Module.error().str().c_str());
     return ExitUsage;
   }
-  std::printf("checking %zu label(s), %zu analysis(es), %zu "
-              "optimization(s) from %s:\n",
-              Module->Labels.size(), Module->Analyses.size(),
-              Module->Optimizations.size(), ModulePath);
-  CheckSummary Summary = checkModule(*Module, Opts);
+  CobaltModule Defs = *Module; // names kept for --fail-fast iteration
+  Ctx.addModule(std::move(*Module));
+
+  if (!Opts.ReportJson)
+    std::printf("checking %zu label(s), %zu analysis(es), %zu "
+                "optimization(s) from %s:\n",
+                Defs.Labels.size(), Defs.Analyses.size(),
+                Defs.Optimizations.size(), ModulePath);
+  api::SuiteResult Summary =
+      checkModule(Ctx, Defs, Opts, /*Quiet=*/Opts.ReportJson);
+  int Exit = exitCodeFor(Summary, /*PipelineDegraded=*/false);
+
+  if (Opts.ReportJson) {
+    std::string Out = "{\n  \"command\": \"check\",\n";
+    emitDefinitionsJson(Out, Summary.Reports);
+    Out += ",\n  \"exit\": " + std::to_string(Exit) + "\n}\n";
+    std::fputs(Out.c_str(), stdout);
+    return Exit;
+  }
+
   if (Summary.Unsound > 0)
     std::printf("REJECTED definitions present\n");
   else if (Summary.Unproven > 0)
@@ -260,90 +402,151 @@ int cmdCheck(const char *ModulePath, const DriverOptions &Opts) {
                 Summary.Unproven);
   else
     std::printf("all definitions proven sound\n");
-  return exitCodeFor(Summary, /*PipelineDegraded=*/false);
+  return Exit;
 }
 
-int cmdRun(const char *ModulePath, const char *ProgramPath,
-           const char *InputText, const DriverOptions &Opts) {
-  DiagnosticEngine Diags;
-  auto Module = loadModule(ModulePath, Diags);
+/// The shared check-gate-optimize front half of `opt` and `run`.
+/// Returns nullopt when the pipeline must not run (refusal or input
+/// error); the exit code is then in \p Exit.
+struct GatedPipeline {
+  api::SuiteResult Summary;
+  api::PipelineResult Pipeline;
+  ir::Program Prog;
+  unsigned Skipped = 0;
+};
+
+std::optional<GatedPipeline> gateAndOptimize(api::CobaltContext &Ctx,
+                                             const char *ModulePath,
+                                             const char *ProgramPath,
+                                             const DriverOptions &Opts,
+                                             int &Exit) {
+  auto Module = Ctx.loadModuleFile(ModulePath);
   if (!Module) {
-    std::fprintf(stderr, "%s\n", Diags.str().c_str());
-    return ExitUsage;
+    std::fprintf(stderr, "%s\n", Module.error().str().c_str());
+    Exit = ExitUsage;
+    return std::nullopt;
   }
-  auto ProgramText = readFile(ProgramPath);
-  if (!ProgramText) {
-    std::fprintf(stderr, "cannot read '%s'\n", ProgramPath);
-    return ExitUsage;
-  }
-  DiagnosticEngine ProgDiags;
-  auto Prog = ir::parseProgram(*ProgramText, ProgDiags);
+  auto Prog = Ctx.loadProgramFile(ProgramPath);
   if (!Prog) {
     std::fprintf(stderr, "%s: %s\n", ProgramPath,
-                 ProgDiags.str().c_str());
-    return ExitUsage;
+                 Prog.error().str().c_str());
+    Exit = ExitUsage;
+    return std::nullopt;
   }
+  CobaltModule Defs = *Module;
+  Ctx.addModule(std::move(*Module));
 
-  std::printf("== soundness gate ==\n");
-  CheckSummary Summary = checkModule(*Module, Opts);
-  bool AllProven =
-      Summary.Unsound == 0 && Summary.Unproven == 0 &&
-      Summary.ProvenOptimizations.size() == Module->Optimizations.size();
+  if (!Opts.ReportJson)
+    std::printf("== soundness gate ==\n");
+  GatedPipeline G;
+  G.Prog = std::move(*Prog);
+  G.Summary = checkModule(Ctx, Defs, Opts, /*Quiet=*/Opts.ReportJson);
+
+  size_t Total = Defs.Analyses.size() + Defs.Optimizations.size();
+  size_t Proven = G.Summary.ProvenAnalyses.size() +
+                  G.Summary.ProvenOptimizations.size();
+  bool AllProven = G.Summary.Unsound == 0 && G.Summary.Unproven == 0 &&
+                   Proven == Total;
   if (!AllProven && !Opts.KeepGoing) {
     std::fprintf(stderr,
                  "refusing to run: module contains %s definitions "
                  "(use --keep-going to apply the proven subset)\n",
-                 Summary.Unsound > 0 ? "rejected" : "unproven");
-    return exitCodeFor(Summary, /*PipelineDegraded=*/false);
+                 G.Summary.Unsound > 0 ? "rejected" : "unproven");
+    Exit = exitCodeFor(G.Summary, /*PipelineDegraded=*/false);
+    return std::nullopt;
   }
-  if (!AllProven)
+  if (!AllProven && !Opts.ReportJson)
     std::printf("\n== keep-going: applying the proven subset only ==\n");
+  G.Skipped = static_cast<unsigned>(Total - Proven);
+  if (G.Skipped && !Opts.ReportJson)
+    std::printf("  skipped %u unproven definition(s)\n", G.Skipped);
+
+  if (!Opts.ReportJson)
+    std::printf("\n== optimizing ==\n");
+  G.Pipeline = Ctx.runPipeline(G.Prog, G.Summary.provenPassNames());
+  if (!Opts.ReportJson) {
+    for (const engine::PassReport &R : G.Pipeline.Reports) {
+      if (R.AppliedCount)
+        std::printf("  %-24s %-10s rewrote %u site(s)\n",
+                    R.PassName.c_str(), R.ProcName.c_str(),
+                    R.AppliedCount);
+      if (R.failed())
+        std::printf("  %-24s %-10s %s [%s]%s%s\n", R.PassName.c_str(),
+                    R.ProcName.c_str(),
+                    R.Quarantined ? "quarantined" : "FAILED",
+                    R.Err.kindName(),
+                    R.RolledBack ? ", rolled back" : "",
+                    R.Err.Message.empty()
+                        ? ""
+                        : (": " + R.Err.Message).c_str());
+    }
+    std::printf("  total rewrites: %u\n", G.Pipeline.Applied);
+  }
+  Exit = exitCodeFor(G.Summary, G.Pipeline.Degraded);
+  return G;
+}
+
+int cmdOpt(const char *ModulePath, const char *ProgramPath,
+           const DriverOptions &Opts) {
+  api::CobaltContext Ctx(Opts.Config);
+  int Exit = ExitAllSound;
+  auto G = gateAndOptimize(Ctx, ModulePath, ProgramPath, Opts, Exit);
+  if (!G)
+    return Exit;
+
+  if (Opts.ReportJson) {
+    std::string Out = "{\n  \"command\": \"opt\",\n";
+    emitDefinitionsJson(Out, G->Summary.Reports);
+    Out += ",\n";
+    emitPipelineJson(Out, G->Pipeline.Reports);
+    Out += ",\n  \"optimized_il\": \"" +
+           jsonEscape(ir::toString(G->Prog)) + "\"";
+    Out += ",\n  \"exit\": " + std::to_string(Exit) + "\n}\n";
+    std::fputs(Out.c_str(), stdout);
+    return Exit;
+  }
+  std::printf("\n%s\n", ir::toString(G->Prog).c_str());
+  return Exit;
+}
+
+int cmdRun(const char *ModulePath, const char *ProgramPath,
+           const char *InputText, const DriverOptions &Opts) {
+  api::CobaltContext Ctx(Opts.Config);
+  int Exit = ExitAllSound;
+
+  // Keep the pristine program for the before/after comparison.
+  auto Original = Ctx.loadProgramFile(ProgramPath);
+  auto G = gateAndOptimize(Ctx, ModulePath, ProgramPath, Opts, Exit);
+  if (!G)
+    return Exit;
+  if (!Original) {
+    std::fprintf(stderr, "%s: %s\n", ProgramPath,
+                 Original.error().str().c_str());
+    return ExitUsage;
+  }
 
   int64_t Input = InputText ? std::atoll(InputText) : 0;
-  ir::Program Original = *Prog;
-
-  engine::PassManager PM;
-  unsigned Skipped = 0;
-  for (PureAnalysis &A : Module->Analyses) {
-    if (Summary.ProvenAnalyses.count(A.Name))
-      PM.addAnalysis(std::move(A));
-    else
-      ++Skipped;
-  }
-  for (Optimization &O : Module->Optimizations) {
-    if (Summary.ProvenOptimizations.count(O.Name))
-      PM.addOptimization(std::move(O));
-    else
-      ++Skipped;
-  }
-  if (Skipped)
-    std::printf("  skipped %u unproven definition(s)\n", Skipped);
-
-  std::printf("\n== optimizing ==\n");
-  unsigned Applied = 0;
-  for (const engine::PassReport &R : PM.run(*Prog)) {
-    if (R.AppliedCount)
-      std::printf("  %-24s %-10s rewrote %u site(s)\n", R.PassName.c_str(),
-                  R.ProcName.c_str(), R.AppliedCount);
-    if (R.failed())
-      std::printf("  %-24s %-10s %s [%s]%s%s\n", R.PassName.c_str(),
-                  R.ProcName.c_str(),
-                  R.Quarantined ? "quarantined" : "FAILED",
-                  support::errorKindName(R.Error),
-                  R.RolledBack ? ", rolled back" : "",
-                  R.ErrorDetail.empty() ? ""
-                                        : (": " + R.ErrorDetail).c_str());
-    Applied += R.AppliedCount;
-  }
-  std::printf("  total rewrites: %u\n\n%s\n", Applied,
-              ir::toString(*Prog).c_str());
-
-  ir::Interpreter IO(Original), IT(*Prog);
+  ir::Interpreter IO(*Original), IT(G->Prog);
   ir::RunResult RO = IO.run(Input), RT = IT.run(Input);
+
+  if (Opts.ReportJson) {
+    std::string Out = "{\n  \"command\": \"run\",\n";
+    emitDefinitionsJson(Out, G->Summary.Reports);
+    Out += ",\n";
+    emitPipelineJson(Out, G->Pipeline.Reports);
+    Out += ",\n  \"input\": " + std::to_string(Input);
+    Out += ",\n  \"original_result\": \"" + jsonEscape(RO.str()) + "\"";
+    Out += ",\n  \"optimized_result\": \"" + jsonEscape(RT.str()) + "\"";
+    Out += ",\n  \"exit\": " + std::to_string(Exit) + "\n}\n";
+    std::fputs(Out.c_str(), stdout);
+    return Exit;
+  }
+
+  std::printf("\n%s\n", ir::toString(G->Prog).c_str());
   std::printf("main(%lld): original %s, optimized %s\n",
               static_cast<long long>(Input), RO.str().c_str(),
               RT.str().c_str());
-  return exitCodeFor(Summary, PM.lastRunDegraded());
+  return Exit;
 }
 
 } // namespace
@@ -371,6 +574,9 @@ int main(int Argc, char **Argv) {
   if (!Positional.empty() && std::strcmp(Positional[0], "check") == 0 &&
       Positional.size() == 2)
     return cmdCheck(Positional[1], Opts);
+  if (!Positional.empty() && std::strcmp(Positional[0], "opt") == 0 &&
+      Positional.size() == 3)
+    return cmdOpt(Positional[1], Positional[2], Opts);
   if (!Positional.empty() && std::strcmp(Positional[0], "run") == 0 &&
       (Positional.size() == 3 || Positional.size() == 4))
     return cmdRun(Positional[1], Positional[2],
