@@ -31,6 +31,7 @@
 #include "opts/Labels.h"
 #include "opts/Optimizations.h"
 #include "support/FaultInjection.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
@@ -104,6 +105,12 @@ struct CacheRun {
   double ColdSeconds = 0.0;
   double WarmSeconds = 0.0;
   unsigned WarmHits = 0;
+  /// Cache traffic as the metrics registry saw it (cold + warm run):
+  /// verdict-level hits/misses and disk-level hits/stores.
+  uint64_t VerdictHits = 0;
+  uint64_t VerdictMisses = 0;
+  uint64_t DiskHits = 0;
+  uint64_t DiskStores = 0;
 };
 
 /// Cold check into an empty persistent cache, then a rerun from a fresh
@@ -116,6 +123,10 @@ CacheRun runCacheSeries() {
 
   LabelRegistry Registry = makeRegistry();
   CacheRun Run;
+  // One telemetry session across both runs: its counters double-check
+  // the wall-clock story (the warm rerun must be all hits, no stores).
+  support::Telemetry Telem;
+  support::TelemetryScope Scope(&Telem);
   {
     SoundnessChecker Cold(Registry, opts::allAnalyses());
     Cold.setCacheDir(Dir.string());
@@ -131,6 +142,10 @@ CacheRun runCacheSeries() {
     Run.WarmSeconds = secondsSince(Start);
     Run.WarmHits = Warm.cacheHits();
   }
+  Run.VerdictHits = Telem.Metrics.counter("checker.cache.hits");
+  Run.VerdictMisses = Telem.Metrics.counter("checker.cache.misses");
+  Run.DiskHits = Telem.Metrics.counter("cache.disk.hits");
+  Run.DiskStores = Telem.Metrics.counter("cache.disk.stores");
   fs::remove_all(Dir);
   return Run;
 }
@@ -165,6 +180,12 @@ int main() {
               "%u hits)\n",
               Cache.ColdSeconds, Cache.WarmSeconds, WarmRatio * 100.0,
               Cache.WarmHits);
+  std::printf("cache metrics: %llu verdict hits / %llu misses, "
+              "%llu disk hits, %llu disk stores\n",
+              static_cast<unsigned long long>(Cache.VerdictHits),
+              static_cast<unsigned long long>(Cache.VerdictMisses),
+              static_cast<unsigned long long>(Cache.DiskHits),
+              static_cast<unsigned long long>(Cache.DiskStores));
 
   bool ScalingOk = SpeedupAt4 >= 2.0;
   bool CacheOk = WarmRatio < 0.25;
@@ -189,11 +210,19 @@ int main() {
                  "  ],\n  \"cache\": {\"cold_seconds\": %.3f, "
                  "\"warm_seconds\": %.3f, \"warm_ratio\": %.3f, "
                  "\"warm_hits\": %u},\n"
+                 "  \"cache_metrics\": {\"verdict_hits\": %llu, "
+                 "\"verdict_misses\": %llu, \"disk_hits\": %llu, "
+                 "\"disk_stores\": %llu},\n"
                  "  \"gates\": {\"speedup_at_4_min\": 2.0, "
                  "\"speedup_at_4\": %.2f, \"warm_ratio_max\": 0.25, "
                  "\"warm_ratio\": %.3f, \"pass\": %s}\n}\n",
                  Cache.ColdSeconds, Cache.WarmSeconds, WarmRatio,
-                 Cache.WarmHits, SpeedupAt4, WarmRatio,
+                 Cache.WarmHits,
+                 static_cast<unsigned long long>(Cache.VerdictHits),
+                 static_cast<unsigned long long>(Cache.VerdictMisses),
+                 static_cast<unsigned long long>(Cache.DiskHits),
+                 static_cast<unsigned long long>(Cache.DiskStores),
+                 SpeedupAt4, WarmRatio,
                  ScalingOk && CacheOk ? "true" : "false");
     std::fclose(Json);
     std::printf("wrote BENCH_parallel.json\n");

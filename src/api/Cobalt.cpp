@@ -20,6 +20,26 @@ using support::ErrorKind;
 CobaltContext::CobaltContext(CobaltConfig Config)
     : Config(std::move(Config)),
       Pool(std::make_unique<support::ThreadPool>(this->Config.Jobs)) {
+  if (this->Config.Telemetry && support::telemetryCompiledIn()) {
+    Telem = std::make_unique<support::Telemetry>();
+    // Pre-register the headline counters at zero so every metrics dump
+    // carries the full schema — a check-only run still shows
+    // engine.rollbacks: 0 rather than omitting the key.
+    static const char *const Headline[] = {
+        "checker.obligations",     "checker.obligations.proven",
+        "checker.obligations.failed", "checker.obligations.unknown",
+        "checker.retries",         "checker.rlimit_spent",
+        "checker.cache.hits",      "checker.cache.misses",
+        "cache.disk.hits",         "cache.disk.misses",
+        "cache.disk.stores",       "engine.procs",
+        "engine.passes",           "engine.rewrites",
+        "engine.rollbacks",        "engine.pass_failures",
+        "engine.quarantine_skips", "dataflow.solves",
+        "dataflow.fixpoint_iters", "dataflow.meet_dropped",
+        "dataflow.psi2_dropped"};
+    for (const char *Name : Headline)
+      Telem->Metrics.add(Name, 0);
+  }
   PM.setTxPolicy(this->Config.Tx);
   PM.setThreadPool(Pool.get());
 }
@@ -134,16 +154,19 @@ unsigned CobaltContext::cacheHits() const {
 
 checker::CheckReport CobaltContext::check(const Optimization &O) {
   ensureChecker();
+  support::TelemetryScope Scope(Telem.get());
   return Checker->checkOptimization(O);
 }
 
 checker::CheckReport CobaltContext::check(const PureAnalysis &A) {
   ensureChecker();
+  support::TelemetryScope Scope(Telem.get());
   return Checker->checkAnalysis(A);
 }
 
 SuiteResult CobaltContext::checkRegistered() {
   ensureChecker();
+  support::TelemetryScope Scope(Telem.get());
   SuiteResult S;
   S.Reports = Checker->checkSuite(Analyses, Optimizations);
   for (size_t I = 0; I < S.Reports.size(); ++I) {
@@ -189,16 +212,34 @@ PipelineResult summarize(std::vector<engine::PassReport> Reports,
 
 } // namespace
 
+void CobaltContext::deliverRemarks(
+    const std::vector<engine::PassReport> &Reports) {
+  if (!RemarkFn)
+    return;
+  // Reports are already merged in deterministic (procedure, pass) order,
+  // and this runs on the driving thread after the parallel section — so
+  // the callback sees the same remark sequence at every --jobs width.
+  for (const engine::PassReport &R : Reports)
+    for (const support::Remark &Rem : R.Remarks)
+      RemarkFn(Rem);
+}
+
 PipelineResult CobaltContext::runPipeline(ir::Program &Prog) {
+  support::TelemetryScope Scope(Telem.get());
   // The run must happen before lastRunDegraded() is read; argument
   // evaluation order would not guarantee that inline.
   std::vector<engine::PassReport> Reports = PM.run(Prog);
-  return summarize(std::move(Reports), PM.lastRunDegraded());
+  PipelineResult Result = summarize(std::move(Reports), PM.lastRunDegraded());
+  deliverRemarks(Result.Reports);
+  return Result;
 }
 
 PipelineResult
 CobaltContext::runPipeline(ir::Program &Prog,
                            const std::vector<std::string> &PassNames) {
+  support::TelemetryScope Scope(Telem.get());
   std::vector<engine::PassReport> Reports = PM.runSelected(PassNames, Prog);
-  return summarize(std::move(Reports), PM.lastRunDegraded());
+  PipelineResult Result = summarize(std::move(Reports), PM.lastRunDegraded());
+  deliverRemarks(Result.Reports);
+  return Result;
 }

@@ -43,7 +43,9 @@
 #include "engine/PassManager.h"
 #include "ir/Ast.h"
 #include "support/Expected.h"
+#include "support/Telemetry.h"
 
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -70,6 +72,12 @@ struct CobaltConfig {
   /// (see support::PersistentCache). Unusable directories degrade to the
   /// in-memory cache, they are never an error.
   std::string CacheDir;
+  /// Collect metrics and trace spans for this context's operations (the
+  /// substrate behind cobaltc --trace-out/--metrics-out). Off by
+  /// default: with it off, instrumentation sites cost one relaxed atomic
+  /// load each. Ignored (always off) when the telemetry layer was
+  /// compiled out with -DCOBALT_TELEMETRY=OFF.
+  bool Telemetry = false;
 };
 
 /// Outcome of proving every registered definition.
@@ -175,11 +183,33 @@ public:
   unsigned cacheHits() const;
   /// @}
 
+  /// \name Observability (DESIGN.md §9).
+  /// @{
+
+  /// The context's telemetry session (metrics + trace), or nullptr when
+  /// Config.Telemetry is off. Accumulates across all operations of this
+  /// context; dump with telemetry()->Metrics.json() /
+  /// telemetry()->Trace.json().
+  support::Telemetry *telemetry() { return Telem.get(); }
+
+  /// Remark delivery: after every check/runPipeline-family call, each
+  /// support::Remark produced by the run is passed to \p Fn on the
+  /// driving thread, in deterministic report order (independent of
+  /// Config.Jobs). Remarks flow regardless of Config.Telemetry — they
+  /// are pipeline data, not instrumentation. Pass nullptr to detach.
+  void setRemarkCallback(std::function<void(const support::Remark &)> Fn) {
+    RemarkFn = std::move(Fn);
+  }
+  /// @}
+
 private:
   void ensureChecker();
   support::Expected<std::string> readFile(const std::string &Path);
+  void deliverRemarks(const std::vector<engine::PassReport> &Reports);
 
   CobaltConfig Config;
+  std::unique_ptr<support::Telemetry> Telem;
+  std::function<void(const support::Remark &)> RemarkFn;
   std::unique_ptr<support::ThreadPool> Pool;
   engine::PassManager PM;
   /// Registered definitions, kept here because the checker fingerprints

@@ -10,6 +10,7 @@
 #include "checker/PatternEncoder.h"
 #include "ir/Printer.h"
 #include "support/FaultInjection.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
@@ -264,6 +265,12 @@ private:
     }
 
     z3::check_result CR = S.check();
+    // Z3's "rlimit count" is the deterministic spend of this query;
+    // accumulate it across attempts and modes as the obligation's cost.
+    z3::stats Stats = S.statistics();
+    for (unsigned I = 0; I < Stats.size(); ++I)
+      if (Stats.is_uint(I) && Stats.key(I) == "rlimit count")
+        R.RlimitSpent += Stats.uint_value(I);
     if (CR == z3::unknown && ReasonUnknown)
       *ReasonUnknown = S.reason_unknown();
     // A closed-domain unsat does not prove the obligation (the closure
@@ -447,7 +454,7 @@ std::string unescapeLine(const std::string &S) {
 
 std::string checker::serializeCheckReport(const CheckReport &R) {
   std::ostringstream Out;
-  Out << "report 1\n";
+  Out << "report 2\n";
   Out << "name " << escapeLine(R.Name) << "\n";
   Out << "verdict "
       << (R.V == CheckReport::Verdict::V_Sound     ? "sound"
@@ -468,6 +475,7 @@ std::string checker::serializeCheckReport(const CheckReport &R) {
     if (!Ob.Err.Message.empty())
       Out << " errmsg " << escapeLine(Ob.Err.Message) << "\n";
     Out << " attempts " << Ob.Attempts << "\n";
+    Out << " rlimit " << Ob.RlimitSpent << "\n";
     if (!Ob.Counterexample.empty())
       Out << " cex " << escapeLine(Ob.Counterexample) << "\n";
   }
@@ -478,7 +486,7 @@ std::optional<CheckReport>
 checker::deserializeCheckReport(const std::string &Text) {
   std::istringstream In(Text);
   std::string Line;
-  if (!std::getline(In, Line) || Line != "report 1")
+  if (!std::getline(In, Line) || Line != "report 2")
     return std::nullopt;
 
   CheckReport R;
@@ -533,6 +541,8 @@ checker::deserializeCheckReport(const std::string &Text) {
     } else if (Key == "attempts") {
       Cur->Attempts =
           static_cast<unsigned>(std::strtoul(Val.c_str(), nullptr, 10));
+    } else if (Key == "rlimit") {
+      Cur->RlimitSpent = std::strtoull(Val.c_str(), nullptr, 10);
     } else if (Key == "cex") {
       Cur->Counterexample = unescapeLine(Val);
     } else {
@@ -607,7 +617,8 @@ uint64_t SoundnessChecker::fingerprintAnalysis(const PureAnalysis &A) const {
 bool SoundnessChecker::setCacheDir(const std::string &Dir) {
   // Version bumps orphan (rather than misread) old entries; bump it when
   // serializeCheckReport's format or the fingerprint recipe changes.
-  return Disk.open(Dir, "verdict", /*Version=*/1);
+  // v2: per-obligation rlimit spend.
+  return Disk.open(Dir, "verdict", /*Version=*/2);
 }
 
 void SoundnessChecker::clearCache() {
@@ -622,6 +633,7 @@ bool SoundnessChecker::cacheLookup(uint64_t Key, CheckReport &Out) {
     if (It != Cache.end()) {
       Out = It->second;
       ++CacheHits;
+      support::metricAdd("checker.cache.hits");
       return true;
     }
   }
@@ -631,11 +643,13 @@ bool SoundnessChecker::cacheLookup(uint64_t Key, CheckReport &Out) {
         std::lock_guard<std::mutex> Lock(CacheMutex);
         Cache[Key] = *R;
         ++CacheHits;
+        support::metricAdd("checker.cache.hits");
         Out = std::move(*R);
         return true;
       }
     }
   }
+  support::metricAdd("checker.cache.misses");
   return false;
 }
 
@@ -969,16 +983,54 @@ CheckReport SoundnessChecker::checkAnalysis(const PureAnalysis &A) {
 // Execution: sequential or fanned into the thread pool.
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// Finalizes one obligation's telemetry: outcome args on its span plus
+/// the checker.* counters. All values are deterministic except the
+/// prover_seconds histogram (wall time, humans-only).
+void recordObligation(const ObligationResult &R, support::TraceSpan &Span) {
+  const char *Verdict = R.proven()              ? "proven"
+                        : R.St == ObligationResult::Status::OS_Failed
+                            ? "failed"
+                            : "unknown";
+  if (Span.enabled()) {
+    Span.arg("verdict", std::string(Verdict));
+    Span.arg("attempts", static_cast<uint64_t>(R.Attempts));
+    Span.arg("rlimit", R.RlimitSpent);
+  }
+  if (support::Telemetry *T = support::Telemetry::active()) {
+    T->Metrics.add("checker.obligations");
+    T->Metrics.add(std::string("checker.obligations.") + Verdict);
+    if (R.Attempts > 1)
+      T->Metrics.add("checker.retries", R.Attempts - 1);
+    if (R.RlimitSpent)
+      T->Metrics.add("checker.rlimit_spent", R.RlimitSpent);
+    T->Metrics.observe("checker.prover_seconds", R.Seconds);
+  }
+}
+
+} // namespace
+
 std::vector<CheckReport>
 SoundnessChecker::runPrepared(std::vector<PreparedCheck> Checks) {
+  support::TraceSpan SuiteSpan("checker", "checkSuite");
+  if (SuiteSpan.enabled())
+    SuiteSpan.arg("definitions", static_cast<uint64_t>(Checks.size()));
   // Flatten every definition's tasks into one job list so one slow
   // obligation does not serialize the definitions behind it.
   std::vector<std::pair<size_t, size_t>> Flat;
   auto Now = std::chrono::steady_clock::now();
   for (size_t CI = 0; CI < Checks.size(); ++CI) {
     Checks[CI].Start = Now;
-    if (Checks[CI].CacheHit)
+    if (Checks[CI].CacheHit) {
+      // A definition served from the verdict cache still shows up in the
+      // trace (as an instant-ish span) so cached and fresh runs have
+      // recognizably different span sets.
+      support::TraceSpan Cached("checker", "check.cached");
+      if (Cached.enabled())
+        Cached.arg("def", Checks[CI].Report.Name);
       continue;
+    }
     for (size_t TI = 0; TI < Checks[CI].Tasks.size(); ++TI)
       Flat.emplace_back(CI, TI);
   }
@@ -987,6 +1039,14 @@ SoundnessChecker::runPrepared(std::vector<PreparedCheck> Checks) {
     auto [CI, TI] = Flat[Idx];
     PreparedCheck &PC = Checks[CI];
     ObligationTask &T = PC.Tasks[TI];
+    // Per-obligation span: one lane-local event per prover job, with
+    // deterministic args only (verdict, attempts, rlimit — wall time
+    // lives in the span duration, which equivalence tests ignore).
+    support::TraceSpan Span("checker", "obligation");
+    if (Span.enabled()) {
+      Span.arg("def", PC.Report.Name);
+      Span.arg("ob", T.Name);
+    }
     // Fault decisions inside this job are keyed on its stable
     // fingerprint, so `--jobs 8` fires exactly the faults `--jobs 1`
     // does regardless of scheduling.
@@ -1001,12 +1061,14 @@ SoundnessChecker::runPrepared(std::vector<PreparedCheck> Checks) {
           0, static_cast<int64_t>(Policy.BudgetMs) - Elapsed);
       if (Left == 0) {
         T.Result = budgetExhausted(T.Name);
+        recordObligation(T.Result, Span);
         return;
       }
     }
     ObligationBuilder B(Registry, *PC.ByLabel);
     z3::expr Goal = T.Build(B);
     T.Result = B.check(T.Name, Goal, Policy, Left);
+    recordObligation(T.Result, Span);
   };
 
   // Inline-mode pools and the no-pool case both run the flat list in

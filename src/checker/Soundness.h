@@ -80,6 +80,10 @@ struct ObligationResult {
   support::Error Err;
   double Seconds = 0.0;
   unsigned Attempts = 0; ///< Solver attempts made (retry escalation).
+  /// Z3 "rlimit count" consumed across all attempts — the prover's
+  /// deterministic spend measure (wall time carries scheduler noise,
+  /// rlimit does not). 0 when the solver never ran or Z3 reports none.
+  uint64_t RlimitSpent = 0;
   /// Model summary; nonempty only when St == OS_Failed.
   std::string Counterexample;
 

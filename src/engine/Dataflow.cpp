@@ -6,6 +6,8 @@
 
 #include "engine/Dataflow.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <deque>
 
@@ -153,6 +155,12 @@ GuardSolution engine::solveGuard(Direction Dir, const Guard &Gd,
     std::reverse(Rpo.begin(), Rpo.end());
   }
 
+  // Deterministic solve-shape counters (identical across --jobs widths):
+  // facts dropped by the ∩ meet vs the first predecessor's OUT, and
+  // facts dropped because ψ2 failed to hold.
+  uint64_t MeetDropped = 0;
+  uint64_t Psi2Dropped = 0;
+
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -163,11 +171,13 @@ GuardSolution engine::solveGuard(Direction Dir, const Guard &Gd,
       std::set<Substitution> In;
       if (!View.isRoot(I)) {
         bool First = true;
+        size_t InitialIn = 0;
         for (int Pd : View.flowPreds(I)) {
           if (!Live[Pd])
             continue; // no constraining path through a dead node
           if (First) {
             In = Out[Pd];
+            InitialIn = In.size();
             First = false;
           } else {
             std::set<Substitution> Tmp;
@@ -181,6 +191,7 @@ GuardSolution engine::solveGuard(Direction Dir, const Guard &Gd,
         }
         // A live non-root node always has at least one live flow-pred
         // (it was reached from a root), so First is false here.
+        MeetDropped += InitialIn - In.size();
       }
       Sol.AtNode[I] = In;
 
@@ -189,12 +200,25 @@ GuardSolution engine::solveGuard(Direction Dir, const Guard &Gd,
       for (const Substitution &Theta : In)
         if (survivesPsi2(I, Theta))
           NewOut.insert(Theta);
+        else
+          ++Psi2Dropped;
 
       if (NewOut != Out[I]) {
         Out[I] = std::move(NewOut);
         Changed = true;
       }
     }
+  }
+
+  if (support::Telemetry *T = support::Telemetry::active()) {
+    T->Metrics.add("dataflow.solves");
+    T->Metrics.add("dataflow.fixpoint_iters", Sol.Iterations);
+    T->Metrics.add("dataflow.meet_dropped", MeetDropped);
+    T->Metrics.add("dataflow.psi2_dropped", Psi2Dropped);
+    for (int I = 0; I < N; ++I)
+      if (Live[I])
+        T->Metrics.observe("dataflow.subst_set_size",
+                           static_cast<double>(Sol.AtNode[I].size()));
   }
 
   return Sol;

@@ -46,7 +46,8 @@ std::vector<MatchSite> engine::computeDelta(const TransformationPattern &Pat,
 }
 
 unsigned engine::applySites(const Stmt &To, Procedure &P,
-                            const std::vector<MatchSite> &Sites) {
+                            const std::vector<MatchSite> &Sites,
+                            std::vector<int> *AppliedIndexOut) {
   std::set<int> Rewritten;
   unsigned Count = 0;
   for (const MatchSite &Site : Sites) {
@@ -60,6 +61,8 @@ unsigned engine::applySites(const Stmt &To, Procedure &P,
       continue; // already in the target form; not a change
     P.Stmts[Site.Index] = std::move(*NewStmt);
     ++Count;
+    if (AppliedIndexOut)
+      AppliedIndexOut->push_back(Site.Index);
     // Fault-injection point: die with the rewrite half-applied. This is
     // the worst-case engine failure (a partially transformed procedure)
     // and is what the transactional pass manager's snapshot/rollback is
@@ -90,7 +93,19 @@ RunStats engine::runOptimization(const Optimization &O, Procedure &P,
     if (Legal.count(Site))
       ToApply.push_back(std::move(Site));
 
-  Stats.AppliedCount = applySites(O.Pat.To, P, ToApply);
+  Stats.AppliedCount = applySites(O.Pat.To, P, ToApply,
+                                  &Stats.AppliedSites);
+
+  // Legal sites that did not result in a rewrite — the remarks stream's
+  // "missed" set. Δ is index-sorted, so this comes out sorted and
+  // deduplicated without further work.
+  std::set<int> Applied(Stats.AppliedSites.begin(),
+                        Stats.AppliedSites.end());
+  for (const MatchSite &Site : Delta)
+    if (!Applied.count(Site.Index) &&
+        (Stats.MissedSites.empty() ||
+         Stats.MissedSites.back() != Site.Index))
+      Stats.MissedSites.push_back(Site.Index);
   return Stats;
 }
 

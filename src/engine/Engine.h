@@ -31,6 +31,12 @@ struct RunStats {
   unsigned DeltaSize = 0;     ///< |Δ| (legal transformations).
   unsigned AppliedCount = 0;  ///< |choose(Δ, p) ∩ Δ|.
   unsigned FixpointIters = 0; ///< Worklist iterations of the guard solve.
+  /// Statement indices actually rewritten, in application order
+  /// (deduplicated — one winner per index), and legal Δ indices that
+  /// were *not* rewritten (choose declined, lost the per-index race, or
+  /// the instantiation failed). Feed the optimization-remarks stream.
+  std::vector<int> AppliedSites;
+  std::vector<int> MissedSites;
 };
 
 /// Computes Δ = [[O_pat]](p): all (ι, θ) where the guard holds at ι and
@@ -46,9 +52,12 @@ std::vector<MatchSite> computeDelta(const TransformationPattern &Pat,
 /// (ι, θ) ∈ Δ'. When several sites share an index, the first kept (the
 /// paper chooses nondeterministically; we pick the least substitution for
 /// reproducibility). Sites whose instantiation fails are skipped.
-/// Returns the number of statements rewritten.
+/// Returns the number of statements rewritten; when \p AppliedIndexOut
+/// is non-null the rewritten statement indices are appended to it in
+/// application order.
 unsigned applySites(const ir::Stmt &To, ir::Procedure &P,
-                    const std::vector<MatchSite> &Sites);
+                    const std::vector<MatchSite> &Sites,
+                    std::vector<int> *AppliedIndexOut = nullptr);
 
 /// Runs a complete optimization on one procedure (Definition 2):
 /// Δ := [[O_pat]](p); app(s', p, choose(Δ, p) ∩ Δ).

@@ -8,6 +8,7 @@
 
 #include "ir/Interp.h"
 #include "support/FaultInjection.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -225,6 +226,10 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
     ProcJob &Job = Jobs[PI];
     Job.Snapshot = Prog;
     Procedure &P = Job.Snapshot.Procs[PI];
+    support::TraceSpan ProcSpan("engine", "proc");
+    if (ProcSpan.enabled())
+      ProcSpan.arg("proc", P.Name);
+    support::metricAdd("engine.procs");
     // Fault decisions inside this job are keyed on the procedure name,
     // so `--jobs 8` fires exactly the faults `--jobs 1` does.
     support::ScopedFaultKey JobKey(hashProcName(P.Name));
@@ -260,10 +265,16 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
     for (const Pass &Ps : ToRun) {
       PassReport Report;
       Report.ProcName = P.Name;
+      support::TraceSpan PassSpan("engine", "pass");
+      support::metricAdd("engine.passes");
 
       if (Ps.IsAnalysis) {
         const PureAnalysis &A = Analyses[Ps.Index];
         Report.PassName = A.Name;
+        if (PassSpan.enabled()) {
+          PassSpan.arg("pass", A.Name);
+          PassSpan.arg("proc", P.Name);
+        }
         if (StartQuarantined(A.Name)) {
           Report.Quarantined = true;
           Report.Err = support::Error(
@@ -271,6 +282,9 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
               "skipped: quarantined after " +
                   std::to_string(StartFailureCount(A.Name)) +
                   " consecutive failures");
+          Report.Remarks.push_back({support::Remark::Kind::RK_Missed,
+                                    A.Name, P.Name, -1, "quarantined"});
+          support::metricAdd("engine.quarantine_skips");
           Job.Degraded = true;
           Reports.push_back(std::move(Report));
           continue;
@@ -286,8 +300,12 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
           if (Tx.Transactional) {
             Labels = std::move(LabelsSnapshot);
             Report.RolledBack = true;
+            support::metricAdd("engine.rollbacks");
           }
           Report.Err = support::Error(Kind, Detail);
+          Report.Remarks.push_back({support::Remark::Kind::RK_RolledBack,
+                                    A.Name, P.Name, -1, Detail});
+          support::metricAdd("engine.pass_failures");
           Job.Events.emplace_back(A.Name, /*Failed=*/true);
           Job.Degraded = true;
         };
@@ -308,6 +326,10 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
       } else {
         const Optimization &O = Optimizations[Ps.Index];
         Report.PassName = O.Name;
+        if (PassSpan.enabled()) {
+          PassSpan.arg("pass", O.Name);
+          PassSpan.arg("proc", P.Name);
+        }
         if (StartQuarantined(O.Name)) {
           Report.Quarantined = true;
           Report.Err = support::Error(
@@ -315,6 +337,9 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
               "skipped: quarantined after " +
                   std::to_string(StartFailureCount(O.Name)) +
                   " consecutive failures");
+          Report.Remarks.push_back({support::Remark::Kind::RK_Missed,
+                                    O.Name, P.Name, -1, "quarantined"});
+          support::metricAdd("engine.quarantine_skips");
           Job.Degraded = true;
           Reports.push_back(std::move(Report));
           continue;
@@ -340,8 +365,15 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
           if (Tx.Transactional) {
             P = std::move(Snapshot);
             Report.RolledBack = true;
+            support::metricAdd("engine.rollbacks");
           }
           Report.AppliedCount = 0;
+          // Any per-site remark recorded before the failure describes a
+          // rewrite that no longer exists after the rollback.
+          Report.Remarks.clear();
+          Report.Remarks.push_back({support::Remark::Kind::RK_RolledBack,
+                                    O.Name, P.Name, -1, Detail});
+          support::metricAdd("engine.pass_failures");
           Report.Err = support::Error(Kind, Detail);
           Job.Events.emplace_back(O.Name, /*Failed=*/true);
           Job.Degraded = true;
@@ -357,6 +389,22 @@ std::vector<PassReport> PassManager::runPasses(const std::vector<Pass> &ToRun,
               throw support::PassError(ErrorKind::EK_RewriteConflict,
                                        *Violation);
           Report.AppliedCount = Stats.AppliedCount;
+          for (int Site : Stats.AppliedSites)
+            Report.Remarks.push_back({support::Remark::Kind::RK_Passed,
+                                      O.Name, P.Name, Site,
+                                      "chosen and applied"});
+          for (int Site : Stats.MissedSites)
+            Report.Remarks.push_back(
+                {support::Remark::Kind::RK_Missed, O.Name, P.Name, Site,
+                 "legal site not rewritten (choose declined or lost "
+                 "the per-index tie)"});
+          if (Stats.AppliedCount > 0)
+            support::metricAdd("engine.rewrites", Stats.AppliedCount);
+          if (PassSpan.enabled()) {
+            PassSpan.arg("delta", static_cast<uint64_t>(Stats.DeltaSize));
+            PassSpan.arg("applied",
+                         static_cast<uint64_t>(Stats.AppliedCount));
+          }
           if (Stats.AppliedCount > 0)
             LabelsValid = false; // statements changed: labels are stale
           Job.Events.emplace_back(O.Name, /*Failed=*/false);

@@ -24,6 +24,7 @@
 #include "ir/Ast.h"
 #include "support/Errors.h"
 #include "support/Expected.h"
+#include "support/Telemetry.h"
 
 #include <cstdint>
 #include <map>
@@ -54,6 +55,12 @@ struct PassReport {
   bool RolledBack = false;  ///< Snapshot restored after a failure.
   bool Quarantined = false; ///< Pass skipped: quarantined by earlier
                             ///< failures.
+  /// Optimization remarks for this (pass, procedure): one per applied
+  /// site, one per legal-but-missed site, and one rolled-back/missed
+  /// remark on failure or quarantine. Plain data, independent of the
+  /// COBALT_TELEMETRY switch; ordering is deterministic (sites in
+  /// application / index order) and survives the procedure-order merge.
+  std::vector<support::Remark> Remarks;
 
   bool failed() const { return Err.failed(); }
 

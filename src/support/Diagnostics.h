@@ -36,6 +36,13 @@ struct Diagnostic {
 };
 
 /// Accumulates diagnostics for one operation (a parse, a soundness check).
+///
+/// Ordering guarantee: diagnostics render — in diagnostics() and str() —
+/// in exactly the order they were reported, regardless of severity.
+/// Errors, warnings, and notes interleave as emitted, so a note stays
+/// attached to the diagnostic it elaborates and tools can parse str()
+/// line by line with each line carrying its severity prefix ("error",
+/// "warning", "note"). No reordering, grouping, or deduplication happens.
 class DiagnosticEngine {
 public:
   void error(SourceLoc Loc, std::string Message) {
@@ -45,6 +52,10 @@ public:
   void error(std::string Message) { error(SourceLoc(), std::move(Message)); }
   void warning(SourceLoc Loc, std::string Message) {
     Diags.push_back({DiagKind::DK_Warning, Loc, std::move(Message)});
+    ++NumWarnings;
+  }
+  void warning(std::string Message) {
+    warning(SourceLoc(), std::move(Message));
   }
   void note(SourceLoc Loc, std::string Message) {
     Diags.push_back({DiagKind::DK_Note, Loc, std::move(Message)});
@@ -52,14 +63,17 @@ public:
 
   bool hasErrors() const { return NumErrors != 0; }
   unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
-  /// All diagnostics joined with newlines, for test assertions and CLIs.
+  /// All diagnostics joined with newlines, in insertion order, each line
+  /// prefixed with its severity — for test assertions and CLIs.
   std::string str() const;
 
 private:
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
 };
 
 } // namespace cobalt

@@ -6,6 +6,8 @@
 
 #include "support/PersistentCache.h"
 
+#include "support/Telemetry.h"
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -42,12 +44,14 @@ std::optional<std::string> PersistentCache::load(uint64_t Key) const {
     return std::nullopt;
   std::ifstream In(entryPath(Key), std::ios::binary);
   if (!In) {
+    metricAdd("cache.disk.misses");
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Misses;
     return std::nullopt;
   }
   std::ostringstream Out;
   Out << In.rdbuf();
+  metricAdd("cache.disk.hits");
   std::lock_guard<std::mutex> Lock(Mutex);
   ++Hits;
   return Out.str();
@@ -77,6 +81,7 @@ void PersistentCache::store(uint64_t Key, const std::string &Value) const {
     fs::remove(Temp, EC);
     return;
   }
+  metricAdd("cache.disk.stores");
   std::lock_guard<std::mutex> Lock(Mutex);
   ++Stores;
 }

@@ -1,0 +1,299 @@
+//===- Telemetry.cpp ------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+using namespace cobalt;
+using namespace cobalt::support;
+
+//===----------------------------------------------------------------------===//
+// Remark (compiled unconditionally).
+//===----------------------------------------------------------------------===//
+
+std::string Remark::str() const {
+  std::ostringstream Out;
+  Out << '[' << kindName() << "] " << Pass << " @ " << Proc;
+  if (Node >= 0)
+    Out << ':' << Node;
+  if (!Note.empty())
+    Out << ": " << Note;
+  return Out.str();
+}
+
+#if COBALT_TELEMETRY
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+void appendEscaped(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+/// Fixed-format double: histograms dump with 6 decimal places so the
+/// rendering never depends on locale or shortest-round-trip quirks.
+std::string fixedDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+  return Buf;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry.
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry::Shard &MetricsRegistry::shardFor(std::string_view Name) {
+  return Shards[std::hash<std::string_view>{}(Name) % NumShards];
+}
+
+void MetricsRegistry::add(std::string_view Name, uint64_t Delta) {
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Counters.find(Name);
+  if (It == S.Counters.end())
+    S.Counters.emplace(std::string(Name), Delta);
+  else
+    It->second += Delta;
+}
+
+void MetricsRegistry::gaugeSet(std::string_view Name, int64_t Value) {
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Gauges.find(Name);
+  if (It == S.Gauges.end())
+    S.Gauges.emplace(std::string(Name), Value);
+  else
+    It->second = Value;
+}
+
+void MetricsRegistry::gaugeMax(std::string_view Name, int64_t Value) {
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Gauges.find(Name);
+  if (It == S.Gauges.end())
+    S.Gauges.emplace(std::string(Name), Value);
+  else
+    It->second = std::max(It->second, Value);
+}
+
+void MetricsRegistry::observe(std::string_view Name, double Value) {
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Histograms.find(Name);
+  if (It == S.Histograms.end()) {
+    HistogramStats H;
+    H.Count = 1;
+    H.Sum = H.Min = H.Max = Value;
+    S.Histograms.emplace(std::string(Name), H);
+    return;
+  }
+  HistogramStats &H = It->second;
+  ++H.Count;
+  H.Sum += Value;
+  H.Min = std::min(H.Min, Value);
+  H.Max = std::max(H.Max, Value);
+}
+
+uint64_t MetricsRegistry::counter(std::string_view Name) const {
+  const Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Counters.find(Name);
+  return It == S.Counters.end() ? 0 : It->second;
+}
+
+int64_t MetricsRegistry::gauge(std::string_view Name) const {
+  const Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Gauges.find(Name);
+  return It == S.Gauges.end() ? 0 : It->second;
+}
+
+HistogramStats MetricsRegistry::histogram(std::string_view Name) const {
+  const Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Histograms.find(Name);
+  return It == S.Histograms.end() ? HistogramStats() : It->second;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::counters() const {
+  std::map<std::string, uint64_t> All;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    All.insert(S.Counters.begin(), S.Counters.end());
+  }
+  return All;
+}
+
+std::string MetricsRegistry::json() const {
+  // Merge every shard under its lock; std::map keeps each section
+  // name-sorted, making the dump byte-stable for a given metric state.
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, int64_t> Gauges;
+  std::map<std::string, HistogramStats> Histograms;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Counters.insert(S.Counters.begin(), S.Counters.end());
+    Gauges.insert(S.Gauges.begin(), S.Gauges.end());
+    Histograms.insert(S.Histograms.begin(), S.Histograms.end());
+  }
+
+  std::string Out;
+  Out += "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"";
+    appendEscaped(Out, Name);
+    Out += "\": " + std::to_string(Value);
+  }
+  Out += First ? "},\n" : "\n  },\n";
+
+  Out += "  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, Value] : Gauges) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"";
+    appendEscaped(Out, Name);
+    Out += "\": " + std::to_string(Value);
+  }
+  Out += First ? "},\n" : "\n  },\n";
+
+  Out += "  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"";
+    appendEscaped(Out, Name);
+    Out += "\": {\"count\": " + std::to_string(H.Count) +
+           ", \"sum\": " + fixedDouble(H.Sum) +
+           ", \"min\": " + fixedDouble(H.Min) +
+           ", \"max\": " + fixedDouble(H.Max) + "}";
+  }
+  Out += First ? "}\n" : "\n  }\n";
+  Out += "}\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceRecorder.
+//===----------------------------------------------------------------------===//
+
+namespace {
+thread_local unsigned CurrentLaneTLS = 0;
+} // namespace
+
+unsigned TraceRecorder::currentLane() { return CurrentLaneTLS; }
+void TraceRecorder::setCurrentLane(unsigned Lane) { CurrentLaneTLS = Lane; }
+
+void TraceRecorder::record(TraceEvent E) {
+  std::lock_guard<std::mutex> Lock(M);
+  Events.push_back(std::move(E));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Events;
+}
+
+size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Events.size();
+}
+
+std::string TraceRecorder::json() const {
+  std::vector<TraceEvent> Snapshot = snapshot();
+
+  // Lanes observed in the trace, for thread_name metadata rows.
+  unsigned MaxLane = 0;
+  for (const TraceEvent &E : Snapshot)
+    MaxLane = std::max(MaxLane, E.Lane);
+
+  std::string Out;
+  Out += "{\"traceEvents\": [\n";
+  bool First = true;
+  for (unsigned Lane = 0; Lane <= MaxLane; ++Lane) {
+    Out += First ? "" : ",\n";
+    First = false;
+    Out += "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": " +
+           std::to_string(Lane) + ", \"args\": {\"name\": \"" +
+           (Lane == 0 ? std::string("driver")
+                      : "worker-" + std::to_string(Lane - 1)) +
+           "\"}}";
+  }
+  for (const TraceEvent &E : Snapshot) {
+    Out += First ? "" : ",\n";
+    First = false;
+    Out += "  {\"name\": \"";
+    appendEscaped(Out, E.Name);
+    Out += "\", \"cat\": \"";
+    appendEscaped(Out, E.Cat);
+    Out += "\", \"ph\": \"X\", \"ts\": " + std::to_string(E.StartUs) +
+           ", \"dur\": " + std::to_string(E.DurUs) +
+           ", \"pid\": 1, \"tid\": " + std::to_string(E.Lane);
+    if (!E.Args.empty()) {
+      Out += ", \"args\": {";
+      bool FirstArg = true;
+      for (const auto &[Key, Value] : E.Args) {
+        if (!FirstArg)
+          Out += ", ";
+        FirstArg = false;
+        Out += "\"";
+        appendEscaped(Out, Key);
+        Out += "\": \"";
+        appendEscaped(Out, Value);
+        Out += "\"";
+      }
+      Out += "}";
+    }
+    Out += "}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry.
+//===----------------------------------------------------------------------===//
+
+std::atomic<Telemetry *> Telemetry::Active{nullptr};
+
+#endif // COBALT_TELEMETRY

@@ -1,0 +1,429 @@
+//===- Telemetry.h - Metrics, tracing, and optimization remarks -*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability substrate of the pipeline (DESIGN.md §9). Three
+/// cooperating pieces:
+///
+///  * **MetricsRegistry** — named counters / gauges / histograms behind a
+///    mutex-sharded table (16 shards keyed by name hash, so concurrent
+///    obligation jobs rarely contend). Dumps are byte-stable: the JSON
+///    emitter merges all shards into one name-sorted view with fixed
+///    formatting, so tests can golden-compare metric files.
+///
+///  * **TraceRecorder / TraceSpan** — Chrome `trace_event` spans
+///    (`"ph":"X"` complete events). Every ThreadPool worker is one trace
+///    lane (`tid` = worker index + 1; the driving thread is lane 0), and
+///    spans nest via scoped RAII `TraceSpan` objects. Load the output in
+///    `chrome://tracing` or https://ui.perfetto.dev.
+///
+///  * **Remark** — LLVM-style optimization remarks (passed / missed /
+///    rolled-back, with rule name, CFG node, and the `choose` decision).
+///    Remarks are plain data carried inside `engine::PassReport` — they
+///    are *not* gated by the telemetry compile switch, and their ordering
+///    is the deterministic report order, not event arrival order.
+///
+/// ## The disabled fast path
+///
+/// Telemetry is ambient: one process-wide `Telemetry *` installed by a
+/// `TelemetryScope` (the CobaltContext installs its own instance around
+/// every check / pipeline call). Every instrumentation site performs
+/// exactly one relaxed atomic load and one branch when no telemetry is
+/// installed — no string building, no allocation, no locking. A
+/// `TraceSpan` constructed while disabled holds a null recorder and its
+/// destructor is a single null test. Span names are static strings;
+/// anything dynamic goes into args, which are only materialized behind
+/// the `enabled()` branch.
+///
+/// Building with `-DCOBALT_TELEMETRY=OFF` compiles the whole layer down
+/// to empty inline stubs (`Telemetry::active()` is a constexpr nullptr,
+/// so the guarded branches fold away); a static_assert below pins the
+/// null-sink `TraceSpan` to an empty class in that configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_SUPPORT_TELEMETRY_H
+#define COBALT_SUPPORT_TELEMETRY_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#ifndef COBALT_TELEMETRY
+#define COBALT_TELEMETRY 1
+#endif
+
+namespace cobalt {
+namespace support {
+
+/// True when the telemetry layer is compiled in (-DCOBALT_TELEMETRY=ON,
+/// the default). CLIs use this to warn when --trace-out is requested
+/// from a build whose null-sink path was compiled out.
+constexpr bool telemetryCompiledIn() { return COBALT_TELEMETRY != 0; }
+
+//===----------------------------------------------------------------------===//
+// Optimization remarks (plain data; never compiled out).
+//===----------------------------------------------------------------------===//
+
+/// One optimization remark: what a rule did (or did not do) at a CFG
+/// node, in the style of LLVM's -Rpass/-Rpass-missed streams.
+struct Remark {
+  enum class Kind {
+    RK_Passed,     ///< The rule rewrote this node.
+    RK_Missed,     ///< Legal site not taken (choose declined, quarantine,
+                   ///< unproven definition skipped, ...).
+    RK_RolledBack, ///< The pass failed and its rewrites were undone.
+  };
+
+  Kind K = Kind::RK_Missed;
+  std::string Pass; ///< Rule / pass name.
+  std::string Proc; ///< Procedure the remark is about.
+  int Node = -1;    ///< CFG node index; -1 = whole procedure.
+  std::string Note; ///< The `choose` decision / failure reason.
+
+  const char *kindName() const {
+    switch (K) {
+    case Kind::RK_Passed:
+      return "passed";
+    case Kind::RK_Missed:
+      return "missed";
+    case Kind::RK_RolledBack:
+      return "rolledback";
+    }
+    return "missed";
+  }
+
+  /// Renders as "[passed] cse @ main:5: note" (stable; tests rely on it).
+  std::string str() const;
+};
+
+/// Aggregate statistics of one histogram metric.
+struct HistogramStats {
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+#if COBALT_TELEMETRY
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry.
+//===----------------------------------------------------------------------===//
+
+/// Named counters, gauges, and histograms. Thread-safe; writes shard by
+/// name hash so parallel jobs updating different metrics rarely share a
+/// lock. Reads (the accessors and json()) take every shard lock in turn
+/// and present one merged, name-sorted view.
+class MetricsRegistry {
+public:
+  /// Counter: monotonically increasing u64. Created on first touch.
+  void add(std::string_view Name, uint64_t Delta = 1);
+
+  /// Gauge: last-write-wins level (queue depth, bytes resident).
+  void gaugeSet(std::string_view Name, int64_t Value);
+  /// Gauge variant keeping the maximum ever observed (high-water marks).
+  void gaugeMax(std::string_view Name, int64_t Value);
+
+  /// Histogram: count/sum/min/max of observed samples.
+  void observe(std::string_view Name, double Value);
+
+  /// Point reads (0 / empty stats when the metric was never touched).
+  uint64_t counter(std::string_view Name) const;
+  int64_t gauge(std::string_view Name) const;
+  HistogramStats histogram(std::string_view Name) const;
+
+  /// All counters, merged and name-sorted (for curated golden compares).
+  std::map<std::string, uint64_t> counters() const;
+
+  /// Byte-stable JSON dump:
+  /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}` with
+  /// every section sorted by name and numbers in fixed formatting.
+  /// Counter values are deterministic across `--jobs` widths (atomic
+  /// adds commute); histogram sums carry wall-clock noise and are for
+  /// humans, not golden files.
+  std::string json() const;
+
+private:
+  static constexpr size_t NumShards = 16;
+  struct Shard {
+    mutable std::mutex M;
+    std::map<std::string, uint64_t, std::less<>> Counters;
+    std::map<std::string, int64_t, std::less<>> Gauges;
+    std::map<std::string, HistogramStats, std::less<>> Histograms;
+  };
+
+  Shard &shardFor(std::string_view Name);
+  const Shard &shardFor(std::string_view Name) const {
+    return const_cast<MetricsRegistry *>(this)->shardFor(Name);
+  }
+
+  std::array<Shard, NumShards> Shards;
+};
+
+//===----------------------------------------------------------------------===//
+// TraceRecorder.
+//===----------------------------------------------------------------------===//
+
+/// One completed span. Args are (key, value) string pairs recorded in
+/// insertion order; values must be deterministic (verdicts, counts) —
+/// wall time belongs in StartUs/DurUs, which span-set tests ignore.
+struct TraceEvent {
+  const char *Cat = "";    ///< Subsystem ("checker", "engine", ...).
+  const char *Name = "";   ///< Span name (static; data goes in Args).
+  unsigned Lane = 0;       ///< tid: 0 = driver, 1..N = pool workers.
+  uint64_t StartUs = 0;    ///< Microseconds since recorder epoch.
+  uint64_t DurUs = 0;
+  std::vector<std::pair<const char *, std::string>> Args;
+};
+
+/// Collects spans and serializes them as Chrome trace JSON. Appends are
+/// mutex-serialized (a span ends at most once per prover call or pass —
+/// far too coarse to contend); the disabled fast path never reaches the
+/// recorder at all.
+class TraceRecorder {
+public:
+  TraceRecorder() : Epoch(std::chrono::steady_clock::now()) {}
+
+  void record(TraceEvent E);
+
+  /// Microseconds since this recorder was created (span timestamps).
+  uint64_t nowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  std::vector<TraceEvent> snapshot() const;
+  size_t eventCount() const;
+
+  /// Chrome trace_event JSON: `{"traceEvents": [...]}` with one
+  /// complete ("ph":"X") event per span plus thread_name metadata rows
+  /// naming the driver and worker lanes.
+  std::string json() const;
+
+  /// The calling thread's lane id (thread-local; 0 unless a ThreadPool
+  /// worker tagged the thread via setCurrentLane).
+  static unsigned currentLane();
+  static void setCurrentLane(unsigned Lane);
+
+private:
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex M;
+  std::vector<TraceEvent> Events;
+};
+
+//===----------------------------------------------------------------------===//
+// Telemetry: the ambient sink.
+//===----------------------------------------------------------------------===//
+
+/// One telemetry session: a metrics registry plus a trace recorder.
+/// Install with TelemetryScope; instrumentation sites reach it through
+/// Telemetry::active(). Remarks do NOT flow through here — they ride in
+/// PassReports and are delivered in deterministic report order by the
+/// CobaltContext.
+class Telemetry {
+public:
+  MetricsRegistry Metrics;
+  TraceRecorder Trace;
+  /// Span recording can be switched off independently (metrics-only
+  /// sessions skip the span bookkeeping entirely).
+  bool TraceEnabled = true;
+
+  /// The installed instance, or nullptr (the common, zero-cost case).
+  static Telemetry *active() {
+    return Active.load(std::memory_order_relaxed);
+  }
+
+private:
+  static std::atomic<Telemetry *> Active;
+  friend class TelemetryScope;
+};
+
+/// RAII installer for the ambient Telemetry. Passing nullptr is a no-op
+/// (an enclosing scope, e.g. an embedder's own session, stays active).
+/// Scopes are process-global: one driving thread installs, pool workers
+/// observe — matching the CobaltContext's one-driver threading model.
+class TelemetryScope {
+public:
+  explicit TelemetryScope(Telemetry *T) : Installed(T != nullptr) {
+    if (Installed) {
+      Prev = Telemetry::Active.load(std::memory_order_relaxed);
+      Telemetry::Active.store(T, std::memory_order_relaxed);
+    }
+  }
+  ~TelemetryScope() {
+    if (Installed)
+      Telemetry::Active.store(Prev, std::memory_order_relaxed);
+  }
+  TelemetryScope(const TelemetryScope &) = delete;
+  TelemetryScope &operator=(const TelemetryScope &) = delete;
+
+private:
+  Telemetry *Prev = nullptr;
+  bool Installed;
+};
+
+//===----------------------------------------------------------------------===//
+// TraceSpan.
+//===----------------------------------------------------------------------===//
+
+/// Scoped span: starts timing at construction, records a complete event
+/// at destruction on the calling thread's lane. Constructed with static
+/// strings only; all dynamic data goes through arg(), whose cost is
+/// behind the enabled() branch at the call site.
+class TraceSpan {
+public:
+  TraceSpan(const char *Cat, const char *Name) {
+    Telemetry *T = Telemetry::active();
+    if (T && T->TraceEnabled) {
+      Rec = &T->Trace;
+      E.Cat = Cat;
+      E.Name = Name;
+      E.Lane = TraceRecorder::currentLane();
+      E.StartUs = Rec->nowUs();
+    }
+  }
+  ~TraceSpan() {
+    if (Rec) {
+      E.DurUs = Rec->nowUs() - E.StartUs;
+      Rec->record(std::move(E));
+    }
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  bool enabled() const { return Rec != nullptr; }
+
+  /// Attaches a (key, value) arg; no-op (and no string is copied) when
+  /// the span is disabled. Guard expensive value construction with
+  /// enabled() at the call site.
+  void arg(const char *Key, std::string Value) {
+    if (Rec)
+      E.Args.emplace_back(Key, std::move(Value));
+  }
+  void arg(const char *Key, uint64_t Value) {
+    if (Rec)
+      E.Args.emplace_back(Key, std::to_string(Value));
+  }
+
+private:
+  TraceRecorder *Rec = nullptr;
+  TraceEvent E;
+};
+
+//===----------------------------------------------------------------------===//
+// One-line instrumentation helpers (the metric fast path).
+//===----------------------------------------------------------------------===//
+
+inline void metricAdd(std::string_view Name, uint64_t Delta = 1) {
+  if (Telemetry *T = Telemetry::active())
+    T->Metrics.add(Name, Delta);
+}
+inline void metricObserve(std::string_view Name, double Value) {
+  if (Telemetry *T = Telemetry::active())
+    T->Metrics.observe(Name, Value);
+}
+inline void metricGaugeSet(std::string_view Name, int64_t Value) {
+  if (Telemetry *T = Telemetry::active())
+    T->Metrics.gaugeSet(Name, Value);
+}
+inline void metricGaugeMax(std::string_view Name, int64_t Value) {
+  if (Telemetry *T = Telemetry::active())
+    T->Metrics.gaugeMax(Name, Value);
+}
+
+#else // !COBALT_TELEMETRY — the layer compiles down to nothing.
+
+/// Null-sink MetricsRegistry: every write is dropped, every read is
+/// empty. Kept API-compatible so embedders and the CLI build unchanged.
+class MetricsRegistry {
+public:
+  void add(std::string_view, uint64_t = 1) {}
+  void gaugeSet(std::string_view, int64_t) {}
+  void gaugeMax(std::string_view, int64_t) {}
+  void observe(std::string_view, double) {}
+  uint64_t counter(std::string_view) const { return 0; }
+  int64_t gauge(std::string_view) const { return 0; }
+  HistogramStats histogram(std::string_view) const { return {}; }
+  std::map<std::string, uint64_t> counters() const { return {}; }
+  std::string json() const {
+    return "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}\n";
+  }
+};
+
+struct TraceEvent {
+  const char *Cat = "";
+  const char *Name = "";
+  unsigned Lane = 0;
+  uint64_t StartUs = 0;
+  uint64_t DurUs = 0;
+  std::vector<std::pair<const char *, std::string>> Args;
+};
+
+class TraceRecorder {
+public:
+  void record(TraceEvent) {}
+  uint64_t nowUs() const { return 0; }
+  std::vector<TraceEvent> snapshot() const { return {}; }
+  size_t eventCount() const { return 0; }
+  std::string json() const { return "{\"traceEvents\": []}\n"; }
+  static unsigned currentLane() { return 0; }
+  static void setCurrentLane(unsigned) {}
+};
+
+class Telemetry {
+public:
+  MetricsRegistry Metrics;
+  TraceRecorder Trace;
+  bool TraceEnabled = false;
+  static constexpr Telemetry *active() { return nullptr; }
+};
+
+class TelemetryScope {
+public:
+  explicit TelemetryScope(Telemetry *) {}
+  TelemetryScope(const TelemetryScope &) = delete;
+  TelemetryScope &operator=(const TelemetryScope &) = delete;
+};
+
+class TraceSpan {
+public:
+  TraceSpan(const char *, const char *) {}
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+  bool enabled() const { return false; }
+  void arg(const char *, std::string) {}
+  void arg(const char *, uint64_t) {}
+};
+
+// The contract -DCOBALT_TELEMETRY=OFF promises: the null sink has no
+// state at all — instrumentation sites cost nothing but an empty object.
+static_assert(std::is_empty_v<TraceSpan>,
+              "null-sink TraceSpan must compile out to an empty class");
+static_assert(std::is_empty_v<TelemetryScope>,
+              "null-sink TelemetryScope must compile out");
+
+inline void metricAdd(std::string_view, uint64_t = 1) {}
+inline void metricObserve(std::string_view, double) {}
+inline void metricGaugeSet(std::string_view, int64_t) {}
+inline void metricGaugeMax(std::string_view, int64_t) {}
+
+#endif // COBALT_TELEMETRY
+
+} // namespace support
+} // namespace cobalt
+
+#endif // COBALT_SUPPORT_TELEMETRY_H

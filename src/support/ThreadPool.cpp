@@ -6,7 +6,10 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Telemetry.h"
+
 #include <atomic>
+#include <chrono>
 
 using namespace cobalt;
 using namespace cobalt::support;
@@ -21,7 +24,7 @@ ThreadPool::ThreadPool(unsigned Threads) {
     return; // inline mode
   Workers.reserve(Threads);
   for (unsigned I = 0; I < Threads; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] { workerLoop(I); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -34,7 +37,10 @@ ThreadPool::~ThreadPool() {
     W.join();
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(unsigned Index) {
+  // Worker I owns trace lane I + 1 for its whole lifetime (lane 0 is the
+  // submitting thread); spans recorded from jobs land on this lane.
+  TraceRecorder::setCurrentLane(Index + 1);
   for (;;) {
     std::function<void()> Job;
     {
@@ -73,20 +79,44 @@ void ThreadPool::parallelFor(size_t N,
   B->Remaining = N;
   B->Errors.assign(N, nullptr);
 
+  // Telemetry is sampled once per batch: the pointer stays valid for the
+  // whole call (parallelFor blocks until the batch drains), and jobs can
+  // read it without touching the ambient atomic again. Wait/exec
+  // histograms carry wall noise and are for humans; the jobs counter and
+  // queue high-water gauge are deterministic per batch shape.
+  Telemetry *Telem = Telemetry::active();
+  if (Telem)
+    Telem->Metrics.add("threadpool.jobs", N);
+  auto Enqueued = std::chrono::steady_clock::now();
+
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
     for (size_t I = 0; I < N; ++I) {
-      Queue.push([B, I, &Body] {
+      Queue.push([B, I, &Body, Telem, Enqueued] {
+        auto Start = std::chrono::steady_clock::now();
+        if (Telem)
+          Telem->Metrics.observe(
+              "threadpool.job_wait_seconds",
+              std::chrono::duration<double>(Start - Enqueued).count());
         try {
           Body(I);
         } catch (...) {
           B->Errors[I] = std::current_exception(); // slot owned by this job
         }
+        if (Telem)
+          Telem->Metrics.observe(
+              "threadpool.job_seconds",
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count());
         std::lock_guard<std::mutex> BatchLock(B->M);
         if (--B->Remaining == 0)
           B->Done.notify_all();
       });
     }
+    if (Telem)
+      Telem->Metrics.gaugeMax("threadpool.queue_depth_max",
+                              static_cast<int64_t>(Queue.size()));
   }
   QueueReady.notify_all();
 

@@ -70,7 +70,10 @@ public:
   void parallelFor(size_t N, const std::function<void(size_t)> &Body);
 
 private:
-  void workerLoop();
+  /// \p Index identifies the worker: it becomes trace lane Index + 1
+  /// (lane 0 is the submitting/driver thread) via
+  /// TraceRecorder::setCurrentLane.
+  void workerLoop(unsigned Index);
 
   std::vector<std::thread> Workers;
   std::mutex QueueMutex;

@@ -1,0 +1,30 @@
+# Drives the trace_lint ctest: produce a real trace with cobaltc, then
+# validate it (JSON well-formedness + per-lane span nesting) with
+# tools/trace_lint.py. Variables COBALTC, MODULE, PROGRAM, LINT, PYTHON,
+# and OUT_DIR arrive from add_test.
+
+execute_process(
+  COMMAND ${COBALTC} opt ${MODULE} ${PROGRAM} --jobs 2
+          --trace-out=${OUT_DIR}/trace_lint.json
+          --metrics-out=${OUT_DIR}/metrics_lint.json
+  RESULT_VARIABLE RC
+  OUTPUT_QUIET)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "cobaltc exited ${RC}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${LINT} ${OUT_DIR}/trace_lint.json
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "trace_lint.py rejected the trace (${RC})")
+endif()
+
+# The metrics file must parse as JSON too (one json.load is enough).
+execute_process(
+  COMMAND ${PYTHON} -c "import json,sys; json.load(open(sys.argv[1]))"
+          ${OUT_DIR}/metrics_lint.json
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "metrics JSON does not parse (${RC})")
+endif()

@@ -1,0 +1,17 @@
+// Minimal label-free module for the trace_lint ctest: two sound
+// definitions that prove in well under a second, so the test exercises
+// the --trace-out plumbing rather than the prover.
+
+optimization const_fold_add :=
+  forward
+  computes(C1 + C2, C3)
+  followed by true
+  until X := C1 + C2 => X := C3
+  with witness eta(C1 + C2) = eta(C3);
+
+optimization self_assign_removal :=
+  backward
+  true
+  preceded by false
+  since X := X => skip
+  with witness eta_old = eta_new;

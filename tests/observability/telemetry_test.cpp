@@ -1,0 +1,251 @@
+//===- telemetry_test.cpp - Metrics, traces, spans, remarks ---------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the telemetry substrate (DESIGN.md §9): the sharded
+/// MetricsRegistry and its byte-stable JSON dump, the TraceRecorder's
+/// Chrome trace output, RAII TraceSpan nesting and the ambient
+/// TelemetryScope, and the Remark rendering the CLI's --remarks stream
+/// relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+using namespace cobalt;
+using namespace cobalt::support;
+
+namespace {
+
+#if COBALT_TELEMETRY
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry M;
+  EXPECT_EQ(M.counter("a"), 0u);
+  M.add("a");
+  M.add("a", 4);
+  M.add("b", 2);
+  EXPECT_EQ(M.counter("a"), 5u);
+  EXPECT_EQ(M.counter("b"), 2u);
+  auto All = M.counters();
+  ASSERT_EQ(All.size(), 2u);
+  EXPECT_EQ(All["a"], 5u);
+  EXPECT_EQ(All["b"], 2u);
+}
+
+TEST(MetricsRegistryTest, Gauges) {
+  MetricsRegistry M;
+  M.gaugeSet("depth", 7);
+  M.gaugeSet("depth", 3);
+  EXPECT_EQ(M.gauge("depth"), 3);
+  M.gaugeMax("high", 3);
+  M.gaugeMax("high", 9);
+  M.gaugeMax("high", 5);
+  EXPECT_EQ(M.gauge("high"), 9);
+}
+
+TEST(MetricsRegistryTest, Histograms) {
+  MetricsRegistry M;
+  EXPECT_EQ(M.histogram("lat").Count, 0u);
+  M.observe("lat", 2.0);
+  M.observe("lat", 0.5);
+  M.observe("lat", 4.0);
+  HistogramStats H = M.histogram("lat");
+  EXPECT_EQ(H.Count, 3u);
+  EXPECT_DOUBLE_EQ(H.Sum, 6.5);
+  EXPECT_DOUBLE_EQ(H.Min, 0.5);
+  EXPECT_DOUBLE_EQ(H.Max, 4.0);
+}
+
+TEST(MetricsRegistryTest, JsonIsByteStableAndSorted) {
+  // Two registries reaching the same state through different insertion
+  // orders must serialize identically — the golden-file contract.
+  MetricsRegistry A, B;
+  A.add("zeta", 1);
+  A.add("alpha", 2);
+  A.gaugeSet("g", -3);
+  A.observe("h", 1.5);
+  B.observe("h", 1.5);
+  B.gaugeSet("g", -3);
+  B.add("alpha", 2);
+  B.add("zeta", 1);
+  EXPECT_EQ(A.json(), B.json());
+  std::string J = A.json();
+  EXPECT_LT(J.find("\"alpha\""), J.find("\"zeta\""));
+  EXPECT_NE(J.find("\"g\": -3"), std::string::npos);
+  EXPECT_NE(J.find("\"sum\": 1.500000"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EmptyJsonShape) {
+  MetricsRegistry M;
+  std::string J = M.json();
+  EXPECT_NE(J.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(J.find("\"gauges\": {}"), std::string::npos);
+  EXPECT_NE(J.find("\"histograms\": {}"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, RecordsAndSerializes) {
+  TraceRecorder R;
+  TraceEvent E;
+  E.Cat = "checker";
+  E.Name = "obligation";
+  E.Lane = 2;
+  E.StartUs = 10;
+  E.DurUs = 5;
+  E.Args.emplace_back("verdict", "proven");
+  R.record(E);
+  EXPECT_EQ(R.eventCount(), 1u);
+
+  std::string J = R.json();
+  // Metadata rows name every lane up to the highest used one.
+  EXPECT_NE(J.find("\"name\": \"driver\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\": \"worker-1\""), std::string::npos);
+  EXPECT_NE(J.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(J.find("\"cat\": \"checker\""), std::string::npos);
+  EXPECT_NE(J.find("\"verdict\": \"proven\""), std::string::npos);
+  EXPECT_NE(J.find("\"tid\": 2"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, LaneIsThreadLocal) {
+  EXPECT_EQ(TraceRecorder::currentLane(), 0u);
+  std::thread T([] {
+    EXPECT_EQ(TraceRecorder::currentLane(), 0u);
+    TraceRecorder::setCurrentLane(3);
+    EXPECT_EQ(TraceRecorder::currentLane(), 3u);
+  });
+  T.join();
+  // The other thread's lane never leaked into this one.
+  EXPECT_EQ(TraceRecorder::currentLane(), 0u);
+}
+
+TEST(TraceSpanTest, DisabledWithoutAmbientTelemetry) {
+  ASSERT_EQ(Telemetry::active(), nullptr);
+  TraceSpan Span("cat", "name");
+  EXPECT_FALSE(Span.enabled());
+  Span.arg("k", std::string("v")); // must be a no-op, not a crash
+}
+
+TEST(TraceSpanTest, RecordsUnderScope) {
+  Telemetry T;
+  {
+    TelemetryScope Scope(&T);
+    TraceSpan Outer("test", "outer");
+    EXPECT_TRUE(Outer.enabled());
+    Outer.arg("k", uint64_t(42));
+    { TraceSpan Inner("test", "inner"); }
+  }
+  ASSERT_EQ(T.Trace.eventCount(), 2u);
+  auto Events = T.Trace.snapshot();
+  // Inner destructs first, so it is recorded first.
+  EXPECT_STREQ(Events[0].Name, "inner");
+  EXPECT_STREQ(Events[1].Name, "outer");
+  ASSERT_EQ(Events[1].Args.size(), 1u);
+  EXPECT_EQ(Events[1].Args[0].second, "42");
+  // Nesting invariant the trace linter checks: inner ⊆ outer.
+  EXPECT_GE(Events[0].StartUs, Events[1].StartUs);
+  EXPECT_LE(Events[0].StartUs + Events[0].DurUs,
+            Events[1].StartUs + Events[1].DurUs);
+}
+
+TEST(TraceSpanTest, TraceEnabledFalseSkipsSpansButNotMetrics) {
+  Telemetry T;
+  T.TraceEnabled = false;
+  TelemetryScope Scope(&T);
+  { TraceSpan Span("test", "span"); }
+  metricAdd("still.counted");
+  EXPECT_EQ(T.Trace.eventCount(), 0u);
+  EXPECT_EQ(T.Metrics.counter("still.counted"), 1u);
+}
+
+TEST(TelemetryScopeTest, InstallsAndRestores) {
+  EXPECT_EQ(Telemetry::active(), nullptr);
+  metricAdd("dropped"); // no ambient sink: silently dropped
+  Telemetry Outer, Inner;
+  {
+    TelemetryScope S1(&Outer);
+    EXPECT_EQ(Telemetry::active(), &Outer);
+    metricAdd("m");
+    {
+      TelemetryScope S2(&Inner);
+      EXPECT_EQ(Telemetry::active(), &Inner);
+      metricAdd("m");
+    }
+    EXPECT_EQ(Telemetry::active(), &Outer);
+    {
+      // nullptr scope is a no-op install: the outer session stays live.
+      TelemetryScope S3(nullptr);
+      EXPECT_EQ(Telemetry::active(), &Outer);
+      metricAdd("m");
+    }
+  }
+  EXPECT_EQ(Telemetry::active(), nullptr);
+  EXPECT_EQ(Outer.Metrics.counter("m"), 2u);
+  EXPECT_EQ(Inner.Metrics.counter("m"), 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentAddsAreLossless) {
+  MetricsRegistry M;
+  constexpr unsigned Threads = 8, PerThread = 1000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&M] {
+      for (unsigned I = 0; I < PerThread; ++I) {
+        M.add("shared");
+        M.observe("h", 1.0);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(M.counter("shared"), uint64_t(Threads) * PerThread);
+  EXPECT_EQ(M.histogram("h").Count, uint64_t(Threads) * PerThread);
+}
+
+#else // !COBALT_TELEMETRY
+
+TEST(TelemetryOffTest, NullSinkCompilesOut) {
+  // The -DCOBALT_TELEMETRY=OFF contract: active() folds to nullptr and
+  // the stub emitters produce the canonical empty documents.
+  EXPECT_FALSE(telemetryCompiledIn());
+  EXPECT_EQ(Telemetry::active(), nullptr);
+  MetricsRegistry M;
+  M.add("a");
+  EXPECT_EQ(M.counter("a"), 0u);
+  EXPECT_EQ(M.json(), "{\"counters\": {}, \"gauges\": {}, "
+                      "\"histograms\": {}}\n");
+  TraceRecorder R;
+  EXPECT_EQ(R.json(), "{\"traceEvents\": []}\n");
+}
+
+#endif // COBALT_TELEMETRY
+
+TEST(RemarkTest, RendersStably) {
+  Remark R;
+  R.K = Remark::Kind::RK_Passed;
+  R.Pass = "cse";
+  R.Proc = "main";
+  R.Node = 5;
+  R.Note = "chosen and applied";
+  EXPECT_EQ(R.str(), "[passed] cse @ main:5: chosen and applied");
+
+  Remark Whole;
+  Whole.K = Remark::Kind::RK_RolledBack;
+  Whole.Pass = "const_prop";
+  Whole.Proc = "f";
+  EXPECT_EQ(Whole.str(), "[rolledback] const_prop @ f");
+
+  Remark Missed;
+  Missed.Pass = "dead_assign_elim";
+  Missed.Proc = "g";
+  Missed.Node = 0;
+  EXPECT_EQ(Missed.str(), "[missed] dead_assign_elim @ g:0");
+}
+
+} // namespace

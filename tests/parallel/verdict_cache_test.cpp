@@ -80,6 +80,7 @@ TEST(VerdictCacheTest, SerializationRoundTripsLosslessly) {
   Proven.Name = "F1";
   Proven.St = ObligationResult::Status::OS_Proven;
   Proven.Attempts = 1;
+  Proven.RlimitSpent = 123456789;
   R.Obligations.push_back(Proven);
 
   ObligationResult Failed;
@@ -114,18 +115,21 @@ TEST(VerdictCacheTest, SerializationRoundTripsLosslessly) {
             support::ErrorKind::EK_ProverTimeout);
   EXPECT_EQ(Back->Obligations[2].Err.Message, "timeout after 3 attempts");
   EXPECT_EQ(Back->Obligations[2].Attempts, 3u);
+  EXPECT_EQ(Back->Obligations[0].RlimitSpent, 123456789u);
 }
 
 TEST(VerdictCacheTest, MalformedBlobsAreRejectedNotMisread) {
   EXPECT_FALSE(deserializeCheckReport("").has_value());
   EXPECT_FALSE(deserializeCheckReport("garbage").has_value());
-  EXPECT_FALSE(deserializeCheckReport("report 2\nname x\nverdict sound\n")
+  EXPECT_FALSE(deserializeCheckReport("report 3\nname x\nverdict sound\n")
                    .has_value()); // future version
+  EXPECT_FALSE(deserializeCheckReport("report 1\nname x\nverdict sound\n")
+                   .has_value()); // pre-rlimit version (orphaned)
   EXPECT_FALSE(
-      deserializeCheckReport("report 1\nname x\nverdict maybe\n")
+      deserializeCheckReport("report 2\nname x\nverdict maybe\n")
           .has_value()); // unknown verdict
   EXPECT_FALSE(
-      deserializeCheckReport("report 1\nname x\nverdict sound\nstatus "
+      deserializeCheckReport("report 2\nname x\nverdict sound\nstatus "
                              "proven\n")
           .has_value()); // obligation field outside any obligation
 }
@@ -236,7 +240,7 @@ TEST(VerdictCacheTest, CorruptDiskEntryIsIgnoredNotTrusted) {
   // Truncate every stored verdict to garbage.
   for (const fs::directory_entry &E : fs::directory_iterator(Dir)) {
     std::ofstream Out(E.path(), std::ios::trunc);
-    Out << "report 1\nname x\nverdict maybe\n";
+    Out << "report 2\nname x\nverdict maybe\n";
   }
 
   SoundnessChecker Fresh(Registry, opts::allAnalyses());

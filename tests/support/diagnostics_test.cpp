@@ -1,0 +1,70 @@
+//===- diagnostics_test.cpp - DiagnosticEngine ordering contract ----------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the DiagnosticEngine rendering contract tools rely on:
+/// diagnostics render in exactly the order they were reported —
+/// severities interleave as emitted, so a note stays attached to the
+/// diagnostic it elaborates — and every line carries its severity
+/// prefix. Also covers the error/warning counters.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace cobalt;
+
+namespace {
+
+TEST(DiagnosticsTest, RendersInInsertionOrder) {
+  DiagnosticEngine Diags;
+  Diags.warning(SourceLoc{1, 2}, "shadowed binding");
+  Diags.error(SourceLoc{3, 7}, "unknown label");
+  Diags.note(SourceLoc{3, 1}, "defined here");
+  Diags.error("module rejected");
+
+  // No reordering or grouping: the warning stays first even though
+  // errors are more severe, and the note stays glued to its error.
+  EXPECT_EQ(Diags.str(), "warning at 1:2: shadowed binding\n"
+                         "error at 3:7: unknown label\n"
+                         "note at 3:1: defined here\n"
+                         "error: module rejected");
+
+  const std::vector<Diagnostic> &All = Diags.diagnostics();
+  ASSERT_EQ(All.size(), 4u);
+  EXPECT_EQ(All[0].Kind, DiagKind::DK_Warning);
+  EXPECT_EQ(All[1].Kind, DiagKind::DK_Error);
+  EXPECT_EQ(All[2].Kind, DiagKind::DK_Note);
+  EXPECT_EQ(All[3].Kind, DiagKind::DK_Error);
+}
+
+TEST(DiagnosticsTest, CountsBySeverity) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 0u);
+  EXPECT_EQ(Diags.warningCount(), 0u);
+
+  Diags.warning("w1");
+  Diags.warning(SourceLoc{4, 4}, "w2");
+  EXPECT_FALSE(Diags.hasErrors()) << "warnings are not errors";
+  EXPECT_EQ(Diags.warningCount(), 2u);
+
+  Diags.error("e1");
+  Diags.note(SourceLoc{1, 1}, "n1"); // notes count as neither
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.warningCount(), 2u);
+}
+
+TEST(DiagnosticsTest, LocationlessDiagnosticsOmitTheLocation) {
+  DiagnosticEngine Diags;
+  Diags.warning("free-floating");
+  EXPECT_EQ(Diags.str(), "warning: free-floating");
+}
+
+} // namespace

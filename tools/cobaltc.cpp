@@ -28,6 +28,11 @@
 ///                           definition (definitions run sequentially)
 ///   --keep-going            opt/run: apply the proven subset instead of
 ///                           refusing the whole module
+///   --trace-out=FILE        write a Chrome trace_event JSON of the run
+///                           (load in chrome://tracing or Perfetto)
+///   --metrics-out=FILE      write the metrics registry as JSON
+///   --remarks=LEVEL         print optimization remarks to stderr:
+///                           all | missed (missed + rolled-back) | none
 ///
 /// Exit codes separate the three fundamentally different outcomes:
 ///
@@ -81,6 +86,8 @@ int usage() {
       "flags: --jobs <n>  --cache-dir <dir>  --report=json\n"
       "       --prover-timeout <ms>  --prover-retries <n>\n"
       "       --prover-budget <ms>   --fail-fast  --keep-going\n"
+      "       --trace-out=FILE  --metrics-out=FILE\n"
+      "       --remarks=[all|missed|none]\n"
       "exit:  0 all sound; 1 rejected definitions; 2 usage/input error;\n"
       "       3 infrastructure degraded (timeouts/rollbacks, no "
       "counterexample)\n");
@@ -92,6 +99,10 @@ struct DriverOptions {
   bool FailFast = false;
   bool KeepGoing = false;
   bool ReportJson = false;
+  std::string TraceOut;   ///< --trace-out=FILE (empty = no trace file).
+  std::string MetricsOut; ///< --metrics-out=FILE.
+  enum class RemarkLevel { RL_None, RL_Missed, RL_All };
+  RemarkLevel Remarks = RemarkLevel::RL_None;
 };
 
 /// Strips and parses the shared flags; leaves positional arguments in
@@ -111,6 +122,10 @@ bool parseFlags(int Argc, char **Argv, DriverOptions &Opts,
       }
       Out = std::strtoull(Argv[++I], nullptr, 10);
       return true;
+    };
+    auto ValueOf = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return std::strncmp(Arg, Prefix, Len) == 0 ? Arg + Len : nullptr;
     };
     unsigned long long Value = 0;
     if (TakesValue("--prover-timeout", Value)) {
@@ -137,6 +152,30 @@ bool parseFlags(int Argc, char **Argv, DriverOptions &Opts,
       Opts.Config.CacheDir = Argv[++I];
     } else if (std::strcmp(Arg, "--report=json") == 0) {
       Opts.ReportJson = true;
+    } else if (const char *V = ValueOf("--trace-out=")) {
+      if (!*V) {
+        std::fprintf(stderr, "cobaltc: --trace-out= requires a file\n");
+        return false;
+      }
+      Opts.TraceOut = V;
+    } else if (const char *V = ValueOf("--metrics-out=")) {
+      if (!*V) {
+        std::fprintf(stderr, "cobaltc: --metrics-out= requires a file\n");
+        return false;
+      }
+      Opts.MetricsOut = V;
+    } else if (const char *V = ValueOf("--remarks=")) {
+      if (std::strcmp(V, "all") == 0)
+        Opts.Remarks = DriverOptions::RemarkLevel::RL_All;
+      else if (std::strcmp(V, "missed") == 0)
+        Opts.Remarks = DriverOptions::RemarkLevel::RL_Missed;
+      else if (std::strcmp(V, "none") == 0)
+        Opts.Remarks = DriverOptions::RemarkLevel::RL_None;
+      else {
+        std::fprintf(stderr,
+                     "cobaltc: --remarks= takes all, missed, or none\n");
+        return false;
+      }
     } else if (std::strcmp(Arg, "--fail-fast") == 0) {
       Opts.FailFast = true;
     } else if (std::strcmp(Arg, "--keep-going") == 0) {
@@ -148,7 +187,133 @@ bool parseFlags(int Argc, char **Argv, DriverOptions &Opts,
       Positional.push_back(Arg);
     }
   }
+  if (!Opts.TraceOut.empty() || !Opts.MetricsOut.empty()) {
+    // Telemetry failures never change exit codes: a soundness tool's
+    // verdict must not depend on whether its instrumentation worked.
+    if (support::telemetryCompiledIn())
+      Opts.Config.Telemetry = true;
+    else
+      std::fprintf(stderr,
+                   "cobaltc: warning: this build has telemetry compiled "
+                   "out (-DCOBALT_TELEMETRY=OFF); --trace-out/"
+                   "--metrics-out will write empty documents\n");
+  }
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Observability wiring (--trace-out, --metrics-out, --remarks).
+//===----------------------------------------------------------------------===//
+
+/// Hooks the remark stream up to stderr at the requested level. Remarks
+/// flow regardless of --trace-out/--metrics-out: they are pipeline data.
+void attachRemarks(api::CobaltContext &Ctx, const DriverOptions &Opts) {
+  if (Opts.Remarks == DriverOptions::RemarkLevel::RL_None)
+    return;
+  bool All = Opts.Remarks == DriverOptions::RemarkLevel::RL_All;
+  Ctx.setRemarkCallback([All](const support::Remark &R) {
+    if (!All && R.K == support::Remark::Kind::RK_Passed)
+      return;
+    std::fprintf(stderr, "remark: %s\n", R.str().c_str());
+  });
+}
+
+bool writeTextFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  return (std::fclose(F) == 0) && Ok;
+}
+
+/// Re-indents a pretty-printed JSON document so it can be embedded as a
+/// value inside the report object.
+std::string indentJson(const std::string &Doc, const char *Pad) {
+  std::string Out;
+  Out.reserve(Doc.size());
+  for (char C : Doc) {
+    if (C == '\n') {
+      Out += '\n';
+      Out += Pad;
+    } else {
+      Out += C;
+    }
+  }
+  while (!Out.empty() && (Out.back() == ' ' || Out.back() == '\n'))
+    Out.pop_back();
+  return Out;
+}
+
+/// Writes the --trace-out/--metrics-out files and emits the telemetry
+/// summary: into \p JsonOut as a "telemetry" member when reporting JSON,
+/// as a table on stderr otherwise. Failures warn and are otherwise
+/// ignored — they never affect the exit code.
+void emitTelemetry(api::CobaltContext &Ctx, const DriverOptions &Opts,
+                   std::string *JsonOut) {
+  support::Telemetry *T = Ctx.telemetry();
+  if (!T) {
+    if (!Opts.TraceOut.empty() &&
+        !writeTextFile(Opts.TraceOut, "{\"traceEvents\": []}\n"))
+      std::fprintf(stderr, "cobaltc: warning: cannot write '%s'\n",
+                   Opts.TraceOut.c_str());
+    if (!Opts.MetricsOut.empty() &&
+        !writeTextFile(Opts.MetricsOut, support::MetricsRegistry().json()))
+      std::fprintf(stderr, "cobaltc: warning: cannot write '%s'\n",
+                   Opts.MetricsOut.c_str());
+    return;
+  }
+  if (!Opts.TraceOut.empty() &&
+      !writeTextFile(Opts.TraceOut, T->Trace.json()))
+    std::fprintf(stderr, "cobaltc: warning: cannot write trace to '%s'\n",
+                 Opts.TraceOut.c_str());
+  if (!Opts.MetricsOut.empty() &&
+      !writeTextFile(Opts.MetricsOut, T->Metrics.json()))
+    std::fprintf(stderr, "cobaltc: warning: cannot write metrics to '%s'\n",
+                 Opts.MetricsOut.c_str());
+
+  const support::MetricsRegistry &M = T->Metrics;
+  if (JsonOut) {
+    *JsonOut += ",\n  \"telemetry\": {\n    \"trace_spans\": " +
+                std::to_string(T->Trace.eventCount()) +
+                ",\n    \"metrics\": " + indentJson(M.json(), "    ") +
+                "\n  }";
+    return;
+  }
+  support::HistogramStats Prover = M.histogram("checker.prover_seconds");
+  std::fprintf(
+      stderr,
+      "-- telemetry --\n"
+      "  obligations  %llu (proven %llu, failed %llu, unknown %llu, "
+      "retries %llu)\n"
+      "  prover       %.2f s solver wall, rlimit %llu\n"
+      "  cache        %llu hits / %llu misses (disk: %llu hits, %llu "
+      "stores)\n"
+      "  engine       %llu rewrites, %llu rollbacks, %llu quarantine "
+      "skips\n"
+      "  dataflow     %llu fixpoint iterations over %llu solves\n"
+      "  trace        %zu spans\n",
+      static_cast<unsigned long long>(M.counter("checker.obligations")),
+      static_cast<unsigned long long>(
+          M.counter("checker.obligations.proven")),
+      static_cast<unsigned long long>(
+          M.counter("checker.obligations.failed")),
+      static_cast<unsigned long long>(
+          M.counter("checker.obligations.unknown")),
+      static_cast<unsigned long long>(M.counter("checker.retries")),
+      Prover.Sum,
+      static_cast<unsigned long long>(M.counter("checker.rlimit_spent")),
+      static_cast<unsigned long long>(M.counter("checker.cache.hits")),
+      static_cast<unsigned long long>(M.counter("checker.cache.misses")),
+      static_cast<unsigned long long>(M.counter("cache.disk.hits")),
+      static_cast<unsigned long long>(M.counter("cache.disk.stores")),
+      static_cast<unsigned long long>(M.counter("engine.rewrites")),
+      static_cast<unsigned long long>(M.counter("engine.rollbacks")),
+      static_cast<unsigned long long>(
+          M.counter("engine.quarantine_skips")),
+      static_cast<unsigned long long>(
+          M.counter("dataflow.fixpoint_iters")),
+      static_cast<unsigned long long>(M.counter("dataflow.solves")),
+      T->Trace.eventCount());
 }
 
 //===----------------------------------------------------------------------===//
@@ -369,6 +534,7 @@ int exitCodeFor(const api::SuiteResult &Summary, bool PipelineDegraded) {
 
 int cmdCheck(const char *ModulePath, const DriverOptions &Opts) {
   api::CobaltContext Ctx(Opts.Config);
+  attachRemarks(Ctx, Opts);
   auto Module = Ctx.loadModuleFile(ModulePath);
   if (!Module) {
     std::fprintf(stderr, "%s\n", Module.error().str().c_str());
@@ -389,6 +555,7 @@ int cmdCheck(const char *ModulePath, const DriverOptions &Opts) {
   if (Opts.ReportJson) {
     std::string Out = "{\n  \"command\": \"check\",\n";
     emitDefinitionsJson(Out, Summary.Reports);
+    emitTelemetry(Ctx, Opts, &Out);
     Out += ",\n  \"exit\": " + std::to_string(Exit) + "\n}\n";
     std::fputs(Out.c_str(), stdout);
     return Exit;
@@ -402,6 +569,7 @@ int cmdCheck(const char *ModulePath, const DriverOptions &Opts) {
                 Summary.Unproven);
   else
     std::printf("all definitions proven sound\n");
+  emitTelemetry(Ctx, Opts, nullptr);
   return Exit;
 }
 
@@ -489,10 +657,13 @@ std::optional<GatedPipeline> gateAndOptimize(api::CobaltContext &Ctx,
 int cmdOpt(const char *ModulePath, const char *ProgramPath,
            const DriverOptions &Opts) {
   api::CobaltContext Ctx(Opts.Config);
+  attachRemarks(Ctx, Opts);
   int Exit = ExitAllSound;
   auto G = gateAndOptimize(Ctx, ModulePath, ProgramPath, Opts, Exit);
-  if (!G)
+  if (!G) {
+    emitTelemetry(Ctx, Opts, nullptr);
     return Exit;
+  }
 
   if (Opts.ReportJson) {
     std::string Out = "{\n  \"command\": \"opt\",\n";
@@ -501,24 +672,29 @@ int cmdOpt(const char *ModulePath, const char *ProgramPath,
     emitPipelineJson(Out, G->Pipeline.Reports);
     Out += ",\n  \"optimized_il\": \"" +
            jsonEscape(ir::toString(G->Prog)) + "\"";
+    emitTelemetry(Ctx, Opts, &Out);
     Out += ",\n  \"exit\": " + std::to_string(Exit) + "\n}\n";
     std::fputs(Out.c_str(), stdout);
     return Exit;
   }
   std::printf("\n%s\n", ir::toString(G->Prog).c_str());
+  emitTelemetry(Ctx, Opts, nullptr);
   return Exit;
 }
 
 int cmdRun(const char *ModulePath, const char *ProgramPath,
            const char *InputText, const DriverOptions &Opts) {
   api::CobaltContext Ctx(Opts.Config);
+  attachRemarks(Ctx, Opts);
   int Exit = ExitAllSound;
 
   // Keep the pristine program for the before/after comparison.
   auto Original = Ctx.loadProgramFile(ProgramPath);
   auto G = gateAndOptimize(Ctx, ModulePath, ProgramPath, Opts, Exit);
-  if (!G)
+  if (!G) {
+    emitTelemetry(Ctx, Opts, nullptr);
     return Exit;
+  }
   if (!Original) {
     std::fprintf(stderr, "%s: %s\n", ProgramPath,
                  Original.error().str().c_str());
@@ -537,6 +713,7 @@ int cmdRun(const char *ModulePath, const char *ProgramPath,
     Out += ",\n  \"input\": " + std::to_string(Input);
     Out += ",\n  \"original_result\": \"" + jsonEscape(RO.str()) + "\"";
     Out += ",\n  \"optimized_result\": \"" + jsonEscape(RT.str()) + "\"";
+    emitTelemetry(Ctx, Opts, &Out);
     Out += ",\n  \"exit\": " + std::to_string(Exit) + "\n}\n";
     std::fputs(Out.c_str(), stdout);
     return Exit;
@@ -546,6 +723,7 @@ int cmdRun(const char *ModulePath, const char *ProgramPath,
   std::printf("main(%lld): original %s, optimized %s\n",
               static_cast<long long>(Input), RO.str().c_str(),
               RT.str().c_str());
+  emitTelemetry(Ctx, Opts, nullptr);
   return Exit;
 }
 
