@@ -36,7 +36,11 @@ CobaltContext::CobaltContext(CobaltConfig Config)
         "engine.rollbacks",        "engine.pass_failures",
         "engine.quarantine_skips", "dataflow.solves",
         "dataflow.fixpoint_iters", "dataflow.meet_dropped",
-        "dataflow.psi2_dropped"};
+        "dataflow.psi2_dropped",   "fuzz.runs",
+        "fuzz.programs",           "fuzz.divergences",
+        "fuzz.findings",           "fuzz.oracle.execs",
+        "fuzz.reduce.runs",        "fuzz.reduce.candidates",
+        "fuzz.reduce.stmts_removed"};
     for (const char *Name : Headline)
       Telem->Metrics.add(Name, 0);
   }
@@ -242,4 +246,11 @@ CobaltContext::runPipeline(ir::Program &Prog,
   PipelineResult Result = summarize(std::move(Reports), PM.lastRunDegraded());
   deliverRemarks(Result.Reports);
   return Result;
+}
+
+fuzz::FuzzSummary
+CobaltContext::runFuzz(const std::vector<fuzz::FuzzTarget> &Targets,
+                       const fuzz::FuzzOptions &Options) {
+  support::TelemetryScope Scope(Telem.get());
+  return fuzz::runFuzz(Targets, Options, *Pool);
 }

@@ -41,6 +41,7 @@
 #include "checker/Soundness.h"
 #include "core/CobaltParser.h"
 #include "engine/PassManager.h"
+#include "fuzz/Fuzzer.h"
 #include "ir/Ast.h"
 #include "support/Expected.h"
 #include "support/Telemetry.h"
@@ -170,6 +171,16 @@ public:
   /// pair with SuiteResult::provenPassNames() to apply the proven subset.
   PipelineResult runPipeline(ir::Program &Prog,
                              const std::vector<std::string> &PassNames);
+  /// @}
+
+  /// \name Fuzzing (DESIGN.md §11).
+  /// @{
+  /// Runs the differential fuzzer over \p Targets on this context's
+  /// thread pool, with the context's telemetry session installed (fuzz
+  /// counters and spans land next to checker/engine ones). Summaries
+  /// are bit-identical for every Config.Jobs, like everything else.
+  fuzz::FuzzSummary runFuzz(const std::vector<fuzz::FuzzTarget> &Targets,
+                            const fuzz::FuzzOptions &Options);
   /// @}
 
   /// \name Component access (for tests, benches, and incremental

@@ -1,0 +1,137 @@
+//===- Corpus.cpp ---------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include "ir/Printer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace cobalt;
+using namespace cobalt::fuzz;
+
+const char *fuzz::verdictName(checker::CheckReport::Verdict V) {
+  switch (V) {
+  case checker::CheckReport::Verdict::V_Sound:
+    return "Sound";
+  case checker::CheckReport::Verdict::V_Unsound:
+    return "Unsound";
+  case checker::CheckReport::Verdict::V_Unproven:
+    return "Unproven";
+  }
+  return "Unproven";
+}
+
+std::optional<checker::CheckReport::Verdict>
+fuzz::verdictFromName(const std::string &Name) {
+  if (Name == "Sound")
+    return checker::CheckReport::Verdict::V_Sound;
+  if (Name == "Unsound")
+    return checker::CheckReport::Verdict::V_Unsound;
+  if (Name == "Unproven")
+    return checker::CheckReport::Verdict::V_Unproven;
+  return std::nullopt;
+}
+
+const char *fuzz::crossCheckName(CrossCheck C) {
+  switch (C) {
+  case CrossCheck::CC_Consistent:
+    return "consistent";
+  case CrossCheck::CC_CaughtByChecker:
+    return "caught-by-checker";
+  case CrossCheck::CC_CheckerMissed:
+    return "checker-missed";
+  }
+  return "consistent";
+}
+
+std::optional<std::string>
+fuzz::saveCorpus(const std::string &Dir, const std::vector<FuzzFinding> &Fs) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    return "cannot create corpus dir " + Dir + ": " + EC.message();
+
+  std::ofstream Manifest(Dir + "/manifest.txt");
+  if (!Manifest)
+    return "cannot write " + Dir + "/manifest.txt";
+  Manifest << "# cobalt-fuzz corpus manifest v1\n";
+
+  unsigned Ordinal = 0;
+  for (const FuzzFinding &F : Fs) {
+    std::string Stem = F.Rule + "_s" + std::to_string(F.Seed);
+    // Rule names may carry '+' (analysis pairings) or '.' (mutants);
+    // keep filenames portable. The ordinal disambiguates two findings
+    // from the same (rule, seed) — e.g. a program and its mutant.
+    for (char &C : Stem)
+      if (C == '+' || C == '.')
+        C = '_';
+    std::string Name = Stem + "_" + std::to_string(Ordinal++) + ".il";
+    std::ofstream Out(Dir + "/" + Name);
+    if (!Out)
+      return "cannot write " + Dir + "/" + Name;
+    Out << ir::toString(F.Original);
+    Manifest << "file=" << Name << " rule=" << F.Rule
+             << " seed=" << F.Seed << " input=" << F.Div.Input
+             << " kind=" << F.Div.kindName()
+             << " verdict=" << verdictName(F.Verdict)
+             << " check=" << crossCheckName(F.Check) << "\n";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<CorpusEntry>>
+fuzz::loadCorpusManifest(const std::string &Dir, std::string &Err) {
+  std::ifstream In(Dir + "/manifest.txt");
+  if (!In) {
+    Err = "cannot read " + Dir + "/manifest.txt";
+    return std::nullopt;
+  }
+  std::vector<CorpusEntry> Entries;
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    CorpusEntry E;
+    std::istringstream Fields(Line);
+    std::string Field;
+    while (Fields >> Field) {
+      size_t Eq = Field.find('=');
+      if (Eq == std::string::npos) {
+        Err = Dir + "/manifest.txt:" + std::to_string(LineNo) +
+              ": malformed field '" + Field + "'";
+        return std::nullopt;
+      }
+      std::string Key = Field.substr(0, Eq), Val = Field.substr(Eq + 1);
+      if (Key == "file")
+        E.File = Val;
+      else if (Key == "rule")
+        E.Rule = Val;
+      else if (Key == "seed")
+        E.Seed = std::stoull(Val);
+      else if (Key == "input")
+        E.Input = std::stoll(Val);
+      else if (Key == "kind")
+        E.Kind = Val;
+      else if (Key == "verdict")
+        E.Verdict = Val;
+      else if (Key == "check")
+        E.Check = Val;
+      // Unknown keys: ignored for forward compatibility.
+    }
+    if (E.File.empty() || E.Rule.empty()) {
+      Err = Dir + "/manifest.txt:" + std::to_string(LineNo) +
+            ": entry missing file= or rule=";
+      return std::nullopt;
+    }
+    Entries.push_back(std::move(E));
+  }
+  return Entries;
+}

@@ -1,0 +1,67 @@
+//===- Corpus.h - On-disk corpus of minimized divergences -------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The corpus is a directory of `.il` reproducers plus one `manifest.txt`
+/// describing what each reproducer demonstrates:
+///
+/// \code
+///   # cobalt-fuzz corpus manifest v1
+///   file=const_prop_no_guard_s3_0.il rule=const_prop_no_guard seed=3
+///       input=7 kind=wrong-value verdict=Unsound check=caught-by-checker
+///   (one record per line; wrapped here for width)
+/// \endcode
+///
+/// One `key=value` record per line (values never contain spaces; the
+/// rule's free-text explanation stays in Buggy.cpp). The checked-in seed
+/// corpus under tests/fuzz/corpus is replayed entry-by-entry by ctest,
+/// so every historical divergence is a named regression test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_FUZZ_CORPUS_H
+#define COBALT_FUZZ_CORPUS_H
+
+#include "checker/Soundness.h"
+#include "fuzz/Fuzzer.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cobalt {
+namespace fuzz {
+
+/// One manifest record.
+struct CorpusEntry {
+  std::string File; ///< .il path relative to the corpus directory.
+  std::string Rule; ///< Target rule name (resolved via stock suites).
+  uint64_t Seed = 0;
+  int64_t Input = 0;    ///< The input that exposed the divergence.
+  std::string Kind;     ///< Divergence kindName().
+  std::string Verdict;  ///< "Sound" / "Unsound" / "Unproven".
+  std::string Check;    ///< "caught-by-checker" / "checker-missed".
+};
+
+const char *verdictName(checker::CheckReport::Verdict V);
+std::optional<checker::CheckReport::Verdict>
+verdictFromName(const std::string &Name);
+const char *crossCheckName(CrossCheck C);
+
+/// Writes every finding as `<rule>_s<seed>.il` plus the manifest into
+/// \p Dir (created if missing). Returns an error message on I/O failure.
+std::optional<std::string> saveCorpus(const std::string &Dir,
+                                      const std::vector<FuzzFinding> &Fs);
+
+/// Parses `Dir/manifest.txt`. Returns nullopt and sets \p Err on
+/// failure; unknown keys are ignored (forward compatibility).
+std::optional<std::vector<CorpusEntry>>
+loadCorpusManifest(const std::string &Dir, std::string &Err);
+
+} // namespace fuzz
+} // namespace cobalt
+
+#endif // COBALT_FUZZ_CORPUS_H

@@ -1,0 +1,324 @@
+//===- Fuzzer.cpp ---------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "fuzz/Mutator.h"
+#include "ir/Generator.h"
+#include "opts/Buggy.h"
+#include "opts/Optimizations.h"
+#include "support/FaultInjection.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace cobalt;
+using namespace cobalt::fuzz;
+using namespace cobalt::ir;
+
+//===----------------------------------------------------------------------===//
+// Generator configuration cycling.
+//===----------------------------------------------------------------------===//
+
+GenOptions fuzz::deriveGenOptions(uint64_t RunIndex) {
+  GenOptions G;
+  G.NumVars = 5;
+  G.NumStmts = 18;
+  switch (RunIndex % 8) {
+  case 0: // plain straight-line + structured control flow
+    G.BaitPressure = 20; // scalar CSE bait only
+    break;
+  case 1: // pointer-light
+    G.WithPointers = true;
+    G.BaitPressure = 35;
+    break;
+  case 2: // pointer-heavy with aliasing pressure
+    G.WithPointers = true;
+    G.AliasPressure = 55;
+    G.BaitPressure = 25;
+    break;
+  case 3: // unstructured control flow
+    G.WithGotos = true;
+    G.WithReturnInLoop = true;
+    break;
+  case 4: // interprocedural
+    G.WithCalls = true;
+    G.NumHelperProcs = 2;
+    G.BaitPressure = 20;
+    break;
+  case 5: // escape-friendly: pointers escape through helper returns.
+          // Alias pressure stays low here: stuck originals impose no
+          // obligation, so a habitat meant to observe escaped-local
+          // reads must keep most executions alive to the return.
+    G.WithPointers = true;
+    G.WithCalls = true;
+    G.NumHelperProcs = 2;
+    G.AliasPressure = 15;
+    G.BaitPressure = 45;
+    break;
+  case 6: // stuck-state habitat: division (possibly by zero)
+    G.WithDivision = true;
+    break;
+  default: // everything at once
+    G.WithPointers = true;
+    G.WithCalls = true;
+    G.NumHelperProcs = 1;
+    G.WithGotos = true;
+    G.WithReturnInLoop = true;
+    G.AliasPressure = 30;
+    G.WithDivision = true;
+    G.BaitPressure = 20;
+    break;
+  }
+  return G;
+}
+
+//===----------------------------------------------------------------------===//
+// The loop.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// What one (run, target) pair observed; slots are index-keyed so the
+/// parallel fan-out never races on shared counters.
+struct RunHit {
+  unsigned Target = 0;
+  bool Applied = false;
+  bool FromMutant = false;
+  ir::Program Prog;  ///< The diverging input program (empty if none).
+  bool Diverged = false;
+};
+
+struct RunSlot {
+  std::vector<RunHit> Hits; ///< One per (program, target) with >=1 rewrite.
+};
+
+uint64_t mixSeed(uint64_t Seed) {
+  // splitmix64 finalizer: decorrelates consecutive run seeds for the
+  // fault-injection key without touching generation determinism.
+  Seed += 0x9e3779b97f4a7c15ull;
+  Seed = (Seed ^ (Seed >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Seed = (Seed ^ (Seed >> 27)) * 0x94d049bb133111ebull;
+  return Seed ^ (Seed >> 31);
+}
+
+void runOne(uint64_t BaseSeed, size_t RunIndex,
+            const std::vector<FuzzTarget> &Targets,
+            const FuzzOptions &Options, RunSlot &Slot) {
+  uint64_t RunSeed = BaseSeed + RunIndex;
+  support::ScopedFaultKey FK(mixSeed(RunSeed));
+  support::TraceSpan Span("fuzz", "run");
+
+  GenOptions GO = deriveGenOptions(RunIndex);
+  Program Generated = generateProgram(GO, RunSeed);
+  std::vector<Program> Programs;
+  Programs.push_back(std::move(Generated));
+  if (Options.MutantsPerProgram > 0)
+    for (Program &M :
+         mutateProgram(Programs.front(), RunSeed, Options.MutantsPerProgram))
+      Programs.push_back(std::move(M));
+  support::metricAdd("fuzz.programs", Programs.size());
+
+  for (size_t PI = 0; PI < Programs.size(); ++PI) {
+    for (unsigned TI = 0; TI < Targets.size(); ++TI) {
+      const FuzzTarget &T = Targets[TI];
+      ApplyOutcome AO = applyRule(T.Opt, T.Analyses, Programs[PI]);
+      if (AO.Applied == 0)
+        continue;
+      RunHit Hit;
+      Hit.Target = TI;
+      Hit.Applied = true;
+      Hit.FromMutant = PI > 0;
+      auto Div = diffPrograms(Programs[PI], AO.Prog, Options.Oracle);
+      if (Div) {
+        Hit.Diverged = true;
+        Hit.Prog = Programs[PI];
+        support::metricAdd("fuzz.divergences");
+      }
+      Slot.Hits.push_back(std::move(Hit));
+    }
+  }
+  if (Span.enabled())
+    Span.arg("seed", RunSeed);
+}
+
+/// Reduces one diverging program against its target and builds the full
+/// finding (sequential post-pass; determinism does not depend on it).
+FuzzFinding buildFinding(const FuzzTarget &T, const RunHit &Hit,
+                         uint64_t RunSeed, const FuzzOptions &Options) {
+  FuzzFinding F;
+  F.Rule = T.Opt.Name;
+  F.Seed = RunSeed;
+  F.FromMutant = Hit.FromMutant;
+  F.Verdict = T.Verdict;
+  F.StatementsBefore = totalStmts(Hit.Prog);
+
+  FailurePredicate StillFails = [&](const Program &Cand) {
+    ApplyOutcome AO = applyRule(T.Opt, T.Analyses, Cand);
+    if (AO.Applied == 0)
+      return false;
+    return diffPrograms(Cand, AO.Prog, Options.Oracle).has_value();
+  };
+
+  Program Reduced = Hit.Prog;
+  if (Options.Minimize) {
+    ReduceResult R = reduceProgram(Hit.Prog, StillFails, Options.Reduce);
+    Reduced = std::move(R.Prog);
+    F.ReduceRounds = R.Rounds;
+    F.ReduceFixpoint = R.Fixpoint;
+  }
+  F.StatementsAfter = totalStmts(Reduced);
+
+  ApplyOutcome AO = applyRule(T.Opt, T.Analyses, Reduced);
+  F.Div = diffPrograms(Reduced, AO.Prog, Options.Oracle)
+              .value_or(Divergence{});
+  F.Check = crossCheck(T.Verdict, /*Diverged=*/true);
+  F.Original = std::move(Reduced);
+  F.Optimized = std::move(AO.Prog);
+
+  // Pin the divergence to a single rewrite site when one suffices.
+  for (unsigned K = 0; K < AO.Applied && K < 8; ++K) {
+    Optimization Narrowed = restrictToSite(T.Opt, K);
+    ApplyOutcome NAO = applyRule(Narrowed, T.Analyses, F.Original);
+    if (NAO.Applied > 0 &&
+        diffPrograms(F.Original, NAO.Prog, Options.Oracle)) {
+      F.NarrowedSite = static_cast<int>(K);
+      break;
+    }
+  }
+  return F;
+}
+
+} // namespace
+
+FuzzSummary fuzz::runFuzz(const std::vector<FuzzTarget> &Targets,
+                          const FuzzOptions &Options,
+                          support::ThreadPool &Pool) {
+  support::TraceSpan Span("fuzz", "campaign");
+  FuzzSummary Sum;
+  Sum.Seed = Options.Seed;
+  Sum.RunsRequested = Options.Runs;
+  for (const FuzzTarget &T : Targets)
+    Sum.PerRule[T.Opt.Name]; // every target appears, even when clean
+
+  std::vector<RunSlot> Slots(Options.Runs);
+  const size_t Batch = std::max<size_t>(Pool.jobs() * 4, 16);
+  const auto Start = std::chrono::steady_clock::now();
+
+  size_t Lo = 0;
+  while (Lo < Options.Runs) {
+    size_t N = std::min<size_t>(Batch, Options.Runs - Lo);
+    Pool.parallelFor(N, [&, Lo](size_t J) {
+      runOne(Options.Seed, Lo + J, Targets, Options, Slots[Lo + J]);
+    });
+    Lo += N;
+    Sum.RunsExecuted += static_cast<unsigned>(N);
+    if (Options.TimeBudgetSec > 0) {
+      double Elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        Start)
+              .count();
+      if (Elapsed >= Options.TimeBudgetSec && Lo < Options.Runs) {
+        Sum.TimedOut = true;
+        break;
+      }
+    }
+  }
+  support::metricAdd("fuzz.runs", Sum.RunsExecuted);
+
+  // Sequential post-pass in run-index order: counting, classification,
+  // and reduction all happen here, so the summary is independent of how
+  // the batches above were scheduled.
+  for (size_t I = 0; I < Sum.RunsExecuted; ++I) {
+    for (const RunHit &Hit : Slots[I].Hits) {
+      const FuzzTarget &T = Targets[Hit.Target];
+      RuleStats &RS = Sum.PerRule[T.Opt.Name];
+      ++RS.Applications;
+      ++Sum.PairsDiffed;
+      if (!Hit.Diverged)
+        continue;
+      ++RS.Divergences;
+      ++Sum.Divergences;
+      if (crossCheck(T.Verdict, true) == CrossCheck::CC_CheckerMissed)
+        ++Sum.CheckerMissed;
+      else
+        ++Sum.CaughtByChecker;
+      unsigned Reported = 0;
+      for (const FuzzFinding &F : Sum.Findings)
+        if (F.Rule == T.Opt.Name)
+          ++Reported;
+      if (Reported < Options.MaxFindingsPerRule)
+        Sum.Findings.push_back(
+            buildFinding(T, Hit, Options.Seed + I, Options));
+    }
+  }
+  support::metricAdd("fuzz.findings", Sum.Findings.size());
+  if (Span.enabled()) {
+    Span.arg("runs", static_cast<uint64_t>(Sum.RunsExecuted));
+    Span.arg("divergences", static_cast<uint64_t>(Sum.Divergences));
+  }
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===//
+// Stock suites.
+//===----------------------------------------------------------------------===//
+
+std::vector<FuzzTarget> fuzz::soundSuiteTargets() {
+  std::vector<FuzzTarget> Out;
+  std::vector<PureAnalysis> Analyses = opts::allAnalyses();
+  for (Optimization &O : opts::allOptimizations()) {
+    FuzzTarget T;
+    T.Opt = std::move(O);
+    T.Analyses = Analyses;
+    T.Verdict = checker::CheckReport::Verdict::V_Sound;
+    Out.push_back(std::move(T));
+  }
+  return Out;
+}
+
+std::vector<FuzzTarget> fuzz::buggySuiteTargets() {
+  std::vector<FuzzTarget> Out;
+  std::vector<PureAnalysis> Analyses = opts::allAnalyses();
+  for (opts::BuggyCase &Case : opts::allBuggyOptimizations()) {
+    FuzzTarget T;
+    T.Opt = std::move(Case.Opt);
+    T.Analyses = Analyses;
+    T.Verdict = checker::CheckReport::Verdict::V_Unsound;
+    T.ExpectDivergence = Case.Observable;
+    Out.push_back(std::move(T));
+  }
+  // The buggy *analysis* is observed through a consumer: loadCse trusts
+  // notTainted, so pairing it with the unsound producer lets a deref
+  // store slip past the taint check.
+  {
+    FuzzTarget T;
+    T.Opt = opts::loadCse();
+    T.Opt.Name = "loadCse+taint_analysis_misses_deref";
+    T.Analyses = {opts::buggyTaintAnalysis().Analysis};
+    T.Verdict = checker::CheckReport::Verdict::V_Unsound;
+    T.ExpectDivergence = false; // calibrated: divergence needs a rare
+                                // *p := &x / reload chain; counted, not
+                                // asserted, in the smoke suite.
+    Out.push_back(std::move(T));
+  }
+  return Out;
+}
+
+std::vector<FuzzTarget> fuzz::ruleMutantTargets(unsigned MaxPerRule) {
+  std::vector<FuzzTarget> Out;
+  std::vector<PureAnalysis> Analyses = opts::allAnalyses();
+  for (Optimization &O : opts::allOptimizations())
+    for (Optimization &M : mutateRule(O, MaxPerRule)) {
+      FuzzTarget T;
+      T.Opt = std::move(M);
+      T.Analyses = Analyses;
+      T.Verdict = checker::CheckReport::Verdict::V_Unproven;
+      Out.push_back(std::move(T));
+    }
+  return Out;
+}

@@ -1,0 +1,263 @@
+//===- Mutator.cpp --------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Mutator.h"
+
+#include "core/Formula.h"
+
+#include <random>
+
+using namespace cobalt;
+using namespace cobalt::fuzz;
+using namespace cobalt::ir;
+
+//===----------------------------------------------------------------------===//
+// IL program mutations.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Editable references into one procedure, collected up front so a
+/// mutation can pick a site uniformly.
+struct MutationSites {
+  std::vector<ConstVal *> Consts;   ///< Concrete constants.
+  std::vector<OpExpr *> Ops;        ///< Operator applications.
+  std::vector<BranchStmt *> Branches;
+  std::vector<int> ErasableStmts;   ///< Assign/new/call indices.
+};
+
+void collectSites(Procedure &P, MutationSites &Out) {
+  auto FromBase = [&](BaseExpr &B) {
+    if (auto *C = std::get_if<ConstVal>(&B); C && !C->IsMeta)
+      Out.Consts.push_back(C);
+  };
+  for (int I = 0; I < P.size(); ++I) {
+    Stmt &S = P.Stmts[I];
+    if (auto *A = std::get_if<AssignStmt>(&S.V)) {
+      Out.ErasableStmts.push_back(I);
+      if (auto *C = std::get_if<ConstVal>(&A->Value.V); C && !C->IsMeta)
+        Out.Consts.push_back(C);
+      if (auto *Op = std::get_if<OpExpr>(&A->Value.V)) {
+        Out.Ops.push_back(Op);
+        for (BaseExpr &B : Op->Args)
+          FromBase(B);
+      }
+    } else if (S.is<NewStmt>() || S.is<CallStmt>()) {
+      Out.ErasableStmts.push_back(I);
+      if (auto *C = std::get_if<CallStmt>(&S.V))
+        FromBase(C->Arg);
+    } else if (auto *B = std::get_if<BranchStmt>(&S.V)) {
+      Out.Branches.push_back(B);
+      FromBase(B->Cond);
+    }
+  }
+}
+
+/// Applies one random edit in place; returns false when the chosen site
+/// class is empty.
+bool applyOneEdit(Procedure &P, std::mt19937_64 &Rng) {
+  MutationSites Sites;
+  collectSites(P, Sites);
+  auto Pick = [&](size_t Bound) {
+    return static_cast<size_t>(Rng() % Bound);
+  };
+  switch (Pick(5)) {
+  case 0: { // constant tweak
+    if (Sites.Consts.empty())
+      return false;
+    ConstVal *C = Sites.Consts[Pick(Sites.Consts.size())];
+    static const int64_t Deltas[] = {1, -1, 0, 2};
+    int64_t D = Deltas[Pick(4)];
+    C->Value = D == 0 ? -C->Value : C->Value + D;
+    return true;
+  }
+  case 1: { // operator swap (same arity)
+    if (Sites.Ops.empty())
+      return false;
+    OpExpr *Op = Sites.Ops[Pick(Sites.Ops.size())];
+    static const char *Pool[] = {"+", "-",  "*",  "==", "!=",
+                                 "<", "<=", ">",  ">="};
+    Op->Op = Pool[Pick(sizeof(Pool) / sizeof(Pool[0]))];
+    return true;
+  }
+  case 2: { // branch leg swap
+    if (Sites.Branches.empty())
+      return false;
+    BranchStmt *B = Sites.Branches[Pick(Sites.Branches.size())];
+    std::swap(B->Then, B->Else);
+    return true;
+  }
+  case 3: { // statement erasure
+    if (Sites.ErasableStmts.empty())
+      return false;
+    P.Stmts[Sites.ErasableStmts[Pick(Sites.ErasableStmts.size())]] =
+        Stmt(SkipStmt{});
+    return true;
+  }
+  default: { // forward branch redirect (termination-preserving)
+    if (Sites.Branches.empty())
+      return false;
+    BranchStmt *B = Sites.Branches[Pick(Sites.Branches.size())];
+    Index *Leg = Pick(2) ? &B->Then : &B->Else;
+    int Lo = Leg->Value;
+    if (Lo >= P.size())
+      return false;
+    Leg->Value = Lo + static_cast<int>(Pick(
+                          static_cast<size_t>(P.size() - Lo)));
+    return true;
+  }
+  }
+}
+
+} // namespace
+
+std::vector<Program> fuzz::mutateProgram(const Program &Prog, uint64_t Seed,
+                                         unsigned Count) {
+  std::mt19937_64 Rng(Seed ^ 0x6d757461746f72ull); // "mutator"
+  std::vector<Program> Mutants;
+  unsigned Attempts = 0;
+  while (Mutants.size() < Count && Attempts < Count * 4 + 8) {
+    ++Attempts;
+    Program M = Prog;
+    // Mutate main with 1-2 edits; helpers stay pristine so call-heavy
+    // programs keep their cross-procedure shapes intact.
+    Procedure *Main = M.findProc("main");
+    if (!Main)
+      break;
+    unsigned Edits = 1 + static_cast<unsigned>(Rng() % 2);
+    bool Any = false;
+    for (unsigned E = 0; E < Edits; ++E)
+      Any = applyOneEdit(*Main, Rng) || Any;
+    if (!Any || validateProgram(M))
+      continue;
+    if (M == Prog)
+      continue;
+    Mutants.push_back(std::move(M));
+  }
+  return Mutants;
+}
+
+//===----------------------------------------------------------------------===//
+// Cobalt rule mutations.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Flattens nested binary conjunctions into a list.
+void conjuncts(const FormulaPtr &F, std::vector<FormulaPtr> &Out) {
+  if (F && F->K == Formula::Kind::FK_And) {
+    for (const FormulaPtr &Kid : F->Kids)
+      conjuncts(Kid, Out);
+    return;
+  }
+  Out.push_back(F);
+}
+
+FormulaPtr conjoin(const std::vector<FormulaPtr> &Fs) {
+  if (Fs.empty())
+    return fTrue();
+  FormulaPtr Acc = Fs.front();
+  for (size_t I = 1; I < Fs.size(); ++I)
+    Acc = fAnd(Acc, Fs[I]);
+  return Acc;
+}
+
+/// Collects concrete constants inside a statement (rewrite sides).
+void collectStmtConsts(Stmt &S, std::vector<ConstVal *> &Out) {
+  auto FromBase = [&](BaseExpr &B) {
+    if (auto *C = std::get_if<ConstVal>(&B); C && !C->IsMeta)
+      Out.push_back(C);
+  };
+  if (auto *A = std::get_if<AssignStmt>(&S.V)) {
+    if (auto *C = std::get_if<ConstVal>(&A->Value.V); C && !C->IsMeta)
+      Out.push_back(C);
+    if (auto *Op = std::get_if<OpExpr>(&A->Value.V))
+      for (BaseExpr &B : Op->Args)
+        FromBase(B);
+  } else if (auto *B = std::get_if<BranchStmt>(&S.V)) {
+    FromBase(B->Cond);
+  }
+}
+
+void pushMutant(std::vector<Optimization> &Out, const Optimization &Base,
+                unsigned K, Optimization Mutant) {
+  Mutant.Name = Base.Name + ".mut" + std::to_string(K);
+  if (!validateOptimization(Mutant))
+    Out.push_back(std::move(Mutant));
+}
+
+} // namespace
+
+std::vector<Optimization> fuzz::mutateRule(const Optimization &Rule,
+                                           unsigned MaxMutants) {
+  std::vector<Optimization> Out;
+  unsigned K = 0;
+
+  // 1. Forget the region side condition entirely: ψ2 := true. The
+  // classic missing-side-condition bug (cf. constPropNoGuard).
+  {
+    Optimization M = Rule;
+    M.Pat.G.Psi2 = fTrue();
+    pushMutant(Out, Rule, K, std::move(M));
+  }
+  ++K;
+
+  // 2. Drop each top-level conjunct of ψ2 in turn.
+  {
+    std::vector<FormulaPtr> Cs;
+    conjuncts(Rule.Pat.G.Psi2, Cs);
+    if (Cs.size() > 1) {
+      for (size_t Drop = 0; Drop < Cs.size() && Out.size() < MaxMutants;
+           ++Drop, ++K) {
+        std::vector<FormulaPtr> Kept;
+        for (size_t I = 0; I < Cs.size(); ++I)
+          if (I != Drop)
+            Kept.push_back(Cs[I]);
+        Optimization M = Rule;
+        M.Pat.G.Psi2 = conjoin(Kept);
+        pushMutant(Out, Rule, K, std::move(M));
+      }
+    } else {
+      K += static_cast<unsigned>(Cs.size() > 1 ? Cs.size() : 0);
+    }
+  }
+
+  // 3. Drop each top-level conjunct of ψ1 beyond the first (the first
+  // is usually the enabling stmt() match; dropping it rarely validates).
+  {
+    std::vector<FormulaPtr> Cs;
+    conjuncts(Rule.Pat.G.Psi1, Cs);
+    for (size_t Drop = 1; Drop < Cs.size() && Out.size() < MaxMutants;
+         ++Drop, ++K) {
+      std::vector<FormulaPtr> Kept;
+      for (size_t I = 0; I < Cs.size(); ++I)
+        if (I != Drop)
+          Kept.push_back(Cs[I]);
+      Optimization M = Rule;
+      M.Pat.G.Psi1 = conjoin(Kept);
+      pushMutant(Out, Rule, K, std::move(M));
+    }
+  }
+
+  // 4. Tweak each concrete constant in the rewrite result s'.
+  {
+    Optimization Probe = Rule;
+    std::vector<ConstVal *> Cs;
+    collectStmtConsts(Probe.Pat.To, Cs);
+    for (size_t I = 0; I < Cs.size() && Out.size() < MaxMutants;
+         ++I, ++K) {
+      Optimization M = Rule;
+      std::vector<ConstVal *> MCs;
+      collectStmtConsts(M.Pat.To, MCs);
+      MCs[I]->Value += 1;
+      pushMutant(Out, Rule, K, std::move(M));
+    }
+  }
+
+  if (Out.size() > MaxMutants)
+    Out.resize(MaxMutants);
+  return Out;
+}

@@ -1,0 +1,58 @@
+//===- Mutator.h - Mutations of IL programs and Cobalt rules ----*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured mutations for the fuzzing harness, on both sides of the
+/// soundness contract:
+///
+/// * **IL program mutations** widen the generator's distribution: single
+///   edits (constant tweaks, operator swaps, branch-leg swaps, statement
+///   erasure, forward branch redirects) applied to a generated program.
+///   Every mutant is well-formed (`validateProgram`) and keeps the
+///   generator's termination discipline — branch redirects only move
+///   targets *forward*, so no mutation can introduce an unbounded loop
+///   that the original did not have.
+///
+/// * **Cobalt rule mutations** produce near-miss variants of a rule the
+///   way a rule author would get them wrong: dropping a guard conjunct,
+///   replacing the innocuous-statement condition ψ2 by `true`, and
+///   tweaking constants in the rewrite result. Mutants feed the
+///   CheckerOracle: whatever the mutation, a mutant the checker calls
+///   Sound must never miscompile. Mutation is *systematic* (an
+///   enumeration, not a random walk) so a mutant list is reproducible
+///   from the rule alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_FUZZ_MUTATOR_H
+#define COBALT_FUZZ_MUTATOR_H
+
+#include "core/Optimization.h"
+#include "ir/Ast.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cobalt {
+namespace fuzz {
+
+/// Produces up to \p Count distinct single-edit mutants of \p Prog.
+/// Deterministic in (Prog, Seed): the same pair always yields the same
+/// mutants, independent of process or thread schedule. Mutants failing
+/// validation are discarded (the result may be shorter than Count).
+std::vector<ir::Program> mutateProgram(const ir::Program &Prog,
+                                       uint64_t Seed, unsigned Count);
+
+/// Systematically enumerates guard/rewrite mutants of \p Rule, capped at
+/// \p MaxMutants. Mutant names are `<rule>.mut<K>` with a stable K per
+/// mutation site. Mutants failing validateOptimization are skipped.
+std::vector<Optimization> mutateRule(const Optimization &Rule,
+                                     unsigned MaxMutants = 8);
+
+} // namespace fuzz
+} // namespace cobalt
+
+#endif // COBALT_FUZZ_MUTATOR_H

@@ -1,0 +1,108 @@
+//===- Oracle.h - Differential and checker-cross-check oracles --*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two oracles of the fuzzing harness (DESIGN.md §11):
+///
+/// * **DifferentialOracle** — runs the original and the optimized program
+///   under the reference interpreter on a fixed input set and compares
+///   outcomes against the paper's soundness notion (§4): whenever
+///   `main(v)` *returns* in the original, it must return the same value
+///   in the optimized program. A stuck or diverging original imposes no
+///   obligation; an optimized program that goes stuck, diverges, returns
+///   a different value, or is structurally ill-formed where the original
+///   returned is a *divergence*.
+///
+/// * **CheckerOracle** — cross-checks the soundness checker's verdict for
+///   a rule against observed behavior. The contract:
+///     - a rule the checker calls Sound must NEVER produce a divergence
+///       (a divergence here is a checker soundness bug — the headline
+///       property the fuzzer hunts);
+///     - a rule known (or observed) to miscompile must be flagged
+///       Unsound or Unproven — never Sound. Unproven is acceptable:
+///       the gate refuses unproven rules, so nothing silently ships.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_FUZZ_ORACLE_H
+#define COBALT_FUZZ_ORACLE_H
+
+#include "checker/Soundness.h"
+#include "core/Optimization.h"
+#include "ir/Ast.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cobalt {
+namespace fuzz {
+
+/// How the differential oracle probes a program pair.
+struct OracleOptions {
+  /// Inputs main() is run on. The defaults mix signs, zero, and a value
+  /// larger than any generated loop trip count.
+  std::vector<int64_t> Inputs = {-9, -1, 0, 1, 2, 7, 50};
+  /// Step budget for the original program.
+  uint64_t Fuel = 1u << 18;
+  /// The optimized program gets a larger budget so a genuinely slower
+  /// (but terminating) rewrite is not misreported as divergence.
+  uint64_t FuelOptimized = 1u << 19;
+};
+
+/// One behavioral divergence between a program and its optimized form.
+struct Divergence {
+  enum class Kind {
+    DK_WrongValue,     ///< Both returned, different values.
+    DK_OptimizedStuck, ///< Original returned, optimized got stuck.
+    DK_OptimizedHangs, ///< Original returned, optimized ran out of fuel.
+    DK_IllFormed,      ///< Optimized program fails validateProgram.
+  };
+  Kind K = Kind::DK_WrongValue;
+  int64_t Input = 0;       ///< The input that exposed it.
+  std::string Original;    ///< RunResult::str() of the original run.
+  std::string Optimized;   ///< RunResult::str() / validation error.
+
+  const char *kindName() const;
+  std::string str() const;
+};
+
+/// Runs the pair on every input and returns the first divergence found
+/// (inputs are probed in order, so the report is deterministic), or
+/// nullopt when the pair is observationally equivalent on the input set.
+std::optional<Divergence> diffPrograms(const ir::Program &Original,
+                                       const ir::Program &Optimized,
+                                       const OracleOptions &Options = {});
+
+/// Applies \p Opt (preceded by \p Analyses, which produce the labelings
+/// its guard may consume) to a copy of \p Prog with the transactional
+/// machinery OFF — the fuzzer wants to observe raw miscompiles, not the
+/// pass manager's rollback of them. Returns the rewritten program and
+/// how many sites were rewritten.
+struct ApplyOutcome {
+  ir::Program Prog;
+  unsigned Applied = 0;
+};
+ApplyOutcome applyRule(const Optimization &Opt,
+                       const std::vector<PureAnalysis> &Analyses,
+                       const ir::Program &Prog);
+
+/// The checker-cross-check verdict classification for one (rule,
+/// divergence) observation.
+enum class CrossCheck {
+  CC_Consistent,     ///< No divergence, any verdict — nothing to report.
+  CC_CaughtByChecker,///< Divergence on a rule the checker rejected: the
+                     ///< checker caught a real bug before it could ship.
+  CC_CheckerMissed,  ///< Divergence on a rule the checker calls Sound —
+                     ///< a soundness bug in the checker itself.
+};
+CrossCheck crossCheck(checker::CheckReport::Verdict V, bool Diverged);
+
+} // namespace fuzz
+} // namespace cobalt
+
+#endif // COBALT_FUZZ_ORACLE_H

@@ -1,0 +1,231 @@
+//===- Reducer.cpp --------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include "support/Telemetry.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace cobalt;
+using namespace cobalt::fuzz;
+using namespace cobalt::ir;
+
+unsigned fuzz::totalStmts(const Program &Prog) {
+  unsigned N = 0;
+  for (const Procedure &P : Prog.Procs)
+    N += static_cast<unsigned>(P.Stmts.size());
+  return N;
+}
+
+namespace {
+
+/// Removes the statement range [Lo, Lo+Len) from \p P, remapping every
+/// branch target: targets past the removed range shift down, targets
+/// inside it land on the first surviving statement after the hole.
+void eraseRange(Procedure &P, int Lo, int Len) {
+  P.Stmts.erase(P.Stmts.begin() + Lo, P.Stmts.begin() + Lo + Len);
+  for (Stmt &S : P.Stmts)
+    if (auto *B = std::get_if<BranchStmt>(&S.V)) {
+      auto Remap = [&](Index &T) {
+        if (T.IsMeta)
+          return;
+        if (T.Value >= Lo + Len)
+          T.Value -= Len;
+        else if (T.Value >= Lo)
+          T.Value = Lo;
+      };
+      Remap(B->Then);
+      Remap(B->Else);
+    }
+}
+
+/// Accepts \p Candidate if it is well-formed and still failing.
+bool accept(const Program &Candidate, const FailurePredicate &StillFails) {
+  if (validateProgram(Candidate))
+    return false;
+  if (auto *T = support::Telemetry::active())
+    T->Metrics.add("fuzz.reduce.candidates", 1);
+  return StillFails(Candidate);
+}
+
+/// Pass 1+2: statement removal, largest chunks first (ddmin spirit:
+/// halves, then quarters, ..., then single statements). Returns true if
+/// anything was removed.
+bool passRemoveStmts(Program &Prog, const FailurePredicate &StillFails) {
+  bool Changed = false;
+  for (size_t PI = 0; PI < Prog.Procs.size(); ++PI) {
+    int Size = Prog.Procs[PI].size();
+    for (int Len = Size / 2; Len >= 1; Len /= 2) {
+      for (int Lo = Prog.Procs[PI].size() - Len; Lo >= 0; --Lo) {
+        if (Len > Prog.Procs[PI].size())
+          break;
+        if (Lo + Len > Prog.Procs[PI].size())
+          continue;
+        Program Candidate = Prog;
+        eraseRange(Candidate.Procs[PI], Lo, Len);
+        if (accept(Candidate, StillFails)) {
+          Prog = std::move(Candidate);
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+/// Pass 3: demote statements to `skip` where removal failed (keeps all
+/// indices stable, so branch-heavy programs still shrink semantically).
+bool passSkipStmts(Program &Prog, const FailurePredicate &StillFails) {
+  bool Changed = false;
+  for (size_t PI = 0; PI < Prog.Procs.size(); ++PI)
+    for (int I = Prog.Procs[PI].size() - 1; I >= 0; --I) {
+      if (Prog.Procs[PI].Stmts[I].is<SkipStmt>())
+        continue;
+      Program Candidate = Prog;
+      Candidate.Procs[PI].Stmts[I] = Stmt(SkipStmt{});
+      if (accept(Candidate, StillFails)) {
+        Prog = std::move(Candidate);
+        Changed = true;
+      }
+    }
+  return Changed;
+}
+
+/// Pass 4: shrink constants toward 0 — try 0 first, then halving. Also
+/// the loop-trip reducer: generated loop bounds are `<`-constants.
+bool passShrinkConsts(Program &Prog, const FailurePredicate &StillFails) {
+  bool Changed = false;
+  // Collect (proc, stmt) positions; re-collect pointers per candidate.
+  struct ConstRef {
+    size_t Proc;
+    int StmtIdx;
+    int Slot; ///< N-th constant within the statement.
+  };
+  auto ForEachConst = [](Stmt &S, auto &&Fn) {
+    int Slot = 0;
+    auto FromBase = [&](BaseExpr &B) {
+      if (auto *C = std::get_if<ConstVal>(&B); C && !C->IsMeta)
+        Fn(Slot++, *C);
+    };
+    if (auto *A = std::get_if<AssignStmt>(&S.V)) {
+      if (auto *C = std::get_if<ConstVal>(&A->Value.V); C && !C->IsMeta)
+        Fn(Slot++, *C);
+      if (auto *Op = std::get_if<OpExpr>(&A->Value.V))
+        for (BaseExpr &B : Op->Args)
+          FromBase(B);
+    } else if (auto *B = std::get_if<BranchStmt>(&S.V)) {
+      FromBase(B->Cond);
+    } else if (auto *C = std::get_if<CallStmt>(&S.V)) {
+      FromBase(C->Arg);
+    }
+  };
+
+  std::vector<ConstRef> Refs;
+  for (size_t PI = 0; PI < Prog.Procs.size(); ++PI)
+    for (int I = 0; I < Prog.Procs[PI].size(); ++I)
+      ForEachConst(Prog.Procs[PI].Stmts[I], [&](int Slot, ConstVal &C) {
+        if (C.Value != 0)
+          Refs.push_back({PI, I, Slot});
+      });
+
+  for (const ConstRef &R : Refs) {
+    auto TryValue = [&](int64_t NewV) {
+      Program Candidate = Prog;
+      ForEachConst(Candidate.Procs[R.Proc].Stmts[R.StmtIdx],
+                   [&](int Slot, ConstVal &C) {
+                     if (Slot == R.Slot)
+                       C.Value = NewV;
+                   });
+      if (accept(Candidate, StillFails)) {
+        Prog = std::move(Candidate);
+        return true;
+      }
+      return false;
+    };
+    // Current value may already have changed via an earlier ref; re-read.
+    int64_t Cur = 0;
+    ForEachConst(Prog.Procs[R.Proc].Stmts[R.StmtIdx],
+                 [&](int Slot, ConstVal &C) {
+                   if (Slot == R.Slot)
+                     Cur = C.Value;
+                 });
+    while (Cur != 0) {
+      if (TryValue(0)) {
+        Changed = true;
+        break;
+      }
+      int64_t Half = Cur / 2;
+      if (Half == Cur || !TryValue(Half))
+        break;
+      Changed = true;
+      Cur = Half;
+    }
+  }
+  return Changed;
+}
+
+/// Pass 5: drop helper procedures no longer called.
+bool passDropProcs(Program &Prog, const FailurePredicate &StillFails) {
+  bool Changed = false;
+  for (int PI = static_cast<int>(Prog.Procs.size()) - 1; PI >= 0; --PI) {
+    if (Prog.Procs[PI].Name == "main")
+      continue;
+    Program Candidate = Prog;
+    Candidate.Procs.erase(Candidate.Procs.begin() + PI);
+    if (accept(Candidate, StillFails)) {
+      Prog = std::move(Candidate);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+ReduceResult fuzz::reduceProgram(const Program &Prog,
+                                 const FailurePredicate &StillFails,
+                                 const ReduceOptions &Options) {
+  assert(StillFails(Prog) && "input must expose the divergence");
+  ReduceResult Res;
+  Res.Prog = Prog;
+  Res.StatementsBefore = totalStmts(Prog);
+
+  support::TraceSpan Span("fuzz", "reduce");
+  for (unsigned Round = 0; Round < Options.MaxRounds; ++Round) {
+    ++Res.Rounds;
+    bool Changed = false;
+    Changed |= passRemoveStmts(Res.Prog, StillFails);
+    Changed |= passSkipStmts(Res.Prog, StillFails);
+    Changed |= passShrinkConsts(Res.Prog, StillFails);
+    Changed |= passDropProcs(Res.Prog, StillFails);
+    if (!Changed) {
+      Res.Fixpoint = true;
+      break;
+    }
+  }
+  Res.StatementsAfter = totalStmts(Res.Prog);
+  if (auto *T = support::Telemetry::active()) {
+    T->Metrics.add("fuzz.reduce.runs", 1);
+    T->Metrics.add("fuzz.reduce.stmts_removed",
+                   Res.StatementsBefore - Res.StatementsAfter);
+  }
+  return Res;
+}
+
+Optimization fuzz::restrictToSite(const Optimization &Opt, unsigned K) {
+  Optimization Narrowed = Opt;
+  ChooseFn Base = Opt.Choose;
+  Narrowed.Choose = [Base, K](const std::vector<MatchSite> &Delta,
+                              const Procedure &P) {
+    std::vector<MatchSite> Picked = Base ? Base(Delta, P) : Delta;
+    if (K >= Picked.size())
+      return std::vector<MatchSite>{};
+    return std::vector<MatchSite>{Picked[K]};
+  };
+  return Narrowed;
+}

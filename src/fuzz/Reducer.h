@@ -1,0 +1,76 @@
+//===- Reducer.h - Delta-debugging reduction of divergences -----*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Test-case reduction for the fuzzing harness. Given a program that
+/// exposes a divergence (as judged by a caller-supplied predicate that
+/// re-applies the rule and re-runs the differential oracle), the reducer
+/// shrinks it with a fixed pass order, iterated to a fixpoint:
+///
+///   1. suffix/chunk statement removal with branch-target remapping,
+///   2. single-statement removal,
+///   3. statement -> `skip` demotion (for branches/returns whose removal
+///      would reshuffle too many indices at once),
+///   4. constant shrinking toward 0 (which also reduces loop trip
+///      counts — generated loop bounds are `<`-constants),
+///   5. helper-procedure dropping.
+///
+/// Every candidate is validated (`validateProgram`) before the predicate
+/// runs, so the reducer can only move within the space of well-formed
+/// programs; the predicate then guarantees the divergence is preserved.
+/// Termination: each accepted step strictly shrinks a well-founded
+/// measure (statement count, then sum of |constant|), so a fixpoint is
+/// reached; `MaxRounds` is a belt-and-suspenders bound on top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_FUZZ_REDUCER_H
+#define COBALT_FUZZ_REDUCER_H
+
+#include "core/Optimization.h"
+#include "ir/Ast.h"
+
+#include <functional>
+
+namespace cobalt {
+namespace fuzz {
+
+/// True when a candidate program still exposes the divergence being
+/// minimized. The reducer only keeps edits for which this holds.
+using FailurePredicate = std::function<bool(const ir::Program &)>;
+
+struct ReduceOptions {
+  /// Upper bound on full pass-pipeline rounds. The measure argument above
+  /// guarantees termination anyway; this bounds worst-case work.
+  unsigned MaxRounds = 8;
+};
+
+struct ReduceResult {
+  ir::Program Prog;             ///< The reduced program (still failing).
+  unsigned Rounds = 0;          ///< Rounds actually run.
+  unsigned StatementsBefore = 0;///< Total statements across procedures.
+  unsigned StatementsAfter = 0;
+  bool Fixpoint = false;        ///< Last round changed nothing.
+};
+
+/// Shrinks \p Prog while \p StillFails holds. \p Prog must satisfy the
+/// predicate on entry (asserted); the result always satisfies it.
+ReduceResult reduceProgram(const ir::Program &Prog,
+                           const FailurePredicate &StillFails,
+                           const ReduceOptions &Options = {});
+
+/// Total statement count across all procedures (the reduction measure).
+unsigned totalStmts(const ir::Program &Prog);
+
+/// Narrows the rule instance: returns a copy of \p Opt whose choose
+/// function keeps only the K-th site of the base rule's choice. Used to
+/// pin a divergence to a single rewrite site in the reproducer.
+Optimization restrictToSite(const Optimization &Opt, unsigned K);
+
+} // namespace fuzz
+} // namespace cobalt
+
+#endif // COBALT_FUZZ_REDUCER_H

@@ -53,14 +53,25 @@ private:
       static const char *Cmp[] = {"==", "!=", "<", "<=", ">", ">="};
       return Expr(OpExpr{Cmp[pick(6)], {randomBase(), randomBase()}});
     }
-    default:
-      return Expr(OpExpr{pick(2) ? "/" : "%", {randomBase(), randomBase()}});
+    default: {
+      // A provably-zero divisor (a literal 0) one time in five: the
+      // stuck-state path must be *reachable on every trace through the
+      // statement*, not just on unlucky variable values, so constant
+      // folding / propagation around guaranteed-stuck statements gets
+      // differential coverage.
+      BaseExpr Divisor =
+          chance(20) ? BaseExpr(ConstVal::concrete(0)) : randomBase();
+      return Expr(
+          OpExpr{pick(2) ? "/" : "%", {randomBase(), std::move(Divisor)}});
+    }
     }
   }
 
   void emitSimpleStmt(std::vector<Stmt> &Out);
+  void emitBaitIdiom(std::vector<Stmt> &Out);
   void emitDiamond(std::vector<Stmt> &Out, unsigned Depth);
   void emitCountedLoop(std::vector<Stmt> &Out, unsigned Depth);
+  void emitGotoSkip(std::vector<Stmt> &Out, unsigned Depth);
   void emitBlock(std::vector<Stmt> &Out, unsigned Budget, unsigned Depth);
 
   const GenOptions &Options;
@@ -73,6 +84,35 @@ private:
 } // namespace
 
 void ProcBuilder::emitSimpleStmt(std::vector<Stmt> &Out) {
+  // Aliasing pressure: shapes that make several names reach one cell —
+  // self-pointing pointers, pointer copies, and pointer values escaping
+  // into scalars (which helper procedures then return to their caller).
+  // Dereferencing a pointer variable that was overwritten with an
+  // integer is a legal stuck state, exactly like division by zero.
+  if (Options.WithPointers && NumPtrVars > 0 && Options.AliasPressure &&
+      chance(Options.AliasPressure)) {
+    auto Ptr = [&] {
+      return Var::concrete("p" + std::to_string(pick(NumPtrVars)));
+    };
+    switch (pick(5)) {
+    case 0: // self-pointing: p := &p
+      Out.push_back(Stmt(AssignStmt{Ptr(), Expr(AddrOfExpr{Ptr()})}));
+      return;
+    case 1: // pointer copy: p0 := p1
+      Out.push_back(Stmt(AssignStmt{Ptr(), Expr(Ptr())}));
+      return;
+    case 2: // a pointer escapes into a scalar: v := p
+      Out.push_back(Stmt(AssignStmt{randomScalar(), Expr(Ptr())}));
+      return;
+    case 3: // a scalar (possibly an escaped location) re-enters: p := v
+      Out.push_back(Stmt(AssignStmt{Ptr(), Expr(randomScalar())}));
+      return;
+    default: // store a pointer through a pointer: *p0 := p1
+      Out.push_back(
+          Stmt(AssignStmt{DerefExpr{Ptr()}, Expr(BaseExpr(Ptr()))}));
+      return;
+    }
+  }
   // Pointer statements are rarer than scalar assignments.
   if (Options.WithPointers && chance(25)) {
     std::string P = "p" + std::to_string(pick(std::max(1u, NumPtrVars)));
@@ -105,6 +145,66 @@ void ProcBuilder::emitSimpleStmt(std::vector<Stmt> &Out) {
     return;
   }
   Out.push_back(Stmt(AssignStmt{randomScalar(), randomPureExpr()}));
+}
+
+void ProcBuilder::emitBaitIdiom(std::vector<Stmt> &Out) {
+  Var V0 = Var::concrete(scalarVar(0));
+  // Loads land in v0 (the returned variable) half the time so a wrong
+  // forwarded value actually reaches the observable return.
+  auto Sink = [&] { return chance(50) ? V0 : randomScalar(); };
+  unsigned NumKinds =
+      Options.WithPointers ? (Options.WithCalls && NumCallees > 0 ? 4 : 3) : 1;
+  switch (pick(NumKinds)) {
+  case 0: {
+    // CSE bait: v := v op c; w := v op c. The repeated expression is
+    // self-referential, so rewriting the second occurrence to `w := v`
+    // is wrong (the first assignment moved v past the shared value).
+    Var V = randomScalar();
+    Expr E(OpExpr{pick(2) ? "+" : "*",
+                  {BaseExpr(V),
+                   BaseExpr(ConstVal::concrete(1 + pick(5)))}});
+    Out.push_back(Stmt(AssignStmt{V, E}));
+    Out.push_back(Stmt(AssignStmt{Sink(), E}));
+    return;
+  }
+  case 1: {
+    // Load-CSE taint bait: p points at y, and a *direct* assignment to
+    // y changes *p between the two loads.
+    Var P = Var::concrete("p" + std::to_string(pick(NumPtrVars)));
+    Var Y = randomScalar();
+    Out.push_back(Stmt(AssignStmt{P, Expr(AddrOfExpr{Y})}));
+    Out.push_back(Stmt(AssignStmt{randomScalar(), Expr(DerefExpr{P})}));
+    Out.push_back(Stmt(AssignStmt{Y, randomPureExpr()}));
+    Out.push_back(Stmt(AssignStmt{Sink(), Expr(DerefExpr{P})}));
+    return;
+  }
+  case 2: {
+    // Self-pointing store-forward bait: after p := &p, the store
+    // `*p := q` lands in p's own cell, so the reload reads q's pointee
+    // (an int) while a forwarded `x := q` would yield the pointer.
+    Var P = Var::concrete("p0");
+    Var Q = Var::concrete("p" + std::to_string(NumPtrVars > 1 ? 1 : 0));
+    Out.push_back(Stmt(AssignStmt{Q, Expr(AddrOfExpr{randomScalar()})}));
+    Out.push_back(Stmt(AssignStmt{P, Expr(AddrOfExpr{P})}));
+    Out.push_back(Stmt(AssignStmt{DerefExpr{P}, Expr(BaseExpr(Q))}));
+    Out.push_back(Stmt(AssignStmt{Sink(), Expr(DerefExpr{P})}));
+    return;
+  }
+  default: {
+    // Escaped-local read-back: a helper may return a pointer to one of
+    // its (heap-lifetime) cells; reading it back observes stores the
+    // callee made right before returning — including ones a naive
+    // dead-assignment analysis considers dead.
+    Var T = randomScalar();
+    Var P = Var::concrete("p" + std::to_string(pick(NumPtrVars)));
+    std::string Callee = "helper" + std::to_string(pick(NumCallees));
+    Out.push_back(
+        Stmt(CallStmt{T, ProcName::concrete(Callee), randomBase()}));
+    Out.push_back(Stmt(AssignStmt{P, Expr(BaseExpr(T))}));
+    Out.push_back(Stmt(AssignStmt{Sink(), Expr(DerefExpr{P})}));
+    return;
+  }
+  }
 }
 
 void ProcBuilder::emitDiamond(std::vector<Stmt> &Out, unsigned Depth) {
@@ -164,6 +264,27 @@ void ProcBuilder::emitCountedLoop(std::vector<Stmt> &Out, unsigned Depth) {
   Test.Else = Index::concrete(Exit);
 }
 
+void ProcBuilder::emitGotoSkip(std::vector<Stmt> &Out, unsigned Depth) {
+  // if b goto end else mid — an unstructured *forward* jump whose taken
+  // target skips a statement run while the fall-through target may land
+  // in the run's middle (not at a structured join). Declared cells start
+  // at 0, so entering a run mid-way is well-defined; forward-only
+  // targets preserve termination.
+  size_t BranchAt = Out.size();
+  Out.push_back(Stmt(BranchStmt{randomBase(), Index::concrete(0),
+                                Index::concrete(0)}));
+  size_t RunStart = Out.size();
+  emitBlock(Out, 1 + pick(3), Depth + 1);
+  int End = static_cast<int>(Out.size());
+  // Any statement of the run is a legal landing point; picking one at
+  // random (instead of RunStart) is what makes the jump unstructured.
+  int Mid = static_cast<int>(RunStart) +
+            static_cast<int>(pick(static_cast<unsigned>(End - RunStart)));
+  auto &Br = std::get<BranchStmt>(Out[BranchAt].V);
+  Br.Then = Index::concrete(End);
+  Br.Else = Index::concrete(Mid);
+}
+
 void ProcBuilder::emitBlock(std::vector<Stmt> &Out, unsigned Budget,
                             unsigned Depth) {
   for (unsigned I = 0; I < Budget; ++I) {
@@ -173,6 +294,18 @@ void ProcBuilder::emitBlock(std::vector<Stmt> &Out, unsigned Budget,
     }
     if (Depth < 3 && Options.WithBranches && chance(18)) {
       emitDiamond(Out, Depth);
+      continue;
+    }
+    if (Depth < 3 && Options.WithGotos && chance(14)) {
+      emitGotoSkip(Out, Depth);
+      continue;
+    }
+    if (Depth > 0 && Options.WithReturnInLoop && chance(7)) {
+      Out.push_back(Stmt(ReturnStmt{randomScalar()}));
+      continue;
+    }
+    if (Options.BaitPressure && chance(Options.BaitPressure)) {
+      emitBaitIdiom(Out);
       continue;
     }
     emitSimpleStmt(Out);
@@ -221,13 +354,47 @@ Procedure ProcBuilder::build(const std::string &Name, bool IsMain) {
     P.Stmts.push_back(std::move(S));
   }
 
+  // Escape epilogue (helpers only): return a pointer to a local cell
+  // whose final store happens after every further syntactic use of the
+  // stored-to variable. A naive backward liveness analysis calls that
+  // store dead; the caller reading through the escaped pointer proves
+  // it is not. Cells have heap lifetime in the interpreter, so the
+  // read-back is well-defined.
+  // helper0 always escapes (so a caller epilogue can rely on receiving a
+  // pointer); other helpers escape with BaitPressure probability.
+  if (!IsMain && Options.BaitPressure && Options.WithPointers &&
+      NumPtrVars > 0 && Options.NumVars > 1 &&
+      (Name == "helper0" || chance(Options.BaitPressure))) {
+    Var Escapee = Var::concrete(scalarVar(1 + pick(Options.NumVars - 1)));
+    Var EscPtr = Var::concrete("p0");
+    P.Stmts.push_back(Stmt(AssignStmt{EscPtr, Expr(AddrOfExpr{Escapee})}));
+    P.Stmts.push_back(
+        Stmt(AssignStmt{Var::concrete(scalarVar(0)), Expr(BaseExpr(EscPtr))}));
+    P.Stmts.push_back(Stmt(
+        AssignStmt{Escapee, Expr(ConstVal::concrete(17 + pick(40)))}));
+  }
+  // Main's counterpart: read an escaped callee cell immediately before
+  // the return, so the store the callee made right before returning is
+  // observable no matter what the body did to v0 earlier. The two
+  // epilogues combined are what expose return-blind dead-store
+  // elimination (a B5-family bug) behaviorally.
+  if (IsMain && Options.BaitPressure && Options.WithPointers &&
+      Options.WithCalls && NumCallees > 0 && NumPtrVars > 0 &&
+      Options.NumVars > 1 && chance(Options.BaitPressure)) {
+    Var T = Var::concrete(scalarVar(1));
+    Var P0 = Var::concrete("p0");
+    P.Stmts.push_back(
+        Stmt(CallStmt{T, ProcName::concrete("helper0"), randomBase()}));
+    P.Stmts.push_back(Stmt(AssignStmt{P0, Expr(BaseExpr(T))}));
+    P.Stmts.push_back(Stmt(
+        AssignStmt{Var::concrete(scalarVar(0)), Expr(DerefExpr{P0})}));
+  }
   // Return scalar v0. With pointers enabled v0 may hold a location at run
   // time; the differential-testing harness compares whole return values,
   // and the interpreter's bump allocator is deterministic, so this is
   // still a meaningful comparison for semantics-preserving rewrites that
   // do not add or remove allocations. Rewrites that change allocation
   // counts are exercised by pointer-free configurations.
-  (void)IsMain;
   P.Stmts.push_back(Stmt(ReturnStmt{Var::concrete(scalarVar(0))}));
   return P;
 }

@@ -35,6 +35,31 @@ struct GenOptions {
   bool WithCalls = false;      ///< Emit calls to helper procedures.
   bool WithDivision = false;   ///< Emit '/'/'%' (may make runs stuck).
   unsigned MaxLoopTrip = 6;    ///< Upper bound on loop trip counts.
+  /// Emit unstructured forward gotos: conditional jumps whose target
+  /// lands in the *middle* of a following statement run rather than at a
+  /// structured join point. Forward-only, so termination is preserved.
+  bool WithGotos = false;
+  /// 0-100: weight of aliasing-pressure statements (re-pointing a
+  /// pointer at a fresh scalar, self-pointing `p := &p`, copying a
+  /// pointer into another pointer or into a *scalar* — which a helper
+  /// may then return, escaping the local). These shapes are what expose
+  /// pointer bugs (escaped locals, tainted loads, self-pointing stores)
+  /// to the differential fuzzer. Requires WithPointers.
+  unsigned AliasPressure = 0;
+  /// Emit early `return x` statements inside loop bodies and branch
+  /// legs (exercises B5-style return-exit obligations mid-CFG).
+  bool WithReturnInLoop = false;
+  /// 0-100: weight of multi-statement "bait" idioms that set up exactly
+  /// the preconditions an optimization pattern matches on — a repeated
+  /// self-referential expression (CSE bait), a store-then-reload through
+  /// one pointer with an intervening direct write to the pointee
+  /// (load-CSE taint bait), a self-pointing store forward, and an
+  /// escaped-local read-back after a helper call. Random statement soup
+  /// almost never lines these shapes up, so without bait the rules that
+  /// need them never *apply*, and their bugs can never be observed.
+  /// Pointer baits additionally require WithPointers; the helper-return
+  /// escape bait additionally requires WithCalls.
+  unsigned BaitPressure = 0;
 };
 
 /// Generates one random program. The same (Options, Seed) pair always

@@ -38,8 +38,11 @@ BuggyCase opts::constPropWrongWitness() {
                        .withLabel(syntacticDefLabel())
                        .withLabel(mayDefLabel())
                        .build();
+  // Same transformation schedule as the sound constProp — the wrong
+  // witness is visible only to the checker, never to the interpreter.
   return {std::move(O), "F1",
-          "the witness η(X) = C is not established by Y := C"};
+          "the witness η(X) = C is not established by Y := C",
+          /*Observable=*/false};
 }
 
 BuggyCase opts::constPropWrongRewrite() {

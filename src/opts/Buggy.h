@@ -33,6 +33,13 @@ struct BuggyCase {
   std::string FailingObligation;
   /// What is wrong, for documentation and test output.
   std::string Explanation;
+  /// Whether the bug is *behaviorally observable*: some program and
+  /// input make the miscompilation visible to the differential oracle
+  /// (cobalt-fuzz asserts it finds a divergence for every observable
+  /// case). False for bugs that never change the transformation — e.g.
+  /// a wrong witness produces the same schedule as the sound rule, so
+  /// only the checker (which verifies witnesses, footnote 1) sees it.
+  bool Observable = true;
 };
 
 /// Constant propagation without the ¬mayDef(Y) region check: any

@@ -1,0 +1,23 @@
+# Runs the same fuzz campaign at two thread-pool widths and fails unless
+# the JSON summaries are byte-identical. Invoked by the
+# fuzz_smoke_deterministic ctest (see CMakeLists.txt in this directory).
+foreach(JOBS 1 4)
+  execute_process(
+    COMMAND ${FUZZ_BIN} --suite=buggy --seed 5 --runs 24 --jobs ${JOBS}
+    OUTPUT_FILE ${WORK_DIR}/determinism_j${JOBS}.json
+    ERROR_VARIABLE IGNORED
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "cobalt-fuzz --jobs ${JOBS} exited with ${RC}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/determinism_j1.json ${WORK_DIR}/determinism_j4.json
+  RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR
+          "fuzz summary differs between --jobs 1 and --jobs 4: the "
+          "campaign is not deterministic across thread-pool widths")
+endif()

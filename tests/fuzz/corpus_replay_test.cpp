@@ -1,0 +1,152 @@
+//===- corpus_replay_test.cpp - Replay the checked-in fuzz corpus ---------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every entry of tests/fuzz/corpus is a minimized divergence some past
+/// fuzzing campaign found. Replaying them one-by-one (each as its own
+/// registered test, so `ctest -R CorpusReplay` names the exact
+/// reproducer that regressed) pins three facts per entry:
+///
+///   1. the rule still *applies* to the reproducer,
+///   2. the differential oracle still observes the recorded divergence
+///      (same kind, same exposing input), and
+///   3. the checker cross-check still classifies it the recorded way —
+///      for the stock corpus, always caught-by-checker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Reducer.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace cobalt;
+using namespace cobalt::fuzz;
+
+namespace {
+
+std::string corpusDir() { return COBALT_FUZZ_CORPUS_DIR; }
+
+/// Stock targets the manifest's rule names resolve against: the buggy
+/// suite first (the corpus is made of its miscompiles), then the sound
+/// suite so a future corpus can also pin checker-missed reproducers.
+const std::vector<FuzzTarget> &stockTargets() {
+  static const std::vector<FuzzTarget> Targets = [] {
+    std::vector<FuzzTarget> Ts = buggySuiteTargets();
+    for (FuzzTarget &T : soundSuiteTargets())
+      Ts.push_back(std::move(T));
+    return Ts;
+  }();
+  return Targets;
+}
+
+const FuzzTarget *findTarget(const std::string &Rule) {
+  for (const FuzzTarget &T : stockTargets())
+    if (T.Opt.Name == Rule)
+      return &T;
+  return nullptr;
+}
+
+void replay(const CorpusEntry &E) {
+  std::ifstream In(corpusDir() + "/" + E.File);
+  ASSERT_TRUE(In) << "cannot open corpus file " << E.File;
+  std::ostringstream Text;
+  Text << In.rdbuf();
+
+  DiagnosticEngine Diags;
+  std::optional<ir::Program> Prog = ir::parseProgram(Text.str(), Diags);
+  ASSERT_TRUE(Prog) << Diags.str();
+
+  // The corpus is minimized; the acceptance bar is <= 15 IL statements.
+  EXPECT_LE(totalStmts(*Prog), 15u) << ir::toString(*Prog);
+
+  const FuzzTarget *T = findTarget(E.Rule);
+  ASSERT_NE(T, nullptr) << "manifest names unknown rule " << E.Rule;
+
+  ApplyOutcome Out = applyRule(T->Opt, T->Analyses, *Prog);
+  ASSERT_GT(Out.Applied, 0u)
+      << E.Rule << " no longer applies to its reproducer";
+
+  std::optional<Divergence> Div = diffPrograms(*Prog, Out.Prog);
+  ASSERT_TRUE(Div) << E.Rule
+                   << " no longer diverges on its minimized reproducer:\n"
+                   << ir::toString(Out.Prog);
+  EXPECT_EQ(std::string(Div->kindName()), E.Kind) << Div->str();
+  EXPECT_EQ(Div->Input, E.Input) << Div->str();
+
+  std::optional<checker::CheckReport::Verdict> V = verdictFromName(E.Verdict);
+  ASSERT_TRUE(V) << "bad verdict name in manifest: " << E.Verdict;
+  EXPECT_EQ(std::string(crossCheckName(crossCheck(*V, true))), E.Check);
+}
+
+class CorpusReplayFixture : public ::testing::Test {
+public:
+  explicit CorpusReplayFixture(CorpusEntry E) : E(std::move(E)) {}
+  void TestBody() override { replay(E); }
+
+private:
+  CorpusEntry E;
+};
+
+/// Registers one test per manifest record before main() runs, so ctest
+/// discovery sees them as individual named tests.
+const bool Registered = [] {
+  std::string Err;
+  std::optional<std::vector<CorpusEntry>> Entries =
+      loadCorpusManifest(corpusDir(), Err);
+  if (!Entries || Entries->empty()) {
+    std::string Message =
+        Entries ? std::string("corpus manifest is empty") : Err;
+    ::testing::RegisterTest(
+        "CorpusReplay", "ManifestLoads", nullptr, nullptr, __FILE__,
+        __LINE__, [Message]() -> ::testing::Test * {
+          class Fail : public ::testing::Test {
+          public:
+            explicit Fail(std::string M) : M(std::move(M)) {}
+            void TestBody() override { FAIL() << M; }
+
+          private:
+            std::string M;
+          };
+          return new Fail(Message);
+        });
+    return false;
+  }
+  for (const CorpusEntry &E : *Entries) {
+    std::string Name = E.File.substr(0, E.File.rfind(".il"));
+    ::testing::RegisterTest(
+        "CorpusReplay", Name.c_str(), nullptr, nullptr, __FILE__, __LINE__,
+        [E]() -> ::testing::Test * { return new CorpusReplayFixture(E); });
+  }
+  return true;
+}();
+
+TEST(CorpusManifest, CoversTheObservableBuggySuite) {
+  std::string Err;
+  std::optional<std::vector<CorpusEntry>> Entries =
+      loadCorpusManifest(corpusDir(), Err);
+  ASSERT_TRUE(Entries) << Err;
+  EXPECT_GE(Entries->size(), 10u);
+  // Every buggy rule whose miscompile is behaviorally observable has at
+  // least one pinned reproducer.
+  for (const FuzzTarget &T : buggySuiteTargets()) {
+    if (!T.ExpectDivergence)
+      continue;
+    bool Found = false;
+    for (const CorpusEntry &E : *Entries)
+      Found = Found || E.Rule == T.Opt.Name;
+    EXPECT_TRUE(Found) << "no corpus entry for observable buggy rule "
+                       << T.Opt.Name;
+  }
+}
+
+} // namespace

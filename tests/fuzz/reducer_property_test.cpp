@@ -1,0 +1,128 @@
+//===- reducer_property_test.cpp - Delta-debugging invariants -------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reducer's contract, checked as properties rather than examples:
+///
+///   * **Predicate preservation** — the reduced program still fails the
+///     same way: the rule applies and the differential oracle still sees
+///     a divergence (the reducer validates candidates internally; this
+///     re-checks the *final* result from the outside).
+///   * **Termination at a fixpoint** — a bounded number of rounds, and
+///     the Fixpoint flag set when a whole round removed nothing.
+///   * **Monotonicity** — never grows the program.
+///   * **Idempotence on the corpus** — re-reducing an already-minimized
+///     reproducer removes nothing further (the checked-in corpus really
+///     is a fixpoint of the reducer, not a lucky snapshot).
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Reducer.h"
+#include "ir/Generator.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace cobalt;
+using namespace cobalt::fuzz;
+
+namespace {
+
+FailurePredicate divergesUnder(const FuzzTarget &T) {
+  return [&T](const ir::Program &Candidate) {
+    ApplyOutcome Out = applyRule(T.Opt, T.Analyses, Candidate);
+    if (Out.Applied == 0)
+      return false;
+    return diffPrograms(Candidate, Out.Prog).has_value();
+  };
+}
+
+/// Harvests (target, program) pairs that actually diverge by sweeping
+/// the campaign's own habitats, so the properties are exercised on the
+/// exact distribution the fuzzer reduces in production.
+struct FailingPair {
+  const FuzzTarget *Target;
+  ir::Program Prog;
+};
+
+std::vector<FailingPair> harvest(unsigned Want) {
+  static const std::vector<FuzzTarget> Targets = buggySuiteTargets();
+  std::vector<FailingPair> Out;
+  for (uint64_t Seed = 0; Seed < 300 && Out.size() < Want; ++Seed) {
+    ir::Program Prog = ir::generateProgram(deriveGenOptions(Seed), Seed);
+    for (const FuzzTarget &T : Targets) {
+      if (Out.size() >= Want)
+        break;
+      ApplyOutcome Applied = applyRule(T.Opt, T.Analyses, Prog);
+      if (Applied.Applied == 0)
+        continue;
+      if (diffPrograms(Prog, Applied.Prog))
+        Out.push_back({&T, Prog});
+    }
+  }
+  return Out;
+}
+
+TEST(ReducerProperty, PreservesFailureAndTerminates) {
+  std::vector<FailingPair> Pairs = harvest(/*Want=*/5);
+  ASSERT_GE(Pairs.size(), 3u) << "habitat sweep found too few divergences";
+  for (const FailingPair &P : Pairs) {
+    FailurePredicate StillFails = divergesUnder(*P.Target);
+    ReduceOptions Options;
+    ReduceResult R = reduceProgram(P.Prog, StillFails, Options);
+
+    EXPECT_TRUE(StillFails(R.Prog))
+        << P.Target->Opt.Name << ": reduction lost the divergence\n"
+        << ir::toString(R.Prog);
+    EXPECT_FALSE(ir::validateProgram(R.Prog).has_value());
+    EXPECT_LE(R.StatementsAfter, R.StatementsBefore);
+    EXPECT_LE(R.Rounds, Options.MaxRounds);
+    EXPECT_TRUE(R.Fixpoint)
+        << P.Target->Opt.Name << " did not reach a fixpoint within "
+        << Options.MaxRounds << " rounds";
+    // The habitats' generated programs carry dozens of statements of
+    // noise; reduction must strip the bulk of it.
+    EXPECT_LT(R.StatementsAfter, R.StatementsBefore / 2)
+        << P.Target->Opt.Name;
+  }
+}
+
+TEST(ReducerProperty, IdempotentOnCheckedInCorpus) {
+  std::string Err;
+  std::optional<std::vector<CorpusEntry>> Entries =
+      loadCorpusManifest(COBALT_FUZZ_CORPUS_DIR, Err);
+  ASSERT_TRUE(Entries) << Err;
+
+  std::vector<FuzzTarget> Targets = buggySuiteTargets();
+  for (const CorpusEntry &E : *Entries) {
+    std::ifstream In(std::string(COBALT_FUZZ_CORPUS_DIR) + "/" + E.File);
+    ASSERT_TRUE(In) << E.File;
+    std::ostringstream Text;
+    Text << In.rdbuf();
+    DiagnosticEngine Diags;
+    std::optional<ir::Program> Prog = ir::parseProgram(Text.str(), Diags);
+    ASSERT_TRUE(Prog) << Diags.str();
+
+    const FuzzTarget *Target = nullptr;
+    for (const FuzzTarget &T : Targets)
+      if (T.Opt.Name == E.Rule)
+        Target = &T;
+    ASSERT_NE(Target, nullptr) << E.Rule;
+
+    ReduceResult R = reduceProgram(*Prog, divergesUnder(*Target), {});
+    EXPECT_TRUE(R.Fixpoint) << E.File;
+    EXPECT_EQ(R.StatementsAfter, R.StatementsBefore)
+        << E.File << " was not fully minimized:\n" << ir::toString(R.Prog);
+  }
+}
+
+} // namespace

@@ -1,0 +1,47 @@
+# Golden-file runner for the examples/ binaries. Runs EXAMPLE_BIN,
+# normalizes volatile output (wall-clock timings like "0.27 s"), and
+# diffs against GOLDEN. Regenerate a golden after an intentional output
+# change with:
+#   cmake -DEXAMPLE_BIN=build/examples/licm \
+#         -DGOLDEN=tests/integration/golden/licm.txt -DUPDATE=1 \
+#         -P tests/integration/CheckGolden.cmake
+execute_process(COMMAND ${EXAMPLE_BIN}
+                OUTPUT_VARIABLE OUT
+                ERROR_VARIABLE ERR
+                RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "${EXAMPLE_BIN} exited with ${RC}\nstderr:\n${ERR}")
+endif()
+
+# Normalize the two nondeterministic things examples print: wall-clock
+# timings and Z3 counterexample models (Z3 is free to return any
+# satisfying model, so the text varies run to run). A model starts after
+# "failed:" / "counterexample context:" and continues on deep-indented
+# (6+ space) lines.
+string(REGEX REPLACE "[0-9]+\\.[0-9]+ s" "<time> s" OUT "${OUT}")
+string(REGEX REPLACE "failed:[^\n]*" "failed: <model>" OUT "${OUT}")
+string(REGEX REPLACE "counterexample context:[^\n]*"
+       "counterexample context: <model>" OUT "${OUT}")
+string(REGEX REPLACE "\n      +[^\n]*" "" OUT "${OUT}")
+string(REGEX REPLACE "\n[ \t]+\n" "\n\n" OUT "${OUT}")
+string(REGEX REPLACE "\n[ \t]+\n" "\n\n" OUT "${OUT}")
+
+if(UPDATE)
+  file(WRITE ${GOLDEN} "${OUT}")
+  message(STATUS "updated ${GOLDEN}")
+  return()
+endif()
+
+if(NOT EXISTS ${GOLDEN})
+  message(FATAL_ERROR "missing golden file ${GOLDEN} (run with -DUPDATE=1)")
+endif()
+file(READ ${GOLDEN} WANT)
+if(NOT OUT STREQUAL WANT)
+  get_filename_component(NAME ${GOLDEN} NAME_WE)
+  set(ACTUAL ${CMAKE_CURRENT_BINARY_DIR}/${NAME}.actual.txt)
+  file(WRITE ${ACTUAL} "${OUT}")
+  message(FATAL_ERROR
+          "output of ${EXAMPLE_BIN} differs from ${GOLDEN}\n"
+          "actual (normalized) output written to ${ACTUAL}\n"
+          "if the change is intentional, regenerate with -DUPDATE=1")
+endif()

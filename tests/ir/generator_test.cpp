@@ -63,7 +63,13 @@ TEST_P(GeneratorProperty, TerminatesWithinFuel) {
       EXPECT_FALSE(R.outOfFuel())
           << "seed " << Seed << " input " << Input << "\n"
           << toString(Prog);
-      if (!GetParam().Options.WithDivision) {
+      // Aliasing pressure and bait idioms can overwrite a pointer with
+      // an integer (or dereference a helper's integer return), so they
+      // introduce legal stuck states just like division does.
+      const GenOptions &O = GetParam().Options;
+      bool MayStick = O.WithDivision || O.AliasPressure > 0 ||
+                      (O.BaitPressure > 0 && O.WithPointers);
+      if (!MayStick) {
         EXPECT_TRUE(R.returned())
             << "seed " << Seed << " input " << Input << ": " << R.str()
             << "\n"
@@ -87,10 +93,95 @@ INSTANTIATE_TEST_SUITE_P(
                 "pointers_and_calls"},
         GenCase{{.WithDivision = true}, "division"},
         GenCase{{.NumVars = 2, .NumStmts = 120, .WithLoops = true},
-                "loop_heavy"}),
+                "loop_heavy"},
+        GenCase{{.WithGotos = true, .WithReturnInLoop = true}, "gotos"},
+        GenCase{{.WithPointers = true, .AliasPressure = 55}, "alias"},
+        GenCase{{.NumHelperProcs = 2,
+                 .WithPointers = true,
+                 .WithCalls = true,
+                 .AliasPressure = 15,
+                 .BaitPressure = 45},
+                "bait"}),
     [](const ::testing::TestParamInfo<GenCase> &Info) {
       return Info.param.Name;
     });
+
+/// Distribution guard: with every feature enabled, each statement kind
+/// and each pointer/division expression shape must show up within a
+/// bounded seed budget. This is what keeps the fuzzer's habitats honest:
+/// a refactor that silently stops emitting (say) provably-zero divisors
+/// would otherwise only surface as slowly-degrading fuzz coverage.
+TEST(GeneratorTest, EveryStatementKindAppearsWithin500Seeds) {
+  GenOptions O;
+  O.NumHelperProcs = 2;
+  O.WithPointers = true;
+  O.WithCalls = true;
+  O.WithDivision = true;
+  O.WithGotos = true;
+  O.WithReturnInLoop = true;
+  O.AliasPressure = 20;
+  O.BaitPressure = 25;
+
+  bool Decl = false, Skip = false, Assign = false, New = false,
+       CallS = false, Branch = false, Return = false, Load = false,
+       Store = false, AddrOf = false, Division = false, ZeroDiv = false;
+  auto AllSeen = [&] {
+    return Decl && Skip && Assign && New && CallS && Branch && Return &&
+           Load && Store && AddrOf && Division && ZeroDiv;
+  };
+
+  for (uint64_t Seed = 0; Seed < 500 && !AllSeen(); ++Seed) {
+    Program Prog = generateProgram(O, Seed);
+    for (const Procedure &P : Prog.Procs) {
+      for (const Stmt &S : P.Stmts) {
+        if (std::get_if<DeclStmt>(&S.V))
+          Decl = true;
+        else if (std::get_if<SkipStmt>(&S.V))
+          Skip = true;
+        else if (std::get_if<NewStmt>(&S.V))
+          New = true;
+        else if (std::get_if<CallStmt>(&S.V))
+          CallS = true;
+        else if (std::get_if<BranchStmt>(&S.V))
+          Branch = true;
+        else if (std::get_if<ReturnStmt>(&S.V))
+          Return = true;
+        else if (const auto *A = std::get_if<AssignStmt>(&S.V)) {
+          Assign = true;
+          if (std::get_if<DerefExpr>(&A->Target))
+            Store = true;
+          if (std::get_if<DerefExpr>(&A->Value.V))
+            Load = true;
+          if (std::get_if<AddrOfExpr>(&A->Value.V))
+            AddrOf = true;
+          if (const auto *Op = std::get_if<OpExpr>(&A->Value.V)) {
+            if (Op->Op == "/" || Op->Op == "%") {
+              Division = true;
+              const BaseExpr &Divisor = Op->Args.back();
+              if (isConst(Divisor) && asConst(Divisor).Value == 0)
+                ZeroDiv = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  EXPECT_TRUE(Decl);
+  EXPECT_TRUE(Skip);
+  EXPECT_TRUE(Assign);
+  EXPECT_TRUE(New);
+  EXPECT_TRUE(CallS);
+  EXPECT_TRUE(Branch);
+  EXPECT_TRUE(Return);
+  EXPECT_TRUE(Load) << "no *p load emitted in 500 seeds";
+  EXPECT_TRUE(Store) << "no *p := e store emitted in 500 seeds";
+  EXPECT_TRUE(AddrOf) << "no &x emitted in 500 seeds";
+  EXPECT_TRUE(Division) << "no '/' or '%' emitted in 500 seeds";
+  EXPECT_TRUE(ZeroDiv)
+      << "no provably-zero divisor emitted in 500 seeds (the "
+         "WithDivision coverage-gap regression)";
+}
 
 TEST(GeneratorTest, RespectsStatementBudgetRoughly) {
   GenOptions Small{.NumVars = 3, .NumStmts = 5};

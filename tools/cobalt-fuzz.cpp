@@ -1,0 +1,370 @@
+//===- cobalt-fuzz.cpp - Differential fuzzing driver ----------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Differential fuzzing harness over the CobaltContext facade
+/// (DESIGN.md §11):
+///
+///   cobalt-fuzz [flags]
+///
+///   --suite=NAME        sound | buggy | mutants | all (default buggy)
+///   --seed <n>          base seed; run I is fully determined by seed+I
+///   --runs <n>          generated programs (default 200)
+///   --time-budget <s>   stop after this many seconds (batch-granular;
+///                       0 = none). The JSON never contains wall-clock,
+///                       so a completed fixed---runs campaign is
+///                       bit-identical at every --jobs width.
+///   --jobs <n>          thread-pool width (1 = sequential, 0 = one per
+///                       hardware thread); never changes the results
+///   --minimize / --no-minimize
+///                       delta-debug findings (default on)
+///   --mutants <n>       single-edit program mutants per seed (default 2)
+///   --corpus-dir <dir>  write minimized reproducers + manifest there
+///   --check             recompute verdicts with the live checker
+///                       instead of trusting the documented ones — the
+///                       full checker-cross-check mode
+///   --require-expected  exit 1 unless every observable seeded bug
+///                       produced a divergence (the CI smoke assertion)
+///   --trace-out=FILE / --metrics-out=FILE
+///                       telemetry dumps, as in cobaltc
+///
+/// Prints a JSON summary on stdout; throughput (which carries wall-clock
+/// noise) goes to stderr.
+///
+/// Exit codes:
+///   0  no checker-missed divergence (and --require-expected satisfied)
+///   1  a divergence on a rule the checker calls Sound — a checker
+///      soundness bug, the headline failure — or a missing expected one
+///   2  usage / I/O error
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Cobalt.h"
+#include "fuzz/Corpus.h"
+#include "fuzz/Fuzzer.h"
+#include "ir/Printer.h"
+#include "support/FaultInjection.h"
+
+#include <chrono>
+#include <set>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace cobalt;
+
+namespace {
+
+enum ExitCode { ExitClean = 0, ExitFailure = 1, ExitUsage = 2 };
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: cobalt-fuzz [flags]\n"
+      "flags: --suite=[sound|buggy|mutants|all]  --seed <n>  --runs <n>\n"
+      "       --time-budget <seconds>  --jobs <n>\n"
+      "       --minimize | --no-minimize  --mutants <n>\n"
+      "       --corpus-dir <dir>  --check  --require-expected\n"
+      "       --trace-out=FILE  --metrics-out=FILE\n"
+      "exit:  0 clean; 1 checker-missed divergence or missing expected\n"
+      "       divergence; 2 usage/input error\n");
+  return ExitUsage;
+}
+
+struct Options {
+  std::string Suite = "buggy";
+  fuzz::FuzzOptions Fuzz;
+  unsigned Jobs = 1;
+  std::string CorpusDir;
+  bool Check = false;
+  bool RequireExpected = false;
+  std::string TraceOut, MetricsOut;
+};
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  Opts.Fuzz.Runs = 200;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto TakesValue = [&](const char *Flag, const char *&Out) {
+      if (std::strcmp(Arg, Flag) != 0)
+        return false;
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "cobalt-fuzz: %s requires a value\n", Flag);
+        Out = nullptr;
+        return true;
+      }
+      Out = Argv[++I];
+      return true;
+    };
+    auto ValueOf = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return std::strncmp(Arg, Prefix, Len) == 0 ? Arg + Len : nullptr;
+    };
+    const char *Value = nullptr;
+    if (TakesValue("--seed", Value)) {
+      if (!Value)
+        return false;
+      Opts.Fuzz.Seed = std::strtoull(Value, nullptr, 10);
+    } else if (TakesValue("--runs", Value)) {
+      if (!Value)
+        return false;
+      Opts.Fuzz.Runs = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+    } else if (TakesValue("--time-budget", Value)) {
+      if (!Value)
+        return false;
+      Opts.Fuzz.TimeBudgetSec = std::strtod(Value, nullptr);
+    } else if (TakesValue("--jobs", Value)) {
+      if (!Value)
+        return false;
+      Opts.Jobs = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+    } else if (TakesValue("--mutants", Value)) {
+      if (!Value)
+        return false;
+      Opts.Fuzz.MutantsPerProgram =
+          static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+    } else if (TakesValue("--corpus-dir", Value)) {
+      if (!Value)
+        return false;
+      Opts.CorpusDir = Value;
+    } else if (const char *V = ValueOf("--suite=")) {
+      Opts.Suite = V;
+      if (Opts.Suite != "sound" && Opts.Suite != "buggy" &&
+          Opts.Suite != "mutants" && Opts.Suite != "all") {
+        std::fprintf(stderr, "cobalt-fuzz: unknown suite '%s'\n", V);
+        return false;
+      }
+    } else if (std::strcmp(Arg, "--minimize") == 0) {
+      Opts.Fuzz.Minimize = true;
+    } else if (std::strcmp(Arg, "--no-minimize") == 0) {
+      Opts.Fuzz.Minimize = false;
+    } else if (std::strcmp(Arg, "--check") == 0) {
+      Opts.Check = true;
+    } else if (std::strcmp(Arg, "--require-expected") == 0) {
+      Opts.RequireExpected = true;
+    } else if (const char *V = ValueOf("--trace-out=")) {
+      Opts.TraceOut = V;
+    } else if (const char *V = ValueOf("--metrics-out=")) {
+      Opts.MetricsOut = V;
+    } else {
+      std::fprintf(stderr, "cobalt-fuzz: unknown argument '%s'\n", Arg);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::vector<fuzz::FuzzTarget> assembleTargets(const std::string &Suite) {
+  std::vector<fuzz::FuzzTarget> Targets;
+  auto Append = [&](std::vector<fuzz::FuzzTarget> More) {
+    for (fuzz::FuzzTarget &T : More)
+      Targets.push_back(std::move(T));
+  };
+  if (Suite == "sound" || Suite == "all")
+    Append(fuzz::soundSuiteTargets());
+  if (Suite == "buggy" || Suite == "all")
+    Append(fuzz::buggySuiteTargets());
+  if (Suite == "mutants" || Suite == "all")
+    Append(fuzz::ruleMutantTargets());
+  return Targets;
+}
+
+/// --check: replace each target's documented verdict with the live
+/// checker's. Any disagreement is itself reported — the checker oracle
+/// covering the *verdict* side of the contract.
+void recomputeVerdicts(api::CobaltContext &Ctx,
+                       std::vector<fuzz::FuzzTarget> &Targets) {
+  std::set<std::string> Registered;
+  for (fuzz::FuzzTarget &T : Targets) {
+    for (const PureAnalysis &A : T.Analyses)
+      if (Registered.insert(A.Name).second)
+        Ctx.addAnalysis(A);
+    checker::CheckReport R = Ctx.check(T.Opt);
+    if (R.V != T.Verdict)
+      std::fprintf(stderr,
+                   "cobalt-fuzz: note: checker says %s for %s "
+                   "(documented %s)\n",
+                   fuzz::verdictName(R.V), T.Opt.Name.c_str(),
+                   fuzz::verdictName(T.Verdict));
+    T.Verdict = R.V;
+  }
+}
+
+bool writeTextFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  return (std::fclose(F) == 0) && Ok;
+}
+
+/// The JSON summary. Deliberately wall-clock-free: every value is a
+/// deterministic function of (suite, seed, runs, targets), so CI can
+/// byte-compare dumps across --jobs widths.
+std::string summaryJson(const Options &Opts, const fuzz::FuzzSummary &Sum,
+                        const std::vector<std::string> &MissingExpected) {
+  std::string Out = "{\n";
+  Out += "  \"suite\": \"" + jsonEscape(Opts.Suite) + "\",\n";
+  Out += "  \"seed\": " + std::to_string(Sum.Seed) + ",\n";
+  Out += "  \"runs_requested\": " + std::to_string(Sum.RunsRequested) + ",\n";
+  Out += "  \"runs_executed\": " + std::to_string(Sum.RunsExecuted) + ",\n";
+  Out += "  \"timed_out\": " + std::string(Sum.TimedOut ? "true" : "false") +
+         ",\n";
+  Out += "  \"pairs_diffed\": " + std::to_string(Sum.PairsDiffed) + ",\n";
+  Out += "  \"divergences\": " + std::to_string(Sum.Divergences) + ",\n";
+  Out += "  \"caught_by_checker\": " + std::to_string(Sum.CaughtByChecker) +
+         ",\n";
+  Out += "  \"checker_missed\": " + std::to_string(Sum.CheckerMissed) + ",\n";
+  Out += "  \"missing_expected\": [";
+  for (size_t I = 0; I < MissingExpected.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += "\"" + jsonEscape(MissingExpected[I]) + "\"";
+  }
+  Out += "],\n  \"per_rule\": {";
+  bool First = true;
+  for (const auto &[Rule, RS] : Sum.PerRule) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"" + jsonEscape(Rule) +
+           "\": {\"applications\": " + std::to_string(RS.Applications) +
+           ", \"divergences\": " + std::to_string(RS.Divergences) + "}";
+  }
+  Out += "\n  },\n  \"findings\": [";
+  for (size_t I = 0; I < Sum.Findings.size(); ++I) {
+    const fuzz::FuzzFinding &F = Sum.Findings[I];
+    Out += I ? ",\n    {" : "\n    {";
+    Out += "\"rule\": \"" + jsonEscape(F.Rule) + "\"";
+    Out += ", \"seed\": " + std::to_string(F.Seed);
+    Out += ", \"from_mutant\": " + std::string(F.FromMutant ? "true" : "false");
+    Out += ", \"input\": " + std::to_string(F.Div.Input);
+    Out += ", \"kind\": \"" + std::string(F.Div.kindName()) + "\"";
+    Out += ", \"verdict\": \"" + std::string(fuzz::verdictName(F.Verdict)) +
+           "\"";
+    Out += ", \"check\": \"" + std::string(fuzz::crossCheckName(F.Check)) +
+           "\"";
+    Out += ", \"stmts_before\": " + std::to_string(F.StatementsBefore);
+    Out += ", \"stmts_after\": " + std::to_string(F.StatementsAfter);
+    Out += ", \"reduce_rounds\": " + std::to_string(F.ReduceRounds);
+    Out += ", \"reduce_fixpoint\": " +
+           std::string(F.ReduceFixpoint ? "true" : "false");
+    Out += ", \"narrowed_site\": " + std::to_string(F.NarrowedSite);
+    Out += ", \"program\": \"" + jsonEscape(ir::toString(F.Original)) + "\"";
+    Out += "}";
+  }
+  Out += "\n  ]\n}\n";
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  support::FaultInjector &FI = support::FaultInjector::instance();
+  if (!FI.empty())
+    std::fprintf(stderr,
+                 "cobalt-fuzz: fault injection active (COBALT_FAULTS)\n");
+
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage();
+
+  api::CobaltConfig Config;
+  Config.Jobs = Opts.Jobs;
+  Config.Telemetry =
+      (!Opts.TraceOut.empty() || !Opts.MetricsOut.empty()) &&
+      support::telemetryCompiledIn();
+  api::CobaltContext Ctx(Config);
+
+  std::vector<fuzz::FuzzTarget> Targets = assembleTargets(Opts.Suite);
+  if (Opts.Check)
+    recomputeVerdicts(Ctx, Targets);
+
+  const auto Start = std::chrono::steady_clock::now();
+  fuzz::FuzzSummary Sum = Ctx.runFuzz(Targets, Opts.Fuzz);
+  double Elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  std::vector<std::string> MissingExpected;
+  for (const fuzz::FuzzTarget &T : Targets)
+    if (T.ExpectDivergence && Sum.PerRule.at(T.Opt.Name).Divergences == 0)
+      MissingExpected.push_back(T.Opt.Name);
+
+  if (!Opts.CorpusDir.empty())
+    if (auto Err = fuzz::saveCorpus(Opts.CorpusDir, Sum.Findings)) {
+      std::fprintf(stderr, "cobalt-fuzz: %s\n", Err->c_str());
+      return ExitUsage;
+    }
+
+  if (support::Telemetry *T = Ctx.telemetry()) {
+    if (!Opts.TraceOut.empty() &&
+        !writeTextFile(Opts.TraceOut, T->Trace.json()))
+      std::fprintf(stderr, "cobalt-fuzz: warning: cannot write '%s'\n",
+                   Opts.TraceOut.c_str());
+    if (!Opts.MetricsOut.empty() &&
+        !writeTextFile(Opts.MetricsOut, T->Metrics.json()))
+      std::fprintf(stderr, "cobalt-fuzz: warning: cannot write '%s'\n",
+                   Opts.MetricsOut.c_str());
+  }
+
+  // Throughput carries wall-clock noise: stderr only, never the JSON.
+  std::fprintf(stderr,
+               "cobalt-fuzz: %u run(s), %llu pair(s) diffed in %.2f s "
+               "(%.0f execs/s), %u divergence(s), %zu finding(s)\n",
+               Sum.RunsExecuted,
+               static_cast<unsigned long long>(Sum.PairsDiffed), Elapsed,
+               Elapsed > 0 ? 2.0 * static_cast<double>(Sum.PairsDiffed) *
+                                 7.0 / Elapsed
+                           : 0.0,
+               Sum.Divergences, Sum.Findings.size());
+
+  std::fputs(summaryJson(Opts, Sum, MissingExpected).c_str(), stdout);
+
+  if (Sum.CheckerMissed > 0) {
+    std::fprintf(stderr,
+                 "cobalt-fuzz: FAILURE: %u divergence(s) on checker-Sound "
+                 "rules\n",
+                 Sum.CheckerMissed);
+    return ExitFailure;
+  }
+  if (Opts.RequireExpected && !MissingExpected.empty()) {
+    std::fprintf(stderr,
+                 "cobalt-fuzz: FAILURE: %zu seeded bug(s) produced no "
+                 "divergence\n",
+                 MissingExpected.size());
+    return ExitFailure;
+  }
+  return ExitClean;
+}
