@@ -31,7 +31,11 @@ CobaltContext::CobaltContext(CobaltConfig Config)
         "checker.retries",         "checker.rlimit_spent",
         "checker.cache.hits",      "checker.cache.misses",
         "cache.disk.hits",         "cache.disk.misses",
-        "cache.disk.stores",       "engine.procs",
+        "cache.disk.stores",       "cache.disk.corrupt",
+        "worker.spawns",           "worker.restarts",
+        "worker.crashes",          "worker.kills_wall",
+        "worker.kills_rss",        "worker.quarantined",
+        "engine.procs",
         "engine.passes",           "engine.rewrites",
         "engine.rollbacks",        "engine.pass_failures",
         "engine.quarantine_skips", "dataflow.solves",
@@ -179,6 +183,25 @@ SuiteResult CobaltContext::checkRegistered() {
       ++S.Unsound;
     else if (R.V == checker::CheckReport::Verdict::V_Unproven)
       ++S.Unproven;
+    // Containment degradation is reported per definition and surfaced
+    // as a remark on the same channel the engine's quarantine skips use,
+    // so drivers see *why* a verdict is missing, not just that it is.
+    unsigned QuarantinedObs = 0;
+    for (const checker::ObligationResult &Ob : R.Obligations)
+      if (Ob.Err.Kind == ErrorKind::EK_WorkerCrash)
+        ++QuarantinedObs;
+    if (QuarantinedObs != 0) {
+      ++S.Quarantined;
+      if (RemarkFn) {
+        support::Remark Rem;
+        Rem.K = support::Remark::Kind::RK_Missed;
+        Rem.Pass = R.Name;
+        Rem.Note = std::to_string(QuarantinedObs) +
+                   " obligation(s) quarantined after repeated prover-"
+                   "worker failures; verdict degraded to unproven";
+        RemarkFn(Rem);
+      }
+    }
     if (I < Analyses.size()) {
       if (R.Sound)
         S.ProvenAnalyses.insert(Analyses[I].Name);

@@ -86,6 +86,11 @@ struct SuiteResult {
   std::vector<checker::CheckReport> Reports; ///< Analyses, then opts.
   unsigned Unsound = 0;  ///< Genuine counterexamples.
   unsigned Unproven = 0; ///< Prover gave up (infra degradation).
+  /// Definitions with at least one obligation quarantined by worker
+  /// containment (EK_WorkerCrash): the prover subprocess kept dying and
+  /// the verdict degraded to unproven. A subset of Unproven; drives
+  /// cobaltc's distinct containment-degraded exit code.
+  unsigned Quarantined = 0;
   std::set<std::string> ProvenAnalyses;
   std::set<std::string> ProvenOptimizations;
   /// Optimizations whose own obligations were proven but which assume an
@@ -93,6 +98,8 @@ struct SuiteResult {
   std::vector<std::string> Conditional;
 
   bool allSound() const { return Unsound == 0 && Unproven == 0; }
+  /// Worker containment (not mere prover limits) degraded some verdict.
+  bool containmentDegraded() const { return Quarantined != 0; }
 
   /// The proven pass names in one list (for runPipeline's subset form).
   std::vector<std::string> provenPassNames() const {

@@ -1,0 +1,322 @@
+//===- ProverWorkerPool.cpp -----------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/ProverWorkerPool.h"
+
+#include "support/Errors.h"
+#include "support/FaultInjection.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include <sys/wait.h>
+
+using namespace cobalt;
+using namespace cobalt::checker;
+using support::ErrorKind;
+using support::IoStatus;
+using support::Subprocess;
+
+namespace {
+
+/// Replacement-fork backoff: exponential in the attempt number with a
+/// small deterministic stagger derived from the obligation key, so a
+/// crash storm across threads neither busy-loops fork() nor thunders in
+/// lockstep. Deterministic on purpose — retry timing must not perturb
+/// verdicts, and it does not: only wall time varies.
+void backoff(unsigned Attempt, uint64_t Key) {
+  unsigned BaseMs = std::min(200u, 10u << std::min(Attempt, 5u));
+  unsigned JitterMs =
+      static_cast<unsigned>((Key ^ (Key >> 17)) % 13) + Attempt;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(BaseMs + JitterMs));
+}
+
+std::string describeExit(int WaitStatus) {
+  if (WaitStatus < 0)
+    return "not reaped";
+  if (WIFEXITED(WaitStatus))
+    return "exit " + std::to_string(WEXITSTATUS(WaitStatus));
+  if (WIFSIGNALED(WaitStatus))
+    return "signal " + std::to_string(WTERMSIG(WaitStatus));
+  return "status " + std::to_string(WaitStatus);
+}
+
+} // namespace
+
+ProverWorkerPool::ProverWorkerPool(const Config &C, JobRunner Run)
+    : C(C), Run(std::move(Run)) {
+  this->C.Workers = std::max(1u, C.Workers);
+}
+
+ProverWorkerPool::~ProverWorkerPool() { stop(); }
+
+int ProverWorkerPool::childLoop(int SocketFd) {
+  std::string Req;
+  while (Subprocess::readFrameBlocking(SocketFd, Req) == IoStatus::IO_Ok) {
+    std::istringstream In(Req);
+    size_t Index = 0;
+    uint64_t Key = 0;
+    long long RemainingMs = -1;
+    In >> Index >> std::hex >> Key >> std::dec >> RemainingMs;
+    if (!In)
+      return 2; // malformed request: a parent bug, not a prover crash
+
+    // Fresh fault scope per request: ordinals restart at 1, so the same
+    // obligation draws the same fault decision on every retry and at
+    // every --jobs width. These sites model the prover failure modes the
+    // watchdog must contain.
+    support::ScopedFaultKey Scope(Key);
+    if (support::faultFires(support::faults::WorkerCrash))
+      return 42; // Subprocess::spawn _exits with this
+    if (support::faultFires(support::faults::WorkerHang))
+      for (;;)
+        std::this_thread::sleep_for(std::chrono::seconds(1));
+    if (support::faultFires(support::faults::WorkerOom)) {
+      // Grow the resident set until the rss watchdog reacts; cap the hog
+      // so a run without an rss budget falls to the wall watchdog
+      // instead of pressuring the host.
+      std::vector<std::unique_ptr<char[]>> Hog;
+      constexpr size_t ChunkBytes = 4u << 20, CapBytes = 1u << 30;
+      while (Hog.size() * ChunkBytes < CapBytes) {
+        Hog.push_back(std::make_unique<char[]>(ChunkBytes));
+        std::memset(Hog.back().get(), 0x5a, ChunkBytes);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      for (;;)
+        std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+
+    ObligationResult R =
+        Run(Index, static_cast<int64_t>(RemainingMs));
+    std::string Resp = serializeObligationResult(R);
+    if (support::faultFires(support::faults::WorkerPartialWrite)) {
+      // A torn response: header promising more bytes than follow. The
+      // parent must classify this as a crash, never surface the prefix.
+      Subprocess::writeTornFrame(SocketFd, Resp);
+      return 43;
+    }
+    if (!Subprocess::writeFrame(SocketFd, Resp))
+      return 3; // parent went away
+  }
+  return 0; // clean shutdown: parent closed its end
+}
+
+ProverWorkerPool::WorkerPtr ProverWorkerPool::spawnOne() {
+  auto W = std::make_unique<Subprocess>();
+  std::vector<int> Siblings;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Siblings = AllFds;
+  }
+  bool Ok = W->spawn([this](int Fd) { return childLoop(Fd); }, Siblings);
+  if (!Ok)
+    return nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    AllFds.push_back(W->socketFd());
+    ++S.Spawns;
+  }
+  support::metricAdd("worker.spawns");
+  return W;
+}
+
+bool ProverWorkerPool::start() {
+  for (unsigned I = 0; I < C.Workers; ++I) {
+    WorkerPtr W = spawnOne();
+    if (!W)
+      break;
+    std::lock_guard<std::mutex> Lock(M);
+    Free.push_back(std::move(W));
+    ++Live;
+  }
+  std::lock_guard<std::mutex> Lock(M);
+  return Live > 0;
+}
+
+void ProverWorkerPool::stop() {
+  std::vector<WorkerPtr> Doomed;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopped = true;
+    Doomed.swap(Free);
+    Live -= static_cast<unsigned>(Doomed.size());
+  }
+  Cv.notify_all();
+  for (WorkerPtr &W : Doomed)
+    discard(std::move(W));
+}
+
+ProverWorkerPool::WorkerPtr ProverWorkerPool::acquire() {
+  for (;;) {
+    bool NeedSpawn = false;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      Cv.wait(Lock, [this] {
+        return Stopped || !Free.empty() || Live < C.Workers;
+      });
+      if (Stopped)
+        return nullptr;
+      if (!Free.empty()) {
+        WorkerPtr W = std::move(Free.back());
+        Free.pop_back();
+        if (W->alive())
+          return W;
+        // Died idle (e.g. a previous request's delayed demise): drop it
+        // and loop; the Live decrement lets us fork a replacement.
+        --Live;
+        Lock.unlock();
+        Cv.notify_all();
+        discard(std::move(W));
+        continue;
+      }
+      ++Live; // reserve the slot before forking outside the lock
+      NeedSpawn = true;
+    }
+    if (NeedSpawn) {
+      WorkerPtr W = spawnOne();
+      if (W)
+        return W;
+      std::lock_guard<std::mutex> Lock(M);
+      --Live;
+      Cv.notify_all();
+      return nullptr;
+    }
+  }
+}
+
+void ProverWorkerPool::release(WorkerPtr W) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (!Stopped) {
+      Free.push_back(std::move(W));
+      Cv.notify_one();
+      return;
+    }
+    --Live;
+  }
+  discard(std::move(W));
+}
+
+void ProverWorkerPool::discard(WorkerPtr W) {
+  if (!W)
+    return;
+  int Fd = W->socketFd();
+  W->kill();
+  std::lock_guard<std::mutex> Lock(M);
+  AllFds.erase(std::remove(AllFds.begin(), AllFds.end(), Fd),
+               AllFds.end());
+}
+
+ObligationResult ProverWorkerPool::run(size_t Index,
+                                       const std::string &Name,
+                                       uint64_t FaultKey,
+                                       int64_t RemainingMs) {
+  std::ostringstream Req;
+  Req << Index << " " << std::hex << FaultKey << std::dec << " "
+      << RemainingMs;
+  const std::string Frame = Req.str();
+  const long RssLimit =
+      C.RssMb ? static_cast<long>(C.RssMb) * (1l << 20) : 0;
+
+  std::string LastWhy = "no worker available";
+  for (unsigned Attempt = 0; Attempt <= C.MaxRestarts; ++Attempt) {
+    if (Attempt)
+      backoff(Attempt, FaultKey);
+    auto AcquireStart = std::chrono::steady_clock::now();
+    WorkerPtr W = acquire();
+    if (!W)
+      break;
+    if (Attempt) {
+      // Recovery latency: backoff excluded, fork + books included.
+      support::metricAdd("worker.restarts");
+      support::metricObserve(
+          "worker.respawn_ms",
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - AcquireStart)
+              .count());
+      std::lock_guard<std::mutex> Lock(M);
+      ++S.Restarts;
+    }
+
+    std::string Resp;
+    IoStatus St = W->writeFrame(Frame)
+                      ? W->readFrame(Resp, C.WallMs, RssLimit)
+                      : IoStatus::IO_Error;
+    if (St == IoStatus::IO_Ok) {
+      if (std::optional<ObligationResult> R =
+              deserializeObligationResult(Resp)) {
+        release(std::move(W));
+        return *R;
+      }
+      St = IoStatus::IO_Error; // decodable frame, undecodable payload
+      LastWhy = "undecodable worker response";
+    }
+
+    // The lease failed: classify, kill, replace. The kill-then-reap in
+    // discard() also recovers the exit status for the message.
+    const char *Metric = "worker.crashes";
+    switch (St) {
+    case IoStatus::IO_Timeout:
+      LastWhy = "watchdog: wall budget (" + std::to_string(C.WallMs) +
+                " ms) exceeded";
+      Metric = "worker.kills_wall";
+      break;
+    case IoStatus::IO_RssExceeded:
+      LastWhy = "watchdog: rss budget (" + std::to_string(C.RssMb) +
+                " MB) exceeded";
+      Metric = "worker.kills_rss";
+      break;
+    case IoStatus::IO_Eof:
+      W->kill(); // reaps (blocking), recording the exit status
+      LastWhy = "worker died mid-request (" +
+                describeExit(W->exitStatus()) + ")";
+      break;
+    default:
+      if (LastWhy == "no worker available")
+        LastWhy = "worker I/O error";
+      break;
+    }
+    support::metricAdd(Metric);
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (St == IoStatus::IO_Timeout)
+        ++S.KillsWall;
+      else if (St == IoStatus::IO_RssExceeded)
+        ++S.KillsRss;
+      else
+        ++S.Crashes;
+      --Live;
+    }
+    discard(std::move(W));
+    Cv.notify_all();
+  }
+
+  // Quarantine: this obligation has consumed its worker budget. Degrade
+  // it to unproven — never cached, never fatal — and let the run finish.
+  support::metricAdd("worker.quarantined");
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ++S.Quarantined;
+  }
+  ObligationResult R;
+  R.Name = Name;
+  R.St = ObligationResult::Status::OS_Unknown;
+  R.Err = support::Error(
+      ErrorKind::EK_WorkerCrash,
+      "quarantined after " + std::to_string(C.MaxRestarts + 1) +
+          " worker attempts; last failure: " + LastWhy);
+  return R;
+}
+
+ProverWorkerPool::Stats ProverWorkerPool::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return S;
+}

@@ -1,0 +1,139 @@
+//===- ProverWorkerPool.h - Crash-contained prover workers ------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Out-of-process obligation discharge (DESIGN.md §12). A pool of forked
+/// worker subprocesses (support::Subprocess) each runs Z3 queries on
+/// behalf of the checker's threads: a prover segfault, runaway memory
+/// grab, or hang takes down one expendable child, never the pipeline.
+///
+/// The division of labor:
+///
+///  * The **parent** keeps every thread Z3-free while the pool is live —
+///    checker threads only lease workers, write request frames, and sit
+///    in supervised reads. That is what makes mid-run respawn forks safe:
+///    no parent thread can hold a Z3 (or other library) lock at fork
+///    time.
+///  * A **worker child** loops: read a request frame
+///    (`<job-index> <fault-key> <remaining-ms>`), open a fresh
+///    ScopedFaultKey for the job (so injected faults are per-obligation
+///    deterministic at every --jobs width and identical on retries),
+///    run the job closure, write the serialized ObligationResult back.
+///
+/// Supervision (the watchdog) lives in run(): every request carries a
+/// wall deadline and an rss budget enforced by Subprocess::readFrame.
+/// A worker that crashes (EOF / torn frame), hangs (deadline), or
+/// balloons (rss) is SIGKILLed and replaced — with exponential backoff
+/// plus a deterministic stagger so a crash storm cannot busy-loop forks.
+/// The same obligation is retried on the fresh worker up to MaxRestarts
+/// times; past that it is **quarantined**: reported
+/// unknown(EK_WorkerCrash), which the checker maps to an Unproven
+/// verdict. The run always completes; containment degrades answers,
+/// never availability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_CHECKER_PROVERWORKERPOOL_H
+#define COBALT_CHECKER_PROVERWORKERPOOL_H
+
+#include "checker/Soundness.h"
+#include "support/Subprocess.h"
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace cobalt {
+namespace checker {
+
+class ProverWorkerPool {
+public:
+  struct Config {
+    unsigned Workers = 1; ///< Concurrent worker subprocesses.
+    /// Watchdog wall budget per request (ms). A worker that has not
+    /// answered by then is killed and counted as hung.
+    unsigned WallMs = 60000;
+    /// Watchdog rss budget per request (MB of *growth* while the request
+    /// runs — the fork-inherited baseline is free); 0 = unwatched.
+    unsigned RssMb = 0;
+    /// Fresh workers tried per obligation before quarantining it.
+    unsigned MaxRestarts = 2;
+  };
+
+  /// Executed in the worker child: discharge job \p Index with
+  /// \p RemainingMs of the definition's wall budget left (< 0 =
+  /// unlimited). Runs under the job's ScopedFaultKey (the pool opens it).
+  using JobRunner =
+      std::function<ObligationResult(size_t Index, int64_t RemainingMs)>;
+
+  /// Observability; all counters monotonically increase over the pool's
+  /// lifetime and mirror the worker.* telemetry metrics.
+  struct Stats {
+    unsigned Spawns = 0;      ///< Forks, initial + replacement.
+    unsigned Restarts = 0;    ///< Replacement forks only.
+    unsigned Crashes = 0;     ///< Exits/torn frames mid-request.
+    unsigned KillsWall = 0;   ///< Watchdog kills: wall budget.
+    unsigned KillsRss = 0;    ///< Watchdog kills: rss budget.
+    unsigned Quarantined = 0; ///< Obligations degraded to Unproven.
+  };
+
+  ProverWorkerPool(const Config &C, JobRunner Run);
+  ~ProverWorkerPool(); ///< stop()s.
+
+  ProverWorkerPool(const ProverWorkerPool &) = delete;
+  ProverWorkerPool &operator=(const ProverWorkerPool &) = delete;
+
+  /// Forks the initial workers. Call before fanning jobs onto threads —
+  /// this is the one fork done from a quiescent parent. False when no
+  /// worker could be forked (caller should fall back to in-process).
+  bool start();
+
+  /// Kills every idle worker. Leased workers are reaped as their
+  /// requests finish (run() discards instead of releasing once stopped).
+  void stop();
+
+  /// Discharges job \p Index on a leased worker (thread-safe; blocks for
+  /// a free worker). \p Name and \p FaultKey identify the obligation in
+  /// the request frame and in quarantine messages. Never throws and
+  /// always returns a result: on repeated worker death the result is
+  /// unknown(EK_WorkerCrash).
+  ObligationResult run(size_t Index, const std::string &Name,
+                       uint64_t FaultKey, int64_t RemainingMs);
+
+  Stats stats() const;
+
+private:
+  using WorkerPtr = std::unique_ptr<support::Subprocess>;
+
+  /// The child-side serve loop (runs after fork, single-threaded).
+  int childLoop(int SocketFd);
+  /// Forks one worker; registers its fd for sibling closing.
+  WorkerPtr spawnOne();
+  /// Leases a live worker, forking a replacement when the pool is below
+  /// strength. Returns null only when forking fails or the pool stopped.
+  WorkerPtr acquire();
+  void release(WorkerPtr W);
+  /// Removes a dead/poisoned worker from the books.
+  void discard(WorkerPtr W);
+
+  Config C;
+  JobRunner Run;
+
+  mutable std::mutex M; ///< Guards Free/AllFds/Live/Stopped/S.
+  std::condition_variable Cv;
+  std::vector<WorkerPtr> Free;
+  std::vector<int> AllFds; ///< Parent-side fds of live workers.
+  unsigned Live = 0;       ///< Free + leased.
+  bool Stopped = false;
+  Stats S;
+};
+
+} // namespace checker
+} // namespace cobalt
+
+#endif // COBALT_CHECKER_PROVERWORKERPOOL_H

@@ -8,13 +8,16 @@
 
 #include "checker/Encoder.h"
 #include "checker/PatternEncoder.h"
+#include "checker/ProverWorkerPool.h"
 #include "ir/Printer.h"
 #include "support/FaultInjection.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <mutex>
 #include <functional>
 #include <memory>
 #include <sstream>
@@ -556,6 +559,81 @@ checker::deserializeCheckReport(const std::string &Text) {
 }
 
 //===----------------------------------------------------------------------===//
+// Obligation-result serialization (the worker pool's response frames).
+//===----------------------------------------------------------------------===//
+
+std::string checker::serializeObligationResult(const ObligationResult &R) {
+  std::ostringstream Out;
+  Out << "obresult 1\n";
+  Out << "name " << escapeLine(R.Name) << "\n";
+  Out << "status "
+      << (R.St == ObligationResult::Status::OS_Proven   ? "proven"
+          : R.St == ObligationResult::Status::OS_Failed ? "failed"
+                                                        : "unknown")
+      << "\n";
+  Out << "errkind " << support::errorKindName(R.Err.Kind) << "\n";
+  if (!R.Err.Message.empty())
+    Out << "errmsg " << escapeLine(R.Err.Message) << "\n";
+  Out << "seconds " << R.Seconds << "\n";
+  Out << "attempts " << R.Attempts << "\n";
+  Out << "rlimit " << R.RlimitSpent << "\n";
+  if (!R.Counterexample.empty())
+    Out << "cex " << escapeLine(R.Counterexample) << "\n";
+  return Out.str();
+}
+
+std::optional<ObligationResult>
+checker::deserializeObligationResult(const std::string &Text) {
+  std::istringstream In(Text);
+  std::string Line;
+  if (!std::getline(In, Line) || Line != "obresult 1")
+    return std::nullopt;
+
+  ObligationResult R;
+  R.St = ObligationResult::Status::OS_Unknown;
+  bool SawName = false, SawStatus = false;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    size_t Sp = Line.find(' ');
+    std::string Key = Line.substr(0, Sp);
+    std::string Val = Sp == std::string::npos ? "" : Line.substr(Sp + 1);
+    if (Key == "name") {
+      R.Name = unescapeLine(Val);
+      SawName = true;
+    } else if (Key == "status") {
+      if (Val == "proven")
+        R.St = ObligationResult::Status::OS_Proven;
+      else if (Val == "failed")
+        R.St = ObligationResult::Status::OS_Failed;
+      else if (Val == "unknown")
+        R.St = ObligationResult::Status::OS_Unknown;
+      else
+        return std::nullopt;
+      SawStatus = true;
+    } else if (Key == "errkind") {
+      R.Err.Kind = support::errorKindFromName(Val);
+    } else if (Key == "errmsg") {
+      R.Err.Message = unescapeLine(Val);
+    } else if (Key == "seconds") {
+      R.Seconds = std::strtod(Val.c_str(), nullptr);
+    } else if (Key == "attempts") {
+      R.Attempts =
+          static_cast<unsigned>(std::strtoul(Val.c_str(), nullptr, 10));
+    } else if (Key == "rlimit") {
+      R.RlimitSpent = std::strtoull(Val.c_str(), nullptr, 10);
+    } else if (Key == "cex") {
+      R.Counterexample = unescapeLine(Val);
+    } else {
+      return std::nullopt; // unknown field: the frame is not trusted
+    }
+  }
+  if (!SawName || !SawStatus)
+    return std::nullopt;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
 // SoundnessChecker: prepared checks and their execution.
 //===----------------------------------------------------------------------===//
 
@@ -616,9 +694,12 @@ uint64_t SoundnessChecker::fingerprintAnalysis(const PureAnalysis &A) const {
 
 bool SoundnessChecker::setCacheDir(const std::string &Dir) {
   // Version bumps orphan (rather than misread) old entries; bump it when
-  // serializeCheckReport's format or the fingerprint recipe changes.
+  // serializeCheckReport's format, the fingerprint recipe, or the
+  // PersistentCache entry layout changes.
   // v2: per-obligation rlimit spend.
-  return Disk.open(Dir, "verdict", /*Version=*/2);
+  // v3: checksummed self-healing cache entries — pre-checksum entries
+  //     would all be quarantined as corrupt, so orphan them instead.
+  return Disk.open(Dir, "verdict", /*Version=*/3);
 }
 
 void SoundnessChecker::clearCache() {
@@ -1035,7 +1116,95 @@ SoundnessChecker::runPrepared(std::vector<PreparedCheck> Checks) {
       Flat.emplace_back(CI, TI);
   }
 
+  // The discharge path proper: build the query in a fresh context and
+  // run the solver. In-process mode runs it on the checker's threads
+  // (under the job's fault scope); subprocess mode runs the *same
+  // closure* inside a worker child, so the two modes cannot drift.
+  auto Discharge = [&](size_t Idx, int64_t Left) -> ObligationResult {
+    auto [CI, TI] = Flat[Idx];
+    PreparedCheck &PC = Checks[CI];
+    ObligationTask &T = PC.Tasks[TI];
+    ObligationBuilder B(Registry, *PC.ByLabel);
+    z3::expr Goal = T.Build(B);
+    return B.check(T.Name, Goal, Policy, Left);
+  };
+
+  // Out-of-process mode: fork the workers *now*, before any task fans
+  // onto the thread pool — its threads are idle (condvar wait), so no
+  // lock can be mid-flight in the forked image. Later respawn forks are
+  // safe for the same reason in a different guise: while the pool is
+  // live no parent thread ever enters Z3 (only children do), so parent
+  // threads hold nothing a child's solver run would need.
+  std::unique_ptr<ProverWorkerPool> Workers;
+  if (Policy.Isolation == WorkerIsolation::WI_Subprocess &&
+      !Flat.empty()) {
+    ProverWorkerPool::Config WC;
+    WC.Workers = Pool && !Pool->inlineMode() ? Pool->jobs() : 1;
+    WC.WallMs = Policy.WorkerWallMs
+                    ? Policy.WorkerWallMs
+                    : 2 * Policy.TimeoutMs + 30000;
+    WC.RssMb = Policy.WorkerRssMb;
+    WC.MaxRestarts = Policy.WorkerRestarts;
+    Workers = std::make_unique<ProverWorkerPool>(WC, Discharge);
+    if (!Workers->start()) {
+      // Cannot fork at all (process/fd limits): an availability problem,
+      // not a soundness one — degrade to in-process and keep going.
+      support::metricAdd("worker.start_failed");
+      Workers.reset();
+    }
+  }
+
+  // Wall budget left for the obligation's definition: -1 = unlimited,
+  // 0 = exhausted (skip without dispatching).
+  auto BudgetLeft = [this](const PreparedCheck &PC) -> int64_t {
+    if (Policy.BudgetMs == 0)
+      return -1;
+    int64_t Elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - PC.Start)
+            .count();
+    return std::max<int64_t>(
+        0, static_cast<int64_t>(Policy.BudgetMs) - Elapsed);
+  };
+
+  // The full in-process path for one flat index: fault scope, budget,
+  // discharge, record.
+  auto RunInProcess = [&](size_t Idx) {
+    auto [CI, TI] = Flat[Idx];
+    PreparedCheck &PC = Checks[CI];
+    ObligationTask &T = PC.Tasks[TI];
+    support::TraceSpan Span("checker", "obligation");
+    if (Span.enabled()) {
+      Span.arg("def", PC.Report.Name);
+      Span.arg("ob", T.Name);
+    }
+    int64_t Left = BudgetLeft(PC);
+    if (Left == 0) {
+      T.Result = budgetExhausted(T.Name);
+      recordObligation(T.Result, Span);
+      return;
+    }
+    // Fault decisions inside this job are keyed on its stable
+    // fingerprint, so `--jobs 8` fires exactly the faults `--jobs 1`
+    // does regardless of scheduling.
+    support::ScopedFaultKey JobKey(T.FaultKey);
+    T.Result = Discharge(Idx, Left);
+    recordObligation(T.Result, Span);
+  };
+
+  // Under DM_InProcess, obligations quarantined by the pool are deferred
+  // here and rerun in-process *after* the pool stops: running Z3 on a
+  // parent thread while the pool can still fork replacements would let a
+  // forked child inherit a mid-flight allocator or solver lock and
+  // wedge until the watchdog reaps it.
+  std::mutex DeferredMutex;
+  std::vector<size_t> Deferred;
+
   auto RunTask = [&](size_t Idx) {
+    if (!Workers) {
+      RunInProcess(Idx);
+      return;
+    }
     auto [CI, TI] = Flat[Idx];
     PreparedCheck &PC = Checks[CI];
     ObligationTask &T = PC.Tasks[TI];
@@ -1047,27 +1216,24 @@ SoundnessChecker::runPrepared(std::vector<PreparedCheck> Checks) {
       Span.arg("def", PC.Report.Name);
       Span.arg("ob", T.Name);
     }
-    // Fault decisions inside this job are keyed on its stable
-    // fingerprint, so `--jobs 8` fires exactly the faults `--jobs 1`
-    // does regardless of scheduling.
-    support::ScopedFaultKey JobKey(T.FaultKey);
-    int64_t Left = -1;
-    if (Policy.BudgetMs != 0) {
-      int64_t Elapsed =
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              std::chrono::steady_clock::now() - PC.Start)
-              .count();
-      Left = std::max<int64_t>(
-          0, static_cast<int64_t>(Policy.BudgetMs) - Elapsed);
-      if (Left == 0) {
-        T.Result = budgetExhausted(T.Name);
-        recordObligation(T.Result, Span);
-        return;
-      }
+    int64_t Left = BudgetLeft(PC);
+    if (Left == 0) {
+      T.Result = budgetExhausted(T.Name);
+      recordObligation(T.Result, Span);
+      return;
     }
-    ObligationBuilder B(Registry, *PC.ByLabel);
-    z3::expr Goal = T.Build(B);
-    T.Result = B.check(T.Name, Goal, Policy, Left);
+    // The worker child opens the fault scope (per request, so retried
+    // obligations redraw the same decisions); the parent only
+    // supervises.
+    T.Result = Workers->run(Idx, T.Name, T.FaultKey, Left);
+    if (T.Result.Err.Kind == ErrorKind::EK_WorkerCrash &&
+        Policy.Degraded == DegradedMode::DM_InProcess) {
+      // Opt-in last resort: answer beats isolation. Deferred past the
+      // pool's lifetime (see above); the final result is recorded there.
+      std::lock_guard<std::mutex> Lock(DeferredMutex);
+      Deferred.push_back(Idx);
+      return;
+    }
     recordObligation(T.Result, Span);
   };
 
@@ -1079,6 +1245,24 @@ SoundnessChecker::runPrepared(std::vector<PreparedCheck> Checks) {
   else
     for (size_t I = 0; I < Flat.size(); ++I)
       RunTask(I);
+
+  if (Workers) {
+    Workers->stop();
+    if (!Deferred.empty()) {
+      // worker.* fault sites live only in the worker loop, so injected
+      // crashes do not re-fire in-process — but a genuinely crashing
+      // prover now takes the pipeline down, which is what DM_InProcess
+      // trades for an answer.
+      std::sort(Deferred.begin(), Deferred.end());
+      support::metricAdd("worker.fallback_inprocess", Deferred.size());
+      auto RunDeferred = [&](size_t I) { RunInProcess(Deferred[I]); };
+      if (Pool && !Pool->inlineMode())
+        Pool->parallelFor(Deferred.size(), RunDeferred);
+      else
+        for (size_t I = 0; I < Deferred.size(); ++I)
+          RunDeferred(I);
+    }
+  }
 
   // Reassemble reports in input order: collection order never depends on
   // which thread finished first.

@@ -129,6 +129,29 @@ struct CheckReport {
   std::string str() const;
 };
 
+/// Where proof obligations are discharged (DESIGN.md §12).
+enum class WorkerIsolation {
+  /// Z3 runs on the checker's own threads. Fastest; a prover segfault or
+  /// runaway allocation takes the whole pipeline with it.
+  WI_InProcess,
+  /// Z3 runs in forked worker subprocesses supervised by a watchdog
+  /// (checker::ProverWorkerPool): crashes, hangs, and memory blowups
+  /// cost one expendable child, and the run always completes.
+  WI_Subprocess,
+};
+
+/// What becomes of an obligation whose workers keep dying on it.
+enum class DegradedMode {
+  /// Report it unknown(EK_WorkerCrash): the definition degrades to an
+  /// Unproven verdict (never cached), the run completes, and cobaltc
+  /// exits with the containment-degraded code.
+  DM_Quarantine,
+  /// Last resort: rerun the obligation in-process, trading isolation for
+  /// an answer. A *genuine* prover crash then takes the pipeline down —
+  /// only sensible when faults are known to be environmental.
+  DM_InProcess,
+};
+
 /// Resource policy for discharging obligations. Attempts escalate: the
 /// first runs at InitialTimeoutMs, each retry multiplies the timeout by
 /// EscalationFactor, and the final attempt runs at the full TimeoutMs.
@@ -144,6 +167,20 @@ struct ProverPolicy {
   unsigned MaxMemoryMb = 0;         ///< Z3 max_memory cap; 0 = default.
   uint64_t RLimit = 0;              ///< Z3 rlimit cap; 0 = unlimited.
   bool CacheVerdicts = true;        ///< Fingerprint-keyed verdict cache.
+
+  /// \name Worker isolation (meaningful under WI_Subprocess).
+  /// @{
+  WorkerIsolation Isolation = WorkerIsolation::WI_InProcess;
+  DegradedMode Degraded = DegradedMode::DM_Quarantine;
+  /// Watchdog wall budget per obligation dispatch (ms); 0 derives a
+  /// bound from the solver timeouts (2*TimeoutMs + slack).
+  unsigned WorkerWallMs = 0;
+  /// Watchdog rss-growth budget per obligation dispatch (MB);
+  /// 0 = unwatched.
+  unsigned WorkerRssMb = 0;
+  /// Fresh workers tried per obligation before it is quarantined.
+  unsigned WorkerRestarts = 2;
+  /// @}
 };
 
 /// Checks optimizations and pure analyses against the IL semantics.
@@ -239,6 +276,13 @@ private:
 /// format is versioned via PersistentCache entry names).
 std::string serializeCheckReport(const CheckReport &R);
 std::optional<CheckReport> deserializeCheckReport(const std::string &Text);
+
+/// Serialization of one obligation result — the worker pool's response
+/// frame format (exposed for the robustness tests). Tolerates no unknown
+/// fields: a frame that does not round-trip is treated as a worker crash.
+std::string serializeObligationResult(const ObligationResult &R);
+std::optional<ObligationResult>
+deserializeObligationResult(const std::string &Text);
 
 } // namespace checker
 } // namespace cobalt

@@ -37,6 +37,11 @@ enum class ErrorKind {
   EK_ProverUnknown,     ///< Z3 gave up for a non-resource reason
                         ///< (incomplete quantifier instantiation, ...).
   EK_ProverResourceOut, ///< Z3 hit its rlimit or memory cap.
+  EK_WorkerCrash,       ///< An out-of-process prover worker crashed, hung
+                        ///< past its wall budget, or blew its rss budget
+                        ///< repeatedly on this obligation; the obligation
+                        ///< was quarantined to Unproven (the containment
+                        ///< layer of DESIGN.md §12).
 
   // Engine-side failures: a pass misbehaved at run time. The transactional
   // pass manager rolls the procedure back, so these never corrupt the
@@ -66,6 +71,8 @@ inline const char *errorKindName(ErrorKind K) {
     return "prover_unknown";
   case ErrorKind::EK_ProverResourceOut:
     return "prover_resource_out";
+  case ErrorKind::EK_WorkerCrash:
+    return "worker_crash";
   case ErrorKind::EK_PassPanic:
     return "pass_panic";
   case ErrorKind::EK_RewriteConflict:
@@ -85,7 +92,8 @@ inline const char *errorKindName(ErrorKind K) {
 inline ErrorKind errorKindFromName(const std::string &Name) {
   for (ErrorKind K :
        {ErrorKind::EK_ProverTimeout, ErrorKind::EK_ProverUnknown,
-        ErrorKind::EK_ProverResourceOut, ErrorKind::EK_PassPanic,
+        ErrorKind::EK_ProverResourceOut, ErrorKind::EK_WorkerCrash,
+        ErrorKind::EK_PassPanic,
         ErrorKind::EK_RewriteConflict, ErrorKind::EK_Quarantined,
         ErrorKind::EK_ParseError, ErrorKind::EK_IoError})
     if (Name == errorKindName(K))

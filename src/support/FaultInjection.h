@@ -87,6 +87,25 @@ inline constexpr const char *EngineThrowMidRewrite =
     "engine.throw_mid_rewrite";
 /// Interpreter: step() reports SR_Stuck regardless of the statement.
 inline constexpr const char *InterpForceStuck = "interp.force_stuck";
+/// Prover worker subprocess: _exit(42) instead of answering the request
+/// (models a solver segfault / abort). Checked in the worker child under
+/// the obligation's fault key, so the same obligations crash at every
+/// --jobs width.
+inline constexpr const char *WorkerCrash = "worker.crash";
+/// Prover worker subprocess: sleep forever instead of answering; the
+/// watchdog's wall budget must kill it.
+inline constexpr const char *WorkerHang = "worker.hang";
+/// Prover worker subprocess: allocate and touch memory until well past
+/// any sane rss budget, then sleep; the watchdog's rss poll must kill it.
+inline constexpr const char *WorkerOom = "worker.oom";
+/// Prover worker subprocess: write a frame header followed by only half
+/// the payload, then _exit — a torn response the parent must treat as a
+/// crash, never as data.
+inline constexpr const char *WorkerPartialWrite = "worker.partial_write";
+/// PersistentCache: store() installs an entry whose payload was truncated
+/// to half its length (with the checksum header describing the *full*
+/// value) — the self-healing load path must quarantine it as corrupt.
+inline constexpr const char *CacheTruncateWrite = "cache.truncate_write";
 } // namespace faults
 
 /// Process-wide fault plan. All state is per-site hit counters plus the

@@ -5,24 +5,33 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small, thread-safe, crash-tolerant key→blob store backing the
-/// checker's verdict cache across process runs (`cobaltc --cache-dir`).
-/// The design follows the standard prover-cache recipe (cf. Souper's
-/// persistent solver-result cache): the key is a 64-bit structural
-/// fingerprint of the query, the value an opaque serialized blob the
-/// *caller* versions and validates.
+/// A small, thread-safe, crash-tolerant, *self-healing* key→blob store
+/// backing the checker's verdict cache across process runs
+/// (`cobaltc --cache-dir`). The design follows the standard prover-cache
+/// recipe (cf. Souper's persistent solver-result cache): the key is a
+/// 64-bit structural fingerprint of the query, the value an opaque
+/// serialized blob the *caller* versions and validates.
 ///
-/// Invariants:
+/// Invariants (DESIGN.md §12.4):
 ///
 ///  * One entry = one file `<ns>-<16 hex digits>.v<version>` in the cache
-///    directory. Writes go to a temp file in the same directory and are
-///    renamed into place, so readers never observe a torn entry and
-///    concurrent writers of the same key settle on one complete value.
+///    directory. Writes go to a uniquely named temp file in the same
+///    directory (pid + per-process sequence number, so concurrent
+///    writers — threads *or* processes — never share a temp), are
+///    fsync'd, and renamed into place: readers never observe a torn
+///    entry via the normal write path.
+///  * Every entry carries a checksum header over its payload. load()
+///    verifies it; an entry that fails (truncated, bit-flipped, written
+///    by a crashed process through some non-atomic channel) is
+///    **quarantined** — renamed aside so it is never read again — and
+///    reported as a miss. The caller re-verifies; a corrupt cache can
+///    slow the pipeline down but can never feed it a wrong verdict.
 ///  * The namespace + version are part of the file name: bumping the
 ///    serialization version orphans old entries instead of misreading
 ///    them.
-///  * Unreadable / missing entries are misses, never errors — the cache
-///    is an accelerator, the prover remains the source of truth.
+///  * Unreadable / missing / corrupt entries are misses, never errors —
+///    the cache is an accelerator, the prover remains the source of
+///    truth.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,22 +60,28 @@ public:
   bool enabled() const { return !Dir.empty(); }
   const std::string &directory() const { return Dir; }
 
+  /// Checksum-verified load; corrupt entries are quarantined and
+  /// reported as misses (see file comment).
   std::optional<std::string> load(uint64_t Key) const;
   void store(uint64_t Key, const std::string &Value) const;
 
-  /// Observability: entries served / missed / written since open().
+  /// Observability: entries served / missed / written / quarantined as
+  /// corrupt since open().
   unsigned hits() const;
   unsigned misses() const;
   unsigned stores() const;
+  unsigned corrupt() const;
 
 private:
   std::string entryPath(uint64_t Key) const;
+  /// Moves a failed entry aside (never read again) and counts it.
+  void quarantine(const std::string &Path, const char *Why) const;
 
   std::string Dir; ///< Empty = disabled.
   std::string Namespace;
   unsigned Version = 0;
   mutable std::mutex Mutex; ///< Guards counters; file ops are atomic.
-  mutable unsigned Hits = 0, Misses = 0, Stores = 0;
+  mutable unsigned Hits = 0, Misses = 0, Stores = 0, Corrupt = 0;
 };
 
 } // namespace support

@@ -1,0 +1,240 @@
+//===- Subprocess.cpp -----------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace cobalt;
+using namespace cobalt::support;
+
+namespace {
+
+int64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Writes exactly N bytes, retrying on EINTR and short sends. MSG_NOSIGNAL
+/// keeps a dead peer from raising SIGPIPE; the EPIPE error return is the
+/// signal the supervisor actually wants.
+bool sendAll(int Fd, const void *Buf, size_t N) {
+  const char *P = static_cast<const char *>(Buf);
+  while (N > 0) {
+    ssize_t W = ::send(Fd, P, N, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += W;
+    N -= static_cast<size_t>(W);
+  }
+  return true;
+}
+
+/// Blocking receive of exactly N bytes. Returns IO_Ok, IO_Eof (peer
+/// closed before N bytes arrived), or IO_Error.
+IoStatus recvAll(int Fd, void *Buf, size_t N) {
+  char *P = static_cast<char *>(Buf);
+  while (N > 0) {
+    ssize_t R = ::recv(Fd, P, N, 0);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return IoStatus::IO_Error;
+    }
+    if (R == 0)
+      return IoStatus::IO_Eof;
+    P += R;
+    N -= static_cast<size_t>(R);
+  }
+  return IoStatus::IO_Ok;
+}
+
+/// Sane upper bound on one frame: obligation results are small; anything
+/// bigger is a corrupted length header from a torn peer.
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+} // namespace
+
+const char *support::ioStatusName(IoStatus S) {
+  switch (S) {
+  case IoStatus::IO_Ok:
+    return "ok";
+  case IoStatus::IO_Eof:
+    return "eof";
+  case IoStatus::IO_Timeout:
+    return "timeout";
+  case IoStatus::IO_RssExceeded:
+    return "rss_exceeded";
+  case IoStatus::IO_Error:
+    return "io_error";
+  }
+  return "io_error";
+}
+
+Subprocess::~Subprocess() {
+  kill();
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool Subprocess::spawn(const ChildMain &Main,
+                       const std::vector<int> &CloseInChild) {
+  int Pair[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Pair) != 0)
+    return false;
+
+  pid_t Child = ::fork();
+  if (Child < 0) {
+    ::close(Pair[0]);
+    ::close(Pair[1]);
+    return false;
+  }
+  if (Child == 0) {
+    // Child: single-threaded from here on. Drop the parent side of our
+    // own socket and every sibling fd we inherited, then serve.
+    ::close(Pair[0]);
+    for (int Sibling : CloseInChild)
+      if (Sibling >= 0 && Sibling != Pair[1])
+        ::close(Sibling);
+    int Exit = 0;
+    try {
+      Exit = Main(Pair[1]);
+    } catch (...) {
+      Exit = 111; // an escaped exception is a crash, not a result
+    }
+    ::_exit(Exit);
+  }
+  ::close(Pair[1]);
+  Pid = Child;
+  Fd = Pair[0];
+  Status = -1;
+  return true;
+}
+
+bool Subprocess::alive() {
+  if (Pid <= 0)
+    return false;
+  int S = 0;
+  pid_t R = ::waitpid(Pid, &S, WNOHANG);
+  if (R == Pid) {
+    Status = S;
+    Pid = -1;
+    return false;
+  }
+  return R == 0;
+}
+
+void Subprocess::kill() {
+  if (Pid <= 0)
+    return;
+  ::kill(Pid, SIGKILL);
+  int S = 0;
+  if (::waitpid(Pid, &S, 0) == Pid)
+    Status = S;
+  Pid = -1;
+}
+
+long Subprocess::rssBytes() const {
+  if (Pid <= 0)
+    return -1;
+  char Path[64];
+  std::snprintf(Path, sizeof(Path), "/proc/%d/statm",
+                static_cast<int>(Pid));
+  std::FILE *F = std::fopen(Path, "r");
+  if (!F)
+    return -1;
+  long SizePages = 0, RssPages = 0;
+  int Got = std::fscanf(F, "%ld %ld", &SizePages, &RssPages);
+  std::fclose(F);
+  if (Got != 2)
+    return -1;
+  return RssPages * static_cast<long>(::sysconf(_SC_PAGESIZE));
+}
+
+bool Subprocess::writeFrame(int SocketFd, const std::string &Payload) {
+  if (SocketFd < 0 || Payload.size() > MaxFrameBytes)
+    return false;
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  return sendAll(SocketFd, &Len, sizeof(Len)) &&
+         sendAll(SocketFd, Payload.data(), Payload.size());
+}
+
+void Subprocess::writeTornFrame(int SocketFd, const std::string &Payload) {
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  sendAll(SocketFd, &Len, sizeof(Len));
+  sendAll(SocketFd, Payload.data(), Payload.size() / 2);
+}
+
+IoStatus Subprocess::readFrameBlocking(int SocketFd, std::string &Out) {
+  uint32_t Len = 0;
+  IoStatus S = recvAll(SocketFd, &Len, sizeof(Len));
+  if (S != IoStatus::IO_Ok)
+    return S;
+  if (Len > MaxFrameBytes)
+    return IoStatus::IO_Error;
+  Out.resize(Len);
+  if (Len == 0)
+    return IoStatus::IO_Ok;
+  S = recvAll(SocketFd, Out.data(), Len);
+  if (S != IoStatus::IO_Ok)
+    Out.clear(); // a torn frame is EOF, never partial data
+  return S;
+}
+
+IoStatus Subprocess::readFrame(std::string &Out, int64_t DeadlineMs,
+                               long RssLimitBytes) {
+  if (Fd < 0)
+    return IoStatus::IO_Error;
+
+  // Supervised read: poll in short slices so the watchdog checks (wall
+  // clock, child rss) interleave with the wait. Once bytes start
+  // arriving, each recv below is blocking — fine, because a peer that
+  // began a frame either finishes it promptly or dies (EOF).
+  const int64_t Start = nowMs();
+  const int SliceMs = 20;
+  // The rss budget bounds *growth during this request*: a forked child
+  // starts with the parent's whole resident set on its books (COW pages
+  // count), so an absolute ceiling would trip on big parents that never
+  // misbehaved. Baseline from the first successful /proc read.
+  long RssBase = -1;
+  for (;;) {
+    if (DeadlineMs > 0 && nowMs() - Start >= DeadlineMs)
+      return IoStatus::IO_Timeout;
+    if (RssLimitBytes > 0) {
+      long Rss = rssBytes();
+      if (Rss >= 0 && RssBase < 0)
+        RssBase = Rss;
+      if (Rss >= 0 && Rss - RssBase > RssLimitBytes)
+        return IoStatus::IO_RssExceeded;
+    }
+    struct pollfd P = {Fd, POLLIN, 0};
+    int R = ::poll(&P, 1, SliceMs);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return IoStatus::IO_Error;
+    }
+    if (R == 0)
+      continue;
+    if (P.revents & POLLIN)
+      return readFrameBlocking(Fd, Out);
+    // POLLHUP/POLLERR without readable data: the peer is gone.
+    return IoStatus::IO_Eof;
+  }
+}

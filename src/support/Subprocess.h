@@ -1,0 +1,135 @@
+//===- Subprocess.h - Forked worker processes with framed IPC ---*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-isolation primitive under checker::ProverWorkerPool
+/// (DESIGN.md §12). A `Subprocess` is a forked child of the current
+/// process connected to the parent by one AF_UNIX stream socketpair, over
+/// which both sides speak a length-prefixed frame protocol:
+///
+///   frame := uint32 payload-length (native endian) ++ payload bytes
+///
+/// Design points:
+///
+///  * **Fork, not exec.** The child inherits the parent's address space,
+///    so complex C++ state (prepared proof obligations, the label
+///    registry, Z3 axiomatizations) crosses the boundary for free; only
+///    the small *results* are serialized back. The child must treat the
+///    inherited world as read-only scaffolding: it runs the supplied
+///    entry function on its single thread and leaves via _exit (never
+///    exit — the parent's atexit handlers and stdio buffers are not the
+///    child's to run or flush).
+///
+///  * **Sockets, not pipes.** send() with MSG_NOSIGNAL turns a
+///    peer-crashed write into an EPIPE error return instead of a
+///    process-killing SIGPIPE, without touching global signal state.
+///
+///  * **Watchdog reads.** readFrame() takes a wall deadline and an rss
+///    budget: it polls the socket in small slices, checking the child's
+///    /proc/<pid>/statm between slices, and reports Timeout / RssExceeded
+///    distinctly so the supervisor can kill and classify. A crashed child
+///    surfaces as Eof (possibly mid-frame — a torn frame is Eof, never
+///    partial data).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_SUPPORT_SUBPROCESS_H
+#define COBALT_SUPPORT_SUBPROCESS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace cobalt {
+namespace support {
+
+/// Outcome of one framed read (the supervisor dispatches on this).
+enum class IoStatus {
+  IO_Ok,          ///< A complete frame arrived.
+  IO_Eof,         ///< Peer closed (or died) — includes torn frames.
+  IO_Timeout,     ///< The wall deadline expired with the frame incomplete.
+  IO_RssExceeded, ///< The child's resident set passed the budget.
+  IO_Error,       ///< A local I/O error (bad fd, EPIPE on write, ...).
+};
+
+/// Short human-readable tag for messages ("eof", "timeout", ...).
+const char *ioStatusName(IoStatus S);
+
+class Subprocess {
+public:
+  /// Runs in the child with the child end of the socketpair; when it
+  /// returns the child _exits with the returned status. Must not touch
+  /// parent-owned threads, pools, or files.
+  using ChildMain = std::function<int(int SocketFd)>;
+
+  Subprocess() = default;
+  ~Subprocess(); ///< kill() + reap if still running.
+
+  Subprocess(const Subprocess &) = delete;
+  Subprocess &operator=(const Subprocess &) = delete;
+
+  /// Forks a child running \p Main. \p CloseInChild lists parent-side fds
+  /// of *other* subprocesses for the child to close first, so siblings do
+  /// not hold each other's sockets open past their death. Returns false
+  /// (and stays unstarted) when socketpair() or fork() fails.
+  bool spawn(const ChildMain &Main,
+             const std::vector<int> &CloseInChild = {});
+
+  bool started() const { return Pid > 0; }
+  pid_t pid() const { return Pid; }
+  int socketFd() const { return Fd; }
+
+  /// Non-blocking liveness probe (waitpid WNOHANG; reaps on exit).
+  bool alive();
+
+  /// SIGKILLs and reaps the child. Safe to call repeatedly / unstarted.
+  void kill();
+
+  /// Raw waitpid status of the reaped child (-1 while running/unstarted).
+  /// kill() and alive() both reap; whoever reaps records the status.
+  int exitStatus() const { return Status; }
+
+  /// Resident set size read from /proc/<pid>/statm, or -1 when the child
+  /// is gone or /proc is unavailable (non-Linux).
+  long rssBytes() const;
+
+  /// Sends one frame; false on any short write or EPIPE (peer dead).
+  bool writeFrame(const std::string &Payload) {
+    return writeFrame(Fd, Payload);
+  }
+
+  /// Receives one frame with supervision: fails IO_Timeout once
+  /// \p DeadlineMs elapses (<= 0 = wait forever) and IO_RssExceeded when
+  /// the child's rss *grows* by more than \p RssLimitBytes over its level
+  /// at the start of this read (<= 0 = no rss watch). Growth, not an
+  /// absolute ceiling: a forked child carries the parent's whole
+  /// resident set on its books from birth.
+  IoStatus readFrame(std::string &Out, int64_t DeadlineMs,
+                     long RssLimitBytes = 0);
+
+  /// \name Static framing helpers (used by the child side too).
+  /// @{
+  static bool writeFrame(int SocketFd, const std::string &Payload);
+  /// Blocking read of one frame; IO_Eof on close / torn frame.
+  static IoStatus readFrameBlocking(int SocketFd, std::string &Out);
+  /// Deliberately torn frame: a header describing \p Payload followed by
+  /// only the first half of its bytes (fault-injection support).
+  static void writeTornFrame(int SocketFd, const std::string &Payload);
+  /// @}
+
+private:
+  pid_t Pid = -1;
+  int Fd = -1;
+  int Status = -1;
+};
+
+} // namespace support
+} // namespace cobalt
+
+#endif // COBALT_SUPPORT_SUBPROCESS_H

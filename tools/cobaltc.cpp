@@ -24,6 +24,19 @@
 ///   --prover-timeout <ms>   full per-obligation Z3 timeout (default 8000)
 ///   --prover-retries <n>    escalating retries before the full timeout
 ///   --prover-budget <ms>    total wall-clock budget per definition
+///   --isolate-workers       discharge obligations in forked, watchdogged
+///                           prover subprocesses: a solver crash, hang, or
+///                           memory blowup degrades that obligation
+///                           instead of killing the run (DESIGN.md §12)
+///   --worker-wall <ms>      watchdog wall budget per obligation dispatch
+///                           (default derived from --prover-timeout)
+///   --worker-rss <mb>       watchdog rss-growth budget per obligation
+///                           dispatch (default off)
+///   --worker-restarts <n>   fresh workers tried per obligation before it
+///                           is quarantined (default 2)
+///   --degraded=MODE         what to do with a quarantined obligation:
+///                           quarantine (default: report unproven) |
+///                           inprocess (retry without isolation)
 ///   --fail-fast             stop checking at the first unproven
 ///                           definition (definitions run sequentially)
 ///   --keep-going            opt/run: apply the proven subset instead of
@@ -42,6 +55,9 @@
 ///   3  infrastructure degraded: no counterexample anywhere, but some
 ///      obligation timed out / came back unknown, or a pass was rolled
 ///      back or quarantined at run time
+///   4  containment degraded: prover workers crashed/hung past their
+///      restart budget and obligations were quarantined (still no
+///      counterexample; rejection takes precedence)
 ///
 /// `opt`/`run` refuse to apply unproven optimizations — the
 /// extensible-compiler discipline of paper §1/§6. Under --keep-going the
@@ -74,6 +90,10 @@ enum ExitCode {
   ExitRejected = 1,
   ExitUsage = 2,
   ExitDegraded = 3,
+  /// Worker containment degraded verdicts (quarantined obligations).
+  /// Distinct from ExitDegraded so CI can tell "the prover gave up" from
+  /// "the prover kept *dying*" without parsing reports.
+  ExitContained = 4,
 };
 
 int usage() {
@@ -86,11 +106,15 @@ int usage() {
       "flags: --jobs <n>  --cache-dir <dir>  --report=json\n"
       "       --prover-timeout <ms>  --prover-retries <n>\n"
       "       --prover-budget <ms>   --fail-fast  --keep-going\n"
+      "       --isolate-workers  --worker-wall <ms>  --worker-rss <mb>\n"
+      "       --worker-restarts <n>  --degraded=[quarantine|inprocess]\n"
       "       --trace-out=FILE  --metrics-out=FILE\n"
       "       --remarks=[all|missed|none]\n"
       "exit:  0 all sound; 1 rejected definitions; 2 usage/input error;\n"
       "       3 infrastructure degraded (timeouts/rollbacks, no "
-      "counterexample)\n");
+      "counterexample);\n"
+      "       4 containment degraded (prover workers died, obligations "
+      "quarantined)\n");
   return ExitUsage;
 }
 
@@ -144,6 +168,32 @@ bool parseFlags(int Argc, char **Argv, DriverOptions &Opts,
       if (Value == ~0ull)
         return false;
       Opts.Config.Jobs = static_cast<unsigned>(Value);
+    } else if (std::strcmp(Arg, "--isolate-workers") == 0) {
+      Opts.Config.Prover.Isolation =
+          checker::WorkerIsolation::WI_Subprocess;
+    } else if (TakesValue("--worker-wall", Value)) {
+      if (Value == ~0ull || Value == 0)
+        return false;
+      Opts.Config.Prover.WorkerWallMs = static_cast<unsigned>(Value);
+    } else if (TakesValue("--worker-rss", Value)) {
+      if (Value == ~0ull || Value == 0)
+        return false;
+      Opts.Config.Prover.WorkerRssMb = static_cast<unsigned>(Value);
+    } else if (TakesValue("--worker-restarts", Value)) {
+      if (Value == ~0ull)
+        return false;
+      Opts.Config.Prover.WorkerRestarts = static_cast<unsigned>(Value);
+    } else if (const char *V = ValueOf("--degraded=")) {
+      if (std::strcmp(V, "quarantine") == 0)
+        Opts.Config.Prover.Degraded = checker::DegradedMode::DM_Quarantine;
+      else if (std::strcmp(V, "inprocess") == 0)
+        Opts.Config.Prover.Degraded = checker::DegradedMode::DM_InProcess;
+      else {
+        std::fprintf(
+            stderr,
+            "cobaltc: --degraded= takes quarantine or inprocess\n");
+        return false;
+      }
     } else if (std::strcmp(Arg, "--cache-dir") == 0) {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "cobaltc: --cache-dir requires a value\n");
@@ -287,7 +337,9 @@ void emitTelemetry(api::CobaltContext &Ctx, const DriverOptions &Opts,
       "retries %llu)\n"
       "  prover       %.2f s solver wall, rlimit %llu\n"
       "  cache        %llu hits / %llu misses (disk: %llu hits, %llu "
-      "stores)\n"
+      "stores, %llu corrupt)\n"
+      "  workers      %llu spawned, %llu restarted, %llu obligation(s) "
+      "quarantined\n"
       "  engine       %llu rewrites, %llu rollbacks, %llu quarantine "
       "skips\n"
       "  dataflow     %llu fixpoint iterations over %llu solves\n"
@@ -306,6 +358,10 @@ void emitTelemetry(api::CobaltContext &Ctx, const DriverOptions &Opts,
       static_cast<unsigned long long>(M.counter("checker.cache.misses")),
       static_cast<unsigned long long>(M.counter("cache.disk.hits")),
       static_cast<unsigned long long>(M.counter("cache.disk.stores")),
+      static_cast<unsigned long long>(M.counter("cache.disk.corrupt")),
+      static_cast<unsigned long long>(M.counter("worker.spawns")),
+      static_cast<unsigned long long>(M.counter("worker.restarts")),
+      static_cast<unsigned long long>(M.counter("worker.quarantined")),
       static_cast<unsigned long long>(M.counter("engine.rewrites")),
       static_cast<unsigned long long>(M.counter("engine.rollbacks")),
       static_cast<unsigned long long>(
@@ -520,9 +576,28 @@ api::SuiteResult checkModule(api::CobaltContext &Ctx,
   return Summary;
 }
 
+/// True when any obligation anywhere was quarantined by worker
+/// containment. Scans the reports (instead of trusting
+/// SuiteResult::Quarantined alone) so the --fail-fast path, which builds
+/// its summary by hand, gets the same classification.
+bool anyQuarantined(const api::SuiteResult &Summary) {
+  if (Summary.containmentDegraded())
+    return true;
+  for (const checker::CheckReport &R : Summary.Reports)
+    for (const checker::ObligationResult &Ob : R.Obligations)
+      if (Ob.Err.Kind == support::ErrorKind::EK_WorkerCrash)
+        return true;
+  return false;
+}
+
 int exitCodeFor(const api::SuiteResult &Summary, bool PipelineDegraded) {
+  // Precedence: a genuine counterexample always dominates; containment
+  // degradation outranks plain infra degradation (it names a *cause* —
+  // dying workers — where 3 only names a symptom).
   if (Summary.Unsound > 0)
     return ExitRejected;
+  if (anyQuarantined(Summary))
+    return ExitContained;
   if (Summary.Unproven > 0 || PipelineDegraded)
     return ExitDegraded;
   return ExitAllSound;
@@ -563,6 +638,11 @@ int cmdCheck(const char *ModulePath, const DriverOptions &Opts) {
 
   if (Summary.Unsound > 0)
     std::printf("REJECTED definitions present\n");
+  else if (Exit == ExitContained)
+    std::printf("containment degraded: prover workers died past their "
+                "restart budget; %u definition(s) unproven "
+                "(no counterexample found)\n",
+                Summary.Unproven);
   else if (Summary.Unproven > 0)
     std::printf("infrastructure degraded: %u definition(s) unproven "
                 "(no counterexample found)\n",
