@@ -22,31 +22,7 @@ CobaltContext::CobaltContext(CobaltConfig Config)
       Pool(std::make_unique<support::ThreadPool>(this->Config.Jobs)) {
   if (this->Config.Telemetry && support::telemetryCompiledIn()) {
     Telem = std::make_unique<support::Telemetry>();
-    // Pre-register the headline counters at zero so every metrics dump
-    // carries the full schema — a check-only run still shows
-    // engine.rollbacks: 0 rather than omitting the key.
-    static const char *const Headline[] = {
-        "checker.obligations",     "checker.obligations.proven",
-        "checker.obligations.failed", "checker.obligations.unknown",
-        "checker.retries",         "checker.rlimit_spent",
-        "checker.cache.hits",      "checker.cache.misses",
-        "cache.disk.hits",         "cache.disk.misses",
-        "cache.disk.stores",       "cache.disk.corrupt",
-        "worker.spawns",           "worker.restarts",
-        "worker.crashes",          "worker.kills_wall",
-        "worker.kills_rss",        "worker.quarantined",
-        "engine.procs",
-        "engine.passes",           "engine.rewrites",
-        "engine.rollbacks",        "engine.pass_failures",
-        "engine.quarantine_skips", "dataflow.solves",
-        "dataflow.fixpoint_iters", "dataflow.meet_dropped",
-        "dataflow.psi2_dropped",   "fuzz.runs",
-        "fuzz.programs",           "fuzz.divergences",
-        "fuzz.findings",           "fuzz.oracle.execs",
-        "fuzz.reduce.runs",        "fuzz.reduce.candidates",
-        "fuzz.reduce.stmts_removed"};
-    for (const char *Name : Headline)
-      Telem->Metrics.add(Name, 0);
+    preregisterHeadlineCounters(*Telem);
   }
   PM.setTxPolicy(this->Config.Tx);
   PM.setThreadPool(Pool.get());
@@ -109,19 +85,20 @@ CobaltContext::loadProgramFile(const std::string &Path) {
 
 void CobaltContext::defineLabel(const LabelDef &Def) {
   PM.defineLabel(Def);
-  CheckerDirty = true;
+  Labels.push_back(Def);
+  ServiceDirty = true;
 }
 
 void CobaltContext::addAnalysis(PureAnalysis A) {
   Analyses.push_back(A);
   PM.addAnalysis(std::move(A));
-  CheckerDirty = true;
+  ServiceDirty = true;
 }
 
 void CobaltContext::addOptimization(Optimization O) {
   Optimizations.push_back(O);
   PM.addOptimization(std::move(O));
-  CheckerDirty = true;
+  ServiceDirty = true;
 }
 
 void CobaltContext::addModule(CobaltModule Module) {
@@ -137,88 +114,58 @@ void CobaltContext::addModule(CobaltModule Module) {
 // Checking.
 //===----------------------------------------------------------------------===//
 
-void CobaltContext::ensureChecker() {
-  if (Checker && !CheckerDirty)
+void CobaltContext::ensureService() {
+  if (Svc && !ServiceDirty)
     return;
-  if (Checker)
-    PriorCacheHits += Checker->cacheHits();
-  Checker = std::make_unique<checker::SoundnessChecker>(PM.registry(),
-                                                        Analyses);
-  Checker->setPolicy(Config.Prover);
-  Checker->setThreadPool(Pool.get());
-  if (!Config.CacheDir.empty())
-    Checker->setCacheDir(Config.CacheDir);
-  CheckerDirty = false;
+  if (Svc)
+    PriorCacheHits += Svc->cacheHits() + Svc->prover().cacheHits();
+  CobaltService::Builder B;
+  B.config(Config).telemetry(Telem.get());
+  for (const LabelDef &Def : Labels)
+    B.defineLabel(Def);
+  for (const PureAnalysis &A : Analyses)
+    B.addAnalysis(A);
+  for (const Optimization &O : Optimizations)
+    B.addOptimization(O);
+  Svc = B.build();
+  ServiceDirty = false;
+}
+
+std::shared_ptr<CobaltService> CobaltContext::service() {
+  ensureService();
+  return Svc;
 }
 
 checker::SoundnessChecker &CobaltContext::prover() {
-  ensureChecker();
-  return *Checker;
+  ensureService();
+  return Svc->prover();
 }
 
 unsigned CobaltContext::cacheHits() const {
-  return PriorCacheHits + (Checker ? Checker->cacheHits() : 0);
+  if (!Svc)
+    return PriorCacheHits;
+  return PriorCacheHits + Svc->cacheHits() + Svc->prover().cacheHits();
 }
 
 checker::CheckReport CobaltContext::check(const Optimization &O) {
-  ensureChecker();
+  ensureService();
   support::TelemetryScope Scope(Telem.get());
-  return Checker->checkOptimization(O);
+  return Svc->prover().checkOptimization(O);
 }
 
 checker::CheckReport CobaltContext::check(const PureAnalysis &A) {
-  ensureChecker();
+  ensureService();
   support::TelemetryScope Scope(Telem.get());
-  return Checker->checkAnalysis(A);
+  return Svc->prover().checkAnalysis(A);
 }
 
 SuiteResult CobaltContext::checkRegistered() {
-  ensureChecker();
-  support::TelemetryScope Scope(Telem.get());
-  SuiteResult S;
-  S.Reports = Checker->checkSuite(Analyses, Optimizations);
-  for (size_t I = 0; I < S.Reports.size(); ++I) {
-    const checker::CheckReport &R = S.Reports[I];
-    if (R.V == checker::CheckReport::Verdict::V_Unsound)
-      ++S.Unsound;
-    else if (R.V == checker::CheckReport::Verdict::V_Unproven)
-      ++S.Unproven;
-    // Containment degradation is reported per definition and surfaced
-    // as a remark on the same channel the engine's quarantine skips use,
-    // so drivers see *why* a verdict is missing, not just that it is.
-    unsigned QuarantinedObs = 0;
-    for (const checker::ObligationResult &Ob : R.Obligations)
-      if (Ob.Err.Kind == ErrorKind::EK_WorkerCrash)
-        ++QuarantinedObs;
-    if (QuarantinedObs != 0) {
-      ++S.Quarantined;
-      if (RemarkFn) {
-        support::Remark Rem;
-        Rem.K = support::Remark::Kind::RK_Missed;
-        Rem.Pass = R.Name;
-        Rem.Note = std::to_string(QuarantinedObs) +
-                   " obligation(s) quarantined after repeated prover-"
-                   "worker failures; verdict degraded to unproven";
-        RemarkFn(Rem);
-      }
-    }
-    if (I < Analyses.size()) {
-      if (R.Sound)
-        S.ProvenAnalyses.insert(Analyses[I].Name);
-      continue;
-    }
-    // The optimization's guarantee is conditional on its assumed
-    // analyses being proven themselves (§6).
-    bool AnalysesOk = true;
-    for (const std::string &Dep : R.AssumedAnalyses)
-      AnalysesOk = AnalysesOk && S.ProvenAnalyses.count(Dep) != 0;
-    const std::string &Name = Optimizations[I - Analyses.size()].Name;
-    if (R.Sound && AnalysesOk)
-      S.ProvenOptimizations.insert(Name);
-    else if (R.Sound)
-      S.Conditional.push_back(Name);
-  }
-  return S;
+  ensureService();
+  CheckResponse Resp = Svc->check(CheckRequest{});
+  if (RemarkFn)
+    for (const support::Remark &Rem : Resp.Remarks)
+      RemarkFn(Rem);
+  return std::move(Resp.Suite);
 }
 
 //===----------------------------------------------------------------------===//

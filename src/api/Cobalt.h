@@ -1,16 +1,13 @@
-//===- Cobalt.h - The unified CobaltContext facade --------------*- C++ -*-===//
+//===- Cobalt.h - The CobaltContext compatibility facade --------*- C++ -*-===//
 //
 // Part of the Cobalt reproduction (PLDI 2003). MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The one entry point tying the whole system together. Before this
-/// header, every embedder hand-wired the same five objects (registry,
-/// checker, pass manager, prover policy, fault plan) in slightly
-/// different ways; `CobaltContext` owns them all, plus the resources the
-/// parallel pipeline introduced (the thread pool, the persistent verdict
-/// cache), behind a small surface:
+/// The single-client convenience facade, now a thin wrapper over the
+/// request-oriented `api::CobaltService` (see Service.h and DESIGN.md
+/// §13). A context still reads like the one-object API it always was:
 ///
 /// \code
 ///   api::CobaltConfig Config;
@@ -29,99 +26,48 @@
 ///       *Prog, Gate.provenPassNames());            // apply the proven subset
 /// \endcode
 ///
-/// Every fallible operation returns the unified `support::Expected` /
-/// `support::Error` carriers; results are bit-identical whatever
-/// `Config.Jobs` is (see DESIGN.md's concurrency model).
+/// Internally, registrations accumulate and a `CobaltService` is
+/// (re)built lazily whenever a check runs after a registration change;
+/// `checkRegistered()` is exactly `service->check({})`. The disk verdict
+/// cache carries across rebuilds; the in-memory tiers do not.
+///
+/// ## Migrating to CobaltService
+///
+/// New code — and any code with more than one driving thread — should
+/// build the service directly:
+///
+/// \code
+///   auto Svc = api::CobaltService::Builder()
+///                  .config(Config)
+///                  .addModule(std::move(*Module))
+///                  .build();                        // shared_ptr, immutable
+///   api::CheckResponse R = Svc->check({});          // from any thread
+/// \endcode
+///
+/// The context remains for one-shot drivers: it is *not* thread-safe
+/// (one context per driving thread) — the parallelism lives inside
+/// check/runPipeline calls and inside the shared service.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef COBALT_API_COBALT_H
 #define COBALT_API_COBALT_H
 
-#include "checker/Soundness.h"
-#include "core/CobaltParser.h"
-#include "engine/PassManager.h"
+#include "api/Service.h"
 #include "fuzz/Fuzzer.h"
-#include "ir/Ast.h"
-#include "support/Expected.h"
-#include "support/Telemetry.h"
 
 #include <functional>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
 namespace cobalt {
-
-namespace support {
-class ThreadPool;
-}
-
 namespace api {
 
-/// Everything a context owns, fixed at construction.
-struct CobaltConfig {
-  checker::ProverPolicy Prover; ///< Obligation resource policy.
-  engine::TxPolicy Tx;          ///< Transactional pass policy.
-  /// Thread-pool width shared by the checker (obligations) and the pass
-  /// manager (procedures). 1 = sequential (no worker threads at all);
-  /// 0 = one worker per hardware thread. Results are bit-identical for
-  /// every value.
-  unsigned Jobs = 1;
-  /// When nonempty, proved verdicts persist here across processes
-  /// (see support::PersistentCache). Unusable directories degrade to the
-  /// in-memory cache, they are never an error.
-  std::string CacheDir;
-  /// Collect metrics and trace spans for this context's operations (the
-  /// substrate behind cobaltc --trace-out/--metrics-out). Off by
-  /// default: with it off, instrumentation sites cost one relaxed atomic
-  /// load each. Ignored (always off) when the telemetry layer was
-  /// compiled out with -DCOBALT_TELEMETRY=OFF.
-  bool Telemetry = false;
-};
-
-/// Outcome of proving every registered definition.
-struct SuiteResult {
-  std::vector<checker::CheckReport> Reports; ///< Analyses, then opts.
-  unsigned Unsound = 0;  ///< Genuine counterexamples.
-  unsigned Unproven = 0; ///< Prover gave up (infra degradation).
-  /// Definitions with at least one obligation quarantined by worker
-  /// containment (EK_WorkerCrash): the prover subprocess kept dying and
-  /// the verdict degraded to unproven. A subset of Unproven; drives
-  /// cobaltc's distinct containment-degraded exit code.
-  unsigned Quarantined = 0;
-  std::set<std::string> ProvenAnalyses;
-  std::set<std::string> ProvenOptimizations;
-  /// Optimizations whose own obligations were proven but which assume an
-  /// analysis that was not — sound conditionally, treated as unproven.
-  std::vector<std::string> Conditional;
-
-  bool allSound() const { return Unsound == 0 && Unproven == 0; }
-  /// Worker containment (not mere prover limits) degraded some verdict.
-  bool containmentDegraded() const { return Quarantined != 0; }
-
-  /// The proven pass names in one list (for runPipeline's subset form).
-  std::vector<std::string> provenPassNames() const {
-    std::vector<std::string> Names(ProvenAnalyses.begin(),
-                                   ProvenAnalyses.end());
-    Names.insert(Names.end(), ProvenOptimizations.begin(),
-                 ProvenOptimizations.end());
-    return Names;
-  }
-};
-
-/// Outcome of one pipeline run over a program.
-struct PipelineResult {
-  std::vector<engine::PassReport> Reports; ///< (pass, procedure) order.
-  unsigned Applied = 0; ///< Total rewrites across all reports.
-  bool Degraded = false; ///< Any failure / rollback / quarantine skip.
-};
-
-/// Owns the registry, prover, pass manager, thread pool, and verdict
-/// cache; the single facade the CLI, the examples, and embedders drive.
-/// Not thread-safe itself (one context per driving thread) — the
-/// parallelism lives *inside* check/runPipeline calls.
+/// Single-client facade over a lazily rebuilt CobaltService. Owns the
+/// pass manager driven by runPipeline and the thread pool it fans out
+/// on; checking delegates to the embedded service (which brings the
+/// two-tier verdict cache and the dedup memo along for free).
 class CobaltContext {
 public:
   explicit CobaltContext(CobaltConfig Config = {});
@@ -165,7 +111,8 @@ public:
   /// Proves every registered definition (analyses first), fanning *all*
   /// obligations out at once. Optimizations whose AssumedAnalyses are
   /// not proven are excluded from ProvenOptimizations (and listed in
-  /// Conditional) — the §6 extensible-compiler gate.
+  /// Conditional) — the §6 extensible-compiler gate. Equivalent to
+  /// `service()->check({}).Suite`.
   SuiteResult checkRegistered();
   /// @}
 
@@ -197,8 +144,13 @@ public:
   engine::PassManager &passes() { return PM; }
   checker::SoundnessChecker &prover();
   support::ThreadPool &pool() { return *Pool; }
-  /// Verdict-cache hits across the context's lifetime (memory + disk).
+  /// Verdict-cache hits across the context's lifetime (memory + disk +
+  /// dedup-memo serves), surviving service rebuilds.
   unsigned cacheHits() const;
+  /// The embedded service behind check/checkRegistered (built on first
+  /// use; rebuilt after registrations change). Useful to issue
+  /// CheckRequest/PipelineRequest directly while migrating.
+  std::shared_ptr<CobaltService> service();
   /// @}
 
   /// \name Observability (DESIGN.md §9).
@@ -221,7 +173,7 @@ public:
   /// @}
 
 private:
-  void ensureChecker();
+  void ensureService();
   support::Expected<std::string> readFile(const std::string &Path);
   void deliverRemarks(const std::vector<engine::PassReport> &Reports);
 
@@ -229,15 +181,17 @@ private:
   std::unique_ptr<support::Telemetry> Telem;
   std::function<void(const support::Remark &)> RemarkFn;
   std::unique_ptr<support::ThreadPool> Pool;
+  /// The pipeline engine stays context-local (quarantine state persists
+  /// across runPipeline calls, as it always did).
   engine::PassManager PM;
-  /// Registered definitions, kept here because the checker fingerprints
-  /// every definition against the full analysis context.
+  /// Registered definitions, replayed into each rebuilt service.
+  std::vector<LabelDef> Labels;
   std::vector<PureAnalysis> Analyses;
   std::vector<Optimization> Optimizations;
   /// Rebuilt (lazily) whenever registrations change; the disk cache
-  /// carries verdicts across rebuilds, the in-memory one does not.
-  std::unique_ptr<checker::SoundnessChecker> Checker;
-  bool CheckerDirty = true;
+  /// carries verdicts across rebuilds, the in-memory tiers do not.
+  std::shared_ptr<CobaltService> Svc;
+  bool ServiceDirty = true;
   unsigned PriorCacheHits = 0;
 };
 

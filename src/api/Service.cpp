@@ -1,0 +1,466 @@
+//===- Service.cpp --------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Service.h"
+
+#include "ir/Parser.h"
+#include "support/PersistentCache.h"
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace cobalt;
+using namespace cobalt::api;
+using support::ErrorKind;
+
+const char *api::responseStatusName(ResponseStatus S) {
+  switch (S) {
+  case ResponseStatus::RS_Ok:
+    return "ok";
+  case ResponseStatus::RS_Retry:
+    return "retry";
+  case ResponseStatus::RS_Error:
+    return "error";
+  }
+  return "error";
+}
+
+void api::preregisterHeadlineCounters(support::Telemetry &T) {
+  static const char *const Headline[] = {
+      "checker.obligations",     "checker.obligations.proven",
+      "checker.obligations.failed", "checker.obligations.unknown",
+      "checker.retries",         "checker.rlimit_spent",
+      "checker.cache.hits",      "checker.cache.misses",
+      "cache.mem.hits",          "cache.mem.misses",
+      "cache.disk.hits",         "cache.disk.misses",
+      "cache.disk.stores",       "cache.disk.corrupt",
+      "service.requests",        "service.requests.check",
+      "service.requests.run",    "service.requests.retry",
+      "service.requests.error",  "service.dedup.leader",
+      "service.dedup.await",     "service.dedup.served",
+      "service.admission.rejected",
+      "worker.spawns",           "worker.restarts",
+      "worker.crashes",          "worker.kills_wall",
+      "worker.kills_rss",        "worker.quarantined",
+      "engine.procs",
+      "engine.passes",           "engine.rewrites",
+      "engine.rollbacks",        "engine.pass_failures",
+      "engine.quarantine_skips", "dataflow.solves",
+      "dataflow.fixpoint_iters", "dataflow.meet_dropped",
+      "dataflow.psi2_dropped",   "fuzz.runs",
+      "fuzz.programs",           "fuzz.divergences",
+      "fuzz.findings",           "fuzz.oracle.execs",
+      "fuzz.reduce.runs",        "fuzz.reduce.candidates",
+      "fuzz.reduce.stmts_removed"};
+  for (const char *Name : Headline)
+    T.Metrics.add(Name, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Builder.
+//===----------------------------------------------------------------------===//
+
+CobaltService::Builder &
+CobaltService::Builder::addModule(CobaltModule Module) {
+  for (const LabelDef &Def : Module.Labels)
+    Labels.push_back(Def);
+  for (PureAnalysis &A : Module.Analyses)
+    Analyses.push_back(std::move(A));
+  for (Optimization &O : Module.Optimizations)
+    Optimizations.push_back(std::move(O));
+  return *this;
+}
+
+std::shared_ptr<CobaltService> CobaltService::Builder::build() {
+  // make_shared cannot reach the private ctor; the explicit new is fine
+  // for a build-once object.
+  return std::shared_ptr<CobaltService>(new CobaltService(
+      std::move(Cfg), std::move(Labels), std::move(Analyses),
+      std::move(Optimizations), ExternalTelem));
+}
+
+//===----------------------------------------------------------------------===//
+// Construction.
+//===----------------------------------------------------------------------===//
+
+CobaltService::CobaltService(CobaltConfig C, std::vector<LabelDef> Ls,
+                             std::vector<PureAnalysis> As,
+                             std::vector<Optimization> Os,
+                             support::Telemetry *ExternalTelemetry)
+    : Config(std::move(C)), Labels(std::move(Ls)), Analyses(std::move(As)),
+      Optimizations(std::move(Os)),
+      Pool(std::make_unique<support::ThreadPool>(Config.Jobs)),
+      Cache(std::make_shared<support::PersistentCache>()) {
+  // The master registry: every per-request checker references it, so it
+  // must carry all labels + declared analysis labels before requests run.
+  for (const LabelDef &Def : Labels)
+    ProtoPM.defineLabel(Def);
+  for (const PureAnalysis &A : Analyses)
+    ProtoPM.addAnalysis(A);
+  for (const Optimization &O : Optimizations)
+    ProtoPM.addOptimization(O);
+
+  // Two-tier verdict store: the hot tier is what makes a warm daemon
+  // fast; the disk tier is what makes a restarted one warm.
+  if (!Config.CacheDir.empty())
+    Cache->openTiered(Config.CacheDir, "verdict", /*Version=*/3);
+  else
+    Cache->openMemory();
+
+  if (ExternalTelemetry) {
+    Telem = ExternalTelemetry;
+  } else if (Config.Telemetry && support::telemetryCompiledIn()) {
+    OwnedTelem = std::make_unique<support::Telemetry>();
+    Telem = OwnedTelem.get();
+    preregisterHeadlineCounters(*Telem);
+  }
+
+  Proto = std::make_unique<checker::SoundnessChecker>(ProtoPM.registry(),
+                                                      Analyses);
+  Proto->setPolicy(Config.Prover);
+  Proto->setThreadPool(Pool.get());
+  Proto->setSharedCache(Cache);
+}
+
+CobaltService::~CobaltService() = default;
+
+//===----------------------------------------------------------------------===//
+// Parsing helpers.
+//===----------------------------------------------------------------------===//
+
+support::Expected<CobaltModule>
+CobaltService::parseModule(std::string_view Text) const {
+  DiagnosticEngine Diags;
+  if (std::optional<CobaltModule> M = parseCobalt(Text, Diags))
+    return std::move(*M);
+  return support::Error(ErrorKind::EK_ParseError, Diags.str());
+}
+
+support::Expected<ir::Program>
+CobaltService::parseProgram(std::string_view Text) const {
+  DiagnosticEngine Diags;
+  if (std::optional<ir::Program> P = ir::parseProgram(Text, Diags))
+    return std::move(*P);
+  return support::Error(ErrorKind::EK_ParseError, Diags.str());
+}
+
+//===----------------------------------------------------------------------===//
+// Checking.
+//===----------------------------------------------------------------------===//
+
+bool CobaltService::resolveTargets(const CheckRequest &Req,
+                                   std::vector<Target> &Out,
+                                   support::Error &Err) const {
+  auto Wanted = [&Req](const std::string &Name) {
+    if (Req.Only.empty())
+      return true;
+    for (const std::string &N : Req.Only)
+      if (N == Name)
+        return true;
+    return false;
+  };
+  std::set<std::string> Seen;
+  for (size_t I = 0; I < Analyses.size(); ++I)
+    if (Wanted(Analyses[I].Name)) {
+      Out.push_back({true, I, Proto->fingerprintAnalysis(Analyses[I])});
+      Seen.insert(Analyses[I].Name);
+    }
+  for (size_t I = 0; I < Optimizations.size(); ++I)
+    if (Wanted(Optimizations[I].Name)) {
+      Out.push_back(
+          {false, I, Proto->fingerprintOptimization(Optimizations[I])});
+      Seen.insert(Optimizations[I].Name);
+    }
+  for (const std::string &N : Req.Only)
+    if (!Seen.count(N)) {
+      Err = support::Error(ErrorKind::EK_Unavailable,
+                           "definition '" + N +
+                               "' is not registered with this service");
+      return false;
+    }
+  return true;
+}
+
+void CobaltService::configureChecker(checker::SoundnessChecker &Checker,
+                                     const CheckRequest &Req) const {
+  checker::ProverPolicy Policy = Config.Prover;
+  if (Req.BudgetMs >= 0)
+    Policy.BudgetMs = static_cast<uint64_t>(Req.BudgetMs);
+  Checker.setPolicy(Policy);
+  // Jobs == 1 means genuinely sequential on the calling thread; anything
+  // else shares the service pool (its width is fixed at build time).
+  Checker.setThreadPool(Req.Jobs == 1 ? nullptr : Pool.get());
+  Checker.setSharedCache(Cache);
+  Checker.setFaultKeySalt(Req.FaultKeySalt);
+}
+
+CheckResponse CobaltService::check(const CheckRequest &Req) {
+  support::TelemetryScope Scope(Telem);
+  support::metricAdd("service.requests");
+  support::metricAdd("service.requests.check");
+  support::TraceSpan Span("service", "check");
+
+  CheckResponse Resp;
+  std::vector<Target> Targets;
+  if (!resolveTargets(Req, Targets, Resp.Err)) {
+    Resp.Status = ResponseStatus::RS_Error;
+    support::metricAdd("service.requests.error");
+    return Resp;
+  }
+
+  // Partition into leaders (we prove) and waiters (someone else proved
+  // or is proving) and take the admission decision — atomically, so two
+  // racing requests cannot both believe they fit under the bound.
+  struct Leader {
+    size_t TargetIdx;
+    std::promise<ReportPtr> Promise;
+    unsigned Reserved = 0;
+  };
+  std::vector<Leader> Leaders;
+  std::vector<ReportFuture> Futures(Targets.size());
+  std::vector<bool> IsWaiter(Targets.size(), false);
+  {
+    std::lock_guard<std::mutex> Lock(ServiceMutex);
+    uint64_t Estimate = 0;
+    std::vector<size_t> LeaderIdx;
+    for (size_t I = 0; I < Targets.size(); ++I) {
+      auto It = Memo.find(Targets[I].Fingerprint);
+      if (It != Memo.end()) {
+        Futures[I] = It->second;
+        IsWaiter[I] = true;
+        continue;
+      }
+      LeaderIdx.push_back(I);
+      auto Known = KnownObligations.find(Targets[I].Fingerprint);
+      // 16 ≈ the obligation count of a mid-sized optimization; only the
+      // first proving of a fingerprint ever uses the default.
+      Estimate += Known != KnownObligations.end() ? Known->second : 16;
+    }
+    bool Idle = InFlightObligations == 0;
+    if (!LeaderIdx.empty() && Config.MaxInFlightObligations != 0 &&
+        !Idle &&
+        InFlightObligations + Estimate > Config.MaxInFlightObligations) {
+      // Turned away with no side effects: nothing was inserted into the
+      // memo, nothing reserved. (Idle services always admit, so one
+      // oversized suite cannot be starved forever.)
+      support::metricAdd("service.admission.rejected");
+      support::metricAdd("service.requests.retry");
+      Resp.Status = ResponseStatus::RS_Retry;
+      Resp.Err = support::Error(
+          ErrorKind::EK_Unavailable,
+          "admission control: " + std::to_string(InFlightObligations) +
+              " obligation(s) in flight, request estimated at " +
+              std::to_string(Estimate) + " would exceed the bound of " +
+              std::to_string(Config.MaxInFlightObligations));
+      return Resp;
+    }
+    for (size_t I : LeaderIdx) {
+      Leader L;
+      L.TargetIdx = I;
+      auto Known = KnownObligations.find(Targets[I].Fingerprint);
+      L.Reserved = Known != KnownObligations.end() ? Known->second : 16;
+      InFlightObligations += L.Reserved;
+      Futures[I] = L.Promise.get_future().share();
+      Memo.emplace(Targets[I].Fingerprint, Futures[I]);
+      Leaders.push_back(std::move(L));
+    }
+  }
+  support::metricAdd("service.dedup.leader", Leaders.size());
+  support::metricAdd("service.dedup.await",
+                     Targets.size() - Leaders.size());
+
+  // Prove the leader set on a fresh per-request checker. checkSuite fans
+  // every leader definition's obligations out at once, so the request
+  // keeps the old facade's maximal-overlap schedule.
+  if (!Leaders.empty()) {
+    std::vector<PureAnalysis> LeadAs;
+    std::vector<Optimization> LeadOs;
+    for (const Leader &L : Leaders) {
+      const Target &T = Targets[L.TargetIdx];
+      if (T.IsAnalysis)
+        LeadAs.push_back(Analyses[T.Index]);
+      else
+        LeadOs.push_back(Optimizations[T.Index]);
+    }
+
+    checker::SoundnessChecker Checker(ProtoPM.registry(), Analyses);
+    configureChecker(Checker, Req);
+
+    std::vector<checker::CheckReport> Reports;
+    try {
+      // Fork safety: a subprocess-isolation leader is about to fork
+      // prover workers; no other request may be inside Z3 in-process
+      // while that happens (and vice versa).
+      if (Config.Prover.Isolation ==
+          checker::WorkerIsolation::WI_Subprocess) {
+        std::unique_lock<std::shared_mutex> Iso(IsolationMutex);
+        Reports = Checker.checkSuite(LeadAs, LeadOs);
+      } else {
+        std::shared_lock<std::shared_mutex> Iso(IsolationMutex);
+        Reports = Checker.checkSuite(LeadAs, LeadOs);
+      }
+    } catch (...) {
+      // Fulfill every waiter with the exception, then unwind our own
+      // bookkeeping; later requests will re-prove (memo entries gone).
+      std::exception_ptr E = std::current_exception();
+      {
+        std::lock_guard<std::mutex> Lock(ServiceMutex);
+        for (Leader &L : Leaders) {
+          Memo.erase(Targets[L.TargetIdx].Fingerprint);
+          InFlightObligations -= L.Reserved;
+        }
+      }
+      for (Leader &L : Leaders)
+        L.Promise.set_exception(E);
+      std::rethrow_exception(E);
+    }
+
+    // checkSuite returns analyses first, then optimizations — the same
+    // order we built LeadAs/LeadOs in, which is Leaders order (Targets
+    // lists analyses before optimizations).
+    assert(Reports.size() == Leaders.size());
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      TotalCacheHits += Checker.cacheHits();
+    }
+    {
+      std::lock_guard<std::mutex> Lock(ServiceMutex);
+      for (size_t R = 0; R < Leaders.size(); ++R) {
+        const Target &T = Targets[Leaders[R].TargetIdx];
+        InFlightObligations -= Leaders[R].Reserved;
+        KnownObligations[T.Fingerprint] =
+            static_cast<unsigned>(Reports[R].Obligations.size());
+        // Unproven verdicts are transient (prover limits): current
+        // waiters still receive them, but the memo forgets, mirroring
+        // the verdict cache's never-cache-Unproven rule.
+        if (Reports[R].V == checker::CheckReport::Verdict::V_Unproven)
+          Memo.erase(T.Fingerprint);
+      }
+    }
+    for (size_t R = 0; R < Leaders.size(); ++R)
+      Leaders[R].Promise.set_value(
+          std::make_shared<const checker::CheckReport>(
+              std::move(Reports[R])));
+  }
+
+  // Collect every report in input order (leaders resolve instantly from
+  // their own futures; waiters block on their leader's).
+  Resp.Suite.Reports.reserve(Targets.size());
+  unsigned Served = 0;
+  for (size_t I = 0; I < Targets.size(); ++I) {
+    Resp.Suite.Reports.push_back(*Futures[I].get());
+    if (IsWaiter[I])
+      ++Served;
+  }
+  if (Served != 0) {
+    support::metricAdd("service.dedup.served", Served);
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    TotalCacheHits += Served;
+  }
+
+  // Suite assembly: counts, the §6 assumed-analysis gate, and the
+  // quarantined-obligation remarks — all pure functions of the reports,
+  // so every client of the same reports derives the same summary.
+  size_t AnalysisCount = 0;
+  for (const Target &T : Targets)
+    AnalysisCount += T.IsAnalysis ? 1 : 0;
+  for (size_t I = 0; I < Resp.Suite.Reports.size(); ++I) {
+    const checker::CheckReport &R = Resp.Suite.Reports[I];
+    if (R.V == checker::CheckReport::Verdict::V_Unsound)
+      ++Resp.Suite.Unsound;
+    else if (R.V == checker::CheckReport::Verdict::V_Unproven)
+      ++Resp.Suite.Unproven;
+    unsigned QuarantinedObs = 0;
+    for (const checker::ObligationResult &Ob : R.Obligations)
+      if (Ob.Err.Kind == ErrorKind::EK_WorkerCrash)
+        ++QuarantinedObs;
+    if (QuarantinedObs != 0) {
+      ++Resp.Suite.Quarantined;
+      support::Remark Rem;
+      Rem.K = support::Remark::Kind::RK_Missed;
+      Rem.Pass = R.Name;
+      Rem.Note = std::to_string(QuarantinedObs) +
+                 " obligation(s) quarantined after repeated prover-"
+                 "worker failures; verdict degraded to unproven";
+      Resp.Remarks.push_back(std::move(Rem));
+    }
+    if (I < AnalysisCount) {
+      if (R.Sound)
+        Resp.Suite.ProvenAnalyses.insert(R.Name);
+      continue;
+    }
+    // The optimization's guarantee is conditional on its assumed
+    // analyses being proven themselves (§6).
+    bool AnalysesOk = true;
+    for (const std::string &Dep : R.AssumedAnalyses)
+      AnalysesOk =
+          AnalysesOk && Resp.Suite.ProvenAnalyses.count(Dep) != 0;
+    if (R.Sound && AnalysesOk)
+      Resp.Suite.ProvenOptimizations.insert(R.Name);
+    else if (R.Sound)
+      Resp.Suite.Conditional.push_back(R.Name);
+  }
+  return Resp;
+}
+
+unsigned CobaltService::cacheHits() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  return TotalCacheHits;
+}
+
+int CobaltService::exitCodeFor(const SuiteResult &Suite,
+                               bool PipelineDegraded) {
+  // Precedence: a genuine counterexample always dominates; containment
+  // degradation outranks plain infra degradation (it names a *cause* —
+  // dying workers — where 3 only names a symptom).
+  if (Suite.Unsound > 0)
+    return 1;
+  bool Quarantined = Suite.containmentDegraded();
+  for (const checker::CheckReport &R : Suite.Reports)
+    for (const checker::ObligationResult &Ob : R.Obligations)
+      Quarantined |= Ob.Err.Kind == ErrorKind::EK_WorkerCrash;
+  if (Quarantined)
+    return 4;
+  if (Suite.Unproven > 0 || PipelineDegraded)
+    return 3;
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline.
+//===----------------------------------------------------------------------===//
+
+PipelineResponse CobaltService::run(PipelineRequest Req) {
+  support::TelemetryScope Scope(Telem);
+  support::metricAdd("service.requests");
+  support::metricAdd("service.requests.run");
+  support::TraceSpan Span("service", "pipeline");
+
+  // A fresh PassManager per request: quarantine state and failure
+  // counters are request-local, so one client's dying pass cannot poison
+  // another client's pipeline — and reports stay byte-deterministic
+  // because each request starts from the same registration state.
+  engine::PassManager PM;
+  PM.setTxPolicy(Config.Tx);
+  PM.setThreadPool(Req.Jobs == 1 ? nullptr : Pool.get());
+  for (const LabelDef &Def : Labels)
+    PM.defineLabel(Def);
+  for (const PureAnalysis &A : Analyses)
+    PM.addAnalysis(A);
+  for (const Optimization &O : Optimizations)
+    PM.addOptimization(O);
+
+  PipelineResponse Resp;
+  std::vector<engine::PassReport> Reports =
+      Req.SelectedOnly ? PM.runSelected(Req.PassNames, Req.Prog)
+                       : PM.run(Req.Prog);
+  Resp.Result.Reports = std::move(Reports);
+  for (const engine::PassReport &R : Resp.Result.Reports)
+    Resp.Result.Applied += R.AppliedCount;
+  Resp.Result.Degraded = PM.lastRunDegraded();
+  Resp.Prog = std::move(Req.Prog);
+  return Resp;
+}

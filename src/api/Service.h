@@ -1,0 +1,379 @@
+//===- Service.h - The shared CobaltService + request types ----*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request-oriented core of verification-as-a-service (DESIGN.md
+/// §13). The old `CobaltContext` was a one-shot, single-client object:
+/// `check`/`runPipeline` mutated shared checker and pass-manager state in
+/// place, so two concurrent callers would race. This header splits that
+/// facade along the immutable/mutable line:
+///
+///  * **CobaltService** — everything that is expensive and shareable,
+///    frozen at build() time: the registered definitions and label
+///    registry, the thread pool, the two-tier verdict cache, the
+///    telemetry session, and the obligation-dedup memo. One service, many
+///    concurrent callers; after build() nothing about it mutates except
+///    caches and counters (all internally synchronized).
+///
+///  * **CheckRequest / PipelineRequest** — cheap per-call value types.
+///    Each carries its *own* jobs / budget / fault-key overrides, so two
+///    callers of one service can run with different resource policies
+///    without trampling each other.
+///
+/// Responses are values too (`CheckResponse` / `PipelineResponse`), with
+/// a three-way status: Ok, Retry (admission control turned the request
+/// away — back off and resend), or Error.
+///
+/// ## Obligation dedup
+///
+/// Concurrent requests proving the same definition would otherwise each
+/// discharge its obligations. The service keys every definition by the
+/// checker's structural fingerprint and keeps a memo
+/// `fingerprint → shared_future<report>`: the first requester (the
+/// *leader*) proves, every concurrent or later requester awaits the
+/// shared future and receives the leader's report object verbatim —
+/// which is also what makes N clients' responses byte-identical.
+/// Definitive verdicts stay memoized for the service's lifetime;
+/// Unproven reports are handed to current waiters but evicted, so a
+/// later request re-proves them (mirroring the verdict cache's
+/// never-cache-Unproven rule).
+///
+/// ## Admission control
+///
+/// `CobaltConfig::MaxInFlightObligations` bounds the obligations being
+/// proven at once. A request whose leader set would push past the bound
+/// gets `RS_Retry` (never queued invisibly) — unless the service is
+/// idle, in which case it is always admitted so one oversized suite can
+/// still make progress.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_API_SERVICE_H
+#define COBALT_API_SERVICE_H
+
+#include "checker/Soundness.h"
+#include "core/CobaltParser.h"
+#include "engine/PassManager.h"
+#include "ir/Ast.h"
+#include "support/Expected.h"
+#include "support/Telemetry.h"
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cobalt {
+
+namespace support {
+class PersistentCache;
+class ThreadPool;
+} // namespace support
+
+namespace api {
+
+/// Everything a service owns, fixed at build time.
+struct CobaltConfig {
+  checker::ProverPolicy Prover; ///< Obligation resource policy.
+  engine::TxPolicy Tx;          ///< Transactional pass policy.
+  /// Thread-pool width shared by the checker (obligations) and the pass
+  /// manager (procedures). 1 = sequential (no worker threads at all);
+  /// 0 = one worker per hardware thread. Results are bit-identical for
+  /// every value.
+  unsigned Jobs = 1;
+  /// When nonempty, proved verdicts persist here across processes
+  /// (see support::PersistentCache). Unusable directories degrade to the
+  /// in-memory cache, they are never an error.
+  std::string CacheDir;
+  /// Collect metrics and trace spans for this service's operations (the
+  /// substrate behind cobaltc --trace-out/--metrics-out). Off by
+  /// default: with it off, instrumentation sites cost one relaxed atomic
+  /// load each. Ignored (always off) when the telemetry layer was
+  /// compiled out with -DCOBALT_TELEMETRY=OFF.
+  bool Telemetry = false;
+  /// Admission bound: maximum obligations in flight across all requests
+  /// (0 = unlimited). A check request that would exceed it receives
+  /// RS_Retry instead of queueing, except when the service is idle.
+  unsigned MaxInFlightObligations = 0;
+};
+
+/// Outcome of proving a set of registered definitions.
+struct SuiteResult {
+  std::vector<checker::CheckReport> Reports; ///< Analyses, then opts.
+  unsigned Unsound = 0;  ///< Genuine counterexamples.
+  unsigned Unproven = 0; ///< Prover gave up (infra degradation).
+  /// Definitions with at least one obligation quarantined by worker
+  /// containment (EK_WorkerCrash): the prover subprocess kept dying and
+  /// the verdict degraded to unproven. A subset of Unproven; drives
+  /// cobaltc's distinct containment-degraded exit code.
+  unsigned Quarantined = 0;
+  std::set<std::string> ProvenAnalyses;
+  std::set<std::string> ProvenOptimizations;
+  /// Optimizations whose own obligations were proven but which assume an
+  /// analysis that was not — sound conditionally, treated as unproven.
+  std::vector<std::string> Conditional;
+
+  bool allSound() const { return Unsound == 0 && Unproven == 0; }
+  /// Worker containment (not mere prover limits) degraded some verdict.
+  bool containmentDegraded() const { return Quarantined != 0; }
+
+  /// The proven pass names in one list (for runPipeline's subset form).
+  std::vector<std::string> provenPassNames() const {
+    std::vector<std::string> Names(ProvenAnalyses.begin(),
+                                   ProvenAnalyses.end());
+    Names.insert(Names.end(), ProvenOptimizations.begin(),
+                 ProvenOptimizations.end());
+    return Names;
+  }
+};
+
+/// Outcome of one pipeline run over a program.
+struct PipelineResult {
+  std::vector<engine::PassReport> Reports; ///< (pass, procedure) order.
+  unsigned Applied = 0; ///< Total rewrites across all reports.
+  bool Degraded = false; ///< Any failure / rollback / quarantine skip.
+};
+
+/// Three-way request outcome. Retry is admission control speaking: the
+/// request was *not* processed (no partial effects) and should be
+/// resent after a backoff.
+enum class ResponseStatus {
+  RS_Ok,
+  RS_Retry,
+  RS_Error,
+};
+
+const char *responseStatusName(ResponseStatus S);
+
+/// One soundness-checking request. Cheap to construct per call; every
+/// field is an override of the service's defaults.
+struct CheckRequest {
+  /// Definition names to check; empty = every registered definition.
+  /// A name the service does not know yields RS_Error(EK_Unavailable).
+  std::vector<std::string> Only;
+  /// 0 = the service's pool width; 1 = sequential on the calling thread.
+  /// (The pool is sized at build time, so values > 1 select the pool,
+  /// not a new width.)
+  unsigned Jobs = 0;
+  /// Per-definition wall budget override in ms; -1 = service policy.
+  int64_t BudgetMs = -1;
+  /// Salt XOR'd into this request's obligation fault keys (see
+  /// SoundnessChecker::setFaultKeySalt). 0 = unsalted, reproducible.
+  uint64_t FaultKeySalt = 0;
+};
+
+struct CheckResponse {
+  ResponseStatus Status = ResponseStatus::RS_Ok;
+  SuiteResult Suite;
+  /// Remarks synthesized during suite assembly (quarantined-obligation
+  /// notices), in deterministic report order.
+  std::vector<support::Remark> Remarks;
+  support::Error Err; ///< Populated when Status == RS_Error.
+
+  bool ok() const { return Status == ResponseStatus::RS_Ok; }
+  bool retry() const { return Status == ResponseStatus::RS_Retry; }
+};
+
+/// One pipeline request. Owns its program: the service transforms a copy
+/// the caller moved in and moves it back out in the response, so two
+/// concurrent pipeline requests share nothing.
+struct PipelineRequest {
+  ir::Program Prog;
+  /// With SelectedOnly, run exactly the registered passes named here (in
+  /// registration order — pair with SuiteResult::provenPassNames());
+  /// otherwise run every registered pass and PassNames is ignored.
+  std::vector<std::string> PassNames;
+  bool SelectedOnly = false;
+  /// 0 = the service's pool width; 1 = sequential on the calling thread.
+  unsigned Jobs = 0;
+};
+
+struct PipelineResponse {
+  ResponseStatus Status = ResponseStatus::RS_Ok;
+  PipelineResult Result;
+  ir::Program Prog; ///< The transformed program (moved from the request).
+  support::Error Err;
+
+  bool ok() const { return Status == ResponseStatus::RS_Ok; }
+};
+
+/// The immutable, shareable half of the old facade. Build once (via
+/// Builder), then issue requests from any number of threads; per-request
+/// state (checkers, pass managers) is constructed fresh inside each call
+/// and the shared state (verdict cache, dedup memo, counters) is
+/// internally synchronized. `cobaltd` serves exactly this object over a
+/// socket; in-process embedders call it directly.
+class CobaltService {
+public:
+  class Builder;
+
+  ~CobaltService();
+  CobaltService(const CobaltService &) = delete;
+  CobaltService &operator=(const CobaltService &) = delete;
+
+  const CobaltConfig &config() const { return Config; }
+
+  /// \name Requests (thread-safe).
+  /// @{
+
+  /// Proves the requested definitions (analyses first, then
+  /// optimizations, in registration order), deduplicating in-flight
+  /// obligations against concurrent requests via the fingerprint memo.
+  CheckResponse check(const CheckRequest &Req);
+
+  /// Runs the registered pipeline over the request's program on a fresh
+  /// per-request PassManager (quarantine state is per-request: one
+  /// caller's failing pass never poisons another's pipeline).
+  PipelineResponse run(PipelineRequest Req);
+  /// @}
+
+  /// \name Parsing helpers (stateless; thread-safe).
+  /// @{
+  support::Expected<CobaltModule> parseModule(std::string_view Text) const;
+  support::Expected<ir::Program> parseProgram(std::string_view Text) const;
+  /// @}
+
+  /// \name Introspection.
+  /// @{
+  const LabelRegistry &registry() const { return ProtoPM.registry(); }
+  const std::vector<PureAnalysis> &analyses() const { return Analyses; }
+  const std::vector<Optimization> &optimizations() const {
+    return Optimizations;
+  }
+  size_t definitionCount() const {
+    return Analyses.size() + Optimizations.size();
+  }
+  support::ThreadPool &pool() { return *Pool; }
+  /// The service's two-tier verdict store (hot tier always on; disk tier
+  /// behind it when Config.CacheDir is set).
+  const std::shared_ptr<support::PersistentCache> &verdictCache() const {
+    return Cache;
+  }
+  /// Definitions served from any cache tier or from the dedup memo,
+  /// across the service's lifetime.
+  unsigned cacheHits() const;
+  /// The telemetry session (owned or adopted), or nullptr when off.
+  support::Telemetry *telemetry() { return Telem; }
+  /// The prototype checker (service defaults, shared cache attached).
+  /// Single-threaded compat access only — requests never touch it.
+  checker::SoundnessChecker &prover() { return *Proto; }
+  /// @}
+
+  /// Suite → CLI exit code, shared by cobaltc and cobaltd so the two
+  /// binaries cannot drift: 0 all sound, 1 rejected, 3 infrastructure
+  /// degraded, 4 containment degraded (rejection takes precedence over
+  /// containment over plain degradation).
+  static int exitCodeFor(const SuiteResult &Suite, bool PipelineDegraded);
+
+private:
+  friend class Builder;
+  CobaltService(CobaltConfig C, std::vector<LabelDef> Labels,
+                std::vector<PureAnalysis> As, std::vector<Optimization> Os,
+                support::Telemetry *ExternalTelemetry);
+
+  /// One definition to prove, resolved against the registered vectors.
+  struct Target {
+    bool IsAnalysis;
+    size_t Index; ///< Into Analyses or Optimizations.
+    uint64_t Fingerprint;
+  };
+  using ReportPtr = std::shared_ptr<const checker::CheckReport>;
+  using ReportFuture = std::shared_future<ReportPtr>;
+
+  bool resolveTargets(const CheckRequest &Req, std::vector<Target> &Out,
+                      support::Error &Err) const;
+  void configureChecker(checker::SoundnessChecker &C,
+                        const CheckRequest &Req) const;
+
+  CobaltConfig Config;
+  /// Registry + definition holder. The per-request pass managers and
+  /// checkers are built from these vectors; ProtoPM's registry is the
+  /// master the checkers reference (it outlives every request).
+  engine::PassManager ProtoPM;
+  std::vector<LabelDef> Labels;
+  std::vector<PureAnalysis> Analyses;
+  std::vector<Optimization> Optimizations;
+  std::unique_ptr<support::ThreadPool> Pool;
+  std::shared_ptr<support::PersistentCache> Cache;
+  std::unique_ptr<support::Telemetry> OwnedTelem;
+  support::Telemetry *Telem = nullptr; ///< Owned or adopted.
+  std::unique_ptr<checker::SoundnessChecker> Proto;
+
+  /// Guards the dedup memo, the admission ledger, and the obligation
+  /// count estimates — one lock because admission decisions must see a
+  /// consistent leader set.
+  mutable std::mutex ServiceMutex;
+  std::unordered_map<uint64_t, ReportFuture> Memo;
+  uint64_t InFlightObligations = 0;
+  /// Actual obligation counts from past provings (admission estimates).
+  std::unordered_map<uint64_t, unsigned> KnownObligations;
+
+  /// Fork-safety (DESIGN.md §12): a subprocess-isolation leader forks
+  /// prover workers, which must not happen while another thread is
+  /// inside Z3 in-process. In-process leaders hold this shared,
+  /// subprocess leaders exclusive.
+  std::shared_mutex IsolationMutex;
+
+  mutable std::mutex StatsMutex;
+  unsigned TotalCacheHits = 0;
+};
+
+/// Accumulates definitions + config, then freezes them into a service.
+/// The builder is single-threaded; the built service is not.
+class CobaltService::Builder {
+public:
+  Builder &config(CobaltConfig C) {
+    Cfg = std::move(C);
+    return *this;
+  }
+  Builder &defineLabel(const LabelDef &Def) {
+    Labels.push_back(Def);
+    return *this;
+  }
+  Builder &addAnalysis(PureAnalysis A) {
+    Analyses.push_back(std::move(A));
+    return *this;
+  }
+  Builder &addOptimization(Optimization O) {
+    Optimizations.push_back(std::move(O));
+    return *this;
+  }
+  /// Registers everything a parsed module defines (labels, analyses,
+  /// optimizations, in that order).
+  Builder &addModule(CobaltModule Module);
+  /// Adopt an external telemetry session (non-owning; must outlive the
+  /// service) instead of having the service create its own. Used by the
+  /// compat CobaltContext so metrics survive service rebuilds.
+  Builder &telemetry(support::Telemetry *T) {
+    ExternalTelem = T;
+    return *this;
+  }
+
+  /// Freezes everything into an immutable shared service.
+  std::shared_ptr<CobaltService> build();
+
+private:
+  CobaltConfig Cfg;
+  std::vector<LabelDef> Labels;
+  std::vector<PureAnalysis> Analyses;
+  std::vector<Optimization> Optimizations;
+  support::Telemetry *ExternalTelem = nullptr;
+};
+
+/// Pre-registers the headline counters at zero on \p T so every metrics
+/// dump carries the full schema — a check-only run still shows
+/// engine.rollbacks: 0 rather than omitting the key.
+void preregisterHeadlineCounters(support::Telemetry &T);
+
+} // namespace api
+} // namespace cobalt
+
+#endif // COBALT_API_SERVICE_H

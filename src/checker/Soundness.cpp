@@ -662,7 +662,8 @@ struct SoundnessChecker::PreparedCheck {
 
 SoundnessChecker::SoundnessChecker(const LabelRegistry &Registry,
                                    std::vector<PureAnalysis> Analyses)
-    : Registry(Registry), Analyses(std::move(Analyses)) {}
+    : Registry(Registry), Analyses(std::move(Analyses)),
+      Disk(std::make_shared<support::PersistentCache>()) {}
 
 uint64_t
 SoundnessChecker::fingerprintOptimization(const Optimization &O) const {
@@ -699,7 +700,13 @@ bool SoundnessChecker::setCacheDir(const std::string &Dir) {
   // v2: per-obligation rlimit spend.
   // v3: checksummed self-healing cache entries — pre-checksum entries
   //     would all be quarantined as corrupt, so orphan them instead.
-  return Disk.open(Dir, "verdict", /*Version=*/3);
+  return Disk->open(Dir, "verdict", /*Version=*/3);
+}
+
+void SoundnessChecker::setSharedCache(
+    std::shared_ptr<support::PersistentCache> Cache) {
+  Disk = Cache ? std::move(Cache)
+               : std::make_shared<support::PersistentCache>();
 }
 
 void SoundnessChecker::clearCache() {
@@ -718,8 +725,8 @@ bool SoundnessChecker::cacheLookup(uint64_t Key, CheckReport &Out) {
       return true;
     }
   }
-  if (Disk.enabled()) {
-    if (std::optional<std::string> Blob = Disk.load(Key)) {
+  if (Disk->enabled()) {
+    if (std::optional<std::string> Blob = Disk->load(Key)) {
       if (std::optional<CheckReport> R = deserializeCheckReport(*Blob)) {
         std::lock_guard<std::mutex> Lock(CacheMutex);
         Cache[Key] = *R;
@@ -744,8 +751,8 @@ void SoundnessChecker::cacheStore(uint64_t Key, const CheckReport &R) {
     std::lock_guard<std::mutex> Lock(CacheMutex);
     Cache[Key] = R;
   }
-  if (Disk.enabled())
-    Disk.store(Key, serializeCheckReport(R));
+  if (Disk->enabled())
+    Disk->store(Key, serializeCheckReport(R));
 }
 
 //===----------------------------------------------------------------------===//
@@ -814,6 +821,7 @@ SoundnessChecker::prepareOptimization(const Optimization &O) {
     T.Name = Name;
     T.FaultKey = PC.Key;
     hashStr(T.FaultKey, Name);
+    T.FaultKey ^= FaultKeySalt;
     T.Build = std::move(Build);
     PC.Tasks.push_back(std::move(T));
   };
@@ -1024,6 +1032,7 @@ SoundnessChecker::prepareAnalysis(const PureAnalysis &A) {
           T.Name = Name + "[" + Tag + "]";
           T.FaultKey = PC.Key;
           hashStr(T.FaultKey, T.Name);
+          T.FaultKey ^= FaultKeySalt;
           T.Build = [Build, TagStr](ObligationBuilder &B) {
             z3::expr St = makeStmtOfKind(B.Enc, TagStr);
             return Build(B, St);

@@ -51,6 +51,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -89,13 +90,6 @@ struct ObligationResult {
 
   bool proven() const { return St == Status::OS_Proven; }
   bool unknown() const { return St == Status::OS_Unknown; }
-
-  /// Pre-unification spelling of Err.Message (the old UnknownReason
-  /// field). Thin shim for out-of-tree callers; new code reads Err.
-  [[deprecated("use Err.Message")]] const std::string &
-  unknownReason() const {
-    return Err.Message;
-  }
 };
 
 /// Outcome of checking one optimization or analysis.
@@ -229,6 +223,19 @@ public:
   /// fingerprint, so stale verdicts are unreachable rather than deleted.
   bool setCacheDir(const std::string &Dir);
 
+  /// Points the checker at an externally owned verdict store (typically a
+  /// CobaltService's two-tier cache) instead of a private one: every
+  /// per-request checker sharing the store observes every other request's
+  /// verdicts. Passing nullptr reverts to a private, unopened cache.
+  void setSharedCache(std::shared_ptr<support::PersistentCache> Cache);
+
+  /// Salt XOR'd into every obligation's fault-injection key. Defaults to
+  /// 0 (keys depend only on the obligation's structural fingerprint —
+  /// reproducible across runs). A service can give each request a
+  /// distinct salt so injected faults land on *that* request's
+  /// obligations without perturbing its neighbours.
+  void setFaultKeySalt(uint64_t Salt) { FaultKeySalt = Salt; }
+
   /// Drops the in-memory verdict cache (the on-disk cache, if any, is
   /// left intact — it is invalidated by fingerprint, not by lifetime).
   void clearCache();
@@ -247,14 +254,18 @@ public:
 
   /// Cache observability (in-memory + persistent combined lookups).
   unsigned cacheHits() const { return CacheHits; }
-  const support::PersistentCache &diskCache() const { return Disk; }
+  const support::PersistentCache &diskCache() const { return *Disk; }
+
+  /// Structural fingerprints of definitions — the verdict-cache key and
+  /// the service's obligation-dedup key (two requests registering
+  /// structurally identical definitions collide here by design).
+  uint64_t fingerprintOptimization(const Optimization &O) const;
+  uint64_t fingerprintAnalysis(const PureAnalysis &A) const;
 
 private:
   struct ObligationTask; ///< One independent prover job (internal).
   struct PreparedCheck;  ///< One definition's tasks + report skeleton.
 
-  uint64_t fingerprintOptimization(const Optimization &O) const;
-  uint64_t fingerprintAnalysis(const PureAnalysis &A) const;
   bool cacheLookup(uint64_t Key, CheckReport &Out);
   void cacheStore(uint64_t Key, const CheckReport &R);
 
@@ -268,8 +279,11 @@ private:
   support::ThreadPool *Pool = nullptr;
   std::mutex CacheMutex; ///< Guards Cache + CacheHits.
   std::map<uint64_t, CheckReport> Cache;
-  support::PersistentCache Disk;
+  /// Never null: a private unopened cache by default, or the service's
+  /// shared store after setSharedCache().
+  std::shared_ptr<support::PersistentCache> Disk;
   unsigned CacheHits = 0;
+  uint64_t FaultKeySalt = 0;
 };
 
 /// Serialization of cached verdicts (exposed for the cache tests; the

@@ -63,15 +63,6 @@ struct PassReport {
   std::vector<support::Remark> Remarks;
 
   bool failed() const { return Err.failed(); }
-
-  /// Pre-unification spellings of the split Error/ErrorDetail fields.
-  /// Thin shims for out-of-tree callers; new code reads Err.
-  [[deprecated("use Err.Kind")]] support::ErrorKind errorKind() const {
-    return Err.Kind;
-  }
-  [[deprecated("use Err.Message")]] const std::string &errorDetail() const {
-    return Err.Message;
-  }
 };
 
 /// Fault-tolerance policy of the pass manager. With Transactional set

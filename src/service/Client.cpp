@@ -1,0 +1,88 @@
+//===- Client.cpp ---------------------------------------------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include "support/Subprocess.h"
+
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace cobalt;
+using namespace cobalt::service;
+using support::ErrorKind;
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (Fd != -1) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+support::Error Client::connect(const std::string &SocketPath) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path))
+    return support::Error(ErrorKind::EK_Unavailable,
+                          "socket path too long: " + SocketPath);
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (S < 0)
+    return support::Error(ErrorKind::EK_Unavailable, "socket() failed");
+  if (::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(S);
+    return support::Error(ErrorKind::EK_Unavailable,
+                          "cannot connect to cobaltd at '" + SocketPath +
+                              "' (is the daemon running?)");
+  }
+  Fd = S;
+  return {};
+}
+
+support::Expected<std::string> Client::request(const std::string &Payload,
+                                               int64_t DeadlineMs) {
+  std::vector<std::string> One{Payload};
+  support::Expected<std::vector<std::string>> R =
+      requestMany(One, DeadlineMs);
+  if (!R)
+    return R.error();
+  return std::move((*R)[0]);
+}
+
+support::Expected<std::vector<std::string>>
+Client::requestMany(const std::vector<std::string> &Payloads,
+                    int64_t DeadlineMs) {
+  if (Fd == -1)
+    return support::Error(ErrorKind::EK_Unavailable, "not connected");
+  for (const std::string &P : Payloads)
+    if (!support::Subprocess::writeFrame(Fd, P)) {
+      close();
+      return support::Error(ErrorKind::EK_Unavailable,
+                            "connection lost while sending request");
+    }
+  std::vector<std::string> Responses;
+  Responses.reserve(Payloads.size());
+  for (size_t I = 0; I < Payloads.size(); ++I) {
+    std::string Out;
+    support::IoStatus St =
+        support::Subprocess::readFrameDeadline(Fd, Out, DeadlineMs);
+    if (St != support::IoStatus::IO_Ok) {
+      close();
+      return support::Error(
+          ErrorKind::EK_Unavailable,
+          St == support::IoStatus::IO_Timeout
+              ? "cobaltd did not answer within the deadline"
+              : "connection lost while awaiting response");
+    }
+    Responses.push_back(std::move(Out));
+  }
+  return Responses;
+}

@@ -1,0 +1,64 @@
+//===- Client.h - cobaltd client connection --------------------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the cobaltd protocol: connects to the daemon's
+/// AF_UNIX socket and exchanges length-prefixed JSON frames. Every
+/// failure — no daemon, connection refused, server wedged past the
+/// deadline, connection lost mid-request — surfaces as
+/// EK_Unavailable, which `cobaltc client` maps to its distinct
+/// "server unreachable" exit code (5): a transport failure is never a
+/// verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_SERVICE_CLIENT_H
+#define COBALT_SERVICE_CLIENT_H
+
+#include "support/Expected.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cobalt {
+namespace service {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to \p SocketPath. EK_Unavailable on any failure.
+  support::Error connect(const std::string &SocketPath);
+
+  /// Sends one request frame and reads one response frame.
+  /// \p DeadlineMs bounds the wait for the response (<= 0 = forever).
+  support::Expected<std::string> request(const std::string &Payload,
+                                         int64_t DeadlineMs = 0);
+
+  /// Pipelines a batch: writes every frame, then reads one response per
+  /// request (the server answers in order). \p DeadlineMs is the bound
+  /// for the *whole batch*. On failure, responses received so far are
+  /// lost — the transport is in an unknown state and the connection
+  /// should be dropped.
+  support::Expected<std::vector<std::string>>
+  requestMany(const std::vector<std::string> &Payloads,
+              int64_t DeadlineMs = 0);
+
+  bool connected() const { return Fd != -1; }
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+} // namespace service
+} // namespace cobalt
+
+#endif // COBALT_SERVICE_CLIENT_H

@@ -58,6 +58,13 @@ enum class ErrorKind {
   // code, not to the degraded exit code.
   EK_ParseError, ///< A .cob module or .il program failed to parse.
   EK_IoError,    ///< A file could not be read or written.
+
+  // Service-side failures (the cobaltd request path). A client maps
+  // EK_Unavailable from connect/request to its distinct "server
+  // unreachable" exit code (5), never to a verdict.
+  EK_Unavailable, ///< cobaltd unreachable, connection lost mid-request,
+                  ///< or a requested definition is not registered with
+                  ///< the service.
 };
 
 /// Stable short name, for reports and JSON.
@@ -83,6 +90,8 @@ inline const char *errorKindName(ErrorKind K) {
     return "parse_error";
   case ErrorKind::EK_IoError:
     return "io_error";
+  case ErrorKind::EK_Unavailable:
+    return "unavailable";
   }
   return "unknown";
 }
@@ -95,7 +104,8 @@ inline ErrorKind errorKindFromName(const std::string &Name) {
         ErrorKind::EK_ProverResourceOut, ErrorKind::EK_WorkerCrash,
         ErrorKind::EK_PassPanic,
         ErrorKind::EK_RewriteConflict, ErrorKind::EK_Quarantined,
-        ErrorKind::EK_ParseError, ErrorKind::EK_IoError})
+        ErrorKind::EK_ParseError, ErrorKind::EK_IoError,
+        ErrorKind::EK_Unavailable})
     if (Name == errorKindName(K))
       return K;
   return ErrorKind::EK_None;

@@ -116,8 +116,33 @@ bool PersistentCache::open(const std::string &Directory,
   Dir = Directory;
   Namespace = Ns;
   Version = Ver;
-  Hits = Misses = Stores = Corrupt = 0;
+  MemEnabled = false;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Map.clear();
+  }
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MemHits = MemMisses = DiskHits = DiskMisses = Stores = Corrupt = 0;
   return true;
+}
+
+bool PersistentCache::openTiered(const std::string &Directory,
+                                 const std::string &Ns, unsigned Ver) {
+  if (!open(Directory, Ns, Ver))
+    return false;
+  MemEnabled = true;
+  return true;
+}
+
+void PersistentCache::openMemory() {
+  Dir.clear();
+  MemEnabled = true;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Map.clear();
+  }
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MemHits = MemMisses = DiskHits = DiskMisses = Stores = Corrupt = 0;
 }
 
 std::string PersistentCache::entryPath(uint64_t Key) const {
@@ -147,6 +172,31 @@ void PersistentCache::quarantine(const std::string &Path,
 std::optional<std::string> PersistentCache::load(uint64_t Key) const {
   if (!enabled())
     return std::nullopt;
+
+  // Hot tier: one shard lock, no I/O, no checksum work. Its counters are
+  // deliberately distinct from the disk tier's — "the daemon is warm"
+  // and "the disk carried verdicts across runs" are different stories.
+  if (MemEnabled) {
+    Shard &S = shardFor(Key);
+    std::unique_lock<std::mutex> ShardLock(S.M);
+    auto It = S.Map.find(Key);
+    if (It != S.Map.end()) {
+      std::string Value = It->second;
+      ShardLock.unlock();
+      metricAdd("cache.mem.hits");
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++MemHits;
+      return Value;
+    }
+    ShardLock.unlock();
+    metricAdd("cache.mem.misses");
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++MemMisses;
+  }
+
+  if (!diskEnabled())
+    return std::nullopt;
+
   std::string Path = entryPath(Key);
   std::string Blob;
   {
@@ -154,7 +204,7 @@ std::optional<std::string> PersistentCache::load(uint64_t Key) const {
     if (!In) {
       metricAdd("cache.disk.misses");
       std::lock_guard<std::mutex> Lock(Mutex);
-      ++Misses;
+      ++DiskMisses;
       return std::nullopt;
     }
     std::ostringstream Out;
@@ -168,18 +218,38 @@ std::optional<std::string> PersistentCache::load(uint64_t Key) const {
     quarantine(Path, "load");
     metricAdd("cache.disk.misses");
     std::lock_guard<std::mutex> Lock(Mutex);
-    ++Misses;
+    ++DiskMisses;
     return std::nullopt;
+  }
+  // Promote to the hot tier: the next request for this key is a memory
+  // hit, whatever thread it arrives on.
+  if (MemEnabled) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> ShardLock(S.M);
+    S.Map[Key] = *Value;
   }
   metricAdd("cache.disk.hits");
   std::lock_guard<std::mutex> Lock(Mutex);
-  ++Hits;
+  ++DiskHits;
   return Value;
 }
 
 void PersistentCache::store(uint64_t Key, const std::string &Value) const {
   if (!enabled())
     return;
+
+  if (MemEnabled) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> ShardLock(S.M);
+    S.Map[Key] = Value;
+  }
+
+  if (!diskEnabled()) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stores;
+    return;
+  }
+
   // Write-then-rename: the entry appears atomically under its final
   // name. The temp name is unique per (pid, sequence) — concurrent
   // writers of the same key, in this process or another, each write
@@ -212,11 +282,30 @@ void PersistentCache::store(uint64_t Key, const std::string &Value) const {
 
 unsigned PersistentCache::hits() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Hits;
+  return MemHits + DiskHits;
 }
 unsigned PersistentCache::misses() const {
+  // A combined miss is a lookup no tier could serve: disk misses when a
+  // disk tier exists (every disk probe was preceded by a mem miss),
+  // otherwise the hot tier's misses.
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Misses;
+  return diskEnabled() ? DiskMisses : MemMisses;
+}
+unsigned PersistentCache::memHits() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return MemHits;
+}
+unsigned PersistentCache::memMisses() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return MemMisses;
+}
+unsigned PersistentCache::diskHits() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return DiskHits;
+}
+unsigned PersistentCache::diskMisses() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return DiskMisses;
 }
 unsigned PersistentCache::stores() const {
   std::lock_guard<std::mutex> Lock(Mutex);

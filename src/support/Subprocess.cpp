@@ -197,6 +197,30 @@ IoStatus Subprocess::readFrameBlocking(int SocketFd, std::string &Out) {
   return S;
 }
 
+IoStatus Subprocess::readFrameDeadline(int SocketFd, std::string &Out,
+                                       int64_t DeadlineMs) {
+  if (SocketFd < 0)
+    return IoStatus::IO_Error;
+  const int64_t Start = nowMs();
+  const int SliceMs = 20;
+  for (;;) {
+    if (DeadlineMs > 0 && nowMs() - Start >= DeadlineMs)
+      return IoStatus::IO_Timeout;
+    struct pollfd P = {SocketFd, POLLIN, 0};
+    int R = ::poll(&P, 1, SliceMs);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return IoStatus::IO_Error;
+    }
+    if (R == 0)
+      continue;
+    if (P.revents & POLLIN)
+      return readFrameBlocking(SocketFd, Out);
+    return IoStatus::IO_Eof;
+  }
+}
+
 IoStatus Subprocess::readFrame(std::string &Out, int64_t DeadlineMs,
                                long RssLimitBytes) {
   if (Fd < 0)

@@ -118,6 +118,12 @@ public:
   static bool writeFrame(int SocketFd, const std::string &Payload);
   /// Blocking read of one frame; IO_Eof on close / torn frame.
   static IoStatus readFrameBlocking(int SocketFd, std::string &Out);
+  /// Deadline read of one frame on an arbitrary socket (no child to
+  /// watch, so no rss budget): the client side of a cobaltd connection
+  /// uses this so a wedged server surfaces as IO_Timeout rather than a
+  /// hang. \p DeadlineMs <= 0 waits forever.
+  static IoStatus readFrameDeadline(int SocketFd, std::string &Out,
+                                    int64_t DeadlineMs);
   /// Deliberately torn frame: a header describing \p Payload followed by
   /// only the first half of its bytes (fault-injection support).
   static void writeTornFrame(int SocketFd, const std::string &Payload);

@@ -1,0 +1,163 @@
+//===- protocol_test.cpp - The cobaltd wire protocol ----------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JSON layer under the daemon: the minimal parser accepts what the
+/// request builders emit (round-trip), preserves uint64 fault salts
+/// exactly, decodes escapes, and rejects malformed documents with a
+/// reason instead of misparsing them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace cobalt;
+using namespace cobalt::service;
+
+namespace {
+
+TEST(Protocol, PingRoundTrip) {
+  std::optional<JsonValue> Doc = parseJson(makePingRequest());
+  ASSERT_TRUE(Doc.has_value());
+  const JsonValue *Cmd = Doc->find("cmd");
+  ASSERT_NE(Cmd, nullptr);
+  EXPECT_EQ(Cmd->asString(), "ping");
+}
+
+TEST(Protocol, CheckRequestRoundTrip) {
+  std::string Req = makeCheckRequest({"licm", "cse"}, /*Jobs=*/4,
+                                     /*BudgetMs=*/250, /*FaultSalt=*/7);
+  std::optional<JsonValue> Doc = parseJson(Req);
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->find("cmd")->asString(), "check");
+  EXPECT_EQ(Doc->stringList("only"),
+            (std::vector<std::string>{"licm", "cse"}));
+  EXPECT_EQ(Doc->find("jobs")->asI64(), 4);
+  EXPECT_EQ(Doc->find("budget_ms")->asI64(), 250);
+  EXPECT_EQ(Doc->find("fault_salt")->asU64(), 7u);
+}
+
+TEST(Protocol, CheckRequestOmitsDefaults) {
+  // Default-valued members are omitted so absent == default holds on
+  // both sides of the wire.
+  std::string Req = makeCheckRequest({});
+  std::optional<JsonValue> Doc = parseJson(Req);
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->find("only"), nullptr);
+  EXPECT_EQ(Doc->find("jobs"), nullptr);
+  EXPECT_EQ(Doc->find("budget_ms"), nullptr);
+  EXPECT_EQ(Doc->find("fault_salt"), nullptr);
+}
+
+TEST(Protocol, FullUint64SaltSurvives) {
+  // A double-based parser would round this; ours must not.
+  uint64_t Salt = 0xFFFFFFFFFFFFFFFFull;
+  std::optional<JsonValue> Doc =
+      parseJson(makeCheckRequest({}, 0, -1, Salt));
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->find("fault_salt")->asU64(), Salt);
+}
+
+TEST(Protocol, RunRequestRoundTrip) {
+  std::string Program = "proc main(n) {\n  return n;\n}\n";
+  std::optional<JsonValue> Doc =
+      parseJson(makeRunRequest(Program, {"const_prop"},
+                               /*SelectedOnly=*/true, /*Jobs=*/2));
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->find("cmd")->asString(), "run");
+  EXPECT_EQ(Doc->find("program")->asString(), Program);
+  EXPECT_EQ(Doc->stringList("selected"),
+            (std::vector<std::string>{"const_prop"}));
+  EXPECT_TRUE(Doc->find("selected_only")->asBool());
+  EXPECT_EQ(Doc->find("jobs")->asI64(), 2);
+}
+
+TEST(Protocol, StringEscapes) {
+  std::optional<JsonValue> Doc = parseJson(
+      R"({"s": "tab\there \"quoted\" back\\slash Aé"})");
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->find("s")->asString(),
+            "tab\there \"quoted\" back\\slash A\xc3\xa9");
+}
+
+TEST(Protocol, NestedStructure) {
+  std::optional<JsonValue> Doc = parseJson(
+      R"({"a": [1, {"b": [true, false, null]}], "c": {"d": -12}})");
+  ASSERT_TRUE(Doc.has_value());
+  const JsonValue *A = Doc->find("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->Items.size(), 2u);
+  EXPECT_EQ(A->Items[0].asI64(), 1);
+  const JsonValue *B = A->Items[1].find("b");
+  ASSERT_NE(B, nullptr);
+  ASSERT_EQ(B->Items.size(), 3u);
+  EXPECT_TRUE(B->Items[0].asBool());
+  EXPECT_FALSE(B->Items[1].asBool(true));
+  EXPECT_TRUE(B->Items[2].isNull());
+  EXPECT_EQ(Doc->find("c")->find("d")->asI64(), -12);
+}
+
+TEST(Protocol, TypedAccessorDefaults) {
+  std::optional<JsonValue> Doc =
+      parseJson(R"({"s": "text", "n": 3, "b": true})");
+  ASSERT_TRUE(Doc.has_value());
+  // Mistyped lookups fall back to the caller's default.
+  EXPECT_EQ(Doc->find("s")->asI64(42), 42);
+  EXPECT_EQ(Doc->find("n")->asString("dflt"), "dflt");
+  EXPECT_FALSE(Doc->find("n")->asBool(false));
+  // Negative numbers read as uint64 fall back too.
+  std::optional<JsonValue> Neg = parseJson(R"({"n": -5})");
+  ASSERT_TRUE(Neg.has_value());
+  EXPECT_EQ(Neg->find("n")->asU64(9), 9u);
+  // stringList skips non-string items rather than inventing entries.
+  std::optional<JsonValue> Mixed = parseJson(R"({"l": ["a", 1, "b"]})");
+  ASSERT_TRUE(Mixed.has_value());
+  EXPECT_EQ(Mixed->stringList("l"),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Protocol, MalformedInputsRejected) {
+  const char *Bad[] = {
+      "",
+      "{",
+      "[1, 2",
+      R"({"a": })",
+      R"({"a" 1})",
+      R"({'a': 1})",
+      R"({"a": 1} trailing)",
+      R"({"s": "\q"})",
+      R"({"s": "\u12"})",
+      "{\"s\": \"unterminated",
+      "tru",
+      "nul",
+      "--3",
+  };
+  for (const char *Text : Bad) {
+    std::string Err;
+    EXPECT_FALSE(parseJson(Text, &Err).has_value()) << Text;
+    EXPECT_FALSE(Err.empty()) << Text;
+  }
+}
+
+TEST(Protocol, DepthBombRejected) {
+  // A pathological frame must fail parsing, not smash the stack.
+  std::string Deep;
+  for (int I = 0; I < 500; ++I)
+    Deep += '[';
+  EXPECT_FALSE(parseJson(Deep).has_value());
+}
+
+TEST(Protocol, DuplicateKeysFirstWins) {
+  std::optional<JsonValue> Doc = parseJson(R"({"a": 1, "a": 2})");
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->find("a")->asI64(), 1);
+}
+
+} // namespace

@@ -12,8 +12,13 @@
 ///   cobaltc run   <module.cob> <program.il> N   check, then optimize and
 ///                                               run main(N) before/after
 ///   cobaltc stdlib                              print the bundled module
+///   cobaltc client <verb> [args]                talk to a running cobaltd
+///                                               (see below)
 ///
-/// Flags (accepted anywhere after the subcommand):
+/// Flags are parsed from the shared table in Flags.cpp — the same rows
+/// drive cobaltd and `cobaltc client`, so `--jobs`, `--cache-dir`,
+/// `--worker-*`, and `--degraded=` cannot drift between the tools. The
+/// highlights:
 ///
 ///   --jobs <n>              parallel obligation/procedure jobs
 ///                           (default 1 = sequential; results are
@@ -25,39 +30,51 @@
 ///   --prover-retries <n>    escalating retries before the full timeout
 ///   --prover-budget <ms>    total wall-clock budget per definition
 ///   --isolate-workers       discharge obligations in forked, watchdogged
-///                           prover subprocesses: a solver crash, hang, or
-///                           memory blowup degrades that obligation
-///                           instead of killing the run (DESIGN.md §12)
+///                           prover subprocesses (DESIGN.md §12)
 ///   --worker-wall <ms>      watchdog wall budget per obligation dispatch
-///                           (default derived from --prover-timeout)
-///   --worker-rss <mb>       watchdog rss-growth budget per obligation
-///                           dispatch (default off)
+///   --worker-rss <mb>       watchdog rss-growth budget per dispatch
 ///   --worker-restarts <n>   fresh workers tried per obligation before it
 ///                           is quarantined (default 2)
-///   --degraded=MODE         what to do with a quarantined obligation:
-///                           quarantine (default: report unproven) |
-///                           inprocess (retry without isolation)
+///   --degraded=MODE         quarantine (default) | inprocess
 ///   --fail-fast             stop checking at the first unproven
 ///                           definition (definitions run sequentially)
 ///   --keep-going            opt/run: apply the proven subset instead of
 ///                           refusing the whole module
 ///   --trace-out=FILE        write a Chrome trace_event JSON of the run
-///                           (load in chrome://tracing or Perfetto)
 ///   --metrics-out=FILE      write the metrics registry as JSON
-///   --remarks=LEVEL         print optimization remarks to stderr:
-///                           all | missed (missed + rolled-back) | none
+///   --remarks=LEVEL         all | missed | none (stderr)
 ///
-/// Exit codes separate the three fundamentally different outcomes:
+/// ## Client mode (DESIGN.md §13)
+///
+///   cobaltc client ping --socket S              daemon liveness + def count
+///   cobaltc client check --socket S [--only N]* prove via the daemon
+///   cobaltc client run <prog.il> --socket S [--only PASS]*
+///                                               optimize via the daemon
+///   cobaltc client stats --socket S             service counters
+///   cobaltc client shutdown --socket S          stop the daemon
+///
+/// Client mode always prints the daemon's JSON response verbatim — the
+/// daemon serializes with the same code as --report=json, and concurrent
+/// clients asking for the same suite receive byte-identical documents.
+/// `--deadline <ms>` bounds each response wait (default 30000). A
+/// "retry" response (admission control) is retried with backoff a few
+/// times before giving up with the degraded exit code.
+///
+/// Exit codes separate the fundamentally different outcomes:
 ///
 ///   0  all definitions proven sound (and, for opt/run, pipeline clean)
 ///   1  at least one definition REJECTED (genuine counterexample)
-///   2  usage / cannot read or parse inputs
+///   2  usage / cannot read or parse inputs (or the daemon rejected the
+///      request as malformed)
 ///   3  infrastructure degraded: no counterexample anywhere, but some
 ///      obligation timed out / came back unknown, or a pass was rolled
 ///      back or quarantined at run time
 ///   4  containment degraded: prover workers crashed/hung past their
 ///      restart budget and obligations were quarantined (still no
 ///      counterexample; rejection takes precedence)
+///   5  server unreachable (client mode only): cobaltd is not running at
+///      --socket, or the connection died / timed out mid-request. Never
+///      a verdict — retry against a live daemon.
 ///
 /// `opt`/`run` refuse to apply unproven optimizations — the
 /// extensible-compiler discipline of paper §1/§6. Under --keep-going the
@@ -71,14 +88,23 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Cobalt.h"
+#include "api/ReportJson.h"
 #include "ir/Interp.h"
 #include "ir/Printer.h"
 #include "opts/StdlibCobalt.h"
+#include "service/Client.h"
+#include "service/Protocol.h"
 #include "support/FaultInjection.h"
 
+#include "Flags.h"
+
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace cobalt;
@@ -94,7 +120,15 @@ enum ExitCode {
   /// Distinct from ExitDegraded so CI can tell "the prover gave up" from
   /// "the prover kept *dying*" without parsing reports.
   ExitContained = 4,
+  /// Client mode: cobaltd unreachable / connection lost. Distinct from
+  /// every verdict code so callers never mistake a transport failure for
+  /// a soundness outcome.
+  ExitUnreachable = 5,
 };
+
+constexpr unsigned LocalFlagSets =
+    cli::FS_Core | cli::FS_Prover | cli::FS_Driver | cli::FS_Telemetry;
+constexpr unsigned ClientFlagSets = cli::FS_Client;
 
 int usage() {
   std::fprintf(
@@ -102,153 +136,21 @@ int usage() {
       "usage: cobaltc check <module.cob> [flags]\n"
       "       cobaltc opt <module.cob> <program.il> [flags]\n"
       "       cobaltc run <module.cob> <program.il> [input] [flags]\n"
+      "       cobaltc client <ping|check|run|stats|shutdown> [args] "
+      "--socket <path>\n"
       "       cobaltc stdlib\n"
-      "flags: --jobs <n>  --cache-dir <dir>  --report=json\n"
-      "       --prover-timeout <ms>  --prover-retries <n>\n"
-      "       --prover-budget <ms>   --fail-fast  --keep-going\n"
-      "       --isolate-workers  --worker-wall <ms>  --worker-rss <mb>\n"
-      "       --worker-restarts <n>  --degraded=[quarantine|inprocess]\n"
-      "       --trace-out=FILE  --metrics-out=FILE\n"
-      "       --remarks=[all|missed|none]\n"
+      "%s"
+      "client flags:\n"
+      "%s"
       "exit:  0 all sound; 1 rejected definitions; 2 usage/input error;\n"
       "       3 infrastructure degraded (timeouts/rollbacks, no "
       "counterexample);\n"
       "       4 containment degraded (prover workers died, obligations "
-      "quarantined)\n");
+      "quarantined);\n"
+      "       5 server unreachable (client mode: no daemon at --socket)\n",
+      cli::flagUsage(LocalFlagSets).c_str(),
+      cli::flagUsage(ClientFlagSets).c_str());
   return ExitUsage;
-}
-
-struct DriverOptions {
-  api::CobaltConfig Config;
-  bool FailFast = false;
-  bool KeepGoing = false;
-  bool ReportJson = false;
-  std::string TraceOut;   ///< --trace-out=FILE (empty = no trace file).
-  std::string MetricsOut; ///< --metrics-out=FILE.
-  enum class RemarkLevel { RL_None, RL_Missed, RL_All };
-  RemarkLevel Remarks = RemarkLevel::RL_None;
-};
-
-/// Strips and parses the shared flags; leaves positional arguments in
-/// \p Positional. Returns false on a malformed flag.
-bool parseFlags(int Argc, char **Argv, DriverOptions &Opts,
-                std::vector<const char *> &Positional) {
-  Opts.Config.Prover.TimeoutMs = 8000;
-  for (int I = 1; I < Argc; ++I) {
-    const char *Arg = Argv[I];
-    auto TakesValue = [&](const char *Flag, unsigned long long &Out) {
-      if (std::strcmp(Arg, Flag) != 0)
-        return false;
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "cobaltc: %s requires a value\n", Flag);
-        Out = ~0ull;
-        return true;
-      }
-      Out = std::strtoull(Argv[++I], nullptr, 10);
-      return true;
-    };
-    auto ValueOf = [&](const char *Prefix) -> const char * {
-      size_t Len = std::strlen(Prefix);
-      return std::strncmp(Arg, Prefix, Len) == 0 ? Arg + Len : nullptr;
-    };
-    unsigned long long Value = 0;
-    if (TakesValue("--prover-timeout", Value)) {
-      if (Value == ~0ull || Value == 0)
-        return false;
-      Opts.Config.Prover.TimeoutMs = static_cast<unsigned>(Value);
-    } else if (TakesValue("--prover-retries", Value)) {
-      if (Value == ~0ull)
-        return false;
-      Opts.Config.Prover.Retries = static_cast<unsigned>(Value);
-    } else if (TakesValue("--prover-budget", Value)) {
-      if (Value == ~0ull)
-        return false;
-      Opts.Config.Prover.BudgetMs = Value;
-    } else if (TakesValue("--jobs", Value)) {
-      if (Value == ~0ull)
-        return false;
-      Opts.Config.Jobs = static_cast<unsigned>(Value);
-    } else if (std::strcmp(Arg, "--isolate-workers") == 0) {
-      Opts.Config.Prover.Isolation =
-          checker::WorkerIsolation::WI_Subprocess;
-    } else if (TakesValue("--worker-wall", Value)) {
-      if (Value == ~0ull || Value == 0)
-        return false;
-      Opts.Config.Prover.WorkerWallMs = static_cast<unsigned>(Value);
-    } else if (TakesValue("--worker-rss", Value)) {
-      if (Value == ~0ull || Value == 0)
-        return false;
-      Opts.Config.Prover.WorkerRssMb = static_cast<unsigned>(Value);
-    } else if (TakesValue("--worker-restarts", Value)) {
-      if (Value == ~0ull)
-        return false;
-      Opts.Config.Prover.WorkerRestarts = static_cast<unsigned>(Value);
-    } else if (const char *V = ValueOf("--degraded=")) {
-      if (std::strcmp(V, "quarantine") == 0)
-        Opts.Config.Prover.Degraded = checker::DegradedMode::DM_Quarantine;
-      else if (std::strcmp(V, "inprocess") == 0)
-        Opts.Config.Prover.Degraded = checker::DegradedMode::DM_InProcess;
-      else {
-        std::fprintf(
-            stderr,
-            "cobaltc: --degraded= takes quarantine or inprocess\n");
-        return false;
-      }
-    } else if (std::strcmp(Arg, "--cache-dir") == 0) {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "cobaltc: --cache-dir requires a value\n");
-        return false;
-      }
-      Opts.Config.CacheDir = Argv[++I];
-    } else if (std::strcmp(Arg, "--report=json") == 0) {
-      Opts.ReportJson = true;
-    } else if (const char *V = ValueOf("--trace-out=")) {
-      if (!*V) {
-        std::fprintf(stderr, "cobaltc: --trace-out= requires a file\n");
-        return false;
-      }
-      Opts.TraceOut = V;
-    } else if (const char *V = ValueOf("--metrics-out=")) {
-      if (!*V) {
-        std::fprintf(stderr, "cobaltc: --metrics-out= requires a file\n");
-        return false;
-      }
-      Opts.MetricsOut = V;
-    } else if (const char *V = ValueOf("--remarks=")) {
-      if (std::strcmp(V, "all") == 0)
-        Opts.Remarks = DriverOptions::RemarkLevel::RL_All;
-      else if (std::strcmp(V, "missed") == 0)
-        Opts.Remarks = DriverOptions::RemarkLevel::RL_Missed;
-      else if (std::strcmp(V, "none") == 0)
-        Opts.Remarks = DriverOptions::RemarkLevel::RL_None;
-      else {
-        std::fprintf(stderr,
-                     "cobaltc: --remarks= takes all, missed, or none\n");
-        return false;
-      }
-    } else if (std::strcmp(Arg, "--fail-fast") == 0) {
-      Opts.FailFast = true;
-    } else if (std::strcmp(Arg, "--keep-going") == 0) {
-      Opts.KeepGoing = true;
-    } else if (Arg[0] == '-' && Arg[1] == '-') {
-      std::fprintf(stderr, "cobaltc: unknown flag '%s'\n", Arg);
-      return false;
-    } else {
-      Positional.push_back(Arg);
-    }
-  }
-  if (!Opts.TraceOut.empty() || !Opts.MetricsOut.empty()) {
-    // Telemetry failures never change exit codes: a soundness tool's
-    // verdict must not depend on whether its instrumentation worked.
-    if (support::telemetryCompiledIn())
-      Opts.Config.Telemetry = true;
-    else
-      std::fprintf(stderr,
-                   "cobaltc: warning: this build has telemetry compiled "
-                   "out (-DCOBALT_TELEMETRY=OFF); --trace-out/"
-                   "--metrics-out will write empty documents\n");
-  }
-  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -257,10 +159,10 @@ bool parseFlags(int Argc, char **Argv, DriverOptions &Opts,
 
 /// Hooks the remark stream up to stderr at the requested level. Remarks
 /// flow regardless of --trace-out/--metrics-out: they are pipeline data.
-void attachRemarks(api::CobaltContext &Ctx, const DriverOptions &Opts) {
-  if (Opts.Remarks == DriverOptions::RemarkLevel::RL_None)
+void attachRemarks(api::CobaltContext &Ctx, const cli::CommonOptions &Opts) {
+  if (Opts.Remarks == cli::CommonOptions::RemarkLevel::RL_None)
     return;
-  bool All = Opts.Remarks == DriverOptions::RemarkLevel::RL_All;
+  bool All = Opts.Remarks == cli::CommonOptions::RemarkLevel::RL_All;
   Ctx.setRemarkCallback([All](const support::Remark &R) {
     if (!All && R.K == support::Remark::Kind::RK_Passed)
       return;
@@ -298,7 +200,7 @@ std::string indentJson(const std::string &Doc, const char *Pad) {
 /// summary: into \p JsonOut as a "telemetry" member when reporting JSON,
 /// as a table on stderr otherwise. Failures warn and are otherwise
 /// ignored — they never affect the exit code.
-void emitTelemetry(api::CobaltContext &Ctx, const DriverOptions &Opts,
+void emitTelemetry(api::CobaltContext &Ctx, const cli::CommonOptions &Opts,
                    std::string *JsonOut) {
   support::Telemetry *T = Ctx.telemetry();
   if (!T) {
@@ -336,8 +238,8 @@ void emitTelemetry(api::CobaltContext &Ctx, const DriverOptions &Opts,
       "  obligations  %llu (proven %llu, failed %llu, unknown %llu, "
       "retries %llu)\n"
       "  prover       %.2f s solver wall, rlimit %llu\n"
-      "  cache        %llu hits / %llu misses (disk: %llu hits, %llu "
-      "stores, %llu corrupt)\n"
+      "  cache        %llu hits / %llu misses (mem: %llu hits / %llu "
+      "misses; disk: %llu hits, %llu stores, %llu corrupt)\n"
       "  workers      %llu spawned, %llu restarted, %llu obligation(s) "
       "quarantined\n"
       "  engine       %llu rewrites, %llu rollbacks, %llu quarantine "
@@ -356,6 +258,8 @@ void emitTelemetry(api::CobaltContext &Ctx, const DriverOptions &Opts,
       static_cast<unsigned long long>(M.counter("checker.rlimit_spent")),
       static_cast<unsigned long long>(M.counter("checker.cache.hits")),
       static_cast<unsigned long long>(M.counter("checker.cache.misses")),
+      static_cast<unsigned long long>(M.counter("cache.mem.hits")),
+      static_cast<unsigned long long>(M.counter("cache.mem.misses")),
       static_cast<unsigned long long>(M.counter("cache.disk.hits")),
       static_cast<unsigned long long>(M.counter("cache.disk.stores")),
       static_cast<unsigned long long>(M.counter("cache.disk.corrupt")),
@@ -370,126 +274,6 @@ void emitTelemetry(api::CobaltContext &Ctx, const DriverOptions &Opts,
           M.counter("dataflow.fixpoint_iters")),
       static_cast<unsigned long long>(M.counter("dataflow.solves")),
       T->Trace.eventCount());
-}
-
-//===----------------------------------------------------------------------===//
-// JSON emission (--report=json).
-//===----------------------------------------------------------------------===//
-
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (unsigned char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (C < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += static_cast<char>(C);
-      }
-    }
-  }
-  return Out;
-}
-
-const char *verdictName(const checker::CheckReport &R) {
-  switch (R.V) {
-  case checker::CheckReport::Verdict::V_Sound:
-    return "sound";
-  case checker::CheckReport::Verdict::V_Unsound:
-    return "unsound";
-  case checker::CheckReport::Verdict::V_Unproven:
-    return "unproven";
-  }
-  return "unproven";
-}
-
-const char *statusName(const checker::ObligationResult &Ob) {
-  switch (Ob.St) {
-  case checker::ObligationResult::Status::OS_Proven:
-    return "proven";
-  case checker::ObligationResult::Status::OS_Failed:
-    return "failed";
-  case checker::ObligationResult::Status::OS_Unknown:
-    return "unknown";
-  }
-  return "unknown";
-}
-
-void emitDefinitionsJson(std::string &Out,
-                         const std::vector<checker::CheckReport> &Reports) {
-  Out += "  \"definitions\": [";
-  for (size_t I = 0; I < Reports.size(); ++I) {
-    const checker::CheckReport &R = Reports[I];
-    Out += I ? ",\n    {" : "\n    {";
-    Out += "\"name\": \"" + jsonEscape(R.Name) + "\"";
-    Out += ", \"verdict\": \"" + std::string(verdictName(R)) + "\"";
-    Out += ", \"cached\": ";
-    Out += R.CacheHit ? "true" : "false";
-    Out += ", \"degradation\": \"" +
-           std::string(support::errorKindName(R.Degradation)) + "\"";
-    Out += ", \"assumed_analyses\": [";
-    for (size_t J = 0; J < R.AssumedAnalyses.size(); ++J) {
-      if (J)
-        Out += ", ";
-      Out += "\"" + jsonEscape(R.AssumedAnalyses[J]) + "\"";
-    }
-    Out += "], \"obligations\": [";
-    for (size_t J = 0; J < R.Obligations.size(); ++J) {
-      const checker::ObligationResult &Ob = R.Obligations[J];
-      if (J)
-        Out += ", ";
-      Out += "{\"name\": \"" + jsonEscape(Ob.Name) + "\"";
-      Out += ", \"status\": \"" + std::string(statusName(Ob)) + "\"";
-      Out += ", \"error\": \"" + std::string(Ob.Err.kindName()) + "\"";
-      if (!Ob.Err.Message.empty())
-        Out += ", \"reason\": \"" + jsonEscape(Ob.Err.Message) + "\"";
-      if (!Ob.Counterexample.empty())
-        Out += ", \"counterexample\": \"" + jsonEscape(Ob.Counterexample) +
-               "\"";
-      Out += "}";
-    }
-    Out += "]}";
-  }
-  Out += "\n  ]";
-}
-
-void emitPipelineJson(std::string &Out,
-                      const std::vector<engine::PassReport> &Reports) {
-  Out += "  \"pipeline\": [";
-  for (size_t I = 0; I < Reports.size(); ++I) {
-    const engine::PassReport &R = Reports[I];
-    Out += I ? ",\n    {" : "\n    {";
-    Out += "\"pass\": \"" + jsonEscape(R.PassName) + "\"";
-    Out += ", \"proc\": \"" + jsonEscape(R.ProcName) + "\"";
-    Out += ", \"applied\": " + std::to_string(R.AppliedCount);
-    Out += ", \"error\": \"" + std::string(R.Err.kindName()) + "\"";
-    if (!R.Err.Message.empty())
-      Out += ", \"detail\": \"" + jsonEscape(R.Err.Message) + "\"";
-    Out += ", \"rolled_back\": ";
-    Out += R.RolledBack ? "true" : "false";
-    Out += ", \"quarantined\": ";
-    Out += R.Quarantined ? "true" : "false";
-    Out += "}";
-  }
-  Out += "\n  ]";
 }
 
 //===----------------------------------------------------------------------===//
@@ -523,7 +307,7 @@ void printReport(const checker::CheckReport &R) {
 /// so it can stop at the first unproven one.
 api::SuiteResult checkModule(api::CobaltContext &Ctx,
                              const CobaltModule &Module,
-                             const DriverOptions &Opts, bool Quiet) {
+                             const cli::CommonOptions &Opts, bool Quiet) {
   api::SuiteResult Summary;
   if (!Opts.FailFast) {
     Summary = Ctx.checkRegistered();
@@ -576,38 +360,18 @@ api::SuiteResult checkModule(api::CobaltContext &Ctx,
   return Summary;
 }
 
-/// True when any obligation anywhere was quarantined by worker
-/// containment. Scans the reports (instead of trusting
-/// SuiteResult::Quarantined alone) so the --fail-fast path, which builds
-/// its summary by hand, gets the same classification.
-bool anyQuarantined(const api::SuiteResult &Summary) {
-  if (Summary.containmentDegraded())
-    return true;
-  for (const checker::CheckReport &R : Summary.Reports)
-    for (const checker::ObligationResult &Ob : R.Obligations)
-      if (Ob.Err.Kind == support::ErrorKind::EK_WorkerCrash)
-        return true;
-  return false;
-}
-
+/// Shared with cobaltd via api::CobaltService::exitCodeFor so the two
+/// binaries classify identically (it also scans report obligations, so
+/// the --fail-fast path's hand-built summary is covered).
 int exitCodeFor(const api::SuiteResult &Summary, bool PipelineDegraded) {
-  // Precedence: a genuine counterexample always dominates; containment
-  // degradation outranks plain infra degradation (it names a *cause* —
-  // dying workers — where 3 only names a symptom).
-  if (Summary.Unsound > 0)
-    return ExitRejected;
-  if (anyQuarantined(Summary))
-    return ExitContained;
-  if (Summary.Unproven > 0 || PipelineDegraded)
-    return ExitDegraded;
-  return ExitAllSound;
+  return api::CobaltService::exitCodeFor(Summary, PipelineDegraded);
 }
 
 //===----------------------------------------------------------------------===//
 // Subcommands.
 //===----------------------------------------------------------------------===//
 
-int cmdCheck(const char *ModulePath, const DriverOptions &Opts) {
+int cmdCheck(const char *ModulePath, const cli::CommonOptions &Opts) {
   api::CobaltContext Ctx(Opts.Config);
   attachRemarks(Ctx, Opts);
   auto Module = Ctx.loadModuleFile(ModulePath);
@@ -629,7 +393,7 @@ int cmdCheck(const char *ModulePath, const DriverOptions &Opts) {
 
   if (Opts.ReportJson) {
     std::string Out = "{\n  \"command\": \"check\",\n";
-    emitDefinitionsJson(Out, Summary.Reports);
+    api::emitDefinitionsJson(Out, Summary.Reports);
     emitTelemetry(Ctx, Opts, &Out);
     Out += ",\n  \"exit\": " + std::to_string(Exit) + "\n}\n";
     std::fputs(Out.c_str(), stdout);
@@ -666,7 +430,7 @@ struct GatedPipeline {
 std::optional<GatedPipeline> gateAndOptimize(api::CobaltContext &Ctx,
                                              const char *ModulePath,
                                              const char *ProgramPath,
-                                             const DriverOptions &Opts,
+                                             const cli::CommonOptions &Opts,
                                              int &Exit) {
   auto Module = Ctx.loadModuleFile(ModulePath);
   if (!Module) {
@@ -735,7 +499,7 @@ std::optional<GatedPipeline> gateAndOptimize(api::CobaltContext &Ctx,
 }
 
 int cmdOpt(const char *ModulePath, const char *ProgramPath,
-           const DriverOptions &Opts) {
+           const cli::CommonOptions &Opts) {
   api::CobaltContext Ctx(Opts.Config);
   attachRemarks(Ctx, Opts);
   int Exit = ExitAllSound;
@@ -747,11 +511,11 @@ int cmdOpt(const char *ModulePath, const char *ProgramPath,
 
   if (Opts.ReportJson) {
     std::string Out = "{\n  \"command\": \"opt\",\n";
-    emitDefinitionsJson(Out, G->Summary.Reports);
+    api::emitDefinitionsJson(Out, G->Summary.Reports);
     Out += ",\n";
-    emitPipelineJson(Out, G->Pipeline.Reports);
+    api::emitPipelineJson(Out, G->Pipeline.Reports);
     Out += ",\n  \"optimized_il\": \"" +
-           jsonEscape(ir::toString(G->Prog)) + "\"";
+           api::jsonEscape(ir::toString(G->Prog)) + "\"";
     emitTelemetry(Ctx, Opts, &Out);
     Out += ",\n  \"exit\": " + std::to_string(Exit) + "\n}\n";
     std::fputs(Out.c_str(), stdout);
@@ -763,7 +527,7 @@ int cmdOpt(const char *ModulePath, const char *ProgramPath,
 }
 
 int cmdRun(const char *ModulePath, const char *ProgramPath,
-           const char *InputText, const DriverOptions &Opts) {
+           const char *InputText, const cli::CommonOptions &Opts) {
   api::CobaltContext Ctx(Opts.Config);
   attachRemarks(Ctx, Opts);
   int Exit = ExitAllSound;
@@ -787,12 +551,14 @@ int cmdRun(const char *ModulePath, const char *ProgramPath,
 
   if (Opts.ReportJson) {
     std::string Out = "{\n  \"command\": \"run\",\n";
-    emitDefinitionsJson(Out, G->Summary.Reports);
+    api::emitDefinitionsJson(Out, G->Summary.Reports);
     Out += ",\n";
-    emitPipelineJson(Out, G->Pipeline.Reports);
+    api::emitPipelineJson(Out, G->Pipeline.Reports);
     Out += ",\n  \"input\": " + std::to_string(Input);
-    Out += ",\n  \"original_result\": \"" + jsonEscape(RO.str()) + "\"";
-    Out += ",\n  \"optimized_result\": \"" + jsonEscape(RT.str()) + "\"";
+    Out += ",\n  \"original_result\": \"" + api::jsonEscape(RO.str()) +
+           "\"";
+    Out += ",\n  \"optimized_result\": \"" + api::jsonEscape(RT.str()) +
+           "\"";
     emitTelemetry(Ctx, Opts, &Out);
     Out += ",\n  \"exit\": " + std::to_string(Exit) + "\n}\n";
     std::fputs(Out.c_str(), stdout);
@@ -805,6 +571,103 @@ int cmdRun(const char *ModulePath, const char *ProgramPath,
               RT.str().c_str());
   emitTelemetry(Ctx, Opts, nullptr);
   return Exit;
+}
+
+//===----------------------------------------------------------------------===//
+// Client mode.
+//===----------------------------------------------------------------------===//
+
+/// Sends \p Request, retrying on "retry" responses (admission control)
+/// with linear backoff. Returns the final response payload, or an
+/// EK_Unavailable error on transport failure.
+support::Expected<std::string>
+clientExchange(service::Client &C, const std::string &Request,
+               int64_t DeadlineMs) {
+  for (unsigned Attempt = 0;; ++Attempt) {
+    support::Expected<std::string> R = C.request(Request, DeadlineMs);
+    if (!R)
+      return R;
+    if (Attempt < 5) {
+      std::optional<service::JsonValue> Doc = service::parseJson(*R);
+      if (Doc) {
+        const service::JsonValue *Status = Doc->find("status");
+        if (Status && Status->asString() == "retry") {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(50 * (Attempt + 1)));
+          continue;
+        }
+      }
+    }
+    return R;
+  }
+}
+
+/// The exit code a client response maps to: the server-computed "exit"
+/// member for ok responses, degraded for exhausted retries, usage for
+/// request errors. Transport failures never reach here (exit 5 happens
+/// at the call sites).
+int clientExit(const std::string &Response) {
+  std::optional<service::JsonValue> Doc = service::parseJson(Response);
+  if (!Doc)
+    return ExitUsage;
+  const service::JsonValue *Status = Doc->find("status");
+  std::string St = Status ? Status->asString() : std::string();
+  if (St == "retry")
+    return ExitDegraded;
+  if (St != "ok")
+    return ExitUsage;
+  if (const service::JsonValue *Exit = Doc->find("exit"))
+    return static_cast<int>(Exit->asI64(ExitAllSound));
+  return ExitAllSound;
+}
+
+int cmdClient(const std::vector<const char *> &Positional,
+              const cli::CommonOptions &Opts) {
+  if (Positional.size() < 2)
+    return usage();
+  const char *Verb = Positional[1];
+  if (Opts.SocketPath.empty()) {
+    std::fprintf(stderr, "cobaltc: client mode requires --socket\n");
+    return ExitUsage;
+  }
+
+  std::string Request;
+  if (std::strcmp(Verb, "ping") == 0 && Positional.size() == 2) {
+    Request = service::makePingRequest();
+  } else if (std::strcmp(Verb, "check") == 0 && Positional.size() == 2) {
+    Request = service::makeCheckRequest(Opts.Only);
+  } else if (std::strcmp(Verb, "run") == 0 && Positional.size() == 3) {
+    std::ifstream In(Positional[2]);
+    if (!In) {
+      std::fprintf(stderr, "cobaltc: cannot read '%s'\n", Positional[2]);
+      return ExitUsage;
+    }
+    std::ostringstream Text;
+    Text << In.rdbuf();
+    Request = service::makeRunRequest(Text.str(), Opts.Only,
+                                      /*SelectedOnly=*/!Opts.Only.empty());
+  } else if (std::strcmp(Verb, "stats") == 0 && Positional.size() == 2) {
+    Request = service::makeStatsRequest();
+  } else if (std::strcmp(Verb, "shutdown") == 0 &&
+             Positional.size() == 2) {
+    Request = service::makeShutdownRequest();
+  } else {
+    return usage();
+  }
+
+  service::Client C;
+  if (support::Error E = C.connect(Opts.SocketPath); E.failed()) {
+    std::fprintf(stderr, "cobaltc: %s\n", E.str().c_str());
+    return ExitUnreachable;
+  }
+  support::Expected<std::string> R =
+      clientExchange(C, Request, Opts.DeadlineMs);
+  if (!R) {
+    std::fprintf(stderr, "cobaltc: %s\n", R.error().str().c_str());
+    return ExitUnreachable;
+  }
+  std::printf("%s\n", R->c_str());
+  return clientExit(*R);
 }
 
 } // namespace
@@ -824,11 +687,18 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  DriverOptions Opts;
+  // Client mode parses the client flag set; everything else the local
+  // one. Both come from the same table.
+  bool ClientMode = std::strcmp(Argv[1], "client") == 0;
+  cli::CommonOptions Opts;
   std::vector<const char *> Positional;
-  if (!parseFlags(Argc, Argv, Opts, Positional))
+  if (!cli::parseFlags(Argc, Argv, "cobaltc",
+                       ClientMode ? ClientFlagSets : LocalFlagSets, Opts,
+                       Positional))
     return usage();
 
+  if (ClientMode)
+    return cmdClient(Positional, Opts);
   if (!Positional.empty() && std::strcmp(Positional[0], "check") == 0 &&
       Positional.size() == 2)
     return cmdCheck(Positional[1], Opts);
