@@ -16,7 +16,7 @@
 /// Simplify 2003); the comparable *shape* is that every pass is proven,
 /// with pointer-aware and backward/insertion patterns costing the most.
 ///
-/// ## Telemetry overhead (BENCH_observability.json)
+/// ## Telemetry overhead (BENCH_telemetry.json)
 ///
 /// A second experiment quantifies what DESIGN.md §9 promises: with
 /// tracing + metrics *enabled*, the full suite check costs < 3% extra
@@ -180,11 +180,14 @@ int main() {
       EnabledPct < 3.0 || (EnabledWall - BaselineWall) < 0.2;
   bool DisabledOk = DisabledPct < 1.0;
 
-  std::FILE *Json = std::fopen("BENCH_observability.json", "w");
+  // BENCH_telemetry.json: the in-process checker instrumentation price.
+  // (The *daemon* tracing price lives in BENCH_observability.json,
+  // owned by bench_observability under ctest -L benchgate.)
+  std::FILE *Json = std::fopen("BENCH_telemetry.json", "w");
   if (Json) {
     std::fprintf(
         Json,
-        "{\n  \"benchmark\": \"observability\",\n"
+        "{\n  \"benchmark\": \"telemetry\",\n"
         "  \"definitions\": %zu,\n  \"obligations\": %u,\n"
         "  \"baseline_wall_seconds\": %.3f,\n"
         "  \"enabled_wall_seconds\": %.3f,\n"
@@ -199,7 +202,7 @@ int main() {
         EnabledPct, EnabledSpans, DisabledSiteNs, DisabledPct,
         EnabledOk && DisabledOk ? "true" : "false");
     std::fclose(Json);
-    std::printf("wrote BENCH_observability.json\n");
+    std::printf("wrote BENCH_telemetry.json\n");
   }
 
   if (!EnabledOk)

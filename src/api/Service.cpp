@@ -42,6 +42,7 @@ void api::preregisterHeadlineCounters(support::Telemetry &T) {
       "service.requests.error",  "service.dedup.leader",
       "service.dedup.await",     "service.dedup.served",
       "service.admission.rejected",
+      "flight.events",
       "worker.spawns",           "worker.restarts",
       "worker.crashes",          "worker.kills_wall",
       "worker.kills_rss",        "worker.quarantined",
@@ -199,6 +200,12 @@ void CobaltService::configureChecker(checker::SoundnessChecker &Checker,
 
 CheckResponse CobaltService::check(const CheckRequest &Req) {
   support::TelemetryScope Scope(Telem);
+  // Every span below (and every worker span across the fork) carries the
+  // request's trace ID via the ambient TLS scope — established before
+  // the first span is born.
+  const uint64_t TraceId =
+      Req.TraceId ? Req.TraceId : support::mintTraceId();
+  support::TraceIdScope IdScope(TraceId);
   support::metricAdd("service.requests");
   support::metricAdd("service.requests.check");
   support::TraceSpan Span("service", "check");
@@ -231,6 +238,11 @@ CheckResponse CobaltService::check(const CheckRequest &Req) {
       if (It != Memo.end()) {
         Futures[I] = It->second;
         IsWaiter[I] = true;
+        // Still-proving fingerprint: record this request's trace ID so
+        // the leader's prove span links back to every joined request.
+        auto FIt = MemoFollowers.find(Targets[I].Fingerprint);
+        if (FIt != MemoFollowers.end())
+          FIt->second.push_back(TraceId);
         continue;
       }
       LeaderIdx.push_back(I);
@@ -248,6 +260,12 @@ CheckResponse CobaltService::check(const CheckRequest &Req) {
       // oversized suite cannot be starved forever.)
       support::metricAdd("service.admission.rejected");
       support::metricAdd("service.requests.retry");
+      support::flightNote("admission.reject",
+                          std::to_string(InFlightObligations) +
+                              " in flight + estimate " +
+                              std::to_string(Estimate) + " > bound " +
+                              std::to_string(
+                                  Config.MaxInFlightObligations));
       Resp.Status = ResponseStatus::RS_Retry;
       Resp.Err = support::Error(
           ErrorKind::EK_Unavailable,
@@ -265,12 +283,22 @@ CheckResponse CobaltService::check(const CheckRequest &Req) {
       InFlightObligations += L.Reserved;
       Futures[I] = L.Promise.get_future().share();
       Memo.emplace(Targets[I].Fingerprint, Futures[I]);
+      MemoFollowers.emplace(Targets[I].Fingerprint,
+                            std::vector<uint64_t>());
       Leaders.push_back(std::move(L));
     }
   }
   support::metricAdd("service.dedup.leader", Leaders.size());
   support::metricAdd("service.dedup.await",
                      Targets.size() - Leaders.size());
+  if (!Leaders.empty())
+    support::flightNote("dedup.leader",
+                        std::to_string(Leaders.size()) +
+                            " definition(s) to prove");
+  if (Targets.size() != Leaders.size())
+    support::flightNote("dedup.await",
+                        std::to_string(Targets.size() - Leaders.size()) +
+                            " definition(s) served from dedup memo");
 
   // Prove the leader set on a fresh per-request checker. checkSuite fans
   // every leader definition's obligations out at once, so the request
@@ -288,6 +316,13 @@ CheckResponse CobaltService::check(const CheckRequest &Req) {
 
     checker::SoundnessChecker Checker(ProtoPM.registry(), Analyses);
     configureChecker(Checker, Req);
+
+    // The leader's prove span. Once proving finishes, it is tagged with
+    // the trace IDs of every request that joined one of this leader's
+    // futures mid-flight — the cross-request join made visible.
+    support::TraceSpan Prove("service", "prove");
+    if (Prove.enabled())
+      Prove.arg("leaders", static_cast<uint64_t>(Leaders.size()));
 
     std::vector<checker::CheckReport> Reports;
     try {
@@ -310,6 +345,7 @@ CheckResponse CobaltService::check(const CheckRequest &Req) {
         std::lock_guard<std::mutex> Lock(ServiceMutex);
         for (Leader &L : Leaders) {
           Memo.erase(Targets[L.TargetIdx].Fingerprint);
+          MemoFollowers.erase(Targets[L.TargetIdx].Fingerprint);
           InFlightObligations -= L.Reserved;
         }
       }
@@ -326,6 +362,7 @@ CheckResponse CobaltService::check(const CheckRequest &Req) {
       std::lock_guard<std::mutex> Lock(StatsMutex);
       TotalCacheHits += Checker.cacheHits();
     }
+    std::vector<uint64_t> FollowerIds;
     {
       std::lock_guard<std::mutex> Lock(ServiceMutex);
       for (size_t R = 0; R < Leaders.size(); ++R) {
@@ -333,6 +370,12 @@ CheckResponse CobaltService::check(const CheckRequest &Req) {
         InFlightObligations -= Leaders[R].Reserved;
         KnownObligations[T.Fingerprint] =
             static_cast<unsigned>(Reports[R].Obligations.size());
+        auto FIt = MemoFollowers.find(T.Fingerprint);
+        if (FIt != MemoFollowers.end()) {
+          FollowerIds.insert(FollowerIds.end(), FIt->second.begin(),
+                             FIt->second.end());
+          MemoFollowers.erase(FIt);
+        }
         // Unproven verdicts are transient (prover limits): current
         // waiters still receive them, but the memo forgets, mirroring
         // the verdict cache's never-cache-Unproven rule.
@@ -340,6 +383,8 @@ CheckResponse CobaltService::check(const CheckRequest &Req) {
           Memo.erase(T.Fingerprint);
       }
     }
+    if (Prove.enabled() && !FollowerIds.empty())
+      Prove.linked(std::move(FollowerIds));
     for (size_t R = 0; R < Leaders.size(); ++R)
       Leaders[R].Promise.set_value(
           std::make_shared<const checker::CheckReport>(
@@ -435,6 +480,9 @@ int CobaltService::exitCodeFor(const SuiteResult &Suite,
 
 PipelineResponse CobaltService::run(PipelineRequest Req) {
   support::TelemetryScope Scope(Telem);
+  const uint64_t TraceId =
+      Req.TraceId ? Req.TraceId : support::mintTraceId();
+  support::TraceIdScope IdScope(TraceId);
   support::metricAdd("service.requests");
   support::metricAdd("service.requests.run");
   support::TraceSpan Span("service", "pipeline");

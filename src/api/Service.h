@@ -168,6 +168,11 @@ struct CheckRequest {
   /// Salt XOR'd into this request's obligation fault keys (see
   /// SoundnessChecker::setFaultKeySalt). 0 = unsalted, reproducible.
   uint64_t FaultKeySalt = 0;
+  /// Request trace ID (nonzero = caller-supplied, e.g. forwarded by the
+  /// daemon from the protocol frame); 0 = the service mints one. Every
+  /// span and flight event this request produces — including prover-
+  /// worker spans across the fork — carries it.
+  uint64_t TraceId = 0;
 };
 
 struct CheckResponse {
@@ -194,6 +199,8 @@ struct PipelineRequest {
   bool SelectedOnly = false;
   /// 0 = the service's pool width; 1 = sequential on the calling thread.
   unsigned Jobs = 0;
+  /// Request trace ID; 0 = the service mints one (see CheckRequest).
+  uint64_t TraceId = 0;
 };
 
 struct PipelineResponse {
@@ -312,6 +319,11 @@ private:
   /// consistent leader set.
   mutable std::mutex ServiceMutex;
   std::unordered_map<uint64_t, ReportFuture> Memo;
+  /// While a leader is proving a fingerprint, the trace IDs of every
+  /// request that attached to its future. Snapshot into the leader's
+  /// prove-span `linked` list when the proving finishes, then dropped —
+  /// post-completion memo hits are ordinary cache traffic, not joins.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> MemoFollowers;
   uint64_t InFlightObligations = 0;
   /// Actual obligation counts from past provings (admission estimates).
   std::unordered_map<uint64_t, unsigned> KnownObligations;

@@ -65,7 +65,10 @@ int ProverWorkerPool::childLoop(int SocketFd) {
     size_t Index = 0;
     uint64_t Key = 0;
     long long RemainingMs = -1;
-    In >> Index >> std::hex >> Key >> std::dec >> RemainingMs;
+    uint64_t TraceId = 0;
+    int TraceWanted = 0;
+    In >> Index >> std::hex >> Key >> std::dec >> RemainingMs >>
+        std::hex >> TraceId >> std::dec >> TraceWanted;
     if (!In)
       return 2; // malformed request: a parent bug, not a prover crash
 
@@ -94,9 +97,31 @@ int ProverWorkerPool::childLoop(int SocketFd) {
         std::this_thread::sleep_for(std::chrono::seconds(1));
     }
 
-    ObligationResult R =
-        Run(Index, static_cast<int64_t>(RemainingMs));
+    // Fresh telemetry session per request: the fork's copy-on-write view
+    // of the parent recorder is a dead end (its writes never travel
+    // back), so the child records into its own buffer and ships it in
+    // the response frame. The ambient trace ID stitches the child's
+    // spans to the request that dispatched them.
+    support::Telemetry ChildTelem;
+    ChildTelem.TraceEnabled = TraceWanted != 0;
+    support::TelemetryScope TelemScope(&ChildTelem);
+    support::TraceIdScope IdScope(TraceId);
+    // One thread per child: lane 0, in the child's own pid track.
+    support::TraceRecorder::setCurrentLane(0);
+    ObligationResult R;
+    {
+      support::TraceSpan Span("worker", "discharge");
+      R = Run(Index, static_cast<int64_t>(RemainingMs));
+      if (Span.enabled())
+        Span.arg("ob", R.Name);
+    }
     std::string Resp = serializeObligationResult(R);
+    if (TraceWanted) {
+      // Span buffer rides behind a sentinel line the obresult parser
+      // never emits; the parent splits before deserializing.
+      Resp += "spans 1\n";
+      Resp += ChildTelem.Trace.serializeEvents();
+    }
     if (support::faultFires(support::faults::WorkerPartialWrite)) {
       // A torn response: header promising more bytes than follow. The
       // parent must classify this as a crash, never surface the prefix.
@@ -125,6 +150,8 @@ ProverWorkerPool::WorkerPtr ProverWorkerPool::spawnOne() {
     ++S.Spawns;
   }
   support::metricAdd("worker.spawns");
+  support::flightNote("worker.spawn",
+                      "pid " + std::to_string(W->pid()));
   return W;
 }
 
@@ -218,10 +245,14 @@ void ProverWorkerPool::discard(WorkerPtr W) {
 ObligationResult ProverWorkerPool::run(size_t Index,
                                        const std::string &Name,
                                        uint64_t FaultKey,
-                                       int64_t RemainingMs) {
+                                       int64_t RemainingMs,
+                                       uint64_t TraceId) {
+  support::Telemetry *T = support::Telemetry::active();
+  const bool TraceWanted = T && T->TraceEnabled;
   std::ostringstream Req;
   Req << Index << " " << std::hex << FaultKey << std::dec << " "
-      << RemainingMs;
+      << RemainingMs << " " << std::hex << TraceId << std::dec << " "
+      << (TraceWanted ? 1 : 0);
   const std::string Frame = Req.str();
   const long RssLimit =
       C.RssMb ? static_cast<long>(C.RssMb) * (1l << 20) : 0;
@@ -242,6 +273,9 @@ ObligationResult ProverWorkerPool::run(size_t Index,
           std::chrono::duration<double, std::milli>(
               std::chrono::steady_clock::now() - AcquireStart)
               .count());
+      support::flightNote("worker.respawn",
+                          Name + " attempt " + std::to_string(Attempt),
+                          TraceId);
       std::lock_guard<std::mutex> Lock(M);
       ++S.Restarts;
     }
@@ -251,8 +285,20 @@ ObligationResult ProverWorkerPool::run(size_t Index,
                       ? W->readFrame(Resp, C.WallMs, RssLimit)
                       : IoStatus::IO_Error;
     if (St == IoStatus::IO_Ok) {
+      // The child's span buffer rides behind a sentinel line; split it
+      // off before handing the payload to the obresult parser.
+      std::string Spans;
+      static constexpr char Marker[] = "\nspans 1\n";
+      if (size_t Pos = Resp.find(Marker); Pos != std::string::npos) {
+        Spans = Resp.substr(Pos + sizeof(Marker) - 1);
+        Resp.resize(Pos + 1);
+      }
       if (std::optional<ObligationResult> R =
               deserializeObligationResult(Resp)) {
+        if (TraceWanted && !Spans.empty()) {
+          T->Trace.importSerialized(Spans, W->pid());
+          T->Trace.setProcessName(W->pid(), "prover-worker");
+        }
         release(std::move(W));
         return *R;
       }
@@ -285,6 +331,7 @@ ObligationResult ProverWorkerPool::run(size_t Index,
       break;
     }
     support::metricAdd(Metric);
+    support::flightNote("worker.kill", Name + ": " + LastWhy, TraceId);
     {
       std::lock_guard<std::mutex> Lock(M);
       if (St == IoStatus::IO_Timeout)
@@ -302,6 +349,8 @@ ObligationResult ProverWorkerPool::run(size_t Index,
   // Quarantine: this obligation has consumed its worker budget. Degrade
   // it to unproven — never cached, never fatal — and let the run finish.
   support::metricAdd("worker.quarantined");
+  support::flightNote("worker.quarantine", Name + ": " + LastWhy,
+                      TraceId);
   {
     std::lock_guard<std::mutex> Lock(M);
     ++S.Quarantined;

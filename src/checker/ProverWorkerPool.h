@@ -18,10 +18,14 @@
 ///    no parent thread can hold a Z3 (or other library) lock at fork
 ///    time.
 ///  * A **worker child** loops: read a request frame
-///    (`<job-index> <fault-key> <remaining-ms>`), open a fresh
-///    ScopedFaultKey for the job (so injected faults are per-obligation
-///    deterministic at every --jobs width and identical on retries),
-///    run the job closure, write the serialized ObligationResult back.
+///    (`<job-index> <fault-key> <remaining-ms> <trace-id> <trace?>`),
+///    open a fresh ScopedFaultKey for the job (so injected faults are
+///    per-obligation deterministic at every --jobs width and identical
+///    on retries), run the job closure under a fresh child telemetry
+///    session carrying the request's trace ID, and write the serialized
+///    ObligationResult back — followed, when tracing is on, by the
+///    child's span buffer, which the parent merges into the ambient
+///    recorder so one Chrome trace shows both sides of the fork.
 ///
 /// Supervision (the watchdog) lives in run(): every request carries a
 /// wall deadline and an rss budget enforced by Subprocess::readFrame.
@@ -99,11 +103,13 @@ public:
 
   /// Discharges job \p Index on a leased worker (thread-safe; blocks for
   /// a free worker). \p Name and \p FaultKey identify the obligation in
-  /// the request frame and in quarantine messages. Never throws and
-  /// always returns a result: on repeated worker death the result is
-  /// unknown(EK_WorkerCrash).
+  /// the request frame and in quarantine messages; \p TraceId is the
+  /// request's trace ID, carried into the child so worker spans join the
+  /// request's trace. Never throws and always returns a result: on
+  /// repeated worker death the result is unknown(EK_WorkerCrash).
   ObligationResult run(size_t Index, const std::string &Name,
-                       uint64_t FaultKey, int64_t RemainingMs);
+                       uint64_t FaultKey, int64_t RemainingMs,
+                       uint64_t TraceId = 0);
 
   Stats stats() const;
 

@@ -1106,6 +1106,10 @@ SoundnessChecker::runPrepared(std::vector<PreparedCheck> Checks) {
   support::TraceSpan SuiteSpan("checker", "checkSuite");
   if (SuiteSpan.enabled())
     SuiteSpan.arg("definitions", static_cast<uint64_t>(Checks.size()));
+  // Pool threads do not inherit this thread's trace-ID TLS, so capture
+  // the ambient request trace ID here and re-establish it inside every
+  // task body (and ship it across the worker fork).
+  const uint64_t SuiteTraceId = support::TraceRecorder::currentTraceId();
   // Flatten every definition's tasks into one job list so one slow
   // obligation does not serialize the definitions behind it.
   std::vector<std::pair<size_t, size_t>> Flat;
@@ -1182,6 +1186,7 @@ SoundnessChecker::runPrepared(std::vector<PreparedCheck> Checks) {
     auto [CI, TI] = Flat[Idx];
     PreparedCheck &PC = Checks[CI];
     ObligationTask &T = PC.Tasks[TI];
+    support::TraceIdScope IdScope(SuiteTraceId);
     support::TraceSpan Span("checker", "obligation");
     if (Span.enabled()) {
       Span.arg("def", PC.Report.Name);
@@ -1217,6 +1222,7 @@ SoundnessChecker::runPrepared(std::vector<PreparedCheck> Checks) {
     auto [CI, TI] = Flat[Idx];
     PreparedCheck &PC = Checks[CI];
     ObligationTask &T = PC.Tasks[TI];
+    support::TraceIdScope IdScope(SuiteTraceId);
     // Per-obligation span: one lane-local event per prover job, with
     // deterministic args only (verdict, attempts, rlimit — wall time
     // lives in the span duration, which equivalence tests ignore).
@@ -1234,7 +1240,7 @@ SoundnessChecker::runPrepared(std::vector<PreparedCheck> Checks) {
     // The worker child opens the fault scope (per request, so retried
     // obligations redraw the same decisions); the parent only
     // supervises.
-    T.Result = Workers->run(Idx, T.Name, T.FaultKey, Left);
+    T.Result = Workers->run(Idx, T.Name, T.FaultKey, Left, SuiteTraceId);
     if (T.Result.Err.Kind == ErrorKind::EK_WorkerCrash &&
         Policy.Degraded == DegradedMode::DM_InProcess) {
       // Opt-in last resort: answer beats isolation. Deferred past the

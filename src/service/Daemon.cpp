@@ -12,7 +12,9 @@
 #include "support/Subprocess.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <fstream>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -127,14 +129,50 @@ std::string Daemon::handleFrame(const std::string &Payload, bool &Shutdown) {
            "\"}";
   const JsonValue *Cmd = Req->find("cmd");
   std::string Name = Cmd ? Cmd->asString() : std::string();
+
+  // Trace context: a client-supplied trace_id is adopted verbatim; a
+  // frame without one gets a freshly minted ID. Either way every span
+  // and flight event this frame produces — daemon, service, and prover
+  // workers across the fork — carries the same 64-bit ID.
+  uint64_t TraceId = 0;
+  if (const JsonValue *V = Req->find("trace_id"))
+    TraceId = V->asU64();
+  if (TraceId == 0)
+    TraceId = support::mintTraceId();
+  support::TraceIdScope IdScope(TraceId);
+
+  // Per-request-type latency histograms (ms): the p50/p90/p99 the stats
+  // frame reports per command.
+  auto Start = std::chrono::steady_clock::now();
+  auto Observe = [&Start](const char *Metric) {
+    support::metricObserve(
+        Metric, std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count());
+  };
+
   if (Name == "ping")
     return handlePing();
-  if (Name == "check")
-    return handleCheck(*Req);
-  if (Name == "run")
-    return handleRun(*Req);
-  if (Name == "stats")
-    return handleStats();
+  if (Name == "check") {
+    support::TraceSpan Span("daemon", "check");
+    std::string Resp = handleCheck(*Req, TraceId);
+    Observe("service.latency.check");
+    return Resp;
+  }
+  if (Name == "run") {
+    support::TraceSpan Span("daemon", "run");
+    std::string Resp = handleRun(*Req, TraceId);
+    Observe("service.latency.run");
+    return Resp;
+  }
+  if (Name == "stats") {
+    support::TraceSpan Span("daemon", "stats");
+    std::string Resp = handleStats();
+    Observe("service.latency.stats");
+    return Resp;
+  }
+  if (Name == "dump")
+    return handleDump();
   if (Name == "shutdown") {
     Shutdown = true;
     return "{\"status\": \"ok\", \"stopping\": true}";
@@ -151,9 +189,10 @@ std::string Daemon::handlePing() {
          "}";
 }
 
-std::string Daemon::handleCheck(const JsonValue &Req) {
+std::string Daemon::handleCheck(const JsonValue &Req, uint64_t TraceId) {
   api::CheckRequest CR;
   CR.Only = Req.stringList("only");
+  CR.TraceId = TraceId;
   if (const JsonValue *V = Req.find("jobs"))
     CR.Jobs = static_cast<unsigned>(V->asU64());
   if (const JsonValue *V = Req.find("budget_ms"))
@@ -162,6 +201,11 @@ std::string Daemon::handleCheck(const JsonValue &Req) {
     CR.FaultKeySalt = V->asU64();
 
   api::CheckResponse R = Svc->check(CR);
+  // The black box earns its keep exactly here: containment degraded a
+  // verdict, so preserve the events that led up to it before they are
+  // overwritten by newer traffic.
+  if (R.Suite.Quarantined != 0)
+    dumpFlightRecorder("worker_quarantine");
   if (R.Status == api::ResponseStatus::RS_Retry)
     return "{\"status\": \"retry\", \"reason\": \"" +
            api::jsonEscape(R.Err.Message) + "\"}";
@@ -185,7 +229,7 @@ std::string Daemon::handleCheck(const JsonValue &Req) {
   return Out;
 }
 
-std::string Daemon::handleRun(const JsonValue &Req) {
+std::string Daemon::handleRun(const JsonValue &Req, uint64_t TraceId) {
   const JsonValue *Program = Req.find("program");
   if (!Program || Program->K != JsonValue::Kind::JK_String)
     return "{\"status\": \"error\", \"error\": \"parse_error\", "
@@ -198,6 +242,7 @@ std::string Daemon::handleRun(const JsonValue &Req) {
 
   api::PipelineRequest PR;
   PR.Prog = Prog.take();
+  PR.TraceId = TraceId;
   PR.PassNames = Req.stringList("selected");
   if (const JsonValue *V = Req.find("selected_only"))
     PR.SelectedOnly = V->asBool();
@@ -228,6 +273,26 @@ std::string Daemon::handleStats() {
   }
   Out += "}";
   return Out;
+}
+
+std::string Daemon::dumpFlightRecorder(const std::string &Reason) {
+  support::Telemetry *T = Svc->telemetry();
+  std::string Json = T ? T->Flight.json(Reason.c_str())
+                       : std::string("{\"flightEvents\": []}\n");
+  std::lock_guard<std::mutex> Lock(FlightMutex);
+  if (!FlightPath.empty()) {
+    std::ofstream Out(FlightPath, std::ios::trunc);
+    Out << Json;
+  }
+  return Json;
+}
+
+std::string Daemon::handleDump() {
+  std::string Flight = dumpFlightRecorder("dump_frame");
+  while (!Flight.empty() &&
+         (Flight.back() == '\n' || Flight.back() == ' '))
+    Flight.pop_back();
+  return "{\"status\": \"ok\", \"flight\": " + Flight + "}";
 }
 
 void Daemon::wait() {

@@ -73,6 +73,20 @@ public:
   const std::string &socketPath() const { return SocketPath; }
   bool running() const { return Running.load(std::memory_order_relaxed); }
 
+  /// Where flight-recorder dumps go (--flight-recorder=). Set before
+  /// start(); empty = dumps are returned over the wire but never hit
+  /// disk. The file is overwritten on every dump — the *latest* black
+  /// box is the one a post-mortem wants.
+  void setFlightRecorderPath(std::string Path) {
+    FlightPath = std::move(Path);
+  }
+
+  /// Snapshots the service's flight recorder: returns the black-box JSON
+  /// (tagged with \p Reason) and writes it to the configured path, if
+  /// any. Called on worker quarantine, an explicit "dump" frame, and by
+  /// cobaltd on SIGTERM / degraded exit. Thread-safe.
+  std::string dumpFlightRecorder(const std::string &Reason);
+
 private:
   void acceptLoop();
   void serveConnection(int Fd);
@@ -80,13 +94,16 @@ private:
   /// the frame was a shutdown command.
   std::string handleFrame(const std::string &Payload, bool &Shutdown);
 
-  std::string handleCheck(const JsonValue &Req);
-  std::string handleRun(const JsonValue &Req);
+  std::string handleCheck(const JsonValue &Req, uint64_t TraceId);
+  std::string handleRun(const JsonValue &Req, uint64_t TraceId);
   std::string handlePing();
   std::string handleStats();
+  std::string handleDump();
 
   std::shared_ptr<api::CobaltService> Svc;
   std::string SocketPath;
+  std::string FlightPath; ///< Flight-recorder dump file; empty = none.
+  std::mutex FlightMutex; ///< Serializes dump-file writes.
   int ListenFd = -1;
   std::atomic<bool> Stopping{false};
   std::atomic<bool> Running{false};

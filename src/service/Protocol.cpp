@@ -297,7 +297,7 @@ std::string service::makePingRequest() { return "{\"cmd\": \"ping\"}"; }
 
 std::string service::makeCheckRequest(const std::vector<std::string> &Only,
                                       unsigned Jobs, int64_t BudgetMs,
-                                      uint64_t FaultSalt) {
+                                      uint64_t FaultSalt, uint64_t TraceId) {
   std::string Out = "{\"cmd\": \"check\"";
   if (!Only.empty())
     appendStringArray(Out, "only", Only);
@@ -307,13 +307,16 @@ std::string service::makeCheckRequest(const std::vector<std::string> &Only,
     Out += ", \"budget_ms\": " + std::to_string(BudgetMs);
   if (FaultSalt != 0)
     Out += ", \"fault_salt\": " + std::to_string(FaultSalt);
+  if (TraceId != 0)
+    Out += ", \"trace_id\": " + std::to_string(TraceId);
   Out += "}";
   return Out;
 }
 
 std::string service::makeRunRequest(const std::string &ProgramText,
                                     const std::vector<std::string> &Selected,
-                                    bool SelectedOnly, unsigned Jobs) {
+                                    bool SelectedOnly, unsigned Jobs,
+                                    uint64_t TraceId) {
   std::string Out = "{\"cmd\": \"run\", \"program\": \"" +
                     api::jsonEscape(ProgramText) + "\"";
   if (SelectedOnly) {
@@ -322,11 +325,15 @@ std::string service::makeRunRequest(const std::string &ProgramText,
   }
   if (Jobs != 0)
     Out += ", \"jobs\": " + std::to_string(Jobs);
+  if (TraceId != 0)
+    Out += ", \"trace_id\": " + std::to_string(TraceId);
   Out += "}";
   return Out;
 }
 
 std::string service::makeStatsRequest() { return "{\"cmd\": \"stats\"}"; }
+
+std::string service::makeDumpRequest() { return "{\"cmd\": \"dump\"}"; }
 
 std::string service::makeShutdownRequest() {
   return "{\"cmd\": \"shutdown\"}";

@@ -12,11 +12,19 @@
 ///
 ///   {"cmd": "ping"}
 ///   {"cmd": "check", "only": ["licm"], "jobs": 0, "budget_ms": -1,
-///    "fault_salt": 0}
+///    "fault_salt": 0, "trace_id": 1234}
 ///   {"cmd": "run", "program": "<IL text>", "selected": ["licm"],
-///    "selected_only": true, "jobs": 0}
+///    "selected_only": true, "jobs": 0, "trace_id": 1234}
 ///   {"cmd": "stats"}
+///   {"cmd": "dump"}
 ///   {"cmd": "shutdown"}
+///
+/// "trace_id" is the client's 64-bit request trace ID (decimal; 0/absent
+/// = the daemon mints one). It tags every span and flight-recorder event
+/// the request produces, through the service and across the prover-
+/// worker fork. "dump" snapshots the daemon's flight recorder: the
+/// response carries the black-box JSON inline (and the daemon also
+/// writes it to --flight-recorder= when configured).
 ///
 /// Responses carry "status": "ok" | "retry" | "error" plus
 /// command-specific members ("definitions", "pipeline", "exit", ...),
@@ -99,11 +107,13 @@ std::optional<JsonValue> parseJson(std::string_view Text,
 std::string makePingRequest();
 std::string makeCheckRequest(const std::vector<std::string> &Only,
                              unsigned Jobs = 0, int64_t BudgetMs = -1,
-                             uint64_t FaultSalt = 0);
+                             uint64_t FaultSalt = 0, uint64_t TraceId = 0);
 std::string makeRunRequest(const std::string &ProgramText,
                            const std::vector<std::string> &Selected,
-                           bool SelectedOnly, unsigned Jobs = 0);
+                           bool SelectedOnly, unsigned Jobs = 0,
+                           uint64_t TraceId = 0);
 std::string makeStatsRequest();
+std::string makeDumpRequest();
 std::string makeShutdownRequest();
 /// @}
 

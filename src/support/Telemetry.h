@@ -26,6 +26,16 @@
 ///    are *not* gated by the telemetry compile switch, and their ordering
 ///    is the deterministic report order, not event arrival order.
 ///
+///  * **FlightRecorder** — an always-on ring of recent structured events
+///    (admissions, dedup leadership, worker lifecycle, quarantine): the
+///    black box the daemon dumps on failure for post-mortems.
+///
+/// Requests are stitched together by 64-bit **trace IDs** (mintTraceId),
+/// carried thread-locally (TraceIdScope), across the prover-worker fork
+/// boundary in request frames, and over the wire in protocol frames.
+/// Spans record the ambient ID in a dedicated TraceEvent field — never
+/// in args, which must stay identical across runs and --jobs widths.
+///
 /// ## The disabled fast path
 ///
 /// Telemetry is ambient: one process-wide `Telemetry *` installed by a
@@ -108,13 +118,41 @@ struct Remark {
   std::string str() const;
 };
 
-/// Aggregate statistics of one histogram metric.
+/// Aggregate statistics of one histogram metric. Beyond count/sum/min/
+/// max, samples land in fixed log-spaced buckets (HDR-histogram style:
+/// four sub-buckets per power of two, spanning 1 µs .. ~10⁶ s of
+/// whatever unit the caller observes), from which percentiles are
+/// estimated as the geometric midpoint of the covering bucket — a
+/// bounded ~19% relative error at any sample count, with no per-sample
+/// allocation.
 struct HistogramStats {
   uint64_t Count = 0;
   double Sum = 0.0;
   double Min = 0.0;
   double Max = 0.0;
+
+  static constexpr unsigned BucketCount = 160; ///< 40 octaves × 4.
+  static constexpr double BucketFloor = 1e-6;  ///< Lower bound of bucket 0.
+  std::array<uint32_t, BucketCount> Buckets{};
+
+  /// The bucket a sample falls into (clamped at both ends).
+  static unsigned bucketFor(double Value);
+  /// Geometric bounds of bucket \p Index: [lower(I), lower(I+1)).
+  static double bucketLower(unsigned Index);
+
+  /// Estimated value at quantile \p Q in (0, 1], clamped into
+  /// [Min, Max] so a single-sample histogram reports that sample.
+  double percentile(double Q) const;
+  double p50() const { return percentile(0.50); }
+  double p90() const { return percentile(0.90); }
+  double p99() const { return percentile(0.99); }
 };
+
+/// Mints a process-unique 64-bit request trace ID (never 0): a splitmix
+/// of a process-global counter, the pid, and the monotonic clock. Not
+/// gated by the telemetry compile switch — protocol frames carry trace
+/// IDs even when the local build records nothing.
+uint64_t mintTraceId();
 
 #if COBALT_TELEMETRY
 
@@ -136,7 +174,7 @@ public:
   /// Gauge variant keeping the maximum ever observed (high-water marks).
   void gaugeMax(std::string_view Name, int64_t Value);
 
-  /// Histogram: count/sum/min/max of observed samples.
+  /// Histogram: count/sum/min/max plus log-bucket percentiles.
   void observe(std::string_view Name, double Value);
 
   /// Point reads (0 / empty stats when the metric was never touched).
@@ -149,10 +187,11 @@ public:
 
   /// Byte-stable JSON dump:
   /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}` with
-  /// every section sorted by name and numbers in fixed formatting.
+  /// every section sorted by name and numbers in fixed formatting;
+  /// histogram objects carry count/sum/min/max and p50/p90/p99.
   /// Counter values are deterministic across `--jobs` widths (atomic
-  /// adds commute); histogram sums carry wall-clock noise and are for
-  /// humans, not golden files.
+  /// adds commute); histogram sums and percentiles carry wall-clock
+  /// noise and are for humans, not golden files.
   std::string json() const;
 
 private:
@@ -179,12 +218,19 @@ private:
 /// One completed span. Args are (key, value) string pairs recorded in
 /// insertion order; values must be deterministic (verdicts, counts) —
 /// wall time belongs in StartUs/DurUs, which span-set tests ignore.
+/// Request identity lives in the dedicated TraceId/Pid/Linked fields,
+/// NOT in Args: trace IDs are minted per request and pids per fork, so
+/// putting them in Args would break the --jobs span-set equivalence
+/// contract. The JSON emitter renders them as args for the viewer.
 struct TraceEvent {
   const char *Cat = "";    ///< Subsystem ("checker", "engine", ...).
   const char *Name = "";   ///< Span name (static; data goes in Args).
   unsigned Lane = 0;       ///< tid: 0 = driver, 1..N = pool workers.
   uint64_t StartUs = 0;    ///< Microseconds since recorder epoch.
   uint64_t DurUs = 0;
+  uint64_t TraceId = 0;    ///< Request trace ID (0 = unattributed).
+  int Pid = 0;             ///< Originating process; 0 = this process.
+  std::vector<uint64_t> Linked; ///< Follower trace IDs (dedup leaders).
   std::vector<std::pair<const char *, std::string>> Args;
 };
 
@@ -211,18 +257,115 @@ public:
 
   /// Chrome trace_event JSON: `{"traceEvents": [...]}` with one
   /// complete ("ph":"X") event per span plus thread_name metadata rows
-  /// naming the driver and worker lanes.
+  /// naming each lane and process_name rows naming each process.
+  /// Events whose Pid is 0 belong to this process and render as pid 1;
+  /// imported events keep their real pid, so a merged multi-process
+  /// trace shows one named track group per prover worker.
   std::string json() const;
+
+  /// This recorder's epoch in microseconds on the shared monotonic
+  /// clock. Serialized events carry absolute timestamps so a forked
+  /// child's spans re-base correctly into the parent's timeline.
+  uint64_t epochUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Epoch.time_since_epoch())
+            .count());
+  }
+
+  /// Line-oriented dump of every event with absolute (epoch-free)
+  /// timestamps — the cross-process shipping format for worker span
+  /// buffers. Inverse of importSerialized.
+  std::string serializeEvents() const;
+
+  /// Merges events serialized by another process's recorder, stamping
+  /// them with \p Pid and re-basing timestamps onto this epoch.
+  /// Malformed lines are dropped (worker frames are not trusted).
+  void importSerialized(std::string_view Text, int Pid);
+
+  /// Names a process for the merged trace's process_name metadata row
+  /// (pid 0/1 = this process, defaults to "cobalt").
+  void setProcessName(int Pid, std::string Name);
 
   /// The calling thread's lane id (thread-local; 0 unless a ThreadPool
   /// worker tagged the thread via setCurrentLane).
   static unsigned currentLane();
   static void setCurrentLane(unsigned Lane);
 
+  /// The calling thread's ambient request trace ID (thread-local; 0 =
+  /// no request in scope). Spans capture it at construction. Install
+  /// via TraceIdScope rather than calling setCurrentTraceId directly.
+  static uint64_t currentTraceId();
+  static void setCurrentTraceId(uint64_t Id);
+
 private:
   std::chrono::steady_clock::time_point Epoch;
   mutable std::mutex M;
   std::vector<TraceEvent> Events;
+  std::map<int, std::string> ProcessNames;
+};
+
+/// RAII installer of the calling thread's ambient trace ID. The scope
+/// restores the previous ID, so nested requests (a pipeline that checks)
+/// attribute inner spans to the innermost request.
+class TraceIdScope {
+public:
+  explicit TraceIdScope(uint64_t Id)
+      : Prev(TraceRecorder::currentTraceId()) {
+    TraceRecorder::setCurrentTraceId(Id);
+  }
+  ~TraceIdScope() { TraceRecorder::setCurrentTraceId(Prev); }
+  TraceIdScope(const TraceIdScope &) = delete;
+  TraceIdScope &operator=(const TraceIdScope &) = delete;
+
+private:
+  uint64_t Prev;
+};
+
+//===----------------------------------------------------------------------===//
+// FlightRecorder: the always-on black box.
+//===----------------------------------------------------------------------===//
+
+/// One structured flight-recorder event (admission decision, dedup
+/// leadership, worker lifecycle, cache corruption, quarantine).
+struct FlightEvent {
+  uint64_t Seq = 0;     ///< Monotonic; survives ring wrap for ordering.
+  uint64_t WhenUs = 0;  ///< Microseconds since recorder construction.
+  uint64_t TraceId = 0; ///< Attributed request, when known.
+  const char *Kind = ""; ///< Static event kind ("worker.quarantine"...).
+  std::string Detail;    ///< Small human payload (obligation name, why).
+};
+
+/// A fixed-capacity ring of recent FlightEvents. Always on: recording
+/// is one short mutex hold over a preallocated slot (no allocation
+/// beyond the detail string the caller already built), cheap enough to
+/// leave enabled in production. The daemon dumps the ring to JSON on
+/// quarantine, degraded exit, SIGTERM, or an explicit `dump` frame —
+/// the post-mortem record of what led up to the failure.
+class FlightRecorder {
+public:
+  explicit FlightRecorder(size_t Capacity = 1024);
+
+  /// Re-sizes the ring, dropping recorded events (call at startup).
+  void setCapacity(size_t Capacity);
+  size_t capacity() const;
+
+  /// Records one event. A zero \p TraceId is filled from the calling
+  /// thread's ambient trace ID.
+  void note(const char *Kind, std::string Detail, uint64_t TraceId = 0);
+
+  /// Surviving events, oldest first.
+  std::vector<FlightEvent> snapshot() const;
+
+  /// `{"reason": ..., "dropped": N, "flightEvents": [...]}` — oldest
+  /// first; `dropped` counts events the ring has already overwritten.
+  std::string json(const char *Reason = nullptr) const;
+
+private:
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex M;
+  std::vector<FlightEvent> Ring; ///< Slot = Seq % Ring.size().
+  uint64_t Next = 0;             ///< Events ever recorded.
 };
 
 //===----------------------------------------------------------------------===//
@@ -238,6 +381,7 @@ class Telemetry {
 public:
   MetricsRegistry Metrics;
   TraceRecorder Trace;
+  FlightRecorder Flight;
   /// Span recording can be switched off independently (metrics-only
   /// sessions skip the span bookkeeping entirely).
   bool TraceEnabled = true;
@@ -293,6 +437,7 @@ public:
       E.Cat = Cat;
       E.Name = Name;
       E.Lane = TraceRecorder::currentLane();
+      E.TraceId = TraceRecorder::currentTraceId();
       E.StartUs = Rec->nowUs();
     }
   }
@@ -317,6 +462,14 @@ public:
   void arg(const char *Key, uint64_t Value) {
     if (Rec)
       E.Args.emplace_back(Key, std::to_string(Value));
+  }
+
+  /// Tags this span with follower trace IDs (the dedup leader records
+  /// everyone it proved for). A dedicated field, not an arg: follower
+  /// sets vary run to run, and args must stay jobs-invariant.
+  void linked(std::vector<uint64_t> Ids) {
+    if (Rec)
+      E.Linked = std::move(Ids);
   }
 
 private:
@@ -344,6 +497,15 @@ inline void metricGaugeMax(std::string_view Name, int64_t Value) {
   if (Telemetry *T = Telemetry::active())
     T->Metrics.gaugeMax(Name, Value);
 }
+/// Flight-recorder note against the ambient session; a zero trace ID
+/// is filled from the calling thread's ambient request ID.
+inline void flightNote(const char *Kind, std::string Detail,
+                       uint64_t TraceId = 0) {
+  if (Telemetry *T = Telemetry::active()) {
+    T->Flight.note(Kind, std::move(Detail), TraceId);
+    T->Metrics.add("flight.events");
+  }
+}
 
 #else // !COBALT_TELEMETRY — the layer compiles down to nothing.
 
@@ -370,6 +532,9 @@ struct TraceEvent {
   unsigned Lane = 0;
   uint64_t StartUs = 0;
   uint64_t DurUs = 0;
+  uint64_t TraceId = 0;
+  int Pid = 0;
+  std::vector<uint64_t> Linked;
   std::vector<std::pair<const char *, std::string>> Args;
 };
 
@@ -380,14 +545,48 @@ public:
   std::vector<TraceEvent> snapshot() const { return {}; }
   size_t eventCount() const { return 0; }
   std::string json() const { return "{\"traceEvents\": []}\n"; }
+  uint64_t epochUs() const { return 0; }
+  std::string serializeEvents() const { return {}; }
+  void importSerialized(std::string_view, int) {}
+  void setProcessName(int, std::string) {}
   static unsigned currentLane() { return 0; }
   static void setCurrentLane(unsigned) {}
+  static uint64_t currentTraceId() { return 0; }
+  static void setCurrentTraceId(uint64_t) {}
+};
+
+class TraceIdScope {
+public:
+  explicit TraceIdScope(uint64_t) {}
+  TraceIdScope(const TraceIdScope &) = delete;
+  TraceIdScope &operator=(const TraceIdScope &) = delete;
+};
+
+struct FlightEvent {
+  uint64_t Seq = 0;
+  uint64_t WhenUs = 0;
+  uint64_t TraceId = 0;
+  const char *Kind = "";
+  std::string Detail;
+};
+
+class FlightRecorder {
+public:
+  explicit FlightRecorder(size_t = 1024) {}
+  void setCapacity(size_t) {}
+  size_t capacity() const { return 0; }
+  void note(const char *, std::string, uint64_t = 0) {}
+  std::vector<FlightEvent> snapshot() const { return {}; }
+  std::string json(const char * = nullptr) const {
+    return "{\"flightEvents\": []}\n";
+  }
 };
 
 class Telemetry {
 public:
   MetricsRegistry Metrics;
   TraceRecorder Trace;
+  FlightRecorder Flight;
   bool TraceEnabled = false;
   static constexpr Telemetry *active() { return nullptr; }
 };
@@ -407,6 +606,7 @@ public:
   bool enabled() const { return false; }
   void arg(const char *, std::string) {}
   void arg(const char *, uint64_t) {}
+  void linked(std::vector<uint64_t>) {}
 };
 
 // The contract -DCOBALT_TELEMETRY=OFF promises: the null sink has no
@@ -415,11 +615,14 @@ static_assert(std::is_empty_v<TraceSpan>,
               "null-sink TraceSpan must compile out to an empty class");
 static_assert(std::is_empty_v<TelemetryScope>,
               "null-sink TelemetryScope must compile out");
+static_assert(std::is_empty_v<TraceIdScope>,
+              "null-sink TraceIdScope must compile out");
 
 inline void metricAdd(std::string_view, uint64_t = 1) {}
 inline void metricObserve(std::string_view, double) {}
 inline void metricGaugeSet(std::string_view, int64_t) {}
 inline void metricGaugeMax(std::string_view, int64_t) {}
+inline void flightNote(const char *, std::string, uint64_t = 0) {}
 
 #endif // COBALT_TELEMETRY
 

@@ -65,6 +65,46 @@ TEST(MetricsRegistryTest, Histograms) {
   EXPECT_DOUBLE_EQ(H.Max, 4.0);
 }
 
+TEST(MetricsRegistryTest, PercentilesFromLogBuckets) {
+  MetricsRegistry M;
+  // Empty histogram: percentiles are 0, not NaN.
+  EXPECT_DOUBLE_EQ(M.histogram("none").p50(), 0.0);
+  // 100 observations 1..100 ms: the log-bucket estimate must land
+  // within one sub-bucket (~19%) of the exact order statistic, and the
+  // percentiles must be monotone and clamped into [Min, Max].
+  for (int I = 1; I <= 100; ++I)
+    M.observe("lat", static_cast<double>(I));
+  HistogramStats H = M.histogram("lat");
+  EXPECT_GT(H.p50(), 50.0 * 0.8);
+  EXPECT_LT(H.p50(), 50.0 * 1.25);
+  EXPECT_GT(H.p99(), 99.0 * 0.8);
+  EXPECT_LE(H.p99(), 100.0);
+  EXPECT_LE(H.p50(), H.p90());
+  EXPECT_LE(H.p90(), H.p99());
+  EXPECT_GE(H.p50(), H.Min);
+  EXPECT_LE(H.p99(), H.Max);
+}
+TEST(MetricsRegistryTest, PercentileSingleObservationIsExact) {
+  // One sample: every percentile is that sample (clamping to Min==Max).
+  MetricsRegistry M;
+  M.observe("lat", 2655.5);
+  HistogramStats H = M.histogram("lat");
+  EXPECT_DOUBLE_EQ(H.p50(), 2655.5);
+  EXPECT_DOUBLE_EQ(H.p99(), 2655.5);
+}
+
+TEST(MetricsRegistryTest, HistogramJsonCarriesPercentiles) {
+  MetricsRegistry M;
+  M.observe("h", 1.5);
+  std::string J = M.json();
+  EXPECT_NE(J.find("\"p50\": "), std::string::npos);
+  EXPECT_NE(J.find("\"p90\": "), std::string::npos);
+  EXPECT_NE(J.find("\"p99\": "), std::string::npos);
+  // The pre-percentile keys survive: goldens keyed on them still hold.
+  EXPECT_NE(J.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(J.find("\"sum\": 1.500000"), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, JsonIsByteStableAndSorted) {
   // Two registries reaching the same state through different insertion
   // orders must serialize identically — the golden-file contract.
@@ -191,6 +231,142 @@ TEST(TelemetryScopeTest, InstallsAndRestores) {
   EXPECT_EQ(Inner.Metrics.counter("m"), 1u);
 }
 
+TEST(TraceIdTest, MintedIdsAreNonZeroAndDistinct) {
+  uint64_t A = mintTraceId();
+  uint64_t B = mintTraceId();
+  EXPECT_NE(A, 0u);
+  EXPECT_NE(B, 0u);
+  EXPECT_NE(A, B);
+}
+
+TEST(TraceIdTest, ScopeTagsSpansAndRestores) {
+  Telemetry T;
+  TelemetryScope Scope(&T);
+  EXPECT_EQ(TraceRecorder::currentTraceId(), 0u);
+  {
+    TraceIdScope Outer(0x1111);
+    { TraceSpan S("test", "outer-span"); }
+    {
+      // Nested requests attribute to the innermost ID.
+      TraceIdScope Inner(0x2222);
+      EXPECT_EQ(TraceRecorder::currentTraceId(), 0x2222u);
+      { TraceSpan S("test", "inner-span"); }
+    }
+    EXPECT_EQ(TraceRecorder::currentTraceId(), 0x1111u);
+  }
+  EXPECT_EQ(TraceRecorder::currentTraceId(), 0u);
+  auto Events = T.Trace.snapshot();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].TraceId, 0x1111u); // outer-span
+  EXPECT_EQ(Events[1].TraceId, 0x2222u); // inner-span
+  // The ID renders as a synthetic 16-digit hex arg, never a real Arg
+  // (span-set equivalence compares Args only).
+  EXPECT_TRUE(Events[0].Args.empty());
+  std::string J = T.Trace.json();
+  EXPECT_NE(J.find("\"trace_id\": \"0000000000001111\""), std::string::npos);
+}
+
+TEST(TraceIdTest, TraceIdIsThreadLocal) {
+  TraceIdScope Scope(0xABCD);
+  std::thread Th([] {
+    // Pool threads do not inherit the driver's ambient ID — callers
+    // must re-establish it inside the task (as Soundness.cpp does).
+    EXPECT_EQ(TraceRecorder::currentTraceId(), 0u);
+  });
+  Th.join();
+}
+
+TEST(TraceRecorderTest, SerializeImportRoundTrip) {
+  // Simulates the worker fork boundary: a child recorder serializes its
+  // spans with absolute timestamps; the parent imports, re-bases, and
+  // stamps the worker pid.
+  TraceRecorder Child;
+  TraceEvent E;
+  E.Cat = "checker";
+  E.Name = "discharge";
+  E.StartUs = 7;
+  E.DurUs = 3;
+  E.TraceId = 0xFEED;
+  E.Args.emplace_back("ob", "assoc1");
+  Child.record(E);
+
+  TraceRecorder Parent;
+  Parent.importSerialized(Child.serializeEvents(), /*Pid=*/4242);
+  Parent.setProcessName(4242, "prover-worker");
+  ASSERT_EQ(Parent.eventCount(), 1u);
+  auto Events = Parent.snapshot();
+  EXPECT_STREQ(Events[0].Name, "discharge");
+  EXPECT_STREQ(Events[0].Cat, "checker");
+  EXPECT_EQ(Events[0].Pid, 4242);
+  EXPECT_EQ(Events[0].TraceId, 0xFEEDu);
+  EXPECT_EQ(Events[0].DurUs, 3u);
+  ASSERT_EQ(Events[0].Args.size(), 1u);
+  EXPECT_STREQ(Events[0].Args[0].first, "ob");
+  EXPECT_EQ(Events[0].Args[0].second, "assoc1");
+
+  std::string J = Parent.json();
+  EXPECT_NE(J.find("\"pid\": 4242"), std::string::npos);
+  EXPECT_NE(J.find("\"prover-worker\""), std::string::npos);
+  EXPECT_NE(J.find("\"process_name\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ImportDropsMalformedLines) {
+  TraceRecorder R;
+  R.importSerialized("not\ta\tvalid\tline\n\ngarbage\n", /*Pid=*/7);
+  EXPECT_EQ(R.eventCount(), 0u);
+}
+
+TEST(FlightRecorderTest, RecordsAndWraps) {
+  FlightRecorder F(/*Capacity=*/4);
+  EXPECT_EQ(F.capacity(), 4u);
+  for (int I = 0; I < 6; ++I)
+    F.note("worker.spawn", "pid " + std::to_string(I));
+  auto Events = F.snapshot();
+  ASSERT_EQ(Events.size(), 4u);
+  // Oldest two (0, 1) were overwritten; survivors are in order.
+  EXPECT_EQ(Events.front().Detail, "pid 2");
+  EXPECT_EQ(Events.back().Detail, "pid 5");
+  EXPECT_LT(Events.front().Seq, Events.back().Seq);
+
+  std::string J = F.json("worker_quarantine");
+  EXPECT_NE(J.find("\"reason\": \"worker_quarantine\""), std::string::npos);
+  EXPECT_NE(J.find("\"dropped\": 2"), std::string::npos);
+  EXPECT_NE(J.find("\"worker.spawn\""), std::string::npos);
+  EXPECT_NE(J.find("\"pid 5\""), std::string::npos);
+  EXPECT_EQ(J.find("\"pid 1\""), std::string::npos); // overwritten
+}
+
+TEST(FlightRecorderTest, NoteFillsAmbientTraceId) {
+  FlightRecorder F;
+  TraceIdScope Scope(0xBEEF);
+  F.note("dedup.leader", "2 definition(s) to prove");
+  F.note("worker.kill", "explicit id wins", 0x42);
+  auto Events = F.snapshot();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].TraceId, 0xBEEFu);
+  EXPECT_EQ(Events[1].TraceId, 0x42u);
+}
+
+TEST(FlightRecorderTest, FlightNoteCountsEvents) {
+  Telemetry T;
+  TelemetryScope Scope(&T);
+  flightNote("admission.reject", "3 obligation(s) over bound");
+  EXPECT_EQ(T.Flight.snapshot().size(), 1u);
+  EXPECT_EQ(T.Metrics.counter("flight.events"), 1u);
+}
+
+TEST(FlightRecorderTest, SetCapacityResetsRing) {
+  FlightRecorder F(8);
+  F.note("worker.spawn", "pid 1");
+  F.setCapacity(2);
+  EXPECT_EQ(F.capacity(), 2u);
+  EXPECT_TRUE(F.snapshot().empty());
+  std::string J = F.json();
+  EXPECT_NE(J.find("\"flightEvents\": []"), std::string::npos);
+  EXPECT_NE(J.find("\"reason\": \"dump\""), std::string::npos); // default
+  EXPECT_NE(J.find("\"dropped\": 0"), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, ConcurrentAddsAreLossless) {
   MetricsRegistry M;
   constexpr unsigned Threads = 8, PerThread = 1000;
@@ -222,6 +398,13 @@ TEST(TelemetryOffTest, NullSinkCompilesOut) {
                       "\"histograms\": {}}\n");
   TraceRecorder R;
   EXPECT_EQ(R.json(), "{\"traceEvents\": []}\n");
+  FlightRecorder F;
+  F.note("worker.spawn", "dropped");
+  EXPECT_TRUE(F.snapshot().empty());
+  EXPECT_EQ(F.json("any"), "{\"flightEvents\": []}\n");
+  // Trace IDs are NOT compiled out: protocol frames carry them even
+  // when the local build records nothing.
+  EXPECT_NE(mintTraceId(), 0u);
 }
 
 #endif // COBALT_TELEMETRY

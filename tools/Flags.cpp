@@ -163,6 +163,20 @@ const FlagRow Rows[] = {
        O.MetricsOut = V;
        return true;
      }},
+    {"--flight-recorder=", Style::S_EqValue, FS_Telemetry, "FILE",
+     [](CommonOptions &O, const char *V, std::string &E) {
+       if (!*V) {
+         E = "--flight-recorder= requires a file";
+         return false;
+       }
+       O.FlightOut = V;
+       return true;
+     }},
+    {"--flight-events=", Style::S_EqValue, FS_Telemetry, "<n>",
+     [](CommonOptions &O, const char *V, std::string &E) {
+       return applyUInt(V, O.FlightEvents, E, "--flight-events=",
+                        /*AllowZero=*/false);
+     }},
     // FS_Service ---------------------------------------------------------
     {"--socket", Style::S_SepValue, FS_Service | FS_Client, "<path>",
      [](CommonOptions &O, const char *V, std::string &E) {
@@ -257,7 +271,8 @@ bool cli::parseFlags(int Argc, char **Argv, const char *Tool, unsigned Sets,
       return false;
     }
   }
-  if (!Opts.TraceOut.empty() || !Opts.MetricsOut.empty()) {
+  if (!Opts.TraceOut.empty() || !Opts.MetricsOut.empty() ||
+      !Opts.FlightOut.empty()) {
     // Telemetry failures never change exit codes: a soundness tool's
     // verdict must not depend on whether its instrumentation worked.
     if (support::telemetryCompiledIn())
@@ -266,7 +281,8 @@ bool cli::parseFlags(int Argc, char **Argv, const char *Tool, unsigned Sets,
       std::fprintf(stderr,
                    "%s: warning: this build has telemetry compiled "
                    "out (-DCOBALT_TELEMETRY=OFF); --trace-out/"
-                   "--metrics-out will write empty documents\n",
+                   "--metrics-out/--flight-recorder= will write empty "
+                   "documents\n",
                    Tool);
   }
   if (Opts.Telemetry)

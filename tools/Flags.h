@@ -35,6 +35,12 @@ struct CommonOptions {
   bool ReportJson = false;
   std::string TraceOut;
   std::string MetricsOut;
+  /// cobaltd: flight-recorder dump file (--flight-recorder=); written on
+  /// worker quarantine, SIGTERM, and explicit "dump" frames.
+  std::string FlightOut;
+  /// cobaltd: flight-recorder ring capacity (--flight-events=);
+  /// 0 = the recorder's default.
+  unsigned FlightEvents = 0;
   enum class RemarkLevel { RL_None, RL_Missed, RL_All };
   RemarkLevel Remarks = RemarkLevel::RL_None;
   /// cobaltd / cobaltc client: the AF_UNIX socket path.
@@ -54,7 +60,8 @@ enum FlagSet : unsigned {
                           ///< --degraded=
   FS_Driver = 1u << 2,    ///< --fail-fast, --keep-going, --report=json,
                           ///< --remarks=
-  FS_Telemetry = 1u << 3, ///< --trace-out=, --metrics-out=
+  FS_Telemetry = 1u << 3, ///< --trace-out=, --metrics-out=,
+                          ///< --flight-recorder=, --flight-events=
   FS_Service = 1u << 4,   ///< --socket, --max-inflight, --telemetry
   FS_Client = 1u << 5,    ///< --deadline, --only
 };

@@ -50,12 +50,17 @@
 ///   cobaltc client check --socket S [--only N]* prove via the daemon
 ///   cobaltc client run <prog.il> --socket S [--only PASS]*
 ///                                               optimize via the daemon
-///   cobaltc client stats --socket S             service counters
+///   cobaltc client stats --socket S             telemetry summary table
+///                                               (--report=json for bytes)
+///   cobaltc client dump --socket S              flight-recorder snapshot
 ///   cobaltc client shutdown --socket S          stop the daemon
 ///
-/// Client mode always prints the daemon's JSON response verbatim — the
-/// daemon serializes with the same code as --report=json, and concurrent
+/// Client mode prints the daemon's JSON response verbatim — the daemon
+/// serializes with the same code as --report=json, and concurrent
 /// clients asking for the same suite receive byte-identical documents.
+/// The one exception is `stats`, which by default renders the daemon's
+/// counters and latency percentiles as a human-readable table; pass
+/// --report=json for the raw response bytes.
 /// `--deadline <ms>` bounds each response wait (default 30000). A
 /// "retry" response (admission control) is retried with backoff a few
 /// times before giving up with the degraded exit code.
@@ -100,6 +105,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -136,7 +142,7 @@ int usage() {
       "usage: cobaltc check <module.cob> [flags]\n"
       "       cobaltc opt <module.cob> <program.il> [flags]\n"
       "       cobaltc run <module.cob> <program.il> [input] [flags]\n"
-      "       cobaltc client <ping|check|run|stats|shutdown> [args] "
+      "       cobaltc client <ping|check|run|stats|dump|shutdown> [args] "
       "--socket <path>\n"
       "       cobaltc stdlib\n"
       "%s"
@@ -621,6 +627,81 @@ int clientExit(const std::string &Response) {
   return ExitAllSound;
 }
 
+/// Renders `client stats` as the human-readable telemetry summary.
+/// Pure function of the response document: reads the embedded metrics
+/// registry (counters + log-bucketed histograms) and prints the table;
+/// anything absent (daemon without --telemetry) degrades to the header
+/// line alone.
+void renderClientStats(const service::JsonValue &Doc) {
+  auto U64 = [](const service::JsonValue *V) -> unsigned long long {
+    return V ? V->asU64() : 0;
+  };
+  auto Dbl = [](const service::JsonValue *V) -> double {
+    return V && V->K == service::JsonValue::Kind::JK_Number
+               ? std::strtod(V->Raw.c_str(), nullptr)
+               : 0.0;
+  };
+  std::printf("cobaltd: %llu definition(s), %llu cache hit(s)\n",
+              U64(Doc.find("definitions")), U64(Doc.find("cache_hits")));
+  const service::JsonValue *Metrics = Doc.find("metrics");
+  if (!Metrics) {
+    std::printf("  (daemon has no telemetry session; start it with "
+                "--telemetry for counters)\n");
+    return;
+  }
+  const service::JsonValue *Counters = Metrics->find("counters");
+  const service::JsonValue *Histograms = Metrics->find("histograms");
+  auto C = [&](const char *Name) -> unsigned long long {
+    return Counters ? U64(Counters->find(Name)) : 0;
+  };
+  std::printf("-- telemetry --\n");
+  std::printf("  requests     %llu total (check %llu, run %llu, retry "
+              "%llu, error %llu)\n",
+              C("service.requests"), C("service.requests.check"),
+              C("service.requests.run"), C("service.requests.retry"),
+              C("service.requests.error"));
+  std::printf("  dedup        %llu leader(s), %llu await(s), %llu "
+              "served; admission rejected %llu\n",
+              C("service.dedup.leader"), C("service.dedup.await"),
+              C("service.dedup.served"), C("service.admission.rejected"));
+  std::printf("  cache mem    %llu hits / %llu misses\n",
+              C("cache.mem.hits"), C("cache.mem.misses"));
+  std::printf("  cache disk   %llu hits / %llu misses, %llu stores, "
+              "%llu corrupt\n",
+              C("cache.disk.hits"), C("cache.disk.misses"),
+              C("cache.disk.stores"), C("cache.disk.corrupt"));
+  std::printf("  obligations  %llu (proven %llu, failed %llu, unknown "
+              "%llu)\n",
+              C("checker.obligations"), C("checker.obligations.proven"),
+              C("checker.obligations.failed"),
+              C("checker.obligations.unknown"));
+  std::printf("  workers      %llu spawned, %llu restarted, %llu "
+              "quarantined\n",
+              C("worker.spawns"), C("worker.restarts"),
+              C("worker.quarantined"));
+  std::printf("  flight       %llu event(s) recorded\n",
+              C("flight.events"));
+  // Per-request-type latency percentiles from the daemon's log-bucketed
+  // histograms (absent until the first request of that type arrives).
+  static const struct {
+    const char *Metric;
+    const char *Label;
+  } Latency[] = {{"service.latency.check", "check"},
+                 {"service.latency.run", "run"},
+                 {"service.latency.stats", "stats"}};
+  for (const auto &L : Latency) {
+    const service::JsonValue *H =
+        Histograms ? Histograms->find(L.Metric) : nullptr;
+    if (!H || U64(H->find("count")) == 0)
+      continue;
+    std::printf("  latency ms   %-5s p50 %.3f  p90 %.3f  p99 %.3f  "
+                "(n=%llu, max %.3f)\n",
+                L.Label, Dbl(H->find("p50")), Dbl(H->find("p90")),
+                Dbl(H->find("p99")), U64(H->find("count")),
+                Dbl(H->find("max")));
+  }
+}
+
 int cmdClient(const std::vector<const char *> &Positional,
               const cli::CommonOptions &Opts) {
   if (Positional.size() < 2)
@@ -648,6 +729,8 @@ int cmdClient(const std::vector<const char *> &Positional,
                                       /*SelectedOnly=*/!Opts.Only.empty());
   } else if (std::strcmp(Verb, "stats") == 0 && Positional.size() == 2) {
     Request = service::makeStatsRequest();
+  } else if (std::strcmp(Verb, "dump") == 0 && Positional.size() == 2) {
+    Request = service::makeDumpRequest();
   } else if (std::strcmp(Verb, "shutdown") == 0 &&
              Positional.size() == 2) {
     Request = service::makeShutdownRequest();
@@ -665,6 +748,16 @@ int cmdClient(const std::vector<const char *> &Positional,
   if (!R) {
     std::fprintf(stderr, "cobaltc: %s\n", R.error().str().c_str());
     return ExitUnreachable;
+  }
+  // `stats` is for humans by default; every other verb (and
+  // --report=json) passes the daemon's bytes through untouched.
+  if (std::strcmp(Verb, "stats") == 0 && !Opts.ReportJson) {
+    std::optional<service::JsonValue> Doc = service::parseJson(*R);
+    if (Doc && Doc->find("status") &&
+        Doc->find("status")->asString() == "ok") {
+      renderClientStats(*Doc);
+      return ExitAllSound;
+    }
   }
   std::printf("%s\n", R->c_str());
   return clientExit(*R);

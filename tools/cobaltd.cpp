@@ -20,6 +20,14 @@
 ///                          obligations (0 = unbounded); over-bound
 ///                          requests get "retry" responses
 ///   --telemetry            keep a metrics session for "stats"
+///   --trace-out=FILE       write the daemon's lifetime Chrome trace on
+///                          clean shutdown (implies --telemetry)
+///   --metrics-out=FILE     write the lifetime metrics registry as JSON
+///                          on clean shutdown (implies --telemetry)
+///   --flight-recorder=FILE flight-recorder black box: dumped here on
+///                          worker quarantine, SIGINT/SIGTERM, and
+///                          explicit "dump" frames (implies --telemetry)
+///   --flight-events=<n>    flight-recorder ring capacity (default 1024)
 ///   --prover-* / --worker-* / --isolate-workers / --degraded=
 ///                          prover policy, identical to cobaltc
 ///
@@ -53,7 +61,7 @@ using namespace cobalt;
 namespace {
 
 constexpr unsigned DaemonFlagSets =
-    cli::FS_Core | cli::FS_Prover | cli::FS_Service;
+    cli::FS_Core | cli::FS_Prover | cli::FS_Service | cli::FS_Telemetry;
 
 int usage() {
   std::fprintf(stderr,
@@ -68,12 +76,24 @@ int usage() {
 
 /// Signal handling: handlers may only do async-signal-safe work, and
 /// Daemon::requestStop is exactly that (one atomic store). The accept
-/// loop polls the flag every 100 ms.
+/// loop polls the flag every 100 ms. SignalStop distinguishes a
+/// signal-initiated shutdown (flight recorder dumped: something outside
+/// decided to kill us) from a client "shutdown" frame (clean).
 service::Daemon *ActiveDaemon = nullptr;
+volatile std::sig_atomic_t SignalStop = 0;
 
 void onSignal(int) {
+  SignalStop = 1;
   if (ActiveDaemon)
     ActiveDaemon->requestStop();
+}
+
+bool writeTextFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  return (std::fclose(F) == 0) && Ok;
 }
 
 bool loadModuleInto(api::CobaltService::Builder &B, const char *Path) {
@@ -128,8 +148,12 @@ int main(int Argc, char **Argv) {
     if (!loadModuleInto(B, Path))
       return 2;
   std::shared_ptr<api::CobaltService> Svc = B.build();
+  if (support::Telemetry *T = Svc->telemetry())
+    if (Opts.FlightEvents != 0)
+      T->Flight.setCapacity(Opts.FlightEvents);
 
   service::Daemon D(Svc, Opts.SocketPath);
+  D.setFlightRecorderPath(Opts.FlightOut);
   if (support::Error E = D.start(); E.failed()) {
     std::fprintf(stderr, "cobaltd: %s\n", E.str().c_str());
     return 2;
@@ -147,8 +171,32 @@ int main(int Argc, char **Argv) {
   std::fflush(stdout);
 
   D.wait();
+  // Black-box dump *before* stop(): a SIGTERM post-mortem wants the
+  // events as they stood when the signal arrived, not after teardown
+  // traffic. (Quarantine and "dump"-frame dumps happen inline.)
+  if (SignalStop)
+    D.dumpFlightRecorder("signal");
   D.stop();
   ActiveDaemon = nullptr;
+
+  // Lifetime telemetry (satellite of the PR-6 daemon: these flags were
+  // silently accepted-and-ignored before). Failures warn and never
+  // change the exit code.
+  if (!Opts.TraceOut.empty() || !Opts.MetricsOut.empty()) {
+    support::Telemetry *T = Svc->telemetry();
+    std::string Trace =
+        T ? T->Trace.json() : std::string("{\"traceEvents\": []}\n");
+    std::string Metrics =
+        T ? T->Metrics.json() : support::MetricsRegistry().json();
+    if (!Opts.TraceOut.empty() && !writeTextFile(Opts.TraceOut, Trace))
+      std::fprintf(stderr, "cobaltd: warning: cannot write trace to '%s'\n",
+                   Opts.TraceOut.c_str());
+    if (!Opts.MetricsOut.empty() &&
+        !writeTextFile(Opts.MetricsOut, Metrics))
+      std::fprintf(stderr,
+                   "cobaltd: warning: cannot write metrics to '%s'\n",
+                   Opts.MetricsOut.c_str());
+  }
   std::printf("cobaltd: stopped\n");
   return 0;
 }

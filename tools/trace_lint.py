@@ -10,10 +10,15 @@ Checks, in order:
  3. "X" events carry numeric non-negative "ts"/"dur" and integer
     "pid"/"tid"; "args", when present, maps strings to strings.
  4. "M" events are thread_name rows naming each lane exactly once per
-    (pid, tid).
- 5. Spans nest properly per lane: since every span comes from an RAII
-    scope on one thread, two spans on the same lane either are disjoint
-    or one fully contains the other. Partial overlap is a recorder bug.
+    (pid, tid), or process_name rows naming each pid exactly once.
+ 5. Merged multi-process traces (prover-worker spans imported across
+    the fork) carry a process_name row for every pid that owns "X"
+    events — a foreign pid without one renders as an anonymous track.
+ 6. Spans nest properly per lane: since every span comes from an RAII
+    scope on one thread, two spans on the same (pid, tid) lane either
+    are disjoint or one fully contains the other. Partial overlap is a
+    recorder bug. Lanes are keyed per process, so imported worker spans
+    are swept independently of the parent's threads.
 
 Exit status: 0 clean, 1 lint errors, 2 cannot read/parse the input.
 
@@ -32,6 +37,8 @@ def lint_events(path, doc, errors):
 
     lanes = {}  # (pid, tid) -> list of (ts, dur, name)
     named_lanes = set()
+    named_pids = set()
+    event_pids = set()
     for i, ev in enumerate(doc["traceEvents"]):
         where = f"{path}: event {i}"
         if not isinstance(ev, dict):
@@ -42,6 +49,20 @@ def lint_events(path, doc, errors):
             errors.append(f"{where}: missing or empty 'name'")
             continue
         if ph == "M":
+            if name == "process_name":
+                pid = ev.get("pid")
+                if not isinstance(pid, int):
+                    errors.append(f"{where}: process_name needs an "
+                                  "integer pid")
+                    continue
+                if pid in named_pids:
+                    errors.append(f"{where}: pid {pid} named twice")
+                named_pids.add(pid)
+                args = ev.get("args")
+                if not (isinstance(args, dict)
+                        and isinstance(args.get("name"), str)):
+                    errors.append(f"{where}: process_name needs args.name")
+                continue
             if name != "thread_name":
                 errors.append(f"{where}: unexpected metadata row '{name}'")
                 continue
@@ -72,7 +93,17 @@ def lint_events(path, doc, errors):
                 for k, v in args.items()):
             errors.append(f"{where} ('{name}'): args must map strings "
                           "to strings")
+        event_pids.add(ev["pid"])
         lanes.setdefault((ev["pid"], ev["tid"]), []).append((ts, dur, name))
+
+    # Multi-process merge: every pid owning spans must be introduced by a
+    # process_name row, or the viewer shows an anonymous track. (Traces
+    # with process_name rows opt into the check; a bare single-process
+    # trace without any remains valid.)
+    if named_pids:
+        for pid in sorted(event_pids - named_pids):
+            errors.append(f"{path}: pid {pid} has spans but no "
+                          "process_name metadata row")
 
     # Nesting: sweep each lane by (start, -dur) so an enclosing span sorts
     # before the spans it contains; a stack then only ever sees proper
