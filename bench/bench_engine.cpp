@@ -14,8 +14,16 @@
 ///  * a full optimization run (solve + match + rewrite);
 ///  * pure-analysis labelling.
 ///
+/// `bench_engine --gate` switches to the CI gate: the engine's RPO +
+/// ψ2-memoized solver is checked fact-for-fact against a deliberately
+/// naive FIFO-worklist reference built only on the public core/Formula.h
+/// evaluation API, then timed against it. The gate fails (exit 1) on any
+/// AtNode divergence or if the measured speedup drops below the floor
+/// recorded in EXPERIMENTS.md. Emits BENCH_engine.json in the CWD.
+///
 //===----------------------------------------------------------------------===//
 
+#include "core/Formula.h"
 #include "engine/Dataflow.h"
 #include "engine/Engine.h"
 #include "ir/Generator.h"
@@ -23,6 +31,13 @@
 #include "opts/Optimizations.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <string>
 
 using namespace cobalt;
 using namespace cobalt::engine;
@@ -131,6 +146,278 @@ void BM_TaintAnalysis(benchmark::State &State) {
 }
 BENCHMARK(BM_TaintAnalysis)->Arg(25)->Arg(100)->Arg(400);
 
+//===----------------------------------------------------------------------===//
+// Gate mode: naive FIFO reference solver vs the engine.
+//===----------------------------------------------------------------------===//
+
+/// Textbook chaotic-iteration solver for [[ψ1 followed by ψ2]], written
+/// against the public formula-evaluation API only (buildUniverse /
+/// satisfyFormula / evalFormula). It computes the same greatest fixed
+/// point as engine::solveGuard — OUT starts at the fact universe, IN is
+/// the ∩ over flow-predecessors, roots pin IN = ∅ — but with none of the
+/// engine's strategy: a FIFO worklist instead of reverse post-order
+/// sweeps, and a fresh ψ2 evaluation per (node, θ) visit instead of the
+/// projection memo. Agreement is the correctness gate; the time ratio is
+/// the performance gate.
+struct ReferenceSolution {
+  std::vector<std::set<Substitution>> AtNode;
+  uint64_t Visits = 0;
+};
+
+ReferenceSolution referenceSolveGuard(Direction Dir, const Guard &Gd,
+                                      const Cfg &G,
+                                      const LabelRegistry &Registry) {
+  const Procedure &P = G.proc();
+  const int N = G.size();
+  auto flowPreds = [&](int I) -> const std::vector<int> & {
+    return Dir == Direction::D_Forward ? G.preds(I) : G.succs(I);
+  };
+  auto flowSuccs = [&](int I) -> const std::vector<int> & {
+    return Dir == Direction::D_Forward ? G.succs(I) : G.preds(I);
+  };
+  auto isRoot = [&](int I) {
+    return Dir == Direction::D_Forward ? I == G.entry() : G.isExit(I);
+  };
+
+  // Nodes reachable from a root along the flow direction; everything
+  // else has no constraining path and keeps an empty fact set.
+  std::vector<bool> Live(N, false);
+  {
+    std::vector<int> Work;
+    for (int I = 0; I < N; ++I)
+      if (isRoot(I)) {
+        Live[I] = true;
+        Work.push_back(I);
+      }
+    while (!Work.empty()) {
+      int I = Work.back();
+      Work.pop_back();
+      for (int T : flowSuccs(I))
+        if (!Live[T]) {
+          Live[T] = true;
+          Work.push_back(T);
+        }
+    }
+  }
+
+  Universe Univ = buildUniverse(P);
+  auto makeCtx = [&](int I) {
+    return NodeContext{&P, I, &Registry, nullptr, &Univ};
+  };
+
+  std::vector<std::set<Substitution>> Gen(N);
+  std::set<Substitution> U;
+  for (int I = 0; I < N; ++I) {
+    if (!Live[I])
+      continue;
+    for (Substitution &S : satisfyFormula(*Gd.Psi1, makeCtx(I), {})) {
+      U.insert(S);
+      Gen[I].insert(std::move(S));
+    }
+  }
+
+  ReferenceSolution Sol;
+  Sol.AtNode.assign(N, {});
+  std::vector<std::set<Substitution>> Out(N);
+  std::deque<int> Work;
+  std::vector<bool> Queued(N, false);
+  for (int I = 0; I < N; ++I)
+    if (Live[I]) {
+      Out[I] = U; // optimistic start for the ∩ meet
+      Work.push_back(I);
+      Queued[I] = true;
+    }
+
+  while (!Work.empty()) {
+    int I = Work.front();
+    Work.pop_front();
+    Queued[I] = false;
+    ++Sol.Visits;
+
+    std::set<Substitution> In;
+    if (!isRoot(I)) {
+      bool First = true;
+      for (int Pd : flowPreds(I)) {
+        if (!Live[Pd])
+          continue;
+        if (First) {
+          In = Out[Pd];
+          First = false;
+        } else {
+          std::set<Substitution> Tmp;
+          std::set_intersection(In.begin(), In.end(), Out[Pd].begin(),
+                                Out[Pd].end(),
+                                std::inserter(Tmp, Tmp.begin()));
+          In = std::move(Tmp);
+        }
+      }
+    }
+    Sol.AtNode[I] = In;
+
+    std::set<Substitution> NewOut = Gen[I];
+    for (const Substitution &Theta : In) {
+      auto R = evalFormula(*Gd.Psi2, makeCtx(I), Theta);
+      if (R.has_value() && *R)
+        NewOut.insert(Theta);
+    }
+    if (NewOut != Out[I]) {
+      Out[I] = std::move(NewOut);
+      for (int S : flowSuccs(I))
+        if (Live[S] && !Queued[S]) {
+          Work.push_back(S);
+          Queued[S] = true;
+        }
+    }
+  }
+  return Sol;
+}
+
+struct GateCase {
+  const char *Name;
+  Direction Dir;
+  unsigned Stmts;
+  double EngineSeconds = 0;
+  double ReferenceSeconds = 0;
+  double Speedup = 0;
+  uint64_t Facts = 0;
+  bool Match = false;
+};
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+int runGate(bool Quick) {
+  // Floors intentionally far below the measured speedups (see
+  // EXPERIMENTS.md, experiment E6-gate) so only a real regression —
+  // e.g. losing the RPO schedule or the ψ2 memo — trips them, not
+  // machine-to-machine noise. The geomean carries the headline (the
+  // smallest programs finish in milliseconds and are noise-dominated);
+  // the min floor just demands the engine never lose to the naive
+  // reference outright.
+  constexpr double GeomeanFloor = 3.0;
+  constexpr double MinFloor = 1.0;
+
+  std::vector<GateCase> Cases = {
+      {"constProp/forward/25", Direction::D_Forward, 25},
+      {"constProp/forward/100", Direction::D_Forward, 100},
+      {"constProp/forward/400", Direction::D_Forward, 400},
+      {"deadAssignElim/backward/25", Direction::D_Backward, 25},
+      {"deadAssignElim/backward/100", Direction::D_Backward, 100},
+  };
+  if (Quick)
+    Cases.resize(2);
+
+  std::printf("engine gate: solveGuard vs naive FIFO reference "
+              "(geomean floor %.1fx, min floor %.1fx)\n\n",
+              GeomeanFloor, MinFloor);
+
+  bool AllMatch = true;
+  double MinSpeedup = -1;
+  double LogSum = 0;
+  for (GateCase &C : Cases) {
+    Program Prog = makeProgram(C.Stmts);
+    const Procedure &Main = *Prog.findProc("main");
+    Cfg G(Main);
+    Optimization O = C.Dir == Direction::D_Forward
+                         ? opts::constProp()
+                         : opts::deadAssignElim();
+
+    // Warm once (page in code + allocator), then time: min of 3 engine
+    // runs vs one reference run (the reference is the slow side; its
+    // run-to-run noise only makes the gate easier to pass).
+    GuardSolution Eng =
+        solveGuard(C.Dir, O.Pat.G, G, registry(), nullptr);
+    C.EngineSeconds = 1e9;
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      auto T0 = std::chrono::steady_clock::now();
+      Eng = solveGuard(C.Dir, O.Pat.G, G, registry(), nullptr);
+      C.EngineSeconds = std::min(C.EngineSeconds, secondsSince(T0));
+    }
+    auto T1 = std::chrono::steady_clock::now();
+    ReferenceSolution Ref =
+        referenceSolveGuard(C.Dir, O.Pat.G, G, registry());
+    C.ReferenceSeconds = secondsSince(T1);
+
+    C.Match = Eng.AtNode == Ref.AtNode;
+    for (const std::set<Substitution> &Facts : Eng.AtNode)
+      C.Facts += Facts.size();
+    C.Speedup = C.EngineSeconds > 0
+                    ? C.ReferenceSeconds / C.EngineSeconds
+                    : 0;
+    AllMatch = AllMatch && C.Match;
+    if (MinSpeedup < 0 || C.Speedup < MinSpeedup)
+      MinSpeedup = C.Speedup;
+    LogSum += std::log(std::max(C.Speedup, 1e-9));
+    std::printf("  %-28s engine %8.4f s  reference %8.4f s  "
+                "speedup %6.1fx  facts %6llu  %s\n",
+                C.Name, C.EngineSeconds, C.ReferenceSeconds, C.Speedup,
+                static_cast<unsigned long long>(C.Facts),
+                C.Match ? "match" : "MISMATCH");
+  }
+
+  double Geomean = std::exp(LogSum / Cases.size());
+  bool GateSpeed = Geomean >= GeomeanFloor && MinSpeedup >= MinFloor;
+  bool Pass = AllMatch && GateSpeed;
+  std::printf("\n  gates: all AtNode sets %s; speedup geomean %.1fx "
+              "(floor %.1fx), min %.1fx (floor %.1fx) %s\n",
+              AllMatch ? "match PASS" : "diverge FAIL", Geomean,
+              GeomeanFloor, MinSpeedup, MinFloor,
+              GateSpeed ? "PASS" : "FAIL");
+
+  std::string J = "{\n  \"benchmark\": \"engine\",\n  \"cases\": [\n";
+  char Buf[512];
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    const GateCase &C = Cases[I];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"name\": \"%s\", \"stmts\": %u, "
+                  "\"engine_seconds\": %.6f, \"reference_seconds\": %.6f, "
+                  "\"speedup\": %.2f, \"facts\": %llu, \"match\": %s}%s\n",
+                  C.Name, C.Stmts, C.EngineSeconds, C.ReferenceSeconds,
+                  C.Speedup, static_cast<unsigned long long>(C.Facts),
+                  C.Match ? "true" : "false",
+                  I + 1 < Cases.size() ? "," : "");
+    J += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "  ],\n  \"gates\": {\"all_match\": %s, "
+                "\"speedup_geomean\": %.2f, \"geomean_floor\": %.1f, "
+                "\"min_speedup\": %.2f, \"min_floor\": %.1f},\n"
+                "  \"pass\": %s\n}\n",
+                AllMatch ? "true" : "false", Geomean, GeomeanFloor,
+                MinSpeedup, MinFloor, Pass ? "true" : "false");
+  J += Buf;
+
+  if (std::FILE *F = std::fopen("BENCH_engine.json", "wb")) {
+    std::fwrite(J.data(), 1, J.size(), F);
+    std::fclose(F);
+  }
+  std::printf("\n%s", J.c_str());
+  if (!Pass) {
+    std::fprintf(stderr, "bench_engine: GATE FAILURE\n");
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  bool Gate = false, Quick = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--gate") == 0)
+      Gate = true;
+    else if (std::strcmp(Argv[I], "--quick") == 0)
+      Quick = true;
+  }
+  if (Gate)
+    return runGate(Quick);
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

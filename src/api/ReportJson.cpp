@@ -127,3 +127,37 @@ void api::emitPipelineJson(std::string &Out,
   }
   Out += "\n  ]";
 }
+
+void api::emitValidationJson(std::string &Out,
+                             const validate::ValidationReport &Report) {
+  Out += "  \"validation\": {";
+  Out += "\"verdict\": \"" +
+         std::string(validate::verdictName(Report.V)) + "\"";
+  Out += ", \"method\": \"" + jsonEscape(Report.Method) + "\"";
+  if (!Report.Witness.empty())
+    Out += ", \"witness\": \"" + jsonEscape(Report.Witness) + "\"";
+  if (!Report.Detail.empty())
+    Out += ", \"detail\": \"" + jsonEscape(Report.Detail) + "\"";
+  Out += ", \"degraded\": ";
+  Out += Report.Degraded ? "true" : "false";
+  Out += ", \"procs\": [";
+  for (size_t I = 0; I < Report.Procs.size(); ++I) {
+    const validate::ProcOutcome &P = Report.Procs[I];
+    Out += I ? ",\n    {" : "\n    {";
+    Out += "\"name\": \"" + jsonEscape(P.Name) + "\"";
+    Out += ", \"verdict\": \"" + std::string(validate::verdictName(P.V)) +
+           "\"";
+    Out += ", \"method\": \"" + jsonEscape(P.Method) + "\"";
+    if (!P.Detail.empty())
+      Out += ", \"detail\": \"" + jsonEscape(P.Detail) + "\"";
+    Out += ", \"obligations\": " + std::to_string(P.Obligations);
+    Out += ", \"proven\": " + std::to_string(P.Proven);
+    Out += ", \"failed\": " + std::to_string(P.Failed);
+    Out += ", \"unproven\": " + std::to_string(P.Unproven);
+    Out += ", \"cached\": ";
+    Out += P.CacheHit ? "true" : "false";
+    Out += "}";
+  }
+  Out += Report.Procs.empty() ? "]" : "\n  ]";
+  Out += "}";
+}

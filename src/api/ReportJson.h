@@ -21,6 +21,7 @@
 
 #include "checker/Soundness.h"
 #include "engine/PassManager.h"
+#include "validate/Validate.h"
 
 #include <string>
 #include <vector>
@@ -45,6 +46,12 @@ void emitDefinitionsJson(std::string &Out,
 /// Appends `"pipeline": [...]` for a pipeline run's pass reports.
 void emitPipelineJson(std::string &Out,
                       const std::vector<engine::PassReport> &Reports);
+
+/// Appends `"validation": {...}` for a translation-validation report.
+/// Timing fields are deliberately excluded: the document is
+/// byte-identical for a fixed pair at every --jobs width.
+void emitValidationJson(std::string &Out,
+                        const validate::ValidationReport &Report);
 
 } // namespace api
 } // namespace cobalt

@@ -55,7 +55,14 @@ void api::preregisterHeadlineCounters(support::Telemetry &T) {
       "fuzz.programs",           "fuzz.divergences",
       "fuzz.findings",           "fuzz.oracle.execs",
       "fuzz.reduce.runs",        "fuzz.reduce.candidates",
-      "fuzz.reduce.stmts_removed"};
+      "fuzz.reduce.stmts_removed",
+      "service.requests.validate",
+      "validate.pairs",          "validate.probe.divergence",
+      "validate.procs.alpha",    "validate.procs.simulation",
+      "validate.verdict.Equivalent",
+      "validate.verdict.Inequivalent",
+      "validate.verdict.Unknown",
+      "validate.adversary.blessed"};
   for (const char *Name : Headline)
     T.Metrics.add(Name, 0);
 }
@@ -472,6 +479,117 @@ int CobaltService::exitCodeFor(const SuiteResult &Suite,
   if (Suite.Unproven > 0 || PipelineDegraded)
     return 3;
   return 0;
+}
+
+int CobaltService::exitCodeFor(const validate::ValidationReport &Report) {
+  switch (Report.V) {
+  case validate::Verdict::V_Equivalent:
+    return 0;
+  case validate::Verdict::V_Inequivalent:
+    return 1;
+  case validate::Verdict::V_Unknown:
+    return 3;
+  }
+  return 3;
+}
+
+//===----------------------------------------------------------------------===//
+// Translation validation.
+//===----------------------------------------------------------------------===//
+
+ValidateResponse CobaltService::validate(ValidateRequest Req) {
+  support::TelemetryScope Scope(Telem);
+  const uint64_t TraceId =
+      Req.TraceId ? Req.TraceId : support::mintTraceId();
+  support::TraceIdScope IdScope(TraceId);
+  support::metricAdd("service.requests");
+  support::metricAdd("service.requests.validate");
+  support::TraceSpan Span("service", "validate");
+
+  ValidateResponse Resp;
+  if (std::optional<std::string> Err = ir::validateProgram(Req.Original)) {
+    Resp.Status = ResponseStatus::RS_Error;
+    Resp.Err = support::Error(ErrorKind::EK_ParseError,
+                              "original program ill-formed: " + *Err);
+    support::metricAdd("service.requests.error");
+    return Resp;
+  }
+
+  // Leader/waiter dedup on the pair fingerprint: identical concurrent
+  // requests collapse into one prover run, and every caller receives
+  // the leader's report object (byte-identical serializations).
+  const uint64_t Fp =
+      validate::fingerprintPair(Req.Original, Req.Candidate, Req.Options);
+  bool IsLeader = false;
+  std::promise<ValidationReportPtr> Promise;
+  ValidationFuture Future;
+  {
+    std::lock_guard<std::mutex> Lock(ServiceMutex);
+    auto It = ValidateMemo.find(Fp);
+    if (It != ValidateMemo.end()) {
+      Future = It->second;
+    } else {
+      IsLeader = true;
+      Future = Promise.get_future().share();
+      ValidateMemo.emplace(Fp, Future);
+    }
+  }
+
+  if (IsLeader) {
+    checker::SoundnessChecker Checker(ProtoPM.registry(), Analyses);
+    CheckRequest Cfg;
+    Cfg.Jobs = Req.Jobs;
+    Cfg.BudgetMs = Req.BudgetMs;
+    Cfg.FaultKeySalt = Req.FaultKeySalt;
+    configureChecker(Checker, Cfg);
+
+    support::TraceSpan Prove("service", "validate.prove");
+    validate::ValidationReport Report;
+    try {
+      // Fork safety, as in check(): subprocess-isolation leaders fork
+      // prover workers and must exclude in-process Z3 users.
+      if (Config.Prover.Isolation ==
+          checker::WorkerIsolation::WI_Subprocess) {
+        std::unique_lock<std::shared_mutex> Iso(IsolationMutex);
+        Report = validate::validatePrograms(Req.Original, Req.Candidate,
+                                            Checker, Req.Options);
+      } else {
+        std::shared_lock<std::shared_mutex> Iso(IsolationMutex);
+        Report = validate::validatePrograms(Req.Original, Req.Candidate,
+                                            Checker, Req.Options);
+      }
+    } catch (...) {
+      std::exception_ptr E = std::current_exception();
+      {
+        std::lock_guard<std::mutex> Lock(ServiceMutex);
+        ValidateMemo.erase(Fp);
+      }
+      Promise.set_exception(E);
+      std::rethrow_exception(E);
+    }
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      TotalCacheHits += Checker.cacheHits();
+    }
+    // Unknown is transient (prover limits, alignment caps): current
+    // waiters receive it, later requests re-validate.
+    if (Report.V == validate::Verdict::V_Unknown) {
+      std::lock_guard<std::mutex> Lock(ServiceMutex);
+      ValidateMemo.erase(Fp);
+    }
+    Promise.set_value(std::make_shared<const validate::ValidationReport>(
+        std::move(Report)));
+  } else {
+    support::metricAdd("service.dedup.await");
+  }
+
+  Resp.Report = *Future.get();
+  if (!IsLeader) {
+    support::metricAdd("service.dedup.served");
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++TotalCacheHits;
+  }
+  return Resp;
 }
 
 //===----------------------------------------------------------------------===//

@@ -60,6 +60,7 @@
 #include "ir/Ast.h"
 #include "support/Expected.h"
 #include "support/Telemetry.h"
+#include "validate/Validate.h"
 
 #include <future>
 #include <map>
@@ -212,6 +213,30 @@ struct PipelineResponse {
   bool ok() const { return Status == ResponseStatus::RS_Ok; }
 };
 
+/// One translation-validation request: prove an (original, candidate)
+/// program pair equivalent, or produce a concrete counterexample. Owns
+/// its programs, like PipelineRequest.
+struct ValidateRequest {
+  ir::Program Original;
+  ir::Program Candidate;
+  validate::ValidationOptions Options;
+  /// 0 = the service's pool width; 1 = sequential on the calling thread.
+  unsigned Jobs = 0;
+  /// Per-procedure wall budget override in ms; -1 = service policy.
+  int64_t BudgetMs = -1;
+  uint64_t FaultKeySalt = 0;
+  /// Request trace ID; 0 = the service mints one (see CheckRequest).
+  uint64_t TraceId = 0;
+};
+
+struct ValidateResponse {
+  ResponseStatus Status = ResponseStatus::RS_Ok;
+  validate::ValidationReport Report;
+  support::Error Err;
+
+  bool ok() const { return Status == ResponseStatus::RS_Ok; }
+};
+
 /// The immutable, shareable half of the old facade. Build once (via
 /// Builder), then issue requests from any number of threads; per-request
 /// state (checkers, pass managers) is constructed fresh inside each call
@@ -240,6 +265,14 @@ public:
   /// per-request PassManager (quarantine state is per-request: one
   /// caller's failing pass never poisons another's pipeline).
   PipelineResponse run(PipelineRequest Req);
+
+  /// Translation-validates the request's candidate program against its
+  /// original on a fresh per-request checker. Identical concurrent pairs
+  /// are deduplicated through a fingerprint memo (one prover run, every
+  /// caller receives the leader's report); Unknown verdicts are handed
+  /// to current waiters but never memoized, mirroring the verdict
+  /// cache's never-cache-Unproven rule.
+  ValidateResponse validate(ValidateRequest Req);
   /// @}
 
   /// \name Parsing helpers (stateless; thread-safe).
@@ -280,6 +313,10 @@ public:
   /// containment over plain degradation).
   static int exitCodeFor(const SuiteResult &Suite, bool PipelineDegraded);
 
+  /// Validation verdict → CLI exit code, shared by cobaltc and cobaltd:
+  /// 0 Equivalent, 1 Inequivalent, 3 Unknown.
+  static int exitCodeFor(const validate::ValidationReport &Report);
+
 private:
   friend class Builder;
   CobaltService(CobaltConfig C, std::vector<LabelDef> Labels,
@@ -317,8 +354,14 @@ private:
   /// Guards the dedup memo, the admission ledger, and the obligation
   /// count estimates — one lock because admission decisions must see a
   /// consistent leader set.
+  using ValidationReportPtr =
+      std::shared_ptr<const validate::ValidationReport>;
+  using ValidationFuture = std::shared_future<ValidationReportPtr>;
+
   mutable std::mutex ServiceMutex;
   std::unordered_map<uint64_t, ReportFuture> Memo;
+  /// Dedup memo for validate() requests, keyed by fingerprintPair.
+  std::unordered_map<uint64_t, ValidationFuture> ValidateMemo;
   /// While a leader is proving a fingerprint, the trace IDs of every
   /// request that attached to its future. Snapshot into the leader's
   /// prove-span `linked` list when the proving finishes, then dropped —

@@ -64,6 +64,8 @@ class ThreadPool;
 
 namespace checker {
 
+struct ObligationSet; ///< checker/Obligations.h — external obligations.
+
 /// Outcome of one obligation. Three-valued: *proven* (unsat), *failed*
 /// (a genuine counterexample model was found — the definition is
 /// unsound), or *unknown* (the prover gave up; the definition is merely
@@ -243,6 +245,20 @@ public:
   CheckReport checkOptimization(const Optimization &O);
   CheckReport checkAnalysis(const PureAnalysis &A);
 
+  /// Discharges a caller-assembled obligation bundle (checker/Obligations.h)
+  /// through the same machinery as rule obligations: thread-pool fan-out,
+  /// retry escalation, wall budgets, crash containment, trace spans, and —
+  /// when the set is marked cacheable — the fingerprint-keyed verdict
+  /// cache. The translation validator's per-pair simulation obligations
+  /// enter the prover here.
+  CheckReport checkObligationSet(const ObligationSet &Set);
+
+  /// Batch form: all sets' obligations fan out together (one slow pair
+  /// does not serialize the pairs behind it). Reports in input order,
+  /// byte-identical to sequential checkObligationSet calls.
+  std::vector<CheckReport>
+  checkObligationSets(const std::vector<ObligationSet> &Sets);
+
   /// Checks every definition, fanning all obligations of all definitions
   /// into the thread pool at once (maximal overlap: one slow obligation
   /// does not serialize the definitions behind it). Returns reports in
@@ -271,6 +287,7 @@ private:
 
   PreparedCheck prepareOptimization(const Optimization &O);
   PreparedCheck prepareAnalysis(const PureAnalysis &A);
+  PreparedCheck prepareObligationSet(const ObligationSet &Set);
   std::vector<CheckReport> runPrepared(std::vector<PreparedCheck> Checks);
 
   const LabelRegistry &Registry;

@@ -165,6 +165,12 @@ std::string Daemon::handleFrame(const std::string &Payload, bool &Shutdown) {
     Observe("service.latency.run");
     return Resp;
   }
+  if (Name == "validate") {
+    support::TraceSpan Span("daemon", "validate");
+    std::string Resp = handleValidate(*Req, TraceId);
+    Observe("service.latency.validate");
+    return Resp;
+  }
   if (Name == "stats") {
     support::TraceSpan Span("daemon", "stats");
     std::string Resp = handleStats();
@@ -258,6 +264,50 @@ std::string Daemon::handleRun(const JsonValue &Req, uint64_t TraceId) {
   Out += ",\n  \"optimized_il\": \"" + api::jsonEscape(ir::toString(R.Prog)) +
          "\"";
   Out += ",\n  \"exit\": " + std::to_string(R.Result.Degraded ? 3 : 0);
+  Out += "\n}";
+  return Out;
+}
+
+std::string Daemon::handleValidate(const JsonValue &Req, uint64_t TraceId) {
+  const JsonValue *Original = Req.find("original");
+  const JsonValue *Candidate = Req.find("candidate");
+  if (!Original || Original->K != JsonValue::Kind::JK_String ||
+      !Candidate || Candidate->K != JsonValue::Kind::JK_String)
+    return "{\"status\": \"error\", \"error\": \"parse_error\", "
+           "\"reason\": \"validate requires 'original' and 'candidate' "
+           "strings\"}";
+  support::Expected<ir::Program> Orig = Svc->parseProgram(Original->Str);
+  if (!Orig)
+    return "{\"status\": \"error\", \"error\": \"" +
+           std::string(Orig.error().kindName()) + "\", \"reason\": \"" +
+           api::jsonEscape("original: " + Orig.error().Message) + "\"}";
+  support::Expected<ir::Program> Cand = Svc->parseProgram(Candidate->Str);
+  if (!Cand)
+    return "{\"status\": \"error\", \"error\": \"" +
+           std::string(Cand.error().kindName()) + "\", \"reason\": \"" +
+           api::jsonEscape("candidate: " + Cand.error().Message) + "\"}";
+
+  api::ValidateRequest VR;
+  VR.Original = Orig.take();
+  VR.Candidate = Cand.take();
+  VR.TraceId = TraceId;
+  if (const JsonValue *V = Req.find("jobs"))
+    VR.Jobs = static_cast<unsigned>(V->asU64());
+  if (const JsonValue *V = Req.find("budget_ms"))
+    VR.BudgetMs = V->asI64(-1);
+  if (const JsonValue *V = Req.find("fault_salt"))
+    VR.FaultKeySalt = V->asU64();
+
+  api::ValidateResponse R = Svc->validate(std::move(VR));
+  if (R.Status == api::ResponseStatus::RS_Error)
+    return "{\"status\": \"error\", \"error\": \"" +
+           std::string(R.Err.kindName()) + "\", \"reason\": \"" +
+           api::jsonEscape(R.Err.Message) + "\"}";
+
+  std::string Out = "{\n  \"status\": \"ok\",\n";
+  api::emitValidationJson(Out, R.Report);
+  Out += ",\n  \"exit\": " +
+         std::to_string(api::CobaltService::exitCodeFor(R.Report));
   Out += "\n}";
   return Out;
 }

@@ -96,6 +96,7 @@ private:
 
   std::string handleCheck(const JsonValue &Req, uint64_t TraceId);
   std::string handleRun(const JsonValue &Req, uint64_t TraceId);
+  std::string handleValidate(const JsonValue &Req, uint64_t TraceId);
   std::string handlePing();
   std::string handleStats();
   std::string handleDump();

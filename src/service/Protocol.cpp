@@ -331,6 +331,23 @@ std::string service::makeRunRequest(const std::string &ProgramText,
   return Out;
 }
 
+std::string service::makeValidateRequest(const std::string &OriginalText,
+                                         const std::string &CandidateText,
+                                         unsigned Jobs, int64_t BudgetMs,
+                                         uint64_t TraceId) {
+  std::string Out = "{\"cmd\": \"validate\", \"original\": \"" +
+                    api::jsonEscape(OriginalText) + "\", \"candidate\": \"" +
+                    api::jsonEscape(CandidateText) + "\"";
+  if (Jobs != 0)
+    Out += ", \"jobs\": " + std::to_string(Jobs);
+  if (BudgetMs >= 0)
+    Out += ", \"budget_ms\": " + std::to_string(BudgetMs);
+  if (TraceId != 0)
+    Out += ", \"trace_id\": " + std::to_string(TraceId);
+  Out += "}";
+  return Out;
+}
+
 std::string service::makeStatsRequest() { return "{\"cmd\": \"stats\"}"; }
 
 std::string service::makeDumpRequest() { return "{\"cmd\": \"dump\"}"; }

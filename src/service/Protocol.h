@@ -15,6 +15,8 @@
 ///    "fault_salt": 0, "trace_id": 1234}
 ///   {"cmd": "run", "program": "<IL text>", "selected": ["licm"],
 ///    "selected_only": true, "jobs": 0, "trace_id": 1234}
+///   {"cmd": "validate", "original": "<IL text>", "candidate":
+///    "<IL text>", "jobs": 0, "budget_ms": -1, "trace_id": 1234}
 ///   {"cmd": "stats"}
 ///   {"cmd": "dump"}
 ///   {"cmd": "shutdown"}
@@ -112,6 +114,10 @@ std::string makeRunRequest(const std::string &ProgramText,
                            const std::vector<std::string> &Selected,
                            bool SelectedOnly, unsigned Jobs = 0,
                            uint64_t TraceId = 0);
+std::string makeValidateRequest(const std::string &OriginalText,
+                                const std::string &CandidateText,
+                                unsigned Jobs = 0, int64_t BudgetMs = -1,
+                                uint64_t TraceId = 0);
 std::string makeStatsRequest();
 std::string makeDumpRequest();
 std::string makeShutdownRequest();

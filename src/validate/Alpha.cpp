@@ -1,0 +1,151 @@
+//===- Alpha.cpp - Alpha-equivalence of IL procedures -----------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "validate/Alpha.h"
+
+#include <map>
+#include <sstream>
+#include <variant>
+
+using namespace cobalt;
+using namespace cobalt::ir;
+
+namespace {
+
+/// The bijection under construction plus the failure slot. All match*
+/// helpers return false after recording the first mismatch.
+struct AlphaCtx {
+  std::map<std::string, std::string> AtoB;
+  std::map<std::string, std::string> BtoA;
+  std::string Why;
+
+  bool fail(const std::string &Msg) {
+    if (Why.empty())
+      Why = Msg;
+    return false;
+  }
+
+  bool matchVar(const Var &A, const Var &B) {
+    if (A.IsMeta || B.IsMeta)
+      return fail("pattern variable in a ground procedure");
+    auto ItA = AtoB.find(A.Name);
+    auto ItB = BtoA.find(B.Name);
+    if (ItA == AtoB.end() && ItB == BtoA.end()) {
+      AtoB[A.Name] = B.Name;
+      BtoA[B.Name] = A.Name;
+      return true;
+    }
+    if (ItA != AtoB.end() && ItA->second == B.Name)
+      return true;
+    return fail("variable '" + A.Name + "' does not correspond to '" +
+                B.Name + "'");
+  }
+
+  bool matchBase(const BaseExpr &A, const BaseExpr &B) {
+    if (isVar(A) != isVar(B))
+      return fail("base expression kind mismatch");
+    if (isVar(A))
+      return matchVar(asVar(A), asVar(B));
+    const ConstVal &CA = asConst(A), &CB = asConst(B);
+    if (CA.IsMeta || CB.IsMeta)
+      return fail("pattern constant in a ground procedure");
+    if (CA.Value != CB.Value)
+      return fail("constant mismatch");
+    return true;
+  }
+
+  bool matchExpr(const Expr &A, const Expr &B) {
+    if (A.V.index() != B.V.index())
+      return fail("expression kind mismatch");
+    if (A.is<Var>())
+      return matchVar(A.as<Var>(), B.as<Var>());
+    if (A.is<ConstVal>())
+      return matchBase(BaseExpr(A.as<ConstVal>()),
+                       BaseExpr(B.as<ConstVal>()));
+    if (A.is<DerefExpr>())
+      return matchVar(A.as<DerefExpr>().Ptr, B.as<DerefExpr>().Ptr);
+    if (A.is<AddrOfExpr>())
+      return matchVar(A.as<AddrOfExpr>().Target, B.as<AddrOfExpr>().Target);
+    if (A.is<OpExpr>()) {
+      const OpExpr &OA = A.as<OpExpr>(), &OB = B.as<OpExpr>();
+      if (OA.Op != OB.Op || OA.Args.size() != OB.Args.size())
+        return fail("operator mismatch");
+      for (size_t I = 0; I < OA.Args.size(); ++I)
+        if (!matchBase(OA.Args[I], OB.Args[I]))
+          return false;
+      return true;
+    }
+    return fail("pattern expression in a ground procedure");
+  }
+
+  bool matchLhs(const Lhs &A, const Lhs &B) {
+    if (isVarLhs(A) != isVarLhs(B))
+      return fail("lhs kind mismatch");
+    return matchVar(lhsVar(A), lhsVar(B));
+  }
+
+  bool matchStmt(const Stmt &A, const Stmt &B, int Index) {
+    std::ostringstream At;
+    At << "statement " << Index << ": ";
+    if (A.V.index() != B.V.index())
+      return fail(At.str() + "statement kind mismatch");
+    if (A.is<DeclStmt>())
+      return matchVar(A.as<DeclStmt>().Name, B.as<DeclStmt>().Name);
+    if (A.is<SkipStmt>())
+      return true;
+    if (A.is<AssignStmt>())
+      return matchLhs(A.as<AssignStmt>().Target, B.as<AssignStmt>().Target) &&
+             matchExpr(A.as<AssignStmt>().Value, B.as<AssignStmt>().Value);
+    if (A.is<NewStmt>())
+      return matchVar(A.as<NewStmt>().Target, B.as<NewStmt>().Target);
+    if (A.is<CallStmt>()) {
+      const CallStmt &CA = A.as<CallStmt>(), &CB = B.as<CallStmt>();
+      // Procedure names are global — they must match exactly, never via
+      // the local-variable bijection.
+      if (CA.Callee.IsMeta || CB.Callee.IsMeta)
+        return fail(At.str() + "pattern callee in a ground procedure");
+      if (CA.Callee.Name != CB.Callee.Name)
+        return fail(At.str() + "callee mismatch");
+      return matchVar(CA.Target, CB.Target) && matchBase(CA.Arg, CB.Arg);
+    }
+    if (A.is<BranchStmt>()) {
+      const BranchStmt &BA = A.as<BranchStmt>(), &BB = B.as<BranchStmt>();
+      if (BA.Then.IsMeta || BB.Then.IsMeta || BA.Else.IsMeta ||
+          BB.Else.IsMeta)
+        return fail(At.str() + "pattern index in a ground procedure");
+      if (BA.Then.Value != BB.Then.Value || BA.Else.Value != BB.Else.Value)
+        return fail(At.str() + "branch target mismatch");
+      return matchBase(BA.Cond, BB.Cond);
+    }
+    if (A.is<ReturnStmt>())
+      return matchVar(A.as<ReturnStmt>().Value, B.as<ReturnStmt>().Value);
+    return fail(At.str() + "unhandled statement kind");
+  }
+};
+
+} // namespace
+
+bool validate::alphaEquivalent(const Procedure &A, const Procedure &B,
+                               std::string *Why) {
+  AlphaCtx Ctx;
+  auto Report = [&](bool Ok) {
+    if (!Ok && Why)
+      *Why = Ctx.Why.empty() ? "procedures differ" : Ctx.Why;
+    return Ok;
+  };
+  if (A.Name != B.Name)
+    return Report(Ctx.fail("procedure name mismatch"));
+  if (A.size() != B.size())
+    return Report(Ctx.fail("statement count mismatch"));
+  // The parameter is the one pre-seeded correspondence: both procedures
+  // receive their argument through it.
+  if (!Ctx.matchVar(Var::concrete(A.Param), Var::concrete(B.Param)))
+    return Report(false);
+  for (int I = 0; I < A.size(); ++I)
+    if (!Ctx.matchStmt(A.stmtAt(I), B.stmtAt(I), I))
+      return Report(false);
+  return Report(true);
+}

@@ -1,0 +1,38 @@
+//===- Alpha.h - Alpha-equivalence of IL procedures -------------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The validator's structural fast path: two ground procedures are
+/// alpha-equivalent when a *bijective* renaming of local variables maps
+/// one onto the other, with procedure names, constants, operators, and
+/// branch targets identical. Because locations are handed out by a bump
+/// allocator in declaration order — names never reach the store — an
+/// alpha-equivalent pair has *identical* ↪π effect (same return value,
+/// same store, same allocator), not merely equal observable behavior.
+/// That strength is what lets simulation proofs of callers treat calls
+/// to alpha-equivalent callees as one semantic function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_VALIDATE_ALPHA_H
+#define COBALT_VALIDATE_ALPHA_H
+
+#include "ir/Ast.h"
+
+#include <string>
+
+namespace cobalt {
+namespace validate {
+
+/// True when \p A and \p B are alpha-equivalent ground procedures. On
+/// failure, \p Why (if non-null) receives the first mismatch found.
+bool alphaEquivalent(const ir::Procedure &A, const ir::Procedure &B,
+                     std::string *Why = nullptr);
+
+} // namespace validate
+} // namespace cobalt
+
+#endif // COBALT_VALIDATE_ALPHA_H

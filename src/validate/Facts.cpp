@@ -1,0 +1,129 @@
+//===- Facts.cpp - Engine-mined value facts ---------------------*- C++ -*-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "validate/Facts.h"
+
+#include "core/Formula.h"
+#include "engine/Dataflow.h"
+#include "opts/Labels.h"
+#include "opts/Optimizations.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace cobalt;
+using namespace cobalt::validate;
+
+namespace {
+
+/// Meta names a witness reads (from its eval terms and variable slots).
+void collectWitnessMetas(const Witness &W, std::vector<std::string> &Out) {
+  auto AddTerm = [&Out](const WTerm &T) {
+    ir::collectMetaNames(T.E, Out);
+  };
+  switch (W.K) {
+  case Witness::Kind::WK_Eq:
+    AddTerm(W.LhsT);
+    AddTerm(W.RhsT);
+    break;
+  case Witness::Kind::WK_EqUpTo:
+  case Witness::Kind::WK_NotPointedTo:
+    if (W.X.IsMeta && !W.X.Name.empty() &&
+        std::find(Out.begin(), Out.end(), W.X.Name) == Out.end())
+      Out.push_back(W.X.Name);
+    break;
+  default:
+    break;
+  }
+  for (const WitnessPtr &Kid : W.Kids)
+    if (Kid)
+      collectWitnessMetas(*Kid, Out);
+}
+
+/// The fact-mining rules: proven forward rules whose witnesses are point
+/// facts about one state. Their guards carry the label definitions they
+/// need; the rules themselves are part of the proven suite, which is
+/// what justifies assuming their witnesses (see Facts.h).
+const std::vector<Optimization> &minerRules() {
+  static const std::vector<Optimization> Rules = {opts::constProp(),
+                                                  opts::copyProp()};
+  return Rules;
+}
+
+/// One shared registry covering every miner rule's labels.
+const LabelRegistry &minerRegistry() {
+  static const LabelRegistry Registry = [] {
+    LabelRegistry R;
+    for (const LabelDef &Def : opts::standardLabels())
+      if (!R.findPredicate(Def.Name))
+        R.define(Def);
+    for (const Optimization &O : minerRules())
+      for (const LabelDef &Def : O.Labels)
+        if (!R.findPredicate(Def.Name))
+          R.define(Def);
+    return R;
+  }();
+  return Registry;
+}
+
+} // namespace
+
+std::vector<std::vector<ValueFact>>
+validate::mineFacts(const ir::Cfg &G, unsigned MaxPerNode) {
+  std::vector<std::vector<ValueFact>> Out(
+      static_cast<size_t>(G.size()));
+  const LabelRegistry &Registry = minerRegistry();
+
+  for (const Optimization &O : minerRules()) {
+    if (!O.Pat.W || O.Pat.Dir != Direction::D_Forward)
+      continue;
+    std::vector<std::string> Metas;
+    collectWitnessMetas(*O.Pat.W, Metas);
+
+    engine::GuardSolution Sol = engine::solveGuard(
+        Direction::D_Forward, O.Pat.G, G, Registry, nullptr);
+    for (int I = 0; I < G.size(); ++I) {
+      for (const Substitution &Theta : Sol.AtNode[I]) {
+        // Only substitutions grounding *every* meta the witness reads
+        // become facts: a fact with an unresolved meta would assert a
+        // property of an unconstrained fresh constant, which is not a
+        // theorem about the program.
+        bool Grounded = true;
+        for (const std::string &M : Metas) {
+          const Binding *B = Theta.lookup(M);
+          if (!B || !(B->isVar() || B->isConst() || B->isExpr()))
+            Grounded = false;
+        }
+        if (!Grounded)
+          continue;
+        ValueFact F;
+        F.W = O.Pat.W;
+        F.Theta = Theta;
+        F.Text = O.Name + "{";
+        for (const std::string &M : Metas)
+          F.Text += M + "=" + Theta.lookup(M)->str() + ";";
+        F.Text += "}";
+        Out[I].push_back(std::move(F));
+      }
+    }
+  }
+
+  // Deterministic order + dedup by rendering, then cap.
+  for (std::vector<ValueFact> &Facts : Out) {
+    std::sort(Facts.begin(), Facts.end(),
+              [](const ValueFact &A, const ValueFact &B) {
+                return A.Text < B.Text;
+              });
+    Facts.erase(std::unique(Facts.begin(), Facts.end(),
+                            [](const ValueFact &A, const ValueFact &B) {
+                              return A.Text == B.Text;
+                            }),
+                Facts.end());
+    if (Facts.size() > MaxPerNode)
+      Facts.resize(MaxPerNode);
+  }
+  return Out;
+}

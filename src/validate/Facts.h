@@ -1,0 +1,55 @@
+//===- Facts.h - Engine-mined value facts for simulation relations -*- C++-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "seeded from the engine's facts" half of relation synthesis: the
+/// validator runs the substitution-set dataflow engine over the
+/// *original* procedure with the guards of proven forward rules
+/// (constProp, copyProp) and turns every solution (ι, θ) into a value
+/// fact — the rule's witness instantiated at θ, e.g. η(y) = 3 or
+/// η(y) = η(z) — that holds of every execution state reaching ι.
+///
+/// Soundness: the rules are proven by the checker once and for all, and
+/// the paper's meta-theorem (Theorem 1's witnessing-region invariant,
+/// obligations F1/F2) says exactly that θ(W) holds at ι whenever
+/// (ι, θ) ∈ [[ψ1 followed by ψ2]](p). The engine computes that set, so
+/// assuming the instantiated witness of the *original*'s state at a cut
+/// is sound — no per-program re-proof needed. Facts about the candidate
+/// are never assumed: at a cut the simulation relation makes the states
+/// component-equal, so original-side facts already constrain both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_VALIDATE_FACTS_H
+#define COBALT_VALIDATE_FACTS_H
+
+#include "core/Substitution.h"
+#include "core/Witness.h"
+#include "ir/Cfg.h"
+
+#include <string>
+#include <vector>
+
+namespace cobalt {
+namespace validate {
+
+/// One instantiated value fact holding at a node's pre-state.
+struct ValueFact {
+  WitnessPtr W;       ///< The proven rule's (forward) witness.
+  Substitution Theta; ///< Ground bindings for every meta W mentions.
+  std::string Text;   ///< Canonical rendering (dedup + fingerprints).
+};
+
+/// Facts per node of \p G (indexed like the procedure's statements),
+/// capped at \p MaxPerNode per node. Deterministic: facts are ordered by
+/// their canonical rendering.
+std::vector<std::vector<ValueFact>> mineFacts(const ir::Cfg &G,
+                                              unsigned MaxPerNode);
+
+} // namespace validate
+} // namespace cobalt
+
+#endif // COBALT_VALIDATE_FACTS_H

@@ -1,0 +1,161 @@
+//===- Relation.cpp - Cut points, correspondence, path enumeration -*- C++-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "validate/Relation.h"
+
+#include "ir/Printer.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+using namespace cobalt;
+using namespace cobalt::validate;
+
+std::vector<int> validate::chooseCuts(const ir::Cfg &G) {
+  // Iterative DFS coloring: back edges are edges into a node currently
+  // on the DFS stack. Their targets are the loop headers.
+  enum { White, Grey, Black };
+  std::vector<int> Color(G.size(), White);
+  std::set<int> Cuts = {0};
+  std::function<void(int)> Dfs = [&](int N) {
+    Color[N] = Grey;
+    for (int S : G.succs(N)) {
+      if (Color[S] == Grey)
+        Cuts.insert(S);
+      else if (Color[S] == White)
+        Dfs(S);
+    }
+    Color[N] = Black;
+  };
+  if (G.size() > 0)
+    Dfs(0);
+  return {Cuts.begin(), Cuts.end()};
+}
+
+bool validate::cutsBreakAllCycles(const ir::Cfg &G,
+                                  const std::vector<int> &Cuts) {
+  // The subgraph induced on non-cut, non-return nodes must be acyclic
+  // (paths also stop at returns, which have no successors anyway).
+  std::set<int> CutSet(Cuts.begin(), Cuts.end());
+  enum { White, Grey, Black };
+  std::vector<int> Color(G.size(), White);
+  bool Cyclic = false;
+  std::function<void(int)> Dfs = [&](int N) {
+    Color[N] = Grey;
+    for (int S : G.succs(N)) {
+      if (CutSet.count(S) || G.isExit(S))
+        continue;
+      if (Color[S] == Grey)
+        Cyclic = true;
+      else if (Color[S] == White)
+        Dfs(S);
+    }
+    Color[N] = Black;
+  };
+  for (int N = 0; N < G.size() && !Cyclic; ++N)
+    if (Color[N] == White && !CutSet.count(N) && !G.isExit(N))
+      Dfs(N);
+  return !Cyclic;
+}
+
+bool validate::synthesizeCorrespondence(const ir::Cfg &A, const ir::Cfg &B,
+                                        Correspondence &Out,
+                                        std::string *Why) {
+  Out = Correspondence();
+  Out.CutsA = chooseCuts(A);
+  if (!cutsBreakAllCycles(A, Out.CutsA)) {
+    if (Why)
+      *Why = "original cuts do not break every cycle";
+    return false;
+  }
+
+  std::set<std::pair<int, int>> Pairs = {{0, 0}};
+  const bool SameLength = A.proc().size() == B.proc().size();
+  for (int I : Out.CutsA) {
+    if (I == 0)
+      continue;
+    // Positional alignment: the common case of an in-place rewrite that
+    // kept the CFG shape.
+    if (SameLength)
+      Pairs.insert({I, I});
+    // Textual alignment: every candidate node spelled exactly like the
+    // cut statement. This is what aligns a rotated loop, whose header
+    // test reappears verbatim at the bottom of the candidate loop.
+    const std::string TextI = ir::toString(A.proc().stmtAt(I));
+    for (int J = 0; J < B.size(); ++J)
+      if (ir::toString(B.proc().stmtAt(J)) == TextI)
+        Pairs.insert({I, J});
+  }
+
+  std::set<int> Stops = {0};
+  for (const auto &[I, J] : Pairs)
+    Stops.insert(J);
+  Out.Pairs.assign(Pairs.begin(), Pairs.end());
+  Out.StopsB.assign(Stops.begin(), Stops.end());
+
+  if (!cutsBreakAllCycles(B, Out.StopsB)) {
+    if (Why)
+      *Why = "no candidate stop set aligned with the original cuts "
+             "breaks every candidate cycle";
+    return false;
+  }
+  return true;
+}
+
+bool validate::enumeratePaths(const ir::Cfg &G, const std::vector<int> &Stops,
+                              int From, unsigned MaxPaths, unsigned MaxLen,
+                              std::vector<CutPath> &Out) {
+  Out.clear();
+  if (G.isExit(From)) {
+    Out.push_back(CutPath{{}, From, true});
+    return true;
+  }
+  std::set<int> StopSet(Stops.begin(), Stops.end());
+  bool Ok = true;
+  std::vector<int> Cur;
+  // DFS over execution prefixes. A node ends the path when it is a stop
+  // or a return *and* at least one statement has been executed (the
+  // start node itself is executed first, so self-loops terminate).
+  std::function<void(int)> Dfs = [&](int N) {
+    if (!Ok)
+      return;
+    if (!Cur.empty() && (StopSet.count(N) || G.isExit(N))) {
+      if (Out.size() >= MaxPaths) {
+        Ok = false;
+        return;
+      }
+      Out.push_back(CutPath{Cur, N, G.isExit(N)});
+      return;
+    }
+    if (Cur.size() >= MaxLen) {
+      Ok = false;
+      return;
+    }
+    Cur.push_back(N);
+    for (int S : G.succs(N))
+      Dfs(S);
+    // A node with no successors that is not a return (impossible in a
+    // validated procedure) simply contributes no paths.
+    Cur.pop_back();
+  };
+  Dfs(From);
+  // Deterministic order: DFS over succs() is already deterministic, but
+  // sort by (end, nodes) so the obligation list never depends on
+  // traversal details.
+  std::sort(Out.begin(), Out.end(), [](const CutPath &A, const CutPath &B) {
+    if (A.End != B.End)
+      return A.End < B.End;
+    return A.Nodes < B.Nodes;
+  });
+  // A branch whose two targets coincide yields the same path twice.
+  Out.erase(std::unique(Out.begin(), Out.end(),
+                        [](const CutPath &A, const CutPath &B) {
+                          return A.End == B.End && A.Nodes == B.Nodes;
+                        }),
+            Out.end());
+  return Ok;
+}

@@ -1,0 +1,79 @@
+//===- Relation.h - Cut points, correspondence, and path enumeration -*-C++-===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The control-flow half of relation synthesis: choose cut points in the
+/// original (entry + loop headers), propose corresponding candidate
+/// locations (same index when the bodies have equal length, plus every
+/// candidate node with identical statement text — the latter is what
+/// aligns rotated loops), and enumerate the cut-to-cut statement paths
+/// each side can take. A wrong correspondence can only make obligations
+/// unprovable (verdict Unknown), never prove a false equivalence: the
+/// proof rule itself — every related pair simulates along every original
+/// path — is sound for *any* relation that contains the entry pair and
+/// whose cut sets break every cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COBALT_VALIDATE_RELATION_H
+#define COBALT_VALIDATE_RELATION_H
+
+#include "ir/Cfg.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cobalt {
+namespace validate {
+
+/// One cut-to-cut path: the statement indices *executed* (in order),
+/// then the node the path stops at — a cut/stop node or a return
+/// statement, which is not executed.
+struct CutPath {
+  std::vector<int> Nodes;
+  int End = 0;
+  bool EndsAtReturn = false;
+};
+
+/// The synthesized control correspondence for one procedure pair.
+struct Correspondence {
+  std::vector<int> CutsA;  ///< Original cuts (sorted; always holds 0).
+  std::vector<int> StopsB; ///< Candidate stop nodes (sorted; holds 0).
+  /// Related pairs (i, j): original cut i corresponds to candidate stop
+  /// j. Always contains (0, 0). One original cut may relate to several
+  /// candidate stops (rotated loops test at two program points).
+  std::vector<std::pair<int, int>> Pairs;
+};
+
+/// Entry + back-edge targets of a depth-first traversal from the entry:
+/// cutting these breaks every reachable cycle. Sorted, deduplicated.
+std::vector<int> chooseCuts(const ir::Cfg &G);
+
+/// True when every reachable cycle of \p G passes through a node in
+/// \p Cuts — the condition under which cut-to-cut paths are finite and
+/// enumeration below is exhaustive.
+bool cutsBreakAllCycles(const ir::Cfg &G, const std::vector<int> &Cuts);
+
+/// Synthesizes the correspondence, or returns false with \p Why set when
+/// no candidate stop set both aligns with the original cuts and breaks
+/// every candidate cycle.
+bool synthesizeCorrespondence(const ir::Cfg &A, const ir::Cfg &B,
+                              Correspondence &Out, std::string *Why);
+
+/// All execution paths from \p From (executing From first) up to but not
+/// including the next stop/return node. Returns false when \p MaxPaths
+/// or \p MaxLen is exceeded (enumeration would be incomplete, so the
+/// caller must degrade to Unknown). When \p From itself is a return
+/// node, yields the single empty path ending there.
+bool enumeratePaths(const ir::Cfg &G, const std::vector<int> &Stops,
+                    int From, unsigned MaxPaths, unsigned MaxLen,
+                    std::vector<CutPath> &Out);
+
+} // namespace validate
+} // namespace cobalt
+
+#endif // COBALT_VALIDATE_RELATION_H

@@ -1,16 +1,23 @@
-# Golden-file runner for the examples/ binaries. Runs EXAMPLE_BIN,
+# Golden-file runner for the examples/ binaries and tool invocations.
+# Runs EXAMPLE_BIN (with optional ARGS, a semicolon-separated list),
 # normalizes volatile output (wall-clock timings like "0.27 s"), and
-# diffs against GOLDEN. Regenerate a golden after an intentional output
-# change with:
+# diffs against GOLDEN. EXPECT_RC overrides the required exit code
+# (default 0) — `cobaltc validate` goldens expect 1 for a stored
+# miscompile. Regenerate a golden after an intentional output change
+# with:
 #   cmake -DEXAMPLE_BIN=build/examples/licm \
 #         -DGOLDEN=tests/integration/golden/licm.txt -DUPDATE=1 \
 #         -P tests/integration/CheckGolden.cmake
-execute_process(COMMAND ${EXAMPLE_BIN}
+if(NOT DEFINED EXPECT_RC)
+  set(EXPECT_RC 0)
+endif()
+execute_process(COMMAND ${EXAMPLE_BIN} ${ARGS}
                 OUTPUT_VARIABLE OUT
                 ERROR_VARIABLE ERR
                 RESULT_VARIABLE RC)
-if(NOT RC EQUAL 0)
-  message(FATAL_ERROR "${EXAMPLE_BIN} exited with ${RC}\nstderr:\n${ERR}")
+if(NOT RC EQUAL ${EXPECT_RC})
+  message(FATAL_ERROR "${EXAMPLE_BIN} exited with ${RC} "
+          "(expected ${EXPECT_RC})\nstderr:\n${ERR}")
 endif()
 
 # Normalize the two nondeterministic things examples print: wall-clock

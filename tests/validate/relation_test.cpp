@@ -1,0 +1,286 @@
+//===- relation_test.cpp - Relation synthesis units -----------------------===//
+//
+// Part of the Cobalt reproduction (PLDI 2003). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Units for the pieces the validator composes into a simulation proof:
+/// cut-point selection (entry + loop headers, breaking every cycle),
+/// candidate correspondence synthesis (including the one-cut-to-two-stops
+/// alignment rotated loops need), exhaustive cut-to-cut path enumeration
+/// with explicit caps, alpha-equivalence, and engine-mined value facts.
+/// None of these touch Z3, so the suite is fast enough for every run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "validate/Alpha.h"
+#include "validate/Facts.h"
+#include "validate/Relation.h"
+
+#include "ir/Parser.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace cobalt;
+using namespace cobalt::validate;
+
+namespace {
+
+ir::Program parse(const char *Text) { return ir::parseProgramOrDie(Text); }
+
+const char *StraightLine = R"(
+proc main(n) {
+  decl s;
+  s := n + 1;
+  return s;
+}
+)";
+
+// Top-test counting loop: test at 5, body 7-8, back edge 9 -> 5.
+const char *TopTestLoop = R"(
+proc main(n) {
+  decl i;
+  decl s;
+  decl t;
+  i := 0;
+  s := 0;
+  t := i < n;
+  if t goto 7 else 10;
+  s := s + i;
+  i := i + 1;
+  if 1 goto 5 else 5;
+  return s;
+}
+)";
+
+// The same loop rotated: guard test at 5, bottom test at 9/10. Same
+// observable function as TopTestLoop.
+const char *RotatedLoop = R"(
+proc main(n) {
+  decl i;
+  decl s;
+  decl t;
+  i := 0;
+  s := 0;
+  t := i < n;
+  if t goto 7 else 11;
+  s := s + i;
+  i := i + 1;
+  t := i < n;
+  if t goto 7 else 11;
+  return s;
+}
+)";
+
+TEST(ChooseCuts, StraightLineHasOnlyTheEntry) {
+  ir::Program P = parse(StraightLine);
+  ir::Cfg G(P.Procs[0]);
+  EXPECT_EQ(chooseCuts(G), (std::vector<int>{0}));
+  EXPECT_TRUE(cutsBreakAllCycles(G, {0}));
+}
+
+TEST(ChooseCuts, LoopHeaderIsCutAndBreaksTheCycle) {
+  ir::Program P = parse(TopTestLoop);
+  ir::Cfg G(P.Procs[0]);
+  std::vector<int> Cuts = chooseCuts(G);
+  ASSERT_GE(Cuts.size(), 2u);
+  EXPECT_EQ(Cuts.front(), 0);
+  EXPECT_TRUE(cutsBreakAllCycles(G, Cuts));
+  // The entry alone does not break the cycle.
+  EXPECT_FALSE(cutsBreakAllCycles(G, {0}));
+}
+
+TEST(Correspondence, IdenticalProceduresPairUp) {
+  ir::Program A = parse(TopTestLoop);
+  ir::Program B = parse(TopTestLoop);
+  ir::Cfg GA(A.Procs[0]), GB(B.Procs[0]);
+  Correspondence C;
+  std::string Why;
+  ASSERT_TRUE(synthesizeCorrespondence(GA, GB, C, &Why)) << Why;
+  EXPECT_TRUE(std::count(C.Pairs.begin(), C.Pairs.end(),
+                         std::make_pair(0, 0)));
+  // Each original cut relates to the same-index candidate stop.
+  for (int Cut : C.CutsA)
+    EXPECT_TRUE(std::count(C.Pairs.begin(), C.Pairs.end(),
+                           std::make_pair(Cut, Cut)));
+}
+
+TEST(Correspondence, RotatedLoopRelatesOneCutToTwoStops) {
+  ir::Program A = parse(TopTestLoop);
+  ir::Program B = parse(RotatedLoop);
+  ir::Cfg GA(A.Procs[0]), GB(B.Procs[0]);
+  Correspondence C;
+  std::string Why;
+  ASSERT_TRUE(synthesizeCorrespondence(GA, GB, C, &Why)) << Why;
+  // The original loop-header cut must be related to more than one
+  // candidate stop: the rotated body tests the condition at a different
+  // program point, so a single aligned stop cannot cover both the guard
+  // and the bottom test.
+  int HeaderCut = C.CutsA.back();
+  ASSERT_GT(HeaderCut, 0);
+  size_t Stops = 0;
+  for (const auto &[I, J] : C.Pairs)
+    if (I == HeaderCut)
+      ++Stops;
+  EXPECT_GE(Stops, 2u) << "rotated loop needs two candidate stops";
+}
+
+TEST(Correspondence, UnbrokenCandidateCycleIsRefused) {
+  // Original is straight-line (cuts = {entry}); the candidate has a
+  // cycle no proposed stop can break, so synthesis must refuse rather
+  // than emit an unsound (cycle-spanning, hence non-exhaustive)
+  // enumeration request.
+  ir::Program A = parse(StraightLine);
+  ir::Program B = parse(TopTestLoop);
+  ir::Cfg GA(A.Procs[0]), GB(B.Procs[0]);
+  Correspondence C;
+  std::string Why;
+  EXPECT_FALSE(synthesizeCorrespondence(GA, GB, C, &Why));
+  EXPECT_FALSE(Why.empty());
+}
+
+TEST(EnumeratePaths, StraightLineYieldsOnePathToReturn) {
+  ir::Program P = parse(StraightLine);
+  ir::Cfg G(P.Procs[0]);
+  std::vector<CutPath> Paths;
+  ASSERT_TRUE(enumeratePaths(G, {0}, 0, 64, 48, Paths));
+  ASSERT_EQ(Paths.size(), 1u);
+  EXPECT_TRUE(Paths[0].EndsAtReturn);
+  // Statements 0..1 execute; the return node ends the path unexecuted.
+  EXPECT_EQ(Paths[0].Nodes, (std::vector<int>{0, 1}));
+  EXPECT_EQ(Paths[0].End, 2);
+}
+
+TEST(EnumeratePaths, LoopPathsStopAtTheHeader) {
+  ir::Program P = parse(TopTestLoop);
+  ir::Cfg G(P.Procs[0]);
+  std::vector<int> Cuts = chooseCuts(G);
+  std::vector<CutPath> FromHeader;
+  ASSERT_TRUE(
+      enumeratePaths(G, Cuts, Cuts.back(), 64, 48, FromHeader));
+  // From the header: one path around the body back to the header, one
+  // path out to the return.
+  ASSERT_EQ(FromHeader.size(), 2u);
+  unsigned Returns = 0, BackEdges = 0;
+  for (const CutPath &P : FromHeader) {
+    if (P.EndsAtReturn)
+      ++Returns;
+    else if (P.End == Cuts.back())
+      ++BackEdges;
+  }
+  EXPECT_EQ(Returns, 1u);
+  EXPECT_EQ(BackEdges, 1u);
+}
+
+TEST(EnumeratePaths, CapsReportIncompleteness) {
+  ir::Program P = parse(TopTestLoop);
+  ir::Cfg G(P.Procs[0]);
+  std::vector<CutPath> Paths;
+  // MaxLen 1 cannot reach the next stop: the enumeration must say so
+  // instead of silently returning a partial set.
+  EXPECT_FALSE(enumeratePaths(G, {0}, 0, 64, 1, Paths));
+  EXPECT_FALSE(enumeratePaths(G, {0}, 0, 0, 48, Paths));
+}
+
+TEST(Alpha, BijectiveRenamingIsAccepted) {
+  ir::Program A = parse(RotatedLoop);
+  ir::Program B = parse(R"(
+proc main(n) {
+  decl j;
+  decl acc;
+  decl c;
+  j := 0;
+  acc := 0;
+  c := j < n;
+  if c goto 7 else 11;
+  acc := acc + j;
+  j := j + 1;
+  c := j < n;
+  if c goto 7 else 11;
+  return acc;
+}
+)");
+  std::string Why;
+  EXPECT_TRUE(alphaEquivalent(A.Procs[0], B.Procs[0], &Why)) << Why;
+}
+
+TEST(Alpha, NonBijectiveRenamingIsRefused) {
+  // Both s and t map onto u: injectivity fails even though the programs
+  // happen to behave identically here.
+  ir::Program A = parse(R"(
+proc main(n) {
+  decl s;
+  decl t;
+  s := n;
+  t := n;
+  return t;
+}
+)");
+  ir::Program B = parse(R"(
+proc main(n) {
+  decl u;
+  decl u2;
+  u := n;
+  u := n;
+  return u;
+}
+)");
+  std::string Why;
+  EXPECT_FALSE(alphaEquivalent(A.Procs[0], B.Procs[0], &Why));
+  EXPECT_FALSE(Why.empty());
+}
+
+TEST(Alpha, ConstantMismatchIsRefused) {
+  ir::Program A = parse("proc main(n) { decl s; s := 1; return s; }");
+  ir::Program B = parse("proc main(n) { decl s; s := 2; return s; }");
+  EXPECT_FALSE(alphaEquivalent(A.Procs[0], B.Procs[0]));
+}
+
+TEST(Facts, ConstantAssignmentYieldsAConstPropFact) {
+  ir::Program P = parse(R"(
+proc main(n) {
+  decl x;
+  decl y;
+  x := 3;
+  y := x + n;
+  return y;
+}
+)");
+  ir::Cfg G(P.Procs[0]);
+  std::vector<std::vector<ValueFact>> Facts = mineFacts(G, 16);
+  ASSERT_EQ(Facts.size(), static_cast<size_t>(G.size()));
+  // At the use of x (node 3), the engine must know x = 3.
+  bool Found = false;
+  for (const ValueFact &F : Facts[3])
+    if (F.Text.find("x") != std::string::npos &&
+        F.Text.find("3") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found) << "no x=3 fact at the use node";
+}
+
+TEST(Facts, AreDeterministicallyOrdered) {
+  ir::Program P = parse(R"(
+proc main(n) {
+  decl x;
+  decl y;
+  decl z;
+  x := 3;
+  y := x;
+  z := y + x;
+  return z;
+}
+)");
+  ir::Cfg G(P.Procs[0]);
+  std::vector<std::vector<ValueFact>> A = mineFacts(G, 16);
+  std::vector<std::vector<ValueFact>> B = mineFacts(G, 16);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    ASSERT_EQ(A[I].size(), B[I].size());
+    for (size_t J = 0; J < A[I].size(); ++J)
+      EXPECT_EQ(A[I][J].Text, B[I][J].Text);
+  }
+}
+
+} // namespace

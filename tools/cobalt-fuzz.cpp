@@ -27,6 +27,18 @@
 ///                       full checker-cross-check mode
 ///   --require-expected  exit 1 unless every observable seeded bug
 ///                       produced a divergence (the CI smoke assertion)
+///   --validate          adversarial translation-validation mode
+///                       (DESIGN.md §14): miscompile generated programs
+///                       with the selected rule suite, validate each
+///                       (original, miscompiled) pair, and cross-check
+///                       the verdict against the differential
+///                       interpreter. A divergent pair verdicted
+///                       Equivalent ("blessed miscompile") exits 1. With
+///                       --corpus-dir, retained pairs are written as
+///                       .orig.il/.cand.il files plus a manifest; with
+///                       --minimize they are delta-debugged first (and
+///                       re-validated — reduction must not flip a verdict
+///                       to Equivalent).
 ///   --trace-out=FILE / --metrics-out=FILE
 ///                       telemetry dumps, as in cobaltc
 ///
@@ -46,6 +58,7 @@
 #include "fuzz/Fuzzer.h"
 #include "ir/Printer.h"
 #include "support/FaultInjection.h"
+#include "validate/Adversary.h"
 
 #include <chrono>
 #include <set>
@@ -68,9 +81,14 @@ int usage() {
       "       --time-budget <seconds>  --jobs <n>\n"
       "       --minimize | --no-minimize  --mutants <n>\n"
       "       --corpus-dir <dir>  --check  --require-expected\n"
+      "       --validate  attack the translation validator instead of the\n"
+      "                   checker: miscompile with the buggy rule suite,\n"
+      "                   cross-check each verdict against the\n"
+      "                   differential-interpreter ground truth\n"
       "       --trace-out=FILE  --metrics-out=FILE\n"
-      "exit:  0 clean; 1 checker-missed divergence or missing expected\n"
-      "       divergence; 2 usage/input error\n");
+      "exit:  0 clean; 1 checker-missed divergence, missing expected\n"
+      "       divergence, or (--validate) a validator-blessed miscompile;\n"
+      "       2 usage/input error\n");
   return ExitUsage;
 }
 
@@ -81,6 +99,7 @@ struct Options {
   std::string CorpusDir;
   bool Check = false;
   bool RequireExpected = false;
+  bool Validate = false;
   std::string TraceOut, MetricsOut;
 };
 
@@ -144,6 +163,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Check = true;
     } else if (std::strcmp(Arg, "--require-expected") == 0) {
       Opts.RequireExpected = true;
+    } else if (std::strcmp(Arg, "--validate") == 0) {
+      Opts.Validate = true;
     } else if (const char *V = ValueOf("--trace-out=")) {
       Opts.TraceOut = V;
     } else if (const char *V = ValueOf("--metrics-out=")) {
@@ -288,6 +309,105 @@ std::string summaryJson(const Options &Opts, const fuzz::FuzzSummary &Sum,
   return Out;
 }
 
+/// The --validate summary. Wall-clock-free for the same reason as
+/// summaryJson: a fixed (seed, runs) campaign is byte-identical across
+/// machines and --jobs widths.
+std::string adversaryJson(const Options &Opts,
+                          const validate::AdversarySummary &Sum) {
+  std::string Out = "{\n";
+  Out += "  \"mode\": \"validate\",\n";
+  Out += "  \"suite\": \"" + jsonEscape(Opts.Suite) + "\",\n";
+  Out += "  \"seed\": " + std::to_string(Sum.Seed) + ",\n";
+  Out += "  \"runs_requested\": " + std::to_string(Sum.RunsRequested) + ",\n";
+  Out += "  \"runs_executed\": " + std::to_string(Sum.RunsExecuted) + ",\n";
+  Out += "  \"pairs_validated\": " + std::to_string(Sum.PairsValidated) +
+         ",\n";
+  Out += "  \"diverged\": " + std::to_string(Sum.Diverged) + ",\n";
+  Out += "  \"caught\": " + std::to_string(Sum.Caught) + ",\n";
+  Out += "  \"missed_unknown\": " + std::to_string(Sum.MissedUnknown) + ",\n";
+  Out += "  \"extended_catch\": " + std::to_string(Sum.ExtendedCatch) + ",\n";
+  Out += "  \"agree\": " + std::to_string(Sum.Agree) + ",\n";
+  Out += "  \"unproven\": " + std::to_string(Sum.Unproven) + ",\n";
+  Out += "  \"blessed_miscompiles\": " + std::to_string(Sum.Blessed) + ",\n";
+  Out += "  \"per_rule\": {";
+  bool First = true;
+  for (const auto &[Rule, RS] : Sum.PerRule) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"" + jsonEscape(Rule) +
+           "\": {\"applications\": " + std::to_string(RS.Applications) +
+           ", \"diverged\": " + std::to_string(RS.Diverged) +
+           ", \"caught\": " + std::to_string(RS.Caught) +
+           ", \"missed_unknown\": " + std::to_string(RS.MissedUnknown) +
+           ", \"extended_catch\": " + std::to_string(RS.ExtendedCatch) +
+           ", \"blessed\": " + std::to_string(RS.Blessed) + "}";
+  }
+  Out += "\n  },\n  \"pairs\": [";
+  for (size_t I = 0; I < Sum.Pairs.size(); ++I) {
+    const validate::AdversaryPair &P = Sum.Pairs[I];
+    Out += I ? ",\n    {" : "\n    {";
+    Out += "\"rule\": \"" + jsonEscape(P.Rule) + "\"";
+    Out += ", \"seed\": " + std::to_string(P.Seed);
+    Out += ", \"class\": \"" +
+           std::string(validate::adversaryClassName(P.Class)) + "\"";
+    Out += ", \"verdict\": \"" + std::string(validate::verdictName(P.V)) +
+           "\"";
+    if (!P.Witness.empty())
+      Out += ", \"witness\": \"" + jsonEscape(P.Witness) + "\"";
+    Out += ", \"stmts_before\": " + std::to_string(P.StatementsBefore);
+    Out += ", \"stmts_after\": " + std::to_string(P.StatementsAfter);
+    Out += ", \"reduce_rounds\": " + std::to_string(P.ReduceRounds);
+    Out += "}";
+  }
+  Out += "\n  ]\n}\n";
+  return Out;
+}
+
+/// `cobalt-fuzz --validate`: the adversarial campaign of DESIGN.md §14.
+/// The fuzzer switches sides — instead of probing the checker it
+/// miscompiles programs and tries to sneak them past the validator.
+int runValidateMode(const Options &Opts, api::CobaltContext &Ctx,
+                    const std::vector<fuzz::FuzzTarget> &Targets) {
+  validate::AdversaryOptions AO;
+  AO.Seed = Opts.Fuzz.Seed;
+  AO.Runs = Opts.Fuzz.Runs;
+  AO.Minimize = Opts.Fuzz.Minimize;
+
+  const auto Start = std::chrono::steady_clock::now();
+  validate::AdversarySummary Sum =
+      validate::runAdversary(Targets, AO, Ctx.service()->prover());
+  double Elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  if (!Opts.CorpusDir.empty())
+    if (auto Err = validate::saveValidationCorpus(Opts.CorpusDir, Sum.Pairs)) {
+      std::fprintf(stderr, "cobalt-fuzz: %s\n", Err->c_str());
+      return ExitUsage;
+    }
+
+  std::fprintf(stderr,
+               "cobalt-fuzz: --validate: %u run(s), %llu pair(s) validated "
+               "in %.2f s, %u divergent (caught %u, unknown %u, extended "
+               "%u), %u blessed\n",
+               Sum.RunsExecuted,
+               static_cast<unsigned long long>(Sum.PairsValidated), Elapsed,
+               Sum.Diverged, Sum.Caught, Sum.MissedUnknown,
+               Sum.ExtendedCatch, Sum.Blessed);
+
+  std::fputs(adversaryJson(Opts, Sum).c_str(), stdout);
+
+  if (Sum.Blessed > 0) {
+    std::fprintf(stderr,
+                 "cobalt-fuzz: FAILURE: %u validator-blessed "
+                 "miscompile(s) — the validator called a divergent pair "
+                 "Equivalent\n",
+                 Sum.Blessed);
+    return ExitFailure;
+  }
+  return ExitClean;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -305,11 +425,24 @@ int main(int Argc, char **Argv) {
   Config.Telemetry =
       (!Opts.TraceOut.empty() || !Opts.MetricsOut.empty()) &&
       support::telemetryCompiledIn();
+  if (Opts.Validate) {
+    // The adversary measures verdict *safety*, not proof completeness:
+    // Unknown is an acceptable outcome, so unprovable obligations must
+    // fail fast rather than burn the full escalating-retry ladder
+    // (2s/10s/30s per obligation would make a campaign take hours).
+    Config.Prover.InitialTimeoutMs = 500;
+    Config.Prover.TimeoutMs = 2000;
+    Config.Prover.Retries = 1;
+    Config.Prover.BudgetMs = 10000;
+  }
   api::CobaltContext Ctx(Config);
 
   std::vector<fuzz::FuzzTarget> Targets = assembleTargets(Opts.Suite);
   if (Opts.Check)
     recomputeVerdicts(Ctx, Targets);
+
+  if (Opts.Validate)
+    return runValidateMode(Opts, Ctx, Targets);
 
   const auto Start = std::chrono::steady_clock::now();
   fuzz::FuzzSummary Sum = Ctx.runFuzz(Targets, Opts.Fuzz);

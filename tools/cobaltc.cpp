@@ -11,6 +11,10 @@
 ///                                               optimized program
 ///   cobaltc run   <module.cob> <program.il> N   check, then optimize and
 ///                                               run main(N) before/after
+///   cobaltc validate <orig.il> <cand.il>        translation-validate an
+///                                               untrusted optimized program
+///                                               (exit 0 equivalent, 1
+///                                               inequivalent, 3 unknown)
 ///   cobaltc stdlib                              print the bundled module
 ///   cobaltc client <verb> [args]                talk to a running cobaltd
 ///                                               (see below)
@@ -50,6 +54,9 @@
 ///   cobaltc client check --socket S [--only N]* prove via the daemon
 ///   cobaltc client run <prog.il> --socket S [--only PASS]*
 ///                                               optimize via the daemon
+///   cobaltc client validate <orig.il> <cand.il> --socket S
+///                                               translation-validate via
+///                                               the daemon
 ///   cobaltc client stats --socket S             telemetry summary table
 ///                                               (--report=json for bytes)
 ///   cobaltc client dump --socket S              flight-recorder snapshot
@@ -142,13 +149,15 @@ int usage() {
       "usage: cobaltc check <module.cob> [flags]\n"
       "       cobaltc opt <module.cob> <program.il> [flags]\n"
       "       cobaltc run <module.cob> <program.il> [input] [flags]\n"
-      "       cobaltc client <ping|check|run|stats|dump|shutdown> [args] "
-      "--socket <path>\n"
+      "       cobaltc validate <original.il> <candidate.il> [flags]\n"
+      "       cobaltc client <ping|check|run|validate|stats|dump|"
+      "shutdown> [args] --socket <path>\n"
       "       cobaltc stdlib\n"
       "%s"
       "client flags:\n"
       "%s"
       "exit:  0 all sound; 1 rejected definitions; 2 usage/input error;\n"
+      "       (validate: 0 equivalent; 1 inequivalent; 3 unknown)\n"
       "       3 infrastructure degraded (timeouts/rollbacks, no "
       "counterexample);\n"
       "       4 containment degraded (prover workers died, obligations "
@@ -579,6 +588,44 @@ int cmdRun(const char *ModulePath, const char *ProgramPath,
   return Exit;
 }
 
+int cmdValidate(const char *OrigPath, const char *CandPath,
+                const cli::CommonOptions &Opts) {
+  api::CobaltContext Ctx(Opts.Config);
+  auto Orig = Ctx.loadProgramFile(OrigPath);
+  if (!Orig) {
+    std::fprintf(stderr, "%s: %s\n", OrigPath, Orig.error().str().c_str());
+    return ExitUsage;
+  }
+  auto Cand = Ctx.loadProgramFile(CandPath);
+  if (!Cand) {
+    std::fprintf(stderr, "%s: %s\n", CandPath, Cand.error().str().c_str());
+    return ExitUsage;
+  }
+
+  api::ValidateRequest VR;
+  VR.Original = std::move(*Orig);
+  VR.Candidate = std::move(*Cand);
+  api::ValidateResponse R = Ctx.service()->validate(std::move(VR));
+  if (!R.ok()) {
+    std::fprintf(stderr, "cobaltc: %s\n", R.Err.str().c_str());
+    return ExitUsage;
+  }
+  int Exit = api::CobaltService::exitCodeFor(R.Report);
+
+  if (Opts.ReportJson) {
+    std::string Out = "{\n  \"command\": \"validate\",\n";
+    api::emitValidationJson(Out, R.Report);
+    emitTelemetry(Ctx, Opts, &Out);
+    Out += ",\n  \"exit\": " + std::to_string(Exit) + "\n}\n";
+    std::fputs(Out.c_str(), stdout);
+    return Exit;
+  }
+
+  std::printf("%s", R.Report.str().c_str());
+  emitTelemetry(Ctx, Opts, nullptr);
+  return Exit;
+}
+
 //===----------------------------------------------------------------------===//
 // Client mode.
 //===----------------------------------------------------------------------===//
@@ -727,6 +774,21 @@ int cmdClient(const std::vector<const char *> &Positional,
     Text << In.rdbuf();
     Request = service::makeRunRequest(Text.str(), Opts.Only,
                                       /*SelectedOnly=*/!Opts.Only.empty());
+  } else if (std::strcmp(Verb, "validate") == 0 &&
+             Positional.size() == 4) {
+    std::string Texts[2];
+    for (int I = 0; I < 2; ++I) {
+      std::ifstream In(Positional[2 + I]);
+      if (!In) {
+        std::fprintf(stderr, "cobaltc: cannot read '%s'\n",
+                     Positional[2 + I]);
+        return ExitUsage;
+      }
+      std::ostringstream Text;
+      Text << In.rdbuf();
+      Texts[I] = Text.str();
+    }
+    Request = service::makeValidateRequest(Texts[0], Texts[1]);
   } else if (std::strcmp(Verb, "stats") == 0 && Positional.size() == 2) {
     Request = service::makeStatsRequest();
   } else if (std::strcmp(Verb, "dump") == 0 && Positional.size() == 2) {
@@ -802,5 +864,9 @@ int main(int Argc, char **Argv) {
       (Positional.size() == 3 || Positional.size() == 4))
     return cmdRun(Positional[1], Positional[2],
                   Positional.size() == 4 ? Positional[3] : nullptr, Opts);
+  if (!Positional.empty() &&
+      std::strcmp(Positional[0], "validate") == 0 &&
+      Positional.size() == 3)
+    return cmdValidate(Positional[1], Positional[2], Opts);
   return usage();
 }
